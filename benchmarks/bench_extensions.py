@@ -1,0 +1,27 @@
+"""Extension benches: accuracy shootout, temporal windowing, ablation."""
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+
+def test_accuracy_benchmark(benchmark, bench_config):
+    result = benchmark(lambda: run_experiment("accuracy", bench_config))
+    by_key = {(row["d"], row["p"]): row for row in result.rows}
+    row = by_key[(3, 0.05)]
+    # the exact ML decoder is the accuracy ceiling (small stat. margin)
+    assert row["optimal"] <= row["mesh"] + 0.03
+    assert row["optimal"] <= row["mwpm"] + 0.03
+
+
+def test_temporal_benchmark(benchmark):
+    config = ExperimentConfig(trials=1200)
+    result = benchmark(lambda: run_experiment("temporal", config))
+    rows = {(r["q"], r["window"]): r["failures_per_round"] for r in result.rows}
+    # with 5% measurement flips, windowing must recover accuracy
+    assert rows[(0.05, 3)] < rows[(0.05, 1)]
+
+
+def test_mesh_ablation_benchmark(benchmark, bench_config):
+    result = benchmark(lambda: run_experiment("mesh_ablation", bench_config))
+    rates = [row["logical_error_rate"] for row in result.rows]
+    # concretization parameters must not change the answer materially
+    assert max(rates) - min(rates) < 0.02

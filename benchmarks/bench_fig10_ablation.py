@@ -1,0 +1,25 @@
+"""Figure 10 (top row): incremental design ablation."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_fig10_top_benchmark(benchmark, bench_config_small):
+    result = benchmark(lambda: run_experiment("fig10_top", bench_config_small))
+    # average PL per variant at the lowest simulated physical rate
+    lowest = {}
+    for row in result.rows:
+        if "variant" not in row:
+            continue
+        key = (row["variant"], row["p"])
+        lowest.setdefault(key, []).append(row["logical_error_rate"])
+    p_min = min(p for (_v, p) in lowest)
+    means = {
+        v: float(np.mean(vals))
+        for (v, p), vals in lowest.items()
+        if p == p_min
+    }
+    # the design ladder: final < reset+boundary < baseline-family
+    assert means["final"] < means["reset+boundary"]
+    assert means["reset+boundary"] < means["baseline"]

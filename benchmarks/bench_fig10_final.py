@@ -1,0 +1,16 @@
+"""Figure 10 (a, b): final-design thresholds and pseudo-thresholds."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig10a_benchmark(benchmark, bench_config):
+    result = benchmark(lambda: run_experiment("fig10a", bench_config))
+    summary = result.rows[-1]
+    accuracy = summary["accuracy_threshold"]
+    # Paper: ~5%.  The curve-crossing estimator is ill-conditioned when
+    # per-distance curves run nearly parallel (they do, both here and in
+    # the paper's own Fig. 10), so reduced-budget runs scatter widely.
+    assert accuracy is None or 0.01 < accuracy < 0.09
+    # Pseudo-thresholds are the robust metric: paper 5% at d = 3.
+    pseudo3 = summary.get("pseudo_d3")
+    assert pseudo3 is None or 0.015 < pseudo3 < 0.08

@@ -1,0 +1,14 @@
+"""Figure 10 (c): cycles-to-solution probability densities."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig10c_benchmark(benchmark, bench_config):
+    result = benchmark(lambda: run_experiment("fig10c", bench_config))
+    rows = {row["cycles"]: row for row in result.rows}
+    # larger codes have less mass at zero cycles (more syndromes to pair)
+    zero = rows[0]
+    assert zero["d3"] > zero["d5"] > zero["d7"] > zero["d9"]
+    # every distance shows a nonzero-cycle mode (the paper's 5/9/14 peaks)
+    for d in ("d3", "d5", "d7", "d9"):
+        assert sum(rows[c][d] for c in range(1, 21)) > 0.1

@@ -1,0 +1,14 @@
+"""Figure 11: required code distance across decoders (the ~10x claim)."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_fig11_benchmark(benchmark, bench_config):
+    result = benchmark(lambda: run_experiment("fig11", bench_config))
+    reductions = []
+    for row in result.rows:
+        if row.get("mwpm") and row.get("sfq_decoder"):
+            reductions.append(row["mwpm"] / row["sfq_decoder"])
+    assert 5.0 <= float(np.median(reductions)) <= 15.0

@@ -1,0 +1,12 @@
+"""Figure 1: SQV boost factors (3,402x and 11,163x)."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_fig1_benchmark(benchmark, bench_config):
+    result = benchmark(lambda: run_experiment("fig1", bench_config))
+    boosts = {row["d"]: row["boost_factor"] for row in result.rows}
+    assert boosts[3] == pytest.approx(3402, rel=0.01)
+    assert boosts[5] == pytest.approx(11163, rel=0.01)

@@ -1,0 +1,10 @@
+"""Figure 5: wall-clock staircase under decoding backlog."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig5_benchmark(benchmark, bench_config):
+    result = benchmark(lambda: run_experiment("fig5", bench_config))
+    stalls = [row["stall_ns"] for row in result.rows]
+    # geometric growth of the idle periods
+    assert stalls[-1] > 10 * stalls[0] > 0

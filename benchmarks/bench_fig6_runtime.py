@@ -1,0 +1,19 @@
+"""Figure 6: benchmark running times vs syndrome processing ratio."""
+
+import math
+
+from repro.experiments import run_experiment
+
+
+def test_fig6_benchmark(benchmark, bench_config):
+    result = benchmark(lambda: run_experiment("fig6", bench_config))
+    by_bench = {}
+    for row in result.rows:
+        by_bench.setdefault(row["benchmark"], {})[row["f"]] = row["wall_seconds"]
+    for name, curve in by_bench.items():
+        below = [w for f, w in curve.items() if f <= 1.0]
+        above = [w for f, w in curve.items() if f >= 1.5]
+        assert max(below) < 1.0, name           # sub-second when online
+        assert min(above) > 1e6 or any(
+            math.isinf(w) for w in above
+        ), name                                  # intractable when offline

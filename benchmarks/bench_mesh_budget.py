@@ -1,0 +1,13 @@
+"""Section VIII: mesh-level area/power roll-up and cryostat capacity."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def test_mesh_budget_benchmark(benchmark, bench_config):
+    result = benchmark(lambda: run_experiment("mesh_budget", bench_config))
+    rows = {row["config"]: row for row in result.rows}
+    paper = rows["paper_d9"]
+    assert paper["area_mm2"] == pytest.approx(369.72, abs=0.01)
+    assert paper["power_mw_paper"] == pytest.approx(3.78, abs=0.01)

@@ -1,0 +1,13 @@
+"""Table I: benchmark circuit construction and T counting."""
+
+from repro.experiments import run_experiment
+
+
+def test_table1_benchmark(benchmark, bench_config):
+    result = benchmark(lambda: run_experiment("table1", bench_config))
+    rows = {row["benchmark"]: row for row in result.rows}
+    # T counts that match the paper exactly
+    assert rows["cuccaro_adder"]["t_gates"] == 280
+    assert rows["takahashi_adder"]["t_gates"] == 266
+    assert rows["barenco_half_dirty_toffoli"]["t_gates"] == 504
+    assert rows["cnu_half_borrowed"]["t_gates"] == 476

@@ -1,0 +1,9 @@
+"""Table II: ERSFQ cell library."""
+
+from repro.experiments import run_experiment
+
+
+def test_table2_benchmark(benchmark, bench_config):
+    result = benchmark(lambda: run_experiment("table2", bench_config))
+    for cell in ("AND2", "OR2", "XOR2", "NOT", "DFF"):
+        assert cell in result.text

@@ -1,0 +1,13 @@
+"""Table III: decoder-module synthesis (area / power / latency)."""
+
+from repro.experiments import run_experiment
+
+
+def test_table3_benchmark(benchmark, bench_config):
+    result = benchmark(lambda: run_experiment("table3", bench_config))
+    rows = {row["circuit"]: row for row in result.rows}
+    full = rows["full_module"]
+    # paper full module: 1.28 mm^2, 13.08 uW, 162.72 ps; ours same scale
+    assert 0.4e6 < full["area_um2"] < 4e6
+    assert 3.0 < full["power_paper_uw"] < 55.0
+    assert 50.0 < full["latency_ps"] < 260.0

@@ -1,0 +1,13 @@
+"""Table IV: decoder execution time (max / mean / std in ns) per distance."""
+
+from repro.experiments import run_experiment
+
+
+def test_table4_benchmark(benchmark, bench_config):
+    result = benchmark(lambda: run_experiment("table4", bench_config))
+    by_d = {row["d"]: row for row in result.rows}
+    # shape: worst-case time grows with code distance
+    maxes = [by_d[d]["max_ns"] for d in sorted(by_d)]
+    assert all(a < b for a, b in zip(maxes, maxes[1:]))
+    # paper's headline: solutions never exceed ~20 ns at d=9 (we allow 2x)
+    assert by_d[max(by_d)]["max_ns"] < 40.0

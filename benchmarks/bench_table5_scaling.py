@@ -1,0 +1,11 @@
+"""Table V: fitted c2 effective-distance coefficients."""
+
+from repro.experiments import run_experiment
+
+
+def test_table5_benchmark(benchmark, bench_config_small):
+    result = benchmark(lambda: run_experiment("table5", bench_config_small))
+    c2 = {row["d"]: row["c2"] for row in result.rows}
+    # paper: c2 in [0.3, 0.65]; approximate decoding keeps c2 below ~1
+    for d, value in c2.items():
+        assert 0.05 < value < 1.3, (d, value)

@@ -1,0 +1,23 @@
+"""Benchmark-harness fixtures.
+
+Every benchmark regenerates one table or figure of the paper through the
+experiment registry, at a reduced Monte-Carlo budget so the whole suite
+stays in the minutes range.  Full-fidelity numbers come from
+``python -m repro.experiments --all --trials 4000`` (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    """Reduced-budget config shared by the Monte-Carlo benchmarks."""
+    return ExperimentConfig(trials=300, seed=2020)
+
+
+@pytest.fixture(scope="session")
+def bench_config_small():
+    """Tiny config for the heaviest sweeps (ablation grid)."""
+    return ExperimentConfig(trials=150, seed=2020, distances=(3, 5, 7))

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""SFQ synthesis report: cell library, module characterization, budgets.
+
+Prints Table II, synthesizes the decoder-module subcircuits with the
+path-balancing mapper (Table III equivalent), and sizes the decoder mesh
+against a dilution-refrigerator budget (section VIII).
+
+Run:  python examples/sfq_synthesis_report.py
+"""
+
+from repro.sfq import (
+    CryostatBudget,
+    characterize_module,
+    library_table,
+    mesh_totals,
+    paper_d9_rollup,
+    plan_mesh,
+)
+
+
+def main() -> None:
+    print("ERSFQ cell library (paper Table II):")
+    print(library_table())
+
+    print("\nDecoder-module synthesis (paper Table III equivalent):")
+    char = characterize_module()
+    print(char.table())
+    print(f"\nmodule cycle time: {char.cycle_time_ps:.2f} ps "
+          f"({char.clock_ghz:.2f} GHz); paper: 162.72 ps (6.15 GHz)")
+
+    print("\nMesh roll-up for one d = 9 logical qubit (289 modules):")
+    ours = mesh_totals(char.full_module, 289)
+    print(f"  ours : {ours['area_mm2']:.2f} mm^2, "
+          f"{ours['power_mw_paper']:.2f} mW (paper power model), "
+          f"{ours['jj_count']:.0f} JJs")
+    print(f"  paper: {paper_d9_rollup()}")
+
+    print("\nCryostat capacity (1.5 W / 100 cm^2 at 4 K):")
+    for label, plan in (
+        ("our module  ", plan_mesh(char.full_module, CryostatBudget())),
+        ("paper module", plan_mesh(use_paper_module=True)),
+    ):
+        print(f"  {label}: {plan.mesh_edge} x {plan.mesh_edge} modules "
+              f"({plan.power_w * 1e3:.0f} mW, {plan.area_mm2:.0f} mm^2) -> "
+              f"1 qubit @ d = {plan.max_single_distance}, "
+              f"or {plan.patches_by_distance[5]} qubits @ d = 5")
+    print("\npaper: 87 x 87 mesh -> d = 44 single qubit or ~100 d = 5 qubits")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""SQV planner: how much computation does AQEC buy a given machine?
+
+Reproduces the Fig. 1 analysis for a machine you describe: packs logical
+qubits at several code distances, projects logical error rates through
+the paper-calibrated scaling laws (or laws freshly fitted from a quick
+Monte-Carlo run), and sizes the SFQ decoder mesh against a cryostat
+budget.
+
+Run:  python examples/sqv_planner.py --qubits 1024 --error-rate 1e-5
+      python examples/sqv_planner.py --fit --trials 1500
+"""
+
+import argparse
+
+from repro import SFQMeshDecoder
+from repro.montecarlo import default_rate_grid, run_threshold_sweep
+from repro.noise import DephasingChannel
+from repro.sfq import CryostatBudget, characterize_module, plan_mesh
+from repro.sqv import (
+    AQECPlan,
+    MachineConfig,
+    fig1_table,
+    fit_sweep,
+    paper_scaling_law,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--qubits", type=int, default=1024)
+    parser.add_argument("--error-rate", type=float, default=1e-5)
+    parser.add_argument("--distances", type=int, nargs="+", default=[3, 5])
+    parser.add_argument(
+        "--fit", action="store_true",
+        help="fit scaling laws from a fresh Monte-Carlo run instead of "
+        "using the paper-calibrated constants",
+    )
+    parser.add_argument("--trials", type=int, default=1500)
+    args = parser.parse_args()
+
+    machine = MachineConfig(n_physical=args.qubits, p_physical=args.error_rate)
+    print(f"machine: {machine.n_physical} physical qubits @ "
+          f"p = {machine.p_physical:g}")
+    print(f"NISQ SQV without correction: {machine.nisq_sqv:.2e}\n")
+
+    if args.fit:
+        print(f"fitting scaling laws ({args.trials} trials/point)...")
+        sweep = run_threshold_sweep(
+            decoder_factory=lambda lat: SFQMeshDecoder(lat),
+            model=DephasingChannel(),
+            distances=args.distances,
+            physical_rates=default_rate_grid(),
+            trials=args.trials,
+            seed=11,
+        )
+        laws = fit_sweep(sweep, p_th=0.05)
+    else:
+        laws = {d: paper_scaling_law(d) for d in args.distances}
+
+    plans = {d: AQECPlan(machine, law) for d, law in laws.items()}
+    print(fig1_table(plans))
+    best = max(plans.values(), key=lambda plan: plan.sqv)
+    print(f"\nbest operating point: d = {best.d} "
+          f"(SQV boost {best.boost_factor:.0f}x)")
+
+    print("\ndecoder mesh sizing (1.5 W, 100 cm^2 at 4 K):")
+    char = characterize_module()
+    capacity = plan_mesh(char.full_module, CryostatBudget())
+    print(f"  our module: {capacity.mesh_edge} x {capacity.mesh_edge} mesh, "
+          f"{capacity.power_w * 1e3:.1f} mW, {capacity.area_mm2:.0f} mm^2")
+    print(f"  d={best.d} patches that fit: "
+          f"{capacity.patches_by_distance.get(best.d, 'n/a')}")
+
+
+if __name__ == "__main__":
+    main()

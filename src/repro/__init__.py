@@ -1,0 +1,44 @@
+"""repro — reproduction of NISQ+ (Holmes et al., ISCA 2020).
+
+Approximate quantum error correction via a cycle-accurate model of an SFQ
+mesh decoder, software decoder baselines, SFQ circuit synthesis, the
+T-gate decoding-backlog model, and the Simple-Quantum-Volume analysis.
+
+Public entry points:
+
+* :mod:`repro.surface` — surface-code lattice, stabilizer circuits.
+* :mod:`repro.noise` — error channels, Pauli-frame simulation.
+* :mod:`repro.decoders` — SFQ mesh decoder + MWPM / union-find / greedy.
+* :mod:`repro.sfq` — ERSFQ cell library, synthesis, characterization.
+* :mod:`repro.circuits` — benchmark quantum circuits (Table I).
+* :mod:`repro.runtime` — decoding-backlog and execution-time models.
+* :mod:`repro.montecarlo` — threshold/pseudo-threshold estimation.
+* :mod:`repro.sqv` — scaling-law fits and Simple Quantum Volume.
+* :mod:`repro.experiments` — one runner per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from .surface import SurfaceLattice
+from .noise import DephasingChannel, DepolarizingChannel
+from .decoders import (
+    GreedyMatchingDecoder,
+    MWPMDecoder,
+    MeshConfig,
+    SFQMeshDecoder,
+    UnionFindDecoder,
+    make_decoder,
+)
+
+__all__ = [
+    "__version__",
+    "SurfaceLattice",
+    "DephasingChannel",
+    "DepolarizingChannel",
+    "GreedyMatchingDecoder",
+    "MWPMDecoder",
+    "MeshConfig",
+    "SFQMeshDecoder",
+    "UnionFindDecoder",
+    "make_decoder",
+]

@@ -1,0 +1,58 @@
+"""Benchmark quantum circuits (paper Table I) and supporting tooling."""
+
+from .adders import AdderLayout, cuccaro_adder, takahashi_adder
+from .catalog import (
+    PAPER_TABLE1,
+    BenchmarkEntry,
+    benchmark_suite,
+    build_benchmark,
+    table1,
+)
+from .decompose import (
+    TOFFOLI_T_COUNT,
+    TOFFOLI_TOTAL_GATES,
+    decompose_toffolis,
+    decomposed_counts,
+)
+from .gates import GATE_ARITY, QCircuit, QGate, T_GATES
+from .mcx import (
+    MCXLayout,
+    barenco_half_dirty_mcx,
+    cnu_half_borrowed_mcx,
+    cnx_log_depth_mcx,
+)
+from .reversible_sim import (
+    bits_to_int,
+    int_to_bits,
+    is_reversible_core,
+    run_on_registers,
+    simulate,
+)
+
+__all__ = [
+    "AdderLayout",
+    "cuccaro_adder",
+    "takahashi_adder",
+    "PAPER_TABLE1",
+    "BenchmarkEntry",
+    "benchmark_suite",
+    "build_benchmark",
+    "table1",
+    "TOFFOLI_T_COUNT",
+    "TOFFOLI_TOTAL_GATES",
+    "decompose_toffolis",
+    "decomposed_counts",
+    "GATE_ARITY",
+    "QCircuit",
+    "QGate",
+    "T_GATES",
+    "MCXLayout",
+    "barenco_half_dirty_mcx",
+    "cnu_half_borrowed_mcx",
+    "cnx_log_depth_mcx",
+    "bits_to_int",
+    "int_to_bits",
+    "is_reversible_core",
+    "run_on_registers",
+    "simulate",
+]

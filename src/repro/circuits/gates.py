@@ -1,0 +1,104 @@
+"""Quantum-circuit IR for the benchmark programs of paper Table I.
+
+Circuits are flat gate lists over integer qubit indices.  The IR supports
+the reversible core (X / CX / CCX) plus the Clifford+T gates produced by
+Toffoli decomposition; T-gate counting (the quantity that drives the
+decoding-backlog analysis of section III) works on any circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+#: Gates the IR understands, with operand counts.
+GATE_ARITY = {
+    "X": 1,
+    "H": 1,
+    "S": 1,
+    "SDG": 1,
+    "T": 1,
+    "TDG": 1,
+    "CX": 2,
+    "CZ": 2,
+    "CCX": 3,
+}
+
+#: Gates counted as T gates for backlog purposes.
+T_GATES = ("T", "TDG")
+
+
+@dataclass(frozen=True)
+class QGate:
+    """A single gate application."""
+
+    name: str
+    qubits: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.name not in GATE_ARITY:
+            known = ", ".join(sorted(GATE_ARITY))
+            raise ValueError(f"unknown gate {self.name!r}; known: {known}")
+        if len(self.qubits) != GATE_ARITY[self.name]:
+            raise ValueError(
+                f"{self.name} expects {GATE_ARITY[self.name]} operands, "
+                f"got {self.qubits}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"duplicate operand in {self.name}{self.qubits}")
+
+
+@dataclass
+class QCircuit:
+    """A named sequence of gates on ``n_qubits`` qubits."""
+
+    n_qubits: int
+    name: str = "circuit"
+    gates: List[QGate] = field(default_factory=list)
+
+    def add(self, name: str, *qubits: int) -> "QCircuit":
+        for q in qubits:
+            if not 0 <= q < self.n_qubits:
+                raise ValueError(
+                    f"qubit {q} out of range [0, {self.n_qubits}) in {name}"
+                )
+        self.gates.append(QGate(name, tuple(qubits)))
+        return self
+
+    def extend(self, gates: Iterable[QGate]) -> "QCircuit":
+        for gate in gates:
+            self.add(gate.name, *gate.qubits)
+        return self
+
+    # ------------------------------------------------------------------
+    # Statistics (Table I columns)
+    # ------------------------------------------------------------------
+    @property
+    def total_gates(self) -> int:
+        return len(self.gates)
+
+    @property
+    def t_count(self) -> int:
+        return sum(1 for g in self.gates if g.name in T_GATES)
+
+    @property
+    def toffoli_count(self) -> int:
+        return sum(1 for g in self.gates if g.name == "CCX")
+
+    def gate_census(self) -> Dict[str, int]:
+        census: Dict[str, int] = {}
+        for gate in self.gates:
+            census[gate.name] = census.get(gate.name, 0) + 1
+        return census
+
+    def t_gate_positions(self) -> List[int]:
+        """Indices of T gates in program order (drives the backlog model)."""
+        return [i for i, g in enumerate(self.gates) if g.name in T_GATES]
+
+    def inverse(self) -> "QCircuit":
+        """The exact inverse circuit (for compute/uncompute patterns)."""
+        inv = QCircuit(self.n_qubits, name=f"{self.name}_dg")
+        swap = {"T": "TDG", "TDG": "T", "S": "SDG", "SDG": "S"}
+        for gate in reversed(self.gates):
+            inv.add(swap.get(gate.name, gate.name), *gate.qubits)
+        return inv

@@ -1,0 +1,148 @@
+"""Multi-controlled-X constructions (Barenco et al., paper ref [2]).
+
+Three benchmark families from paper Table I:
+
+* :func:`barenco_half_dirty_mcx` — Barenco Lemma 7.2 V-chain: ``c``
+  controls, ``c - 2`` *dirty* (borrowed) ancillas, ``4(c-2)`` Toffolis.
+  ``c = 20`` gives the paper's 39-qubit / 504-T instance.
+* :func:`cnu_half_borrowed_mcx` — the same V-chain family stretched to
+  one borrowed ancilla per control pair boundary (``n - 1`` ancillas,
+  ``4(n-1)`` Toffolis); ``n = 18`` gives the 37-qubit / 476-T instance.
+* :func:`cnx_log_depth_mcx` — logarithmic-depth binary AND-tree over
+  clean ancillas (compute / copy / uncompute).
+
+Dirty-ancilla circuits restore the ancillas for *every* initial ancilla
+value — the property that makes them "borrowable" — which the test suite
+checks exhaustively on small instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .gates import QCircuit
+
+
+@dataclass(frozen=True)
+class MCXLayout:
+    """An MCX circuit with its register map."""
+
+    circuit: QCircuit
+    controls: List[int]
+    ancillas: List[int]
+    target: int
+
+    @property
+    def registers(self) -> Dict[str, List[int]]:
+        return {
+            "controls": self.controls,
+            "ancillas": self.ancillas,
+            "target": [self.target],
+        }
+
+
+def _vchain(circ: QCircuit, controls: List[int], ancillas: List[int], target: int) -> None:
+    """Barenco V-chain: flip ``target`` iff all controls; ancillas restored.
+
+    Requires ``len(ancillas) == len(controls) - 2``.  Emits ``4(c-2)``
+    Toffolis (two sweeps; the second restores the dirty ancillas).
+    """
+    c = len(controls)
+    if len(ancillas) != c - 2:
+        raise ValueError("V-chain needs exactly len(controls) - 2 ancillas")
+    if c == 2:
+        circ.add("CCX", controls[0], controls[1], target)
+        return
+
+    def half_sweep(top_target: int) -> None:
+        circ.add("CCX", controls[c - 1], ancillas[c - 3], top_target)
+        for i in range(c - 3, 0, -1):
+            circ.add("CCX", controls[i + 1], ancillas[i - 1], ancillas[i])
+        circ.add("CCX", controls[0], controls[1], ancillas[0])
+        for i in range(1, c - 2):
+            circ.add("CCX", controls[i + 1], ancillas[i - 1], ancillas[i])
+        circ.add("CCX", controls[c - 1], ancillas[c - 3], top_target)
+
+    def restore_sweep() -> None:
+        for i in range(c - 3, 0, -1):
+            circ.add("CCX", controls[i + 1], ancillas[i - 1], ancillas[i])
+        circ.add("CCX", controls[0], controls[1], ancillas[0])
+        for i in range(1, c - 2):
+            circ.add("CCX", controls[i + 1], ancillas[i - 1], ancillas[i])
+
+    half_sweep(target)
+    restore_sweep()
+
+
+def barenco_half_dirty_mcx(n_controls: int) -> MCXLayout:
+    """Lemma 7.2: C^n X from ``n - 2`` dirty ancillas (4(n-2) Toffolis)."""
+    if n_controls < 3:
+        raise ValueError("need at least 3 controls")
+    n_anc = n_controls - 2
+    circ = QCircuit(
+        n_controls + n_anc + 1, name=f"barenco_half_dirty_toffoli_{n_controls}"
+    )
+    controls = list(range(n_controls))
+    ancillas = list(range(n_controls, n_controls + n_anc))
+    target = n_controls + n_anc
+    _vchain(circ, controls, ancillas, target)
+    return MCXLayout(circ, controls, ancillas, target)
+
+
+def cnu_half_borrowed_mcx(n_controls: int) -> MCXLayout:
+    """C^n U (U = X) where roughly half the register is borrowed.
+
+    The same V-chain family as :func:`barenco_half_dirty_mcx`; the
+    benchmark's point (Barenco et al. section 7.3 usage) is that the
+    ``n - 2`` ancillas are *borrowed* — their initial states are unknown
+    and restored.  The paper's 37-qubit / 476-T row corresponds to
+    ``n_controls = 19`` (4(19-2) = 68 Toffolis).
+    """
+    if n_controls < 3:
+        raise ValueError("need at least 3 controls")
+    n_anc = n_controls - 2
+    circ = QCircuit(
+        n_controls + n_anc + 1, name=f"cnu_half_borrowed_{n_controls}"
+    )
+    controls = list(range(n_controls))
+    ancillas = list(range(n_controls, n_controls + n_anc))
+    target = n_controls + n_anc
+    _vchain(circ, controls, ancillas, target)
+    return MCXLayout(circ, controls, ancillas, target)
+
+
+def cnx_log_depth_mcx(n_controls: int) -> MCXLayout:
+    """Logarithmic-depth C^n X via a clean AND tree.
+
+    Pairs of controls are ANDed into fresh ancillas level by level; the
+    surviving node is copied onto the target with a CNOT and the tree is
+    uncomputed, restoring all ancillas to |0>.
+    """
+    if n_controls < 1:
+        raise ValueError("need at least 1 control")
+    n_anc = max(0, n_controls - 1)
+    circ = QCircuit(n_controls + n_anc + 1, name=f"cnx_log_depth_{n_controls}")
+    controls = list(range(n_controls))
+    ancillas = list(range(n_controls, n_controls + n_anc))
+    target = n_controls + n_anc
+    if n_controls == 1:
+        circ.add("CX", controls[0], target)
+        return MCXLayout(circ, controls, ancillas, target)
+
+    compute = QCircuit(circ.n_qubits, name="tree")
+    pool = iter(ancillas)
+    level = list(controls)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            anc = next(pool)
+            compute.add("CCX", level[i], level[i + 1], anc)
+            nxt.append(anc)
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    circ.extend(compute.gates)
+    circ.add("CX", level[0], target)
+    circ.extend(compute.inverse().gates)
+    return MCXLayout(circ, controls, ancillas, target)

@@ -1,0 +1,78 @@
+"""Classical simulation of reversible (X / CX / CCX) circuits.
+
+Used to verify the benchmark circuits functionally: adders must add,
+multi-controlled gates must flip exactly when all controls are set, and
+borrowed/dirty ancillas must return to their initial states.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from .gates import QCircuit
+
+REVERSIBLE_GATES = ("X", "CX", "CCX")
+
+
+def is_reversible_core(circuit: QCircuit) -> bool:
+    return all(g.name in REVERSIBLE_GATES for g in circuit.gates)
+
+
+def simulate(circuit: QCircuit, state: Sequence[int]) -> List[int]:
+    """Apply a reversible circuit to a computational basis state.
+
+    ``state`` is a bit list indexed by qubit; returns the resulting bits.
+    """
+    if len(state) != circuit.n_qubits:
+        raise ValueError(
+            f"state has {len(state)} bits, circuit needs {circuit.n_qubits}"
+        )
+    bits = [int(b) & 1 for b in state]
+    for gate in circuit.gates:
+        if gate.name == "X":
+            bits[gate.qubits[0]] ^= 1
+        elif gate.name == "CX":
+            c, t = gate.qubits
+            bits[t] ^= bits[c]
+        elif gate.name == "CCX":
+            a, b, t = gate.qubits
+            bits[t] ^= bits[a] & bits[b]
+        else:
+            raise ValueError(
+                f"gate {gate.name} is not classically simulable here; "
+                "simulate before Clifford+T decomposition"
+            )
+    return bits
+
+
+def int_to_bits(value: int, width: int) -> List[int]:
+    """Little-endian bit expansion."""
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Iterable[int]) -> int:
+    out = 0
+    for i, bit in enumerate(bits):
+        out |= (int(bit) & 1) << i
+    return out
+
+
+def run_on_registers(
+    circuit: QCircuit, register_map: dict, values: dict
+) -> dict:
+    """Simulate with named registers.
+
+    ``register_map`` maps register names to qubit-index lists;
+    ``values`` maps register names to integers (little-endian).
+    Returns the resulting integer value of every register.
+    """
+    state = [0] * circuit.n_qubits
+    for reg, qubits in register_map.items():
+        bits = int_to_bits(values.get(reg, 0), len(qubits))
+        for qubit, bit in zip(qubits, bits):
+            state[qubit] = bit
+    final = simulate(circuit, state)
+    return {
+        reg: bits_to_int(final[q] for q in qubits)
+        for reg, qubits in register_map.items()
+    }

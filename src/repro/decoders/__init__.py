@@ -1,0 +1,64 @@
+"""Surface-code decoders: the SFQ mesh accelerator and software baselines."""
+
+from typing import Dict, Type
+
+from .base import DecodeResult, Decoder
+from .geometry import NORTH, SOUTH, MatchingGeometry
+from .greedy import GreedyMatchingDecoder, greedy_pairs
+from .lookup import LookupDecoder
+from .mld import MaximumLikelihoodDecoder
+from .mwpm import MWPMDecoder, matching_weight, mwpm_pairs
+from .sfq_mesh import MeshBatchResult, MeshConfig, SFQMeshDecoder
+from .temporal import (
+    TemporalTrialResult,
+    WindowedSyndromeVoter,
+    run_windowed_trials,
+)
+from .unionfind import UnionFindDecoder
+
+DECODER_REGISTRY: Dict[str, Type[Decoder]] = {
+    cls.name: cls
+    for cls in (
+        GreedyMatchingDecoder,
+        MWPMDecoder,
+        UnionFindDecoder,
+        LookupDecoder,
+        MaximumLikelihoodDecoder,
+        SFQMeshDecoder,
+    )
+}
+
+
+def make_decoder(name: str, lattice, error_type: str = "z", **kwargs) -> Decoder:
+    """Instantiate a decoder by registry name."""
+    try:
+        cls = DECODER_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(DECODER_REGISTRY))
+        raise ValueError(f"unknown decoder {name!r}; known: {known}") from None
+    return cls(lattice, error_type, **kwargs)
+
+
+__all__ = [
+    "DecodeResult",
+    "Decoder",
+    "NORTH",
+    "SOUTH",
+    "MatchingGeometry",
+    "GreedyMatchingDecoder",
+    "greedy_pairs",
+    "LookupDecoder",
+    "MaximumLikelihoodDecoder",
+    "MWPMDecoder",
+    "matching_weight",
+    "mwpm_pairs",
+    "MeshBatchResult",
+    "MeshConfig",
+    "SFQMeshDecoder",
+    "TemporalTrialResult",
+    "WindowedSyndromeVoter",
+    "run_windowed_trials",
+    "UnionFindDecoder",
+    "DECODER_REGISTRY",
+    "make_decoder",
+]

@@ -1,0 +1,80 @@
+"""Decoder interface shared by every decoding backend."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..surface.lattice import SurfaceLattice
+from .geometry import Coord, MatchingGeometry, PairTarget
+
+
+@dataclass
+class DecodeResult:
+    """Outcome of decoding one syndrome.
+
+    Attributes
+    ----------
+    correction:
+        ``(n_data,)`` uint8 correction vector (1 = apply a Pauli flip).
+    pairs:
+        Matched pairs in canonical coordinates, when the backend produces
+        an explicit matching (the mesh decoder reports raw chains instead).
+    cycles:
+        Hardware cycles to solution (mesh decoder only; ``None`` otherwise).
+    converged:
+        False when the backend gave up (e.g. ablated mesh variants that
+        cannot pair leftover syndromes).
+    """
+
+    correction: np.ndarray
+    pairs: List[Tuple[Coord, PairTarget]] = field(default_factory=list)
+    cycles: Optional[int] = None
+    converged: bool = True
+    metadata: dict = field(default_factory=dict)
+
+
+class Decoder(abc.ABC):
+    """Maps an error syndrome to a correction on one lattice.
+
+    Each instance is bound to a lattice and an error type (``"z"`` decodes
+    Z errors from X-ancilla syndromes; ``"x"`` the transpose).
+    """
+
+    #: registry/experiment identifier; subclasses override
+    name: str = "abstract"
+
+    def __init__(self, lattice: SurfaceLattice, error_type: str = "z") -> None:
+        self.lattice = lattice
+        self.geometry = MatchingGeometry(lattice, error_type)
+
+    @property
+    def error_type(self) -> str:
+        return self.geometry.error_type
+
+    @abc.abstractmethod
+    def decode(self, syndrome: np.ndarray) -> DecodeResult:
+        """Decode a single ``(n_syndromes,)`` syndrome vector."""
+
+    def decode_batch(self, syndromes: np.ndarray) -> List[DecodeResult]:
+        """Decode a ``(batch, n_syndromes)`` array (default: loop)."""
+        return [self.decode(s) for s in np.asarray(syndromes)]
+
+    def decode_to_correction(self, syndrome: np.ndarray) -> np.ndarray:
+        return self.decode(syndrome).correction
+
+    def _check_syndrome(self, syndrome: np.ndarray) -> np.ndarray:
+        syndrome = np.asarray(syndrome, dtype=np.uint8)
+        if syndrome.shape != (self.geometry.n_syndromes,):
+            raise ValueError(
+                f"syndrome shape {syndrome.shape} != ({self.geometry.n_syndromes},)"
+            )
+        return syndrome
+
+    def verify_correction(self, syndrome: np.ndarray, result: DecodeResult) -> bool:
+        """True iff the correction reproduces the observed syndrome."""
+        produced = self.geometry.syndrome_of_errors(result.correction)
+        return bool(np.array_equal(produced % 2, np.asarray(syndrome) % 2))

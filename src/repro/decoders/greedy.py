@@ -1,0 +1,63 @@
+"""Software greedy matching decoder (paper section V-B).
+
+This is the algorithmic reference model of the hardware: compute all
+pairwise distances between hot syndromes (plus per-syndrome boundary
+edges), sort ascending, and greedily accept edges that extend a matching.
+By Drake & Hougardy this is a 2-approximation of the optimal matching.
+
+The SFQ mesh automaton approximates this algorithm with signal races;
+tests cross-validate the two on small instances.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .base import DecodeResult, Decoder
+from .geometry import Coord, PairTarget
+
+
+class GreedyMatchingDecoder(Decoder):
+    """Greedy 2-approximation of minimum-weight matching."""
+
+    name = "greedy"
+
+    def decode(self, syndrome: np.ndarray) -> DecodeResult:
+        syndrome = self._check_syndrome(syndrome)
+        hots = self.geometry.syndrome_coords(syndrome)
+        pairs = greedy_pairs(self.geometry, hots)
+        correction = self.geometry.correction_from_pairs(pairs)
+        return DecodeResult(correction=correction, pairs=pairs)
+
+
+def greedy_pairs(geometry, hots: List[Coord]) -> List[Tuple[Coord, PairTarget]]:
+    """Greedy matching of hot syndromes; boundary edges always available.
+
+    Edge ordering is by (distance, coordinates) so results are fully
+    deterministic.  Every hot syndrome ends up matched because its
+    boundary edge can always be taken.
+    """
+    edges: List[Tuple[int, int, Coord, PairTarget]] = []
+    for i, a in enumerate(hots):
+        side, dist = geometry.nearest_boundary(a)
+        edges.append((dist, i, a, side))
+        for b in hots[i + 1:]:
+            edges.append((geometry.graph_distance(a, b), i, a, b))
+    # Sort by distance, then deterministic tiebreak on coordinates.
+    edges.sort(key=lambda e: (e[0], e[2], str(e[3])))
+
+    matched = set()
+    pairs: List[Tuple[Coord, PairTarget]] = []
+    for _dist, _i, a, b in edges:
+        if a in matched:
+            continue
+        if isinstance(b, str):
+            matched.add(a)
+            pairs.append((a, b))
+        elif b not in matched:
+            matched.add(a)
+            matched.add(b)
+            pairs.append((a, b))
+    return pairs

@@ -1,0 +1,111 @@
+"""Exact maximum-likelihood decoder for small lattices.
+
+The paper's related work (section IV) cites maximum-likelihood decoding
+via tensor-network contraction (Bravyi-Suchara-Vargo) as the accuracy
+ceiling: "computationally more expensive than minimum-weight perfect
+matching, but more accurate".  For small codes we can realize the exact
+same decoder by brute-force coset enumeration: group every error pattern
+by (syndrome, logical class), store the weight enumerator of each coset,
+and at decode time pick the class whose *total probability* — not just
+its best single error — is larger at the operating error rate.
+
+This is the optimal decoder for the i.i.d. dephasing channel and serves
+as the reference point above MWPM in accuracy comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .base import DecodeResult, Decoder
+
+_MAX_DATA_QUBITS = 16
+
+
+class MaximumLikelihoodDecoder(Decoder):
+    """Coset-enumeration ML decoding (exact; d = 3 scale)."""
+
+    name = "mld"
+
+    def __init__(self, lattice, error_type: str = "z", p: float = 0.05) -> None:
+        super().__init__(lattice, error_type)
+        if lattice.n_data > _MAX_DATA_QUBITS:
+            raise ValueError(
+                f"ML decoder supports <= {_MAX_DATA_QUBITS} data qubits; "
+                f"lattice has {lattice.n_data} (use d=3)"
+            )
+        if not 0.0 < p < 0.5:
+            raise ValueError(f"operating error rate must be in (0, 0.5), got {p}")
+        self.p = p
+        self._build_cosets()
+
+    # ------------------------------------------------------------------
+    def _build_cosets(self) -> None:
+        """Weight enumerators and min-weight representatives per coset.
+
+        A coset is identified by (syndrome bytes, logical-class bit); the
+        logical class of an error is its parity against the logical
+        operator the residual would have to anticommute with.
+        """
+        n = self.lattice.n_data
+        if self.error_type == "z":
+            class_mask = self.lattice.logical_x_mask
+        else:
+            class_mask = self.lattice.logical_z_mask
+        self._enumerators: Dict[Tuple[bytes, int], np.ndarray] = {}
+        self._representatives: Dict[Tuple[bytes, int], np.ndarray] = {}
+        all_bits = np.arange(2 ** n, dtype=np.uint32)
+        # expand to bit matrix in manageable chunks
+        for start in range(0, 2 ** n, 4096):
+            chunk = all_bits[start:start + 4096]
+            errors = (
+                (chunk[:, None] >> np.arange(n)[None, :]) & 1
+            ).astype(np.uint8)
+            syndromes = self.geometry.syndrome_of_errors(errors)
+            classes = (errors @ class_mask) % 2
+            weights = errors.sum(axis=1)
+            for i in range(len(chunk)):
+                key = (syndromes[i].tobytes(), int(classes[i]))
+                if key not in self._enumerators:
+                    self._enumerators[key] = np.zeros(n + 1, dtype=np.int64)
+                    self._representatives[key] = errors[i].copy()
+                self._enumerators[key][weights[i]] += 1
+                if weights[i] < self._representatives[key].sum():
+                    self._representatives[key] = errors[i].copy()
+
+    def coset_probability(self, syndrome_key: bytes, cls: int,
+                          p: float = None) -> float:
+        """Total probability mass of one coset at error rate ``p``."""
+        p = self.p if p is None else p
+        enum = self._enumerators.get((syndrome_key, cls))
+        if enum is None:
+            return 0.0
+        n = self.lattice.n_data
+        weights = np.arange(n + 1)
+        return float(np.sum(enum * p ** weights * (1 - p) ** (n - weights)))
+
+    # ------------------------------------------------------------------
+    def decode(self, syndrome: np.ndarray) -> DecodeResult:
+        syndrome = self._check_syndrome(syndrome)
+        key = syndrome.tobytes()
+        p0 = self.coset_probability(key, 0)
+        p1 = self.coset_probability(key, 1)
+        if p0 == 0.0 and p1 == 0.0:
+            raise ValueError("syndrome not reachable by any error pattern")
+        cls = 0 if p0 >= p1 else 1
+        correction = self._representatives[(key, cls)].copy()
+        return DecodeResult(
+            correction=correction,
+            metadata={"class_probabilities": (p0, p1)},
+        )
+
+    def class_confidence(self, syndrome: np.ndarray) -> float:
+        """Posterior probability of the chosen class (decoding confidence)."""
+        syndrome = self._check_syndrome(syndrome)
+        key = syndrome.tobytes()
+        p0 = self.coset_probability(key, 0)
+        p1 = self.coset_probability(key, 1)
+        total = p0 + p1
+        return max(p0, p1) / total if total > 0 else 0.0

@@ -1,0 +1,150 @@
+"""Temporal syndrome aggregation for measurement noise (extension).
+
+The paper's decoder is purely spatial: each syndrome round is decoded
+independently, which is optimal when syndrome extraction is perfect (the
+headline operating point) but degrades once measurement bits can flip.
+The classic low-cost remedy — compatible with the same mesh hardware,
+which would simply vote syndromes in front of the hot-syndrome latch —
+is a sliding *majority-vote window*: a syndrome bit is declared hot only
+if it is hot in the majority of the last ``window`` rounds.
+
+This module provides that wrapper plus a repeated-round Monte-Carlo
+harness, quantifying how far windowing recovers the spatial decoder's
+performance under readout flips.  It is an extension beyond the paper
+(documented in EXPERIMENTS.md), not a reproduction target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..decoders.base import Decoder
+from ..decoders.sfq_mesh import SFQMeshDecoder
+from ..noise.models import ErrorModel
+from ..surface.lattice import SurfaceLattice
+
+
+@dataclass
+class WindowedSyndromeVoter:
+    """Majority vote over a sliding window of syndrome rounds."""
+
+    n_bits: int
+    window: int
+    batch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.window < 1 or self.window % 2 == 0:
+            raise ValueError("window must be a positive odd integer")
+        self._history = np.zeros(
+            (self.window, self.batch, self.n_bits), dtype=np.uint8
+        )
+        self._filled = 0
+
+    def push(self, syndrome: np.ndarray) -> np.ndarray:
+        """Add one round; return the current majority-voted syndrome."""
+        syndrome = np.asarray(syndrome, dtype=np.uint8)
+        if syndrome.shape != (self.batch, self.n_bits):
+            raise ValueError(
+                f"expected shape {(self.batch, self.n_bits)}, got {syndrome.shape}"
+            )
+        self._history = np.roll(self._history, 1, axis=0)
+        self._history[0] = syndrome
+        self._filled = min(self._filled + 1, self.window)
+        votes = self._history[: self._filled].sum(axis=0)
+        return (votes * 2 > self._filled).astype(np.uint8)
+
+    def reset(self) -> None:
+        self._history[:] = 0
+        self._filled = 0
+
+
+@dataclass
+class TemporalTrialResult:
+    """Outcome of a repeated-round measurement-noise study."""
+
+    d: int
+    p: float
+    measurement_flip_rate: float
+    window: int
+    rounds: int
+    shots: int
+    logical_failures: int
+
+    @property
+    def failures_per_round(self) -> float:
+        total = self.rounds * self.shots
+        return self.logical_failures / total if total else 0.0
+
+
+def run_windowed_trials(
+    lattice: SurfaceLattice,
+    model: ErrorModel,
+    p: float,
+    measurement_flip_rate: float,
+    window: int = 3,
+    rounds: int = 30,
+    shots: int = 64,
+    decoder: Optional[Decoder] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> TemporalTrialResult:
+    """Repeated rounds with noisy measurement and windowed decoding.
+
+    Rounds are grouped into windows: within a window every round injects
+    fresh data errors and records the (possibly flipped) syndrome of the
+    accumulated error; at the window boundary the majority-voted
+    syndrome is decoded, the correction applied, logical flips counted
+    and removed, and the voter reset.  Decoding once per window avoids
+    the oscillation a per-round decode would suffer from stale history
+    (each correction invalidates older syndromes in the window).
+    """
+    rng = rng or np.random.default_rng()
+    decoder = decoder or SFQMeshDecoder(lattice)
+    voter = WindowedSyndromeVoter(
+        n_bits=lattice.n_x_ancillas, window=window, batch=shots
+    )
+    accumulated = np.zeros((shots, lattice.n_data), dtype=np.uint8)
+    failures = 0
+    for round_index in range(rounds):
+        sample = model.sample(lattice, p, shots, rng)
+        accumulated ^= sample.z
+        syndrome = lattice.syndrome_of_z_errors(accumulated)
+        if measurement_flip_rate > 0:
+            flips = (
+                rng.random(syndrome.shape) < measurement_flip_rate
+            ).astype(np.uint8)
+            syndrome = syndrome ^ flips
+        voted = voter.push(syndrome)
+        if (round_index + 1) % window != 0:
+            continue
+        corrections = _decode_batch(decoder, voted)
+        accumulated ^= corrections
+        flipped = lattice.logical_z_failure(accumulated)
+        failures += int(flipped.sum())
+        if flipped.any():
+            accumulated ^= np.outer(
+                flipped.astype(np.uint8), lattice.logical_z_mask
+            )
+        voter.reset()
+    return TemporalTrialResult(
+        d=lattice.d,
+        p=p,
+        measurement_flip_rate=measurement_flip_rate,
+        window=window,
+        rounds=rounds,
+        shots=shots,
+        logical_failures=failures,
+    )
+
+
+def _decode_batch(decoder: Decoder, syndromes: np.ndarray) -> np.ndarray:
+    if isinstance(decoder, SFQMeshDecoder):
+        return decoder.decode_arrays(syndromes).corrections
+    out = np.zeros(
+        (syndromes.shape[0], decoder.lattice.n_data), dtype=np.uint8
+    )
+    for i, syn in enumerate(syndromes):
+        out[i] = decoder.decode(syn).correction
+    return out

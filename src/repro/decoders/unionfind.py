@@ -1,0 +1,167 @@
+"""Union-Find decoder (Delfosse & Nickerson, paper refs [9], [10]).
+
+One of the baselines in the paper's Fig. 11 comparison: almost-linear-time
+decoding by growing clusters around hot syndromes until every cluster has
+even parity or touches a boundary, then peeling the grown support
+(treated as an erasure) to extract a correction.
+
+Vertices of the decoding graph are ancilla coordinates plus per-column
+virtual boundary vertices ``("north", c)`` / ``("south", c)``; edges are
+data qubits (see :meth:`MatchingGeometry.graph_edges`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Set, Tuple
+
+import numpy as np
+
+from .base import DecodeResult, Decoder
+from .geometry import NORTH, SOUTH, Coord
+
+Vertex = Hashable
+
+
+class _DisjointSets:
+    """Union-find with parity and boundary bookkeeping at cluster roots."""
+
+    def __init__(self, vertices, hot: Set[Vertex]) -> None:
+        self.parent: Dict[Vertex, Vertex] = {v: v for v in vertices}
+        self.size: Dict[Vertex, int] = {v: 1 for v in vertices}
+        self.parity: Dict[Vertex, int] = {
+            v: 1 if v in hot else 0 for v in vertices
+        }
+        self.boundary: Dict[Vertex, bool] = {
+            v: isinstance(v, tuple) and v[0] in (NORTH, SOUTH) for v in vertices
+        }
+
+    def find(self, v: Vertex) -> Vertex:
+        root = v
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[v] != root:  # path compression
+            self.parent[v], v = root, self.parent[v]
+        return root
+
+    def union(self, a: Vertex, b: Vertex) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        self.parity[ra] = (self.parity[ra] + self.parity[rb]) % 2
+        self.boundary[ra] = self.boundary[ra] or self.boundary[rb]
+
+    def is_odd(self, v: Vertex) -> bool:
+        root = self.find(v)
+        return self.parity[root] == 1 and not self.boundary[root]
+
+
+class UnionFindDecoder(Decoder):
+    """Cluster-growth + peeling decoder."""
+
+    name = "unionfind"
+
+    def __init__(self, lattice, error_type: str = "z") -> None:
+        super().__init__(lattice, error_type)
+        self._edges = self.geometry.graph_edges()
+        self._vertices: List[Vertex] = sorted(
+            {v for edge in self._edges for v in edge}, key=str
+        )
+        self._incident: Dict[Vertex, List[Tuple[Tuple, Vertex]]] = {
+            v: [] for v in self._vertices
+        }
+        for (u, v), _data in sorted(self._edges.items(), key=str):
+            self._incident[u].append(((u, v), v))
+            self._incident[v].append(((u, v), u))
+
+    # ------------------------------------------------------------------
+    def decode(self, syndrome: np.ndarray) -> DecodeResult:
+        syndrome = self._check_syndrome(syndrome)
+        hots = set(self.geometry.syndrome_coords(syndrome))
+        if not hots:
+            return DecodeResult(
+                correction=np.zeros(self.lattice.n_data, dtype=np.uint8)
+            )
+        growth, rounds = self._grow_clusters(hots)
+        erasure = {e for e, g in growth.items() if g >= 2}
+        data_coords = self._peel(erasure, set(hots))
+        correction = self.geometry.correction_from_data_coords(data_coords)
+        return DecodeResult(
+            correction=correction, metadata={"growth_rounds": rounds}
+        )
+
+    # ------------------------------------------------------------------
+    def _grow_clusters(self, hots: Set[Coord]) -> Tuple[Dict[Tuple, int], int]:
+        """Grow odd clusters by half-edges until all are neutralized."""
+        dsu = _DisjointSets(self._vertices, hots)
+        growth: Dict[Tuple, int] = {e: 0 for e in self._edges}
+        rounds = 0
+        max_rounds = 4 * self.geometry.size + 8  # grid diameter bound
+        while any(dsu.is_odd(h) for h in hots):
+            rounds += 1
+            if rounds > max_rounds:  # pragma: no cover - safety net
+                raise RuntimeError("union-find growth failed to terminate")
+            to_merge = []
+            for edge, g in growth.items():
+                if g >= 2:
+                    continue
+                u, v = edge
+                if dsu.is_odd(u) or dsu.is_odd(v):
+                    growth[edge] = g + 1
+                    if growth[edge] >= 2:
+                        to_merge.append(edge)
+            for u, v in to_merge:
+                dsu.union(u, v)
+        return growth, rounds
+
+    def _peel(self, erasure: Set[Tuple], hots: Set[Coord]) -> List[Coord]:
+        """Peel the erasure forest; return canonical data coords to flip."""
+        adjacency: Dict[Vertex, List[Tuple[Vertex, Tuple]]] = {}
+        for edge in sorted(erasure, key=str):
+            u, v = edge
+            adjacency.setdefault(u, []).append((v, edge))
+            adjacency.setdefault(v, []).append((u, edge))
+
+        visited: Set[Vertex] = set()
+        flips: List[Coord] = []
+        # Roots: prefer boundary vertices so dangling hots peel onto them.
+        ordered_roots = sorted(
+            adjacency, key=lambda v: (not self._is_boundary(v), str(v))
+        )
+        for root in ordered_roots:
+            if root in visited:
+                continue
+            order, parent_edge = self._spanning_tree(root, adjacency, visited)
+            live_hot = {v: v in hots for v in order}
+            for v in reversed(order[1:]):
+                if live_hot.get(v):
+                    parent, edge = parent_edge[v]
+                    flips.append(self._edges[edge])
+                    if not self._is_boundary(parent):
+                        live_hot[parent] = not live_hot.get(parent, False)
+        return flips
+
+    def _spanning_tree(self, root, adjacency, visited):
+        order: List[Vertex] = [root]
+        parent_edge: Dict[Vertex, Tuple[Vertex, Tuple]] = {}
+        visited.add(root)
+        frontier = [root]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v, edge in adjacency[u]:
+                    if v in visited:
+                        continue
+                    visited.add(v)
+                    parent_edge[v] = (u, edge)
+                    order.append(v)
+                    nxt.append(v)
+            frontier = nxt
+        return order, parent_edge
+
+    @staticmethod
+    def _is_boundary(v: Vertex) -> bool:
+        return isinstance(v, tuple) and v[0] in (NORTH, SOUTH)

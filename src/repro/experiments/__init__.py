@@ -1,0 +1,19 @@
+"""Experiment registry and runners for every paper table/figure."""
+
+from . import runners  # noqa: F401  (populates the registry)
+from . import extensions  # noqa: F401  (extension experiments)
+from .base import (
+    ExperimentConfig,
+    ExperimentResult,
+    all_experiment_ids,
+    get_runner,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "all_experiment_ids",
+    "get_runner",
+    "run_experiment",
+]

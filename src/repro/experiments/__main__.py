@@ -1,0 +1,65 @@
+"""CLI: regenerate any table or figure of the paper.
+
+Examples::
+
+    python -m repro.experiments --list
+    python -m repro.experiments --id fig10a --trials 4000
+    python -m repro.experiments --all --trials 1000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .base import ExperimentConfig, all_experiment_ids, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate NISQ+ paper tables and figures.",
+    )
+    parser.add_argument("--id", dest="experiment_id", help="experiment to run")
+    parser.add_argument("--all", action="store_true", help="run everything")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--trials", type=int, default=2000,
+        help="Monte-Carlo trials per (d, p) point (default 2000)",
+    )
+    parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument(
+        "--save", metavar="PATH",
+        help="also write the result to PATH (.json or .csv; single --id only)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in all_experiment_ids():
+            print(experiment_id)
+        return 0
+
+    config = ExperimentConfig(trials=args.trials, seed=args.seed)
+    ids = all_experiment_ids() if args.all else None
+    if not ids:
+        if not args.experiment_id:
+            parser.error("provide --id, --all or --list")
+        ids = [args.experiment_id]
+    if args.save and len(ids) != 1:
+        parser.error("--save requires a single --id")
+    for experiment_id in ids:
+        start = time.time()
+        result = run_experiment(experiment_id, config)
+        print(result.render())
+        print(f"\n[{experiment_id} finished in {time.time() - start:.1f} s]\n")
+        if args.save:
+            from .serialization import save_result
+
+            save_result(result, args.save)
+            print(f"saved to {args.save}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Experiment registry: one runner per paper table/figure.
+
+Every experiment produces an :class:`ExperimentResult` with a rendered
+text report and structured rows, so the same runners back the benchmark
+harness, the CLI (``python -m repro.experiments``) and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all runners.
+
+    ``trials`` scales the Monte-Carlo experiments; the defaults keep a
+    full run in the minutes range.  ``seed`` makes runs reproducible.
+    """
+
+    trials: int = 2000
+    seed: int = 2020  # ISCA 2020
+    distances: tuple = (3, 5, 7, 9)
+
+    def scaled(self, factor: float) -> "ExperimentConfig":
+        return ExperimentConfig(
+            trials=max(100, int(self.trials * factor)),
+            seed=self.seed,
+            distances=self.distances,
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run."""
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    text: str
+    rows: List[dict] = field(default_factory=list)
+    notes: str = ""
+
+    def render(self) -> str:
+        parts = [
+            f"== {self.experiment_id}: {self.title}",
+            f"   reproduces: {self.paper_reference}",
+            "",
+            self.text,
+        ]
+        if self.notes:
+            parts += ["", f"notes: {self.notes}"]
+        return "\n".join(parts)
+
+
+Runner = Callable[[ExperimentConfig], ExperimentResult]
+
+_REGISTRY: Dict[str, Runner] = {}
+
+
+def register(experiment_id: str) -> Callable[[Runner], Runner]:
+    def decorator(func: Runner) -> Runner:
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = func
+        return func
+
+    return decorator
+
+
+def get_runner(experiment_id: str) -> Runner:
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def all_experiment_ids() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def run_experiment(
+    experiment_id: str, config: Optional[ExperimentConfig] = None
+) -> ExperimentResult:
+    return get_runner(experiment_id)(config or ExperimentConfig())

@@ -1,0 +1,215 @@
+"""Extension experiments beyond the paper's artifact list.
+
+* ``accuracy`` — per-round logical error rate of every decoding backend
+  on the same error samples (the accuracy axis of the paper's
+  speed-vs-accuracy trade-off, quantified).
+* ``temporal`` — measurement-noise robustness of the spatial decoder
+  with and without majority-vote syndrome windowing.
+* ``mesh_ablation`` — sensitivity of the mesh decoder to the
+  concretization parameters this reproduction chose (watchdog window,
+  reset-hold interplay), demonstrating the headline results do not hinge
+  on them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..decoders import (
+    GreedyMatchingDecoder,
+    MaximumLikelihoodDecoder,
+    MWPMDecoder,
+    SFQMeshDecoder,
+    UnionFindDecoder,
+)
+from ..decoders.sfq_mesh import MeshConfig
+from ..decoders.temporal import run_windowed_trials
+from ..montecarlo.thresholds import default_rate_grid, run_threshold_sweep
+from ..noise.models import DephasingChannel, DepolarizingChannel
+from ..surface.lattice import SurfaceLattice
+from .base import ExperimentConfig, ExperimentResult, register
+
+
+@register("accuracy")
+def run_accuracy(config: ExperimentConfig) -> ExperimentResult:
+    """Logical error rates of every backend on shared samples."""
+    rng = np.random.default_rng(config.seed)
+    rates = (0.01, 0.03, 0.05)
+    rows = []
+    lines = [
+        f"{'d':>3} {'p':>6} {'mesh':>8} {'greedy':>8} {'unionfind':>10} "
+        f"{'mwpm':>8} {'mld/lookup':>11}"
+    ]
+    for d in (3, 5):
+        lattice = SurfaceLattice(d)
+        backends = {
+            "mesh": SFQMeshDecoder(lattice),
+            "greedy": GreedyMatchingDecoder(lattice),
+            "unionfind": UnionFindDecoder(lattice),
+            "mwpm": MWPMDecoder(lattice),
+        }
+        if d == 3:
+            backends["optimal"] = MaximumLikelihoodDecoder(lattice, p=0.03)
+        for p in rates:
+            sample = DephasingChannel().sample(lattice, p, config.trials, rng)
+            syndromes = lattice.syndrome_of_z_errors(sample.z)
+            row = {"d": d, "p": p}
+            for name, decoder in backends.items():
+                if isinstance(decoder, SFQMeshDecoder):
+                    corr = decoder.decode_arrays(syndromes).corrections
+                else:
+                    corr = np.array(
+                        [decoder.decode(s).correction for s in syndromes]
+                    )
+                row[name] = float(
+                    lattice.logical_z_failure(sample.z ^ corr).mean()
+                )
+            rows.append(row)
+            lines.append(
+                f"{d:>3d} {p:>6.2f} {row['mesh']:>8.4f} {row['greedy']:>8.4f} "
+                f"{row['unionfind']:>10.4f} {row['mwpm']:>8.4f} "
+                f"{row.get('optimal', float('nan')):>11.4f}"
+            )
+    return ExperimentResult(
+        "accuracy",
+        "Decoder accuracy comparison (shared samples)",
+        "Section IV/VIII trade-off discussion (extension)",
+        "\n".join(lines),
+        rows,
+        notes="The mesh trades accuracy for hardware speed; the ordering "
+        "optimal <= mwpm <= unionfind/greedy <= mesh quantifies the cost.",
+    )
+
+
+@register("temporal")
+def run_temporal(config: ExperimentConfig) -> ExperimentResult:
+    """Measurement-noise robustness with majority-vote windowing."""
+    lattice = SurfaceLattice(5)
+    shots = max(32, config.trials // 16)
+    rows = []
+    lines = [f"{'q (meas flip)':>14} {'window':>7} {'failures/round':>15}"]
+    for q in (0.0, 0.02, 0.05):
+        for window in (1, 3, 5):
+            result = run_windowed_trials(
+                lattice,
+                DephasingChannel(),
+                p=0.01,
+                measurement_flip_rate=q,
+                window=window,
+                rounds=30,
+                shots=shots,
+                rng=np.random.default_rng(config.seed + window),
+            )
+            rows.append(
+                {
+                    "q": q,
+                    "window": window,
+                    "failures_per_round": result.failures_per_round,
+                }
+            )
+            lines.append(
+                f"{q:>14.2f} {window:>7d} {result.failures_per_round:>15.4f}"
+            )
+    return ExperimentResult(
+        "temporal",
+        "Measurement noise vs majority-vote syndrome windowing",
+        "Extension (circuit-level substrate)",
+        "\n".join(lines),
+        rows,
+        notes="Without measurement noise windowing only delays corrections; "
+        "with it, the purely spatial decoder collapses and windowing "
+        "recovers most of the loss.",
+    )
+
+
+@register("depolarizing")
+def run_depolarizing(config: ExperimentConfig) -> ExperimentResult:
+    """Final-design sweep under the depolarizing channel.
+
+    The paper's section VII describes the depolarizing model (X/Y/Z each
+    at p/3) and presents headline numbers for pure dephasing; this sweep
+    covers the other channel, decoding both orientations symmetrically
+    ("the decoder will be operated symmetrically for both X and Z").
+    """
+    sweep = run_threshold_sweep(
+        decoder_factory=lambda lat: SFQMeshDecoder(lat),
+        model=DepolarizingChannel(),
+        distances=config.distances,
+        physical_rates=default_rate_grid(),
+        trials=config.trials,
+        seed=config.seed,
+    )
+    lines = [
+        f"{'p':>8} " + "".join(f"{'d=' + str(d):>10}" for d in sweep.distances)
+    ]
+    for i, p in enumerate(sweep.physical_rates):
+        cells = "".join(
+            f"{sweep.results[d][i].logical_error_rate:>10.4f}"
+            for d in sweep.distances
+        )
+        lines.append(f"{p:>8.4f} " + cells)
+    pseudo = sweep.pseudo_thresholds()
+    lines.append(
+        "\npseudo-thresholds: "
+        + ", ".join(
+            f"d={d}: {v:.3%}" if v else f"d={d}: n/a"
+            for d, v in pseudo.items()
+        )
+    )
+    return ExperimentResult(
+        "depolarizing",
+        "Final-design sweep, depolarizing channel (both orientations)",
+        "Section VII error models (extension sweep)",
+        "\n".join(lines),
+        sweep.as_rows(),
+        notes="Depolarizing failures count either logical operator "
+        "flipping; per-component rates are p/3 so thresholds sit higher "
+        "in total-p terms than the dephasing channel's.",
+    )
+
+
+@register("mesh_ablation")
+def run_mesh_ablation(config: ExperimentConfig) -> ExperimentResult:
+    """Sensitivity to this reproduction's concretization parameters."""
+    lattice = SurfaceLattice(5)
+    rng = np.random.default_rng(config.seed)
+    sample = DephasingChannel().sample(lattice, 0.03, config.trials, rng)
+    syndromes = lattice.syndrome_of_z_errors(sample.z)
+    rows = []
+    lines = [
+        f"{'watchdog_factor':>16} {'strikes':>8} {'PL':>8} "
+        f"{'nonconv':>8} {'mean cyc':>9}"
+    ]
+    for factor in (2, 4, 8):
+        for strikes in (1, 3):
+            mesh_config = MeshConfig(
+                watchdog_factor=factor, max_watchdog_strikes=strikes
+            )
+            decoder = SFQMeshDecoder(lattice, config=mesh_config)
+            out = decoder.decode_arrays(syndromes)
+            pl = float(
+                lattice.logical_z_failure(sample.z ^ out.corrections).mean()
+            )
+            rows.append(
+                {
+                    "watchdog_factor": factor,
+                    "max_strikes": strikes,
+                    "logical_error_rate": pl,
+                    "nonconverged": int((~out.converged).sum()),
+                    "mean_cycles": float(out.cycles.mean()),
+                }
+            )
+            lines.append(
+                f"{factor:>16d} {strikes:>8d} {pl:>8.4f} "
+                f"{int((~out.converged).sum()):>8d} "
+                f"{float(out.cycles.mean()):>9.2f}"
+            )
+    return ExperimentResult(
+        "mesh_ablation",
+        "Mesh concretization-parameter sensitivity",
+        "DESIGN.md section 6 choices (extension)",
+        "\n".join(lines),
+        rows,
+        notes="The watchdog is a simulation safety net: results are flat "
+        "across its settings because the final design rarely livelocks.",
+    )

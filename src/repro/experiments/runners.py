@@ -1,0 +1,434 @@
+"""Runners for every table and figure of the paper's evaluation."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..circuits.catalog import benchmark_suite, table1
+from ..decoders.sfq_mesh import MeshConfig, SFQMeshDecoder
+from ..montecarlo.stats import summarize_times
+from ..montecarlo.thresholds import default_rate_grid, run_threshold_sweep
+from ..noise.models import DephasingChannel
+from ..runtime.backlog import BacklogParameters, simulate_backlog
+from ..runtime.executor import mcnot_example, run_benchmark_study
+from ..sfq.cells import library_table
+from ..sfq.characterize import characterize_module, mesh_totals, paper_mesh_totals
+from ..sfq.refrigerator import CryostatBudget, paper_d9_rollup, plan_mesh
+from ..sqv.comparison import run_comparison
+from ..sqv.scaling import fit_sweep, table5
+from ..sqv.volume import MachineConfig, fig1_plans, fig1_table, sqv_landscape
+from ..surface.lattice import SurfaceLattice
+from .base import ExperimentConfig, ExperimentResult, register
+
+#: Paper values for side-by-side reporting.
+PAPER_TABLE4_NS = {
+    3: {"max": 3.74, "mean": 0.28, "std": 0.58},
+    5: {"max": 9.28, "mean": 0.72, "std": 1.09},
+    7: {"max": 14.2, "mean": 2.00, "std": 1.99},
+    9: {"max": 19.2, "mean": 3.81, "std": 3.11},
+}
+
+
+def _mesh_sweep(config: ExperimentConfig, mesh_config: MeshConfig):
+    return run_threshold_sweep(
+        decoder_factory=lambda lat: SFQMeshDecoder(lat, config=mesh_config),
+        model=DephasingChannel(),
+        distances=config.distances,
+        physical_rates=default_rate_grid(),
+        trials=config.trials,
+        seed=config.seed,
+    )
+
+
+def _sweep_text(sweep) -> str:
+    lines = [
+        f"{'p':>8} " + "".join(f"{'d=' + str(d):>10}" for d in sweep.distances)
+    ]
+    for i, p in enumerate(sweep.physical_rates):
+        cells = "".join(
+            f"{sweep.results[d][i].logical_error_rate:>10.4f}"
+            for d in sweep.distances
+        )
+        lines.append(f"{p:>8.4f} " + cells)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+@register("table1")
+def run_table1(config: ExperimentConfig) -> ExperimentResult:
+    entries = benchmark_suite()
+    rows = [
+        {
+            "benchmark": e.name,
+            "qubits": e.qubits,
+            "total_gates": e.total_gates,
+            "t_gates": e.t_gates,
+            **{f"paper_{k}": v for k, v in e.paper.items()},
+        }
+        for e in entries
+    ]
+    return ExperimentResult(
+        "table1",
+        "Benchmark circuit characteristics",
+        "Table I",
+        table1(entries),
+        rows,
+        notes=(
+            "T counts match the paper exactly for 4/5 benchmarks; total "
+            "gate counts differ by the (unpublished) Toffoli decomposition "
+            "convention."
+        ),
+    )
+
+
+@register("table2")
+def run_table2(config: ExperimentConfig) -> ExperimentResult:
+    return ExperimentResult(
+        "table2", "ERSFQ cell library", "Table II", library_table()
+    )
+
+
+@register("table3")
+def run_table3(config: ExperimentConfig) -> ExperimentResult:
+    char = characterize_module()
+    rows = [
+        {
+            "circuit": name,
+            "depth": r.logic_depth,
+            "latency_ps": r.latency_ps,
+            "area_um2": r.area_um2,
+            "jj_count": r.jj_count,
+            "power_paper_uw": r.power_paper_uw,
+            "power_jj_uw": r.power_jj_uw,
+        }
+        for name, r in char.reports.items()
+    ]
+    return ExperimentResult(
+        "table3",
+        "SFQ synthesis results",
+        "Table III",
+        char.table(),
+        rows,
+        notes=(
+            "Same cell library and balancing objective as the paper; gate "
+            "counts differ because the paper's netlists are unpublished. "
+            f"Our module cycle time: {char.cycle_time_ps:.1f} ps "
+            "(paper: 162.72 ps)."
+        ),
+    )
+
+
+@register("table4")
+def run_table4(config: ExperimentConfig) -> ExperimentResult:
+    rng = np.random.default_rng(config.seed)
+    model = DephasingChannel()
+    rates = default_rate_grid()
+    rows: List[dict] = []
+    lines = [
+        f"{'d':>3} {'max(ns)':>9} {'mean(ns)':>9} {'std(ns)':>9} "
+        f"{'paper max':>10} {'paper mean':>11} {'paper std':>10}"
+    ]
+    for d in config.distances:
+        lattice = SurfaceLattice(d)
+        decoder = SFQMeshDecoder(lattice)
+        chunks = []
+        for p in rates:
+            sample = model.sample(lattice, p, config.trials, rng)
+            syn = lattice.syndrome_of_z_errors(sample.z)
+            out = decoder.decode_arrays(syn)
+            chunks.append(out.time_ns(decoder.config.cycle_time_ps))
+        tmax, tmean, tstd = summarize_times(np.concatenate(chunks))
+        paper = PAPER_TABLE4_NS.get(d, {"max": float("nan"), "mean": float("nan"), "std": float("nan")})
+        rows.append(
+            {"d": d, "max_ns": tmax, "mean_ns": tmean, "std_ns": tstd, **{
+                f"paper_{k}": v for k, v in paper.items()}}
+        )
+        lines.append(
+            f"{d:>3d} {tmax:>9.2f} {tmean:>9.2f} {tstd:>9.2f} "
+            f"{paper['max']:>10.2f} {paper['mean']:>11.2f} {paper['std']:>10.2f}"
+        )
+    return ExperimentResult(
+        "table4",
+        "Decoder execution time across code distances",
+        "Table IV",
+        "\n".join(lines),
+        rows,
+        notes="Statistics across all simulated error rates (1-12%), "
+        "cycles converted at the paper's 162.72 ps module clock.",
+    )
+
+
+@register("table5")
+def run_table5(config: ExperimentConfig) -> ExperimentResult:
+    sweep = _mesh_sweep(config, MeshConfig.final())
+    laws = fit_sweep(sweep, p_th=0.05)
+    rows = [
+        {"d": d, "c1": law.c1, "c2": law.c2, "p_th": law.p_th}
+        for d, law in laws.items()
+    ]
+    return ExperimentResult(
+        "table5",
+        "Empirical scaling-law parameters",
+        "Table V",
+        table5(laws),
+        rows,
+        notes="Fit of PL = c1 (p/pth)^(c2 d) below threshold (pth = 5%).",
+    )
+
+
+@register("fig1")
+def run_fig1(config: ExperimentConfig) -> ExperimentResult:
+    machine = MachineConfig(n_physical=1024, p_physical=1e-5)
+    paper_plans = fig1_plans(machine)
+    landscape = sqv_landscape(machine)
+    text = [
+        f"machine: {machine.n_physical} qubits @ p = {machine.p_physical:g}",
+        f"NISQ SQV (no AQEC): {machine.nisq_sqv:.1e}",
+        "",
+        "paper-calibrated scaling laws (the Fig. 1 points):",
+        fig1_table(paper_plans),
+        "",
+        "full landscape (Table V c2 elsewhere; qubits-vs-fidelity trade):",
+        fig1_table(landscape),
+    ]
+    rows = [
+        {"model": "paper", **plan.summary()} for plan in paper_plans.values()
+    ]
+    rows += [
+        {"model": "landscape", **plan.summary()}
+        for plan in landscape.values()
+    ]
+    return ExperimentResult(
+        "fig1",
+        "SQV boost from approximate error correction",
+        "Figure 1",
+        "\n".join(text),
+        rows,
+        notes="Boost factors 3,402x (d=3) and 11,163x (d=5) in the paper.",
+    )
+
+
+@register("fig5")
+def run_fig5(config: ExperimentConfig) -> ExperimentResult:
+    params = BacklogParameters(syndrome_cycle_ns=400.0, decode_time_ns=800.0)
+    result = simulate_backlog(
+        n_gates=60, t_positions=list(range(9, 60, 10)), params=params,
+        keep_trace=True,
+    )
+    trace = result.trace
+    lines = [
+        f"{'T#':>3} {'compute(us)':>12} {'wall(us)':>12} {'stall(us)':>12}"
+    ]
+    rows = []
+    for i, (c, w, s) in enumerate(
+        zip(trace.compute_time_ns, trace.wall_time_ns, trace.stall_ns)
+    ):
+        lines.append(f"{i:>3d} {c / 1e3:>12.2f} {w / 1e3:>12.2f} {s / 1e3:>12.2f}")
+        rows.append({"t_gate": i, "compute_ns": c, "wall_ns": w, "stall_ns": s})
+    lines.append(
+        f"\nwall/compute overhead after {result.n_t_gates} T gates: "
+        f"{result.overhead:.1f}x (f = {params.f_ratio})"
+    )
+    return ExperimentResult(
+        "fig5",
+        "Backlog staircase: wall clock vs compute time",
+        "Figure 5",
+        "\n".join(lines),
+        rows,
+        notes="Stalls grow geometrically with each T gate when f > 1.",
+    )
+
+
+@register("fig6")
+def run_fig6(config: ExperimentConfig) -> ExperimentResult:
+    study = run_benchmark_study()
+    example = mcnot_example()
+    rows = []
+    for curve in study.curves:
+        for f, w in zip(curve.ratios, curve.wall_seconds):
+            rows.append(
+                {"benchmark": curve.benchmark, "f": f, "wall_seconds": w}
+            )
+    text = (
+        study.table()
+        + "\n\nsection III example (100-qubit mcnot, f=2): "
+        + f"10^{example['log10_wall_seconds']:.0f} s "
+        + "(paper: ~10^196 s)"
+    )
+    return ExperimentResult(
+        "fig6",
+        "Benchmark running time vs syndrome processing ratio",
+        "Figure 6",
+        text,
+        rows,
+        notes="Curves are flat for f <= 1 and exponential beyond; the SFQ "
+        "decoder operates at f ~ 0.05, software decoders at f ~ 2.",
+    )
+
+
+@register("fig10_top")
+def run_fig10_top(config: ExperimentConfig) -> ExperimentResult:
+    variants = [
+        ("baseline", MeshConfig.baseline()),
+        ("reset", MeshConfig.with_reset()),
+        ("reset+boundary", MeshConfig.with_reset_and_boundary()),
+        ("final", MeshConfig.final()),
+    ]
+    sections = []
+    rows = []
+    for name, mesh_config in variants:
+        sweep = _mesh_sweep(config.scaled(0.5), mesh_config)
+        sections.append(f"-- {name} --\n" + _sweep_text(sweep))
+        for record in sweep.as_rows():
+            rows.append({"variant": name, **record})
+    return ExperimentResult(
+        "fig10_top",
+        "Incremental design ablation",
+        "Figure 10 (top row)",
+        "\n\n".join(sections),
+        rows,
+        notes="Resets improve the baseline somewhat; boundaries "
+        "dramatically; the equidistant mechanism completes the design.",
+    )
+
+
+@register("fig10a")
+def run_fig10a(config: ExperimentConfig) -> ExperimentResult:
+    sweep = _mesh_sweep(config, MeshConfig.final())
+    pseudo = sweep.pseudo_thresholds()
+    accuracy = sweep.accuracy_threshold()
+    # The paper reads its threshold "barring the anomalous d=3 behaviour".
+    accuracy_no_d3 = sweep.accuracy_threshold(exclude=(3,))
+    text = _sweep_text(sweep)
+    text += "\n\npseudo-thresholds: " + ", ".join(
+        f"d={d}: {v:.3%}" if v else f"d={d}: n/a" for d, v in pseudo.items()
+    )
+    text += "\naccuracy threshold (median curve crossing): " + (
+        f"{accuracy:.3%}" if accuracy else "n/a"
+    )
+    text += "\naccuracy threshold excluding anomalous d=3: " + (
+        f"{accuracy_no_d3:.3%}" if accuracy_no_d3 else "n/a"
+    )
+    rows = sweep.as_rows()
+    rows.append(
+        {
+            "accuracy_threshold": accuracy,
+            "accuracy_threshold_no_d3": accuracy_no_d3,
+            **{f"pseudo_d{d}": v for d, v in pseudo.items()},
+        }
+    )
+    return ExperimentResult(
+        "fig10a",
+        "Final-design logical error rates and thresholds",
+        "Figure 10 (a), (b)",
+        text,
+        rows,
+        notes="Paper: accuracy threshold ~5%, pseudo-thresholds "
+        "5% / 4.75% / 4.5% / 3.5% for d = 3/5/7/9.",
+    )
+
+
+@register("fig10c")
+def run_fig10c(config: ExperimentConfig) -> ExperimentResult:
+    rng = np.random.default_rng(config.seed)
+    model = DephasingChannel()
+    rates = default_rate_grid()
+    rows = []
+    lines = [f"{'cycles':>7} " + "".join(f"{'d=' + str(d):>9}" for d in config.distances)]
+    histos: Dict[int, np.ndarray] = {}
+    for d in config.distances:
+        lattice = SurfaceLattice(d)
+        decoder = SFQMeshDecoder(lattice)
+        chunks = []
+        for p in rates:
+            sample = model.sample(lattice, p, config.trials, rng)
+            syn = lattice.syndrome_of_z_errors(sample.z)
+            chunks.append(decoder.decode_arrays(syn).cycles)
+        cycles = np.concatenate(chunks)
+        histos[d] = np.bincount(np.clip(cycles, 0, 20), minlength=21) / len(cycles)
+    for c in range(21):
+        lines.append(
+            f"{c:>7d} "
+            + "".join(f"{histos[d][c]:>9.4f}" for d in config.distances)
+        )
+        rows.append(
+            {"cycles": c, **{f"d{d}": float(histos[d][c]) for d in config.distances}}
+        )
+    return ExperimentResult(
+        "fig10c",
+        "Cycles-to-solution probability densities (window <= 20)",
+        "Figure 10 (c)",
+        "\n".join(lines),
+        rows,
+        notes="Paper reports nonzero-mode peaks near 0/5/9/14 cycles for "
+        "d = 3/5/7/9.",
+    )
+
+
+@register("fig11")
+def run_fig11(config: ExperimentConfig) -> ExperimentResult:
+    study = run_comparison()
+    reductions = study.reduction_factor()
+    valid = [r for r in reductions if r]
+    text = study.table()
+    if valid:
+        text += (
+            f"\n\nmedian d(MWPM w/ backlog) / d(SFQ): "
+            f"{float(np.median(valid)):.1f}x (paper claims ~10x)"
+        )
+    rows = []
+    for i, p in enumerate(study.physical_rates):
+        row = {"p": p}
+        for name, values in study.required.items():
+            row[name] = values[i]
+        rows.append(row)
+    return ExperimentResult(
+        "fig11",
+        "Required code distance across decoders (100 T gates)",
+        "Figure 11",
+        text,
+        rows,
+        notes="Offline decoders pay the f^k backlog in their per-gate "
+        "error budget; the model and parameters are in repro.sqv.comparison.",
+    )
+
+
+@register("mesh_budget")
+def run_mesh_budget(config: ExperimentConfig) -> ExperimentResult:
+    char = characterize_module()
+    ours_d9 = mesh_totals(char.full_module, (2 * 9 - 1) ** 2)
+    paper_d9 = paper_mesh_totals((2 * 9 - 1) ** 2)
+    plan_ours = plan_mesh(char.full_module, CryostatBudget())
+    plan_paper = plan_mesh(use_paper_module=True)
+    lines = [
+        "d=9 decoder mesh (289 modules):",
+        f"  ours : {ours_d9['area_mm2']:.2f} mm^2, "
+        f"{ours_d9['power_mw_paper']:.2f} mW (paper power model)",
+        f"  paper: {paper_d9['area_mm2']:.2f} mm^2, "
+        f"{paper_d9['power_mw_paper']:.2f} mW  "
+        f"(published: 369.72 mm^2, 3.78 mW)",
+        "",
+        "largest mesh in a 1.5 W / 100 cm^2 4-K stage:",
+        f"  ours : {plan_ours.mesh_edge} x {plan_ours.mesh_edge} "
+        f"-> single qubit d = {plan_ours.max_single_distance}, "
+        f"d=5 patches: {plan_ours.patches_by_distance[5]}",
+        f"  paper module: {plan_paper.mesh_edge} x {plan_paper.mesh_edge} "
+        f"-> single qubit d = {plan_paper.max_single_distance}, "
+        f"d=5 patches: {plan_paper.patches_by_distance[5]} "
+        "(published: 87 x 87, d = 44, ~100 d=5 qubits)",
+        "",
+        f"paper d=9 rollup check: {paper_d9_rollup()}",
+    ]
+    rows = [
+        {"config": "ours_d9", **ours_d9},
+        {"config": "paper_d9", **paper_d9},
+    ]
+    return ExperimentResult(
+        "mesh_budget",
+        "Mesh-level area/power and cryostat capacity",
+        "Section VIII synthesis discussion",
+        "\n".join(lines),
+        rows,
+    )

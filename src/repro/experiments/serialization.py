@@ -1,0 +1,69 @@
+"""Serialization of experiment results (JSON / CSV) for downstream plots."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+from typing import Any
+
+from .base import ExperimentResult
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars / infinities into JSON-safe values."""
+    if hasattr(value, "item"):
+        value = value.item()
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return None
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return value
+
+
+def result_to_json(result: ExperimentResult, indent: int = 2) -> str:
+    """Full result record as a JSON document."""
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "paper_reference": result.paper_reference,
+        "notes": result.notes,
+        "rows": [_jsonable(row) for row in result.rows],
+        "text": result.text,
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def rows_to_csv(result: ExperimentResult) -> str:
+    """The structured rows as CSV (columns = union of row keys)."""
+    if not result.rows:
+        return ""
+    columns: list = []
+    for row in result.rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
+    writer.writeheader()
+    for row in result.rows:
+        writer.writerow({k: _jsonable(v) for k, v in row.items()})
+    return buffer.getvalue()
+
+
+def save_result(result: ExperimentResult, path: str) -> None:
+    """Write a result to ``path`` (.json or .csv by extension)."""
+    if path.endswith(".json"):
+        content = result_to_json(result)
+    elif path.endswith(".csv"):
+        content = rows_to_csv(result)
+    else:
+        raise ValueError(f"unsupported extension for {path!r} (use .json/.csv)")
+    with open(path, "w") as handle:
+        handle.write(content)

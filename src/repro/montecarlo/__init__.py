@@ -1,0 +1,31 @@
+"""Monte-Carlo benchmarking: trials, lifetimes, thresholds, statistics."""
+
+from .lifetime import LifetimeResult, run_lifetime
+from .stats import (
+    RateEstimate,
+    loglog_crossing,
+    pseudo_threshold,
+    summarize_times,
+    wilson_interval,
+)
+from .thresholds import (
+    ThresholdSweep,
+    default_rate_grid,
+    run_threshold_sweep,
+)
+from .trial import TrialResult, run_trials
+
+__all__ = [
+    "LifetimeResult",
+    "run_lifetime",
+    "RateEstimate",
+    "loglog_crossing",
+    "pseudo_threshold",
+    "summarize_times",
+    "wilson_interval",
+    "ThresholdSweep",
+    "default_rate_grid",
+    "run_threshold_sweep",
+    "TrialResult",
+    "run_trials",
+]

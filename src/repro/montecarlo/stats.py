@@ -1,0 +1,88 @@
+"""Small statistics helpers for Monte-Carlo results."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RateEstimate:
+    """A binomial rate with a Wilson confidence interval."""
+
+    successes: int
+    trials: int
+    z: float = 1.96
+
+    @property
+    def rate(self) -> float:
+        if self.trials == 0:
+            return float("nan")
+        return self.successes / self.trials
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        return wilson_interval(self.successes, self.trials, self.z)
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        lo, hi = self.interval
+        return f"{self.rate:.4g} [{lo:.4g}, {hi:.4g}]"
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ValueError("need 0 <= successes <= trials")
+    if trials == 0:
+        return (0.0, 1.0)
+    phat = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (phat + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    lo = max(0.0, center - half)
+    hi = min(1.0, center + half)
+    # guard against float rounding excluding the point estimate itself
+    return (min(lo, phat), max(hi, phat))
+
+
+def loglog_crossing(
+    x: Sequence[float], y1: Sequence[float], y2: Sequence[float]
+) -> Optional[float]:
+    """First x where curve ``y1`` crosses ``y2``, interpolating in log-log.
+
+    Zero values are clipped to a tiny floor so empty Monte-Carlo bins do
+    not break the interpolation.  Returns ``None`` when the curves never
+    cross inside the sampled range.
+    """
+    x = np.asarray(x, dtype=float)
+    a = np.clip(np.asarray(y1, dtype=float), 1e-12, None)
+    b = np.clip(np.asarray(y2, dtype=float), 1e-12, None)
+    diff = np.log(a) - np.log(b)
+    for i in range(len(x) - 1):
+        if diff[i] == 0.0:
+            return float(x[i])
+        if diff[i] * diff[i + 1] < 0:
+            lx0, lx1 = math.log(x[i]), math.log(x[i + 1])
+            t = diff[i] / (diff[i] - diff[i + 1])
+            return float(math.exp(lx0 + t * (lx1 - lx0)))
+    return None
+
+
+def pseudo_threshold(ps: Sequence[float], pls: Sequence[float]) -> Optional[float]:
+    """Physical rate where the logical rate equals it (``PL = p``)."""
+    return loglog_crossing(ps, pls, ps)
+
+
+def summarize_times(values: np.ndarray) -> Tuple[float, float, float]:
+    """(max, mean, std) of a sample — Table IV's row format."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return (0.0, 0.0, 0.0)
+    return (float(values.max()), float(values.mean()), float(values.std()))

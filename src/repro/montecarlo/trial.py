@@ -1,0 +1,131 @@
+"""Single-round Monte-Carlo trials (the paper's lifetime benchmarking unit).
+
+With perfect syndrome extraction (the paper's headline operating point) a
+multi-cycle lifetime simulation factorizes into independent rounds, so the
+logical error rate per cycle equals the single-shot failure rate estimated
+here.  :mod:`repro.montecarlo.lifetime` runs the explicit multi-round
+version through the stabilizer-circuit substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..decoders.base import Decoder
+from ..decoders.sfq_mesh import SFQMeshDecoder
+from ..noise.models import ErrorModel
+from ..surface.lattice import SurfaceLattice
+from .stats import RateEstimate
+
+
+@dataclass
+class TrialResult:
+    """Aggregated outcome of a batch of single-round decode trials."""
+
+    d: int
+    p: float
+    trials: int
+    failures: int
+    error_model: str
+    decoder: str
+    #: decoder cycles per shot (mesh decoder only)
+    cycles: Optional[np.ndarray] = None
+    #: shots whose correction did not reproduce the syndrome
+    inconsistent: int = 0
+    #: shots where the decoder gave up (watchdog)
+    nonconverged: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def logical_error_rate(self) -> float:
+        return self.failures / self.trials
+
+    @property
+    def estimate(self) -> RateEstimate:
+        return RateEstimate(self.failures, self.trials)
+
+
+def run_trials(
+    lattice: SurfaceLattice,
+    decoder: Decoder,
+    model: ErrorModel,
+    p: float,
+    trials: int,
+    rng: Optional[np.random.Generator] = None,
+    batch_size: int = 2048,
+) -> TrialResult:
+    """Estimate the per-round logical failure rate of ``decoder``.
+
+    Pure-Z (dephasing) and pure-X (bit-flip) channels exercise one decoding
+    orientation; the depolarizing channel decodes both orientations with
+    independent decoders of the same class (as the paper's "operated
+    symmetrically" protocol) and counts a failure when either logical
+    operator flips.
+    """
+    rng = rng or np.random.default_rng()
+    needs_x = False
+    x_decoder: Optional[Decoder] = None
+    failures = 0
+    inconsistent = 0
+    nonconverged = 0
+    cycles_chunks = []
+    done = 0
+    while done < trials:
+        batch = min(batch_size, trials - done)
+        sample = model.sample(lattice, p, batch, rng)
+        fail, stats = _decode_orientation(lattice, decoder, sample.z, "z")
+        inconsistent += stats["inconsistent"]
+        nonconverged += stats["nonconverged"]
+        if stats["cycles"] is not None:
+            cycles_chunks.append(stats["cycles"])
+        if sample.x.any():
+            needs_x = True
+            if x_decoder is None:
+                x_decoder = type(decoder)(lattice, error_type="x", **_extra_kwargs(decoder))
+            x_fail, x_stats = _decode_orientation(lattice, x_decoder, sample.x, "x")
+            inconsistent += x_stats["inconsistent"]
+            nonconverged += x_stats["nonconverged"]
+            fail = fail | x_fail
+        failures += int(fail.sum())
+        done += batch
+    cycles = np.concatenate(cycles_chunks) if cycles_chunks else None
+    return TrialResult(
+        d=lattice.d,
+        p=p,
+        trials=trials,
+        failures=failures,
+        error_model=model.name,
+        decoder=decoder.name,
+        cycles=cycles,
+        inconsistent=inconsistent,
+        nonconverged=nonconverged,
+        metadata={"both_orientations": needs_x},
+    )
+
+
+def _extra_kwargs(decoder: Decoder) -> dict:
+    if isinstance(decoder, SFQMeshDecoder):
+        return {"config": decoder.config}
+    return {}
+
+
+def _decode_orientation(lattice, decoder, errors, orientation):
+    geometry = decoder.geometry
+    syndromes = geometry.syndrome_of_errors(errors)
+    stats = {"inconsistent": 0, "nonconverged": 0, "cycles": None}
+    if isinstance(decoder, SFQMeshDecoder):
+        out = decoder.decode_arrays(syndromes)
+        corrections = out.corrections
+        stats["cycles"] = out.cycles
+        stats["nonconverged"] = int(np.sum(~out.converged))
+    else:
+        corrections = np.zeros_like(errors)
+        for i, syn in enumerate(syndromes):
+            corrections[i] = decoder.decode(syn).correction
+    produced = geometry.syndrome_of_errors(corrections)
+    stats["inconsistent"] = int(np.sum(np.any(produced != syndromes, axis=1)))
+    residual = errors ^ corrections
+    return geometry.logical_failure(residual), stats

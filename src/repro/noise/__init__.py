@@ -1,0 +1,28 @@
+"""Error models and the batched Pauli-frame Clifford simulator."""
+
+from .models import (
+    BitFlipChannel,
+    DephasingChannel,
+    DepolarizingChannel,
+    ErrorModel,
+    MeasurementFlipModel,
+    PauliErrorSample,
+    combine_samples,
+    get_error_model,
+)
+from .pauli_frame import Circuit, Gate, PauliFrame, run_circuit
+
+__all__ = [
+    "BitFlipChannel",
+    "DephasingChannel",
+    "DepolarizingChannel",
+    "ErrorModel",
+    "MeasurementFlipModel",
+    "PauliErrorSample",
+    "combine_samples",
+    "get_error_model",
+    "Circuit",
+    "Gate",
+    "PauliFrame",
+    "run_circuit",
+]

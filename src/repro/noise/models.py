@@ -1,0 +1,155 @@
+"""Stochastic error models used by the Monte-Carlo harness.
+
+The paper evaluates two data-qubit channels (section VII, "Error Models"):
+
+* the **depolarizing channel**: Pauli X, Y and Z each occur i.i.d. with
+  probability ``p/3`` on every data qubit, and
+* the **pure dephasing channel** (headline results): Pauli Z occurs i.i.d.
+  with probability ``p``.
+
+Both are "code-capacity" channels: syndrome extraction itself is perfect.
+A measurement-flip wrapper is provided for circuit-level extensions.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..surface.lattice import SurfaceLattice
+
+
+@dataclass(frozen=True)
+class PauliErrorSample:
+    """One batch of sampled data-qubit errors (symplectic representation).
+
+    Attributes
+    ----------
+    x, z:
+        ``(batch, n_data)`` uint8 arrays.  A Y error sets both bits.
+    """
+
+    x: np.ndarray
+    z: np.ndarray
+
+    @property
+    def batch(self) -> int:
+        return self.x.shape[0]
+
+
+class ErrorModel(abc.ABC):
+    """Samples i.i.d. Pauli errors on the data qubits of a lattice."""
+
+    #: human-readable identifier used in experiment records
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def sample(
+        self,
+        lattice: SurfaceLattice,
+        p: float,
+        batch: int,
+        rng: np.random.Generator,
+    ) -> PauliErrorSample:
+        """Draw ``batch`` error vectors at physical error rate ``p``."""
+
+    @staticmethod
+    def _validate(p: float, batch: int) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"physical error rate must be in [0, 1], got {p}")
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+
+
+class DephasingChannel(ErrorModel):
+    """Pure dephasing: Z with probability ``p`` on each data qubit.
+
+    This is the channel behind the paper's Fig. 10 and Table IV results.
+    """
+
+    name = "dephasing"
+
+    def sample(self, lattice, p, batch, rng) -> PauliErrorSample:
+        self._validate(p, batch)
+        z = (rng.random((batch, lattice.n_data)) < p).astype(np.uint8)
+        x = np.zeros_like(z)
+        return PauliErrorSample(x=x, z=z)
+
+
+class BitFlipChannel(ErrorModel):
+    """Pure bit-flip: X with probability ``p`` on each data qubit."""
+
+    name = "bitflip"
+
+    def sample(self, lattice, p, batch, rng) -> PauliErrorSample:
+        self._validate(p, batch)
+        x = (rng.random((batch, lattice.n_data)) < p).astype(np.uint8)
+        z = np.zeros_like(x)
+        return PauliErrorSample(x=x, z=z)
+
+
+class DepolarizingChannel(ErrorModel):
+    """Depolarizing: X, Y, Z each with probability ``p/3`` per data qubit."""
+
+    name = "depolarizing"
+
+    def sample(self, lattice, p, batch, rng) -> PauliErrorSample:
+        self._validate(p, batch)
+        u = rng.random((batch, lattice.n_data))
+        # Partition [0, p) into thirds: X, Y, Z; [p, 1) is identity.
+        x = ((u < p / 3) | ((u >= p / 3) & (u < 2 * p / 3))).astype(np.uint8)
+        z = ((u >= p / 3) & (u < p)).astype(np.uint8)
+        return PauliErrorSample(x=x, z=z)
+
+
+@dataclass(frozen=True)
+class MeasurementFlipModel:
+    """Classical measurement-bit flips at rate ``q`` (circuit-level extension).
+
+    Applied on top of an underlying data-error model; flips each reported
+    syndrome bit independently.  Not used by the paper's headline numbers
+    (their decoder is purely spatial) but exercised by the stabilizer-circuit
+    substrate tests and the lifetime-simulation extension.
+    """
+
+    q: float
+
+    def flip(self, syndrome: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if not 0.0 <= self.q <= 1.0:
+            raise ValueError(f"measurement flip rate must be in [0, 1], got {self.q}")
+        flips = (rng.random(syndrome.shape) < self.q).astype(syndrome.dtype)
+        return (syndrome + flips) % 2
+
+
+_REGISTRY = {
+    cls.name: cls for cls in (DephasingChannel, BitFlipChannel, DepolarizingChannel)
+}
+
+
+def get_error_model(name: str) -> ErrorModel:
+    """Instantiate an error model by registry name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown error model {name!r}; known: {known}") from None
+
+
+def combine_samples(a: PauliErrorSample, b: PauliErrorSample) -> PauliErrorSample:
+    """Compose two error samples (GF(2) addition of symplectic parts)."""
+    return PauliErrorSample(x=(a.x ^ b.x), z=(a.z ^ b.z))
+
+
+def sample_with_seed(
+    model: ErrorModel,
+    lattice: SurfaceLattice,
+    p: float,
+    batch: int,
+    seed: Optional[int] = None,
+) -> Tuple[PauliErrorSample, np.random.Generator]:
+    """Convenience wrapper creating a seeded generator alongside the sample."""
+    rng = np.random.default_rng(seed)
+    return model.sample(lattice, p, batch, rng), rng

@@ -1,0 +1,165 @@
+"""Batched Pauli-frame simulator for Clifford circuits.
+
+A Pauli frame tracks the accumulated Pauli error relative to the ideal
+(noise-free) circuit state.  Propagating the frame through Clifford gates
+is enough to simulate stabilizer-code syndrome extraction exactly, which
+is what the paper's "lifetime" Monte-Carlo simulation does (section VII).
+
+The simulator is batched: frames are ``(batch, n_qubits)`` bit arrays so
+thousands of Monte-Carlo shots propagate through one circuit pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+GateArgs = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One Clifford-circuit instruction.
+
+    Supported names: ``H``, ``CNOT``, ``CZ``, ``X``, ``Z``, ``RESET``,
+    ``MEASURE`` (Z basis, destructive for the frame).
+    """
+
+    name: str
+    qubits: GateArgs
+    key: Optional[str] = None  # measurement record key
+
+    _ARITY = {"H": 1, "X": 1, "Z": 1, "RESET": 1, "MEASURE": 1, "CNOT": 2, "CZ": 2}
+
+    def __post_init__(self) -> None:
+        if self.name not in self._ARITY:
+            raise ValueError(f"unsupported gate {self.name!r}")
+        if len(self.qubits) != self._ARITY[self.name]:
+            raise ValueError(
+                f"{self.name} expects {self._ARITY[self.name]} qubit(s), "
+                f"got {self.qubits}"
+            )
+        if self.name == "MEASURE" and self.key is None:
+            raise ValueError("MEASURE requires a record key")
+
+
+@dataclass
+class Circuit:
+    """A flat sequence of Clifford gates with named measurement records."""
+
+    n_qubits: int
+    gates: List[Gate] = field(default_factory=list)
+
+    def add(self, name: str, *qubits: int, key: Optional[str] = None) -> "Circuit":
+        for q in qubits:
+            if not 0 <= q < self.n_qubits:
+                raise ValueError(f"qubit index {q} out of range [0, {self.n_qubits})")
+        self.gates.append(Gate(name, tuple(qubits), key))
+        return self
+
+    @property
+    def measurement_keys(self) -> List[str]:
+        return [g.key for g in self.gates if g.name == "MEASURE"]
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+
+class PauliFrame:
+    """Batched X/Z Pauli frame over ``n_qubits`` qubits."""
+
+    def __init__(self, n_qubits: int, batch: int = 1) -> None:
+        if n_qubits < 1 or batch < 1:
+            raise ValueError("n_qubits and batch must be positive")
+        self.n_qubits = n_qubits
+        self.batch = batch
+        self.x = np.zeros((batch, n_qubits), dtype=np.uint8)
+        self.z = np.zeros((batch, n_qubits), dtype=np.uint8)
+
+    # ------------------------------------------------------------------
+    # Error injection
+    # ------------------------------------------------------------------
+    def inject_x(self, qubit: int, mask: Optional[np.ndarray] = None) -> None:
+        """Flip the X frame bit on ``qubit`` (optionally per-shot masked)."""
+        if mask is None:
+            self.x[:, qubit] ^= 1
+        else:
+            self.x[:, qubit] ^= mask.astype(np.uint8)
+
+    def inject_z(self, qubit: int, mask: Optional[np.ndarray] = None) -> None:
+        if mask is None:
+            self.z[:, qubit] ^= 1
+        else:
+            self.z[:, qubit] ^= mask.astype(np.uint8)
+
+    def inject_pauli_arrays(
+        self, qubits: Sequence[int], x_bits: np.ndarray, z_bits: np.ndarray
+    ) -> None:
+        """XOR whole ``(batch, len(qubits))`` error blocks into the frame."""
+        idx = np.asarray(qubits, dtype=int)
+        self.x[:, idx] ^= x_bits.astype(np.uint8)
+        self.z[:, idx] ^= z_bits.astype(np.uint8)
+
+    # ------------------------------------------------------------------
+    # Gate action on the frame (conjugation rules)
+    # ------------------------------------------------------------------
+    def apply_h(self, q: int) -> None:
+        self.x[:, q], self.z[:, q] = self.z[:, q].copy(), self.x[:, q].copy()
+
+    def apply_cnot(self, control: int, target: int) -> None:
+        self.x[:, target] ^= self.x[:, control]
+        self.z[:, control] ^= self.z[:, target]
+
+    def apply_cz(self, a: int, b: int) -> None:
+        self.z[:, a] ^= self.x[:, b]
+        self.z[:, b] ^= self.x[:, a]
+
+    def measure_z(self, q: int) -> np.ndarray:
+        """Return outcome-flip bits for a Z-basis measurement of ``q``.
+
+        A qubit whose frame carries X (or Y) reports a flipped outcome
+        relative to the ideal circuit.
+        """
+        return self.x[:, q].copy()
+
+    def reset(self, q: int) -> None:
+        self.x[:, q] = 0
+        self.z[:, q] = 0
+
+
+def run_circuit(
+    circuit: Circuit,
+    frame: PauliFrame,
+) -> Dict[str, np.ndarray]:
+    """Propagate ``frame`` through ``circuit``; return measurement flips.
+
+    Deterministic Pauli gates (X/Z instructions) also toggle the frame so
+    that intentionally-inserted corrections can be simulated.
+    """
+    if frame.n_qubits != circuit.n_qubits:
+        raise ValueError("frame/circuit width mismatch")
+    records: Dict[str, np.ndarray] = {}
+    for gate in circuit.gates:
+        if gate.name == "H":
+            frame.apply_h(gate.qubits[0])
+        elif gate.name == "CNOT":
+            frame.apply_cnot(*gate.qubits)
+        elif gate.name == "CZ":
+            frame.apply_cz(*gate.qubits)
+        elif gate.name == "X":
+            frame.inject_x(gate.qubits[0])
+        elif gate.name == "Z":
+            frame.inject_z(gate.qubits[0])
+        elif gate.name == "RESET":
+            frame.reset(gate.qubits[0])
+        elif gate.name == "MEASURE":
+            assert gate.key is not None
+            if gate.key in records:
+                raise ValueError(f"duplicate measurement key {gate.key!r}")
+            records[gate.key] = frame.measure_z(gate.qubits[0])
+            frame.reset(gate.qubits[0])
+        else:  # pragma: no cover - Gate validates names
+            raise AssertionError(gate.name)
+    return records

@@ -1,0 +1,50 @@
+"""Decoding-backlog model and execution-time analysis."""
+
+from .backlog import (
+    BacklogParameters,
+    BacklogResult,
+    ExecutionTrace,
+    log10_overhead_factor,
+    overhead_factor,
+    simulate_backlog,
+    simulate_circuit_backlog,
+)
+from .executor import (
+    RuntimeCurve,
+    RuntimeStudy,
+    default_ratio_grid,
+    mcnot_example,
+    run_benchmark_study,
+)
+from .latency import (
+    MWPM_LATENCY,
+    NEURAL_NET_LATENCY,
+    UNION_FIND_LATENCY,
+    ConstantLatency,
+    EmpiricalLatency,
+    measure_mesh_latency,
+)
+from .streaming import StreamingExecutor, StreamingResult
+
+__all__ = [
+    "BacklogParameters",
+    "BacklogResult",
+    "ExecutionTrace",
+    "log10_overhead_factor",
+    "overhead_factor",
+    "simulate_backlog",
+    "simulate_circuit_backlog",
+    "RuntimeCurve",
+    "RuntimeStudy",
+    "default_ratio_grid",
+    "mcnot_example",
+    "run_benchmark_study",
+    "ConstantLatency",
+    "EmpiricalLatency",
+    "measure_mesh_latency",
+    "MWPM_LATENCY",
+    "NEURAL_NET_LATENCY",
+    "UNION_FIND_LATENCY",
+    "StreamingExecutor",
+    "StreamingResult",
+]

@@ -1,0 +1,177 @@
+"""The decoding-backlog model (paper section III, Fig. 5).
+
+Syndrome data is generated at rate ``r_gen`` whenever the machine is on;
+the decoder processes it at ``r_proc``.  A T gate cannot execute until
+every syndrome generated before it has been decoded (errors commute past
+Clifford gates but not past T gates).  With the decoding ratio
+``f = r_gen / r_proc > 1`` the wait at the k-th T gate grows as ``f^k`` —
+the exponential latency overhead that motivates the hardware decoder.
+
+The recurrence implemented here is the paper's proof sketch: reaching a
+T gate at wall time ``t`` requires ``r_gen * t`` rounds decoded, which the
+(continuously busy) decoder finishes at ``(r_gen / r_proc) * t``, so the
+wall clock multiplies by ``f`` at every T gate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..circuits.gates import QCircuit, T_GATES
+
+
+@dataclass(frozen=True)
+class BacklogParameters:
+    """Timing of the generation/decoding race.
+
+    ``syndrome_cycle_ns`` is one round of syndrome generation (the paper
+    assumes 160-800 ns for superconducting devices, 400 ns typical);
+    ``decode_time_ns`` is the decoder's time per round.
+    """
+
+    syndrome_cycle_ns: float = 400.0
+    decode_time_ns: float = 800.0
+    #: logical gate duration in syndrome cycles (1 in the paper's model)
+    cycles_per_gate: float = 1.0
+
+    @property
+    def f_ratio(self) -> float:
+        """The decoding ratio ``f = r_gen / r_proc``."""
+        return self.decode_time_ns / self.syndrome_cycle_ns
+
+    @property
+    def gate_time_ns(self) -> float:
+        return self.cycles_per_gate * self.syndrome_cycle_ns
+
+    def with_ratio(self, f: float) -> "BacklogParameters":
+        """Same generation timing, decoder scaled to the given ratio."""
+        return BacklogParameters(
+            syndrome_cycle_ns=self.syndrome_cycle_ns,
+            decode_time_ns=f * self.syndrome_cycle_ns,
+            cycles_per_gate=self.cycles_per_gate,
+        )
+
+
+@dataclass
+class ExecutionTrace:
+    """Wall-clock vs compute-time staircase (the data behind Fig. 5)."""
+
+    compute_time_ns: List[float] = field(default_factory=list)
+    wall_time_ns: List[float] = field(default_factory=list)
+    stall_ns: List[float] = field(default_factory=list)
+
+    def record(self, compute: float, wall: float, stall: float) -> None:
+        self.compute_time_ns.append(compute)
+        self.wall_time_ns.append(wall)
+        self.stall_ns.append(stall)
+
+
+@dataclass
+class BacklogResult:
+    """Outcome of executing a program under the backlog model."""
+
+    params: BacklogParameters
+    n_gates: int
+    n_t_gates: int
+    compute_time_ns: float
+    wall_time_ns: float
+    trace: Optional[ExecutionTrace] = None
+
+    @property
+    def overhead(self) -> float:
+        if self.compute_time_ns == 0:
+            return 1.0
+        return self.wall_time_ns / self.compute_time_ns
+
+    @property
+    def saturated(self) -> bool:
+        return math.isinf(self.wall_time_ns)
+
+
+def t_gate_prefix_counts(circuit: QCircuit) -> List[int]:
+    """Number of gates preceding each T gate (program positions)."""
+    return [i for i, g in enumerate(circuit.gates) if g.name in T_GATES]
+
+
+def simulate_backlog(
+    n_gates: int,
+    t_positions: Sequence[int],
+    params: BacklogParameters,
+    keep_trace: bool = False,
+) -> BacklogResult:
+    """Execute an ``n_gates`` program with T gates at ``t_positions``.
+
+    Non-T gates advance the wall clock by one gate time; each T gate first
+    stalls until the decoder catches up with everything generated so far.
+    Wall times saturate to ``inf`` beyond float range (the paper's point:
+    the program effectively never finishes).
+    """
+    f = params.f_ratio
+    gate_ns = params.gate_time_ns
+    t_set = set(t_positions)
+    if any(pos >= n_gates or pos < 0 for pos in t_set):
+        raise ValueError("T-gate position outside program")
+    wall = 0.0
+    compute = 0.0
+    trace = ExecutionTrace() if keep_trace else None
+    previous = 0
+    for pos in sorted(t_set):
+        # run the Clifford gates before this T gate
+        span = pos - previous
+        wall += span * gate_ns
+        compute += span * gate_ns
+        # stall until all syndromes generated so far are decoded
+        ready_at = f * wall
+        stall = max(0.0, ready_at - wall)
+        wall += stall
+        # execute the T gate itself
+        wall += gate_ns
+        compute += gate_ns
+        previous = pos + 1
+        if trace is not None:
+            trace.record(compute, wall, stall)
+        if math.isinf(wall):
+            break
+    tail = n_gates - previous
+    if not math.isinf(wall):
+        wall += tail * gate_ns
+    compute += tail * gate_ns
+    return BacklogResult(
+        params=params,
+        n_gates=n_gates,
+        n_t_gates=len(t_set),
+        compute_time_ns=compute,
+        wall_time_ns=wall,
+        trace=trace,
+    )
+
+
+def simulate_circuit_backlog(
+    circuit: QCircuit, params: BacklogParameters, keep_trace: bool = False
+) -> BacklogResult:
+    """Backlog execution of a compiled Clifford+T circuit."""
+    return simulate_backlog(
+        circuit.total_gates, circuit.t_gate_positions(), params, keep_trace
+    )
+
+
+def overhead_factor(f: float, k: int) -> float:
+    """Analytic wall-clock blow-up after ``k`` T gates: ``max(1, f)^k``.
+
+    Returned in linear scale, saturating to ``inf``; use
+    :func:`log10_overhead_factor` for plotting.
+    """
+    if f <= 1.0:
+        return 1.0
+    try:
+        return f ** k
+    except OverflowError:
+        return float("inf")
+
+
+def log10_overhead_factor(f: float, k: int) -> float:
+    if f <= 1.0:
+        return 0.0
+    return k * math.log10(f)

@@ -1,0 +1,127 @@
+"""Execution-time analysis of the Table I benchmarks (paper Fig. 6).
+
+Runs every benchmark circuit through the backlog model across a grid of
+syndrome-processing ratios ``f = r_gen / r_proc`` and reports total
+running time.  Curves bend from flat (f <= 1: wall clock = compute time)
+to exponential (f > 1), with the knee exactly at ratio 1 — the paper's
+central systems argument.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.catalog import BenchmarkEntry, benchmark_suite
+from ..circuits.decompose import decompose_toffolis
+from .backlog import BacklogParameters, BacklogResult, simulate_circuit_backlog
+
+
+@dataclass
+class RuntimeCurve:
+    """Running time of one benchmark across processing ratios."""
+
+    benchmark: str
+    n_t_gates: int
+    ratios: List[float]
+    wall_seconds: List[float]
+
+    def log10_seconds(self) -> List[float]:
+        return [
+            math.log10(w) if 0 < w < float("inf") else float("inf")
+            for w in self.wall_seconds
+        ]
+
+
+@dataclass
+class RuntimeStudy:
+    """Fig. 6 dataset: one curve per Table I benchmark."""
+
+    syndrome_cycle_ns: float
+    curves: List[RuntimeCurve]
+
+    def table(self) -> str:
+        ratios = self.curves[0].ratios
+        header = f"{'f ratio':>8} " + " ".join(
+            f"{c.benchmark[:16]:>18}" for c in self.curves
+        )
+        lines = [header]
+        for i, f in enumerate(ratios):
+            cells = []
+            for curve in self.curves:
+                w = curve.wall_seconds[i]
+                cells.append(f"{w:>18.3e}" if math.isfinite(w) else f"{'inf':>18}")
+            lines.append(f"{f:>8.2f} " + " ".join(cells))
+        return "\n".join(lines)
+
+
+def default_ratio_grid() -> List[float]:
+    """Fig. 6 x-axis: ratios from well below 1 to 2."""
+    return [round(f, 3) for f in np.linspace(0.25, 2.0, 15)]
+
+
+def run_benchmark_study(
+    ratios: Optional[Sequence[float]] = None,
+    syndrome_cycle_ns: float = 400.0,
+    entries: Optional[List[BenchmarkEntry]] = None,
+) -> RuntimeStudy:
+    """Execute every benchmark across the ratio grid."""
+    ratios = list(ratios or default_ratio_grid())
+    entries = entries or benchmark_suite()
+    curves = []
+    for entry in entries:
+        compiled = decompose_toffolis(entry.circuit)
+        walls = []
+        for f in ratios:
+            params = BacklogParameters(
+                syndrome_cycle_ns=syndrome_cycle_ns,
+                decode_time_ns=f * syndrome_cycle_ns,
+            )
+            result = simulate_circuit_backlog(compiled, params)
+            walls.append(result.wall_time_ns * 1e-9)
+        curves.append(
+            RuntimeCurve(
+                benchmark=entry.name,
+                n_t_gates=compiled.t_count,
+                ratios=ratios,
+                wall_seconds=walls,
+            )
+        )
+    return RuntimeStudy(syndrome_cycle_ns=syndrome_cycle_ns, curves=curves)
+
+
+def mcnot_example(
+    f: float = 2.0, syndrome_cycle_ns: float = 400.0
+) -> Dict[str, float]:
+    """The section III worked example: a 100-qubit multiply-controlled NOT.
+
+    "~2356 gates, of which 686 are T gates ... the execution time is
+    approximately 10^196 seconds" — reproduced from the same recurrence.
+    """
+    n_gates, k = 2356, 686
+    positions = np.linspace(0, n_gates - 1, k).astype(int).tolist()
+    params = BacklogParameters(
+        syndrome_cycle_ns=syndrome_cycle_ns,
+        decode_time_ns=f * syndrome_cycle_ns,
+    )
+    result = simulate_backlog_positions(n_gates, positions, params)
+    log10_seconds = (
+        math.log10(result.wall_time_ns) - 9
+        if math.isfinite(result.wall_time_ns)
+        else k * math.log10(f)  # saturated: analytic form
+    )
+    return {
+        "n_gates": n_gates,
+        "t_gates": k,
+        "f": f,
+        "log10_wall_seconds": log10_seconds,
+    }
+
+
+def simulate_backlog_positions(n_gates, positions, params) -> BacklogResult:
+    from .backlog import simulate_backlog
+
+    return simulate_backlog(n_gates, positions, params)

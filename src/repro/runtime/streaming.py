@@ -1,0 +1,153 @@
+"""Event-driven streaming execution with stochastic decode latencies.
+
+The closed-form backlog model of :mod:`repro.runtime.backlog` assumes a
+constant decode rate.  Real decoders — the SFQ mesh included — have a
+*distribution* of solution times (Table IV / Fig. 10(c)), so this module
+simulates the decoder as a single-server queue fed one syndrome round per
+cycle, with per-round service times sampled from an empirical or constant
+latency model.  T gates are synchronization barriers: they execute only
+once every round generated before them has been decoded.
+
+This is an extension beyond the paper's analytical treatment; it shows
+the paper's conclusion is robust to latency variance: the mesh decoder's
+*worst-case* time is far below the generation interval, so its queue
+never builds, while any decoder whose *mean* exceeds the interval
+diverges exactly as the closed form predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..circuits.gates import QCircuit
+from .latency import ConstantLatency, EmpiricalLatency
+
+LatencyModel = Union[ConstantLatency, EmpiricalLatency]
+
+
+@dataclass
+class StreamingResult:
+    """Outcome of a streaming execution."""
+
+    wall_time_ns: float
+    compute_time_ns: float
+    total_rounds: int
+    max_queue_depth: int
+    total_stall_ns: float
+    diverged: bool = False
+
+    @property
+    def overhead(self) -> float:
+        if self.compute_time_ns == 0:
+            return 1.0
+        return self.wall_time_ns / self.compute_time_ns
+
+
+@dataclass
+class StreamingExecutor:
+    """Single-server decode queue driven by a gate stream.
+
+    Parameters
+    ----------
+    latency:
+        Per-round decode-time model; empirical models are resampled with
+        ``rng`` per round.
+    syndrome_cycle_ns:
+        Interval between generated syndrome rounds (one per gate time).
+    queue_limit:
+        Declare divergence when the backlog exceeds this depth (the
+        queue is then growing without bound for the remaining program).
+    """
+
+    latency: LatencyModel
+    syndrome_cycle_ns: float = 400.0
+    queue_limit: int = 200_000
+    rng: Optional[np.random.Generator] = None
+
+    def _service_time(self) -> float:
+        if isinstance(self.latency, EmpiricalLatency):
+            rng = self.rng or np.random.default_rng()
+            return float(rng.choice(self.latency.samples_ns))
+        return self.latency.decode_time_ns
+
+    def run(
+        self, n_gates: int, t_positions: Sequence[int]
+    ) -> StreamingResult:
+        """Execute ``n_gates`` with T gates at ``t_positions``."""
+        t_set = set(t_positions)
+        if any(pos < 0 or pos >= n_gates for pos in t_set):
+            raise ValueError("T-gate position outside program")
+        cycle = self.syndrome_cycle_ns
+        wall = 0.0
+        decoder_free_at = 0.0  # when the server finishes its current item
+        pending: List[float] = []  # generation times of undecoded rounds
+        decoded_through = 0.0  # finish time of the last decoded round
+        max_queue = 0
+        stall_total = 0.0
+        for gate_index in range(n_gates):
+            # one round of syndromes is generated during this gate
+            wall += cycle
+            pending.append(wall)
+            # serve everything the decoder can finish by 'wall'
+            decoder_free_at, decoded_through = self._drain(
+                pending, decoder_free_at, wall, decoded_through
+            )
+            max_queue = max(max_queue, len(pending))
+            if len(pending) > self.queue_limit:
+                return StreamingResult(
+                    wall_time_ns=float("inf"),
+                    compute_time_ns=n_gates * cycle,
+                    total_rounds=n_gates,
+                    max_queue_depth=len(pending),
+                    total_stall_ns=float("inf"),
+                    diverged=True,
+                )
+            if gate_index in t_set:
+                # synchronize: decode everything generated so far
+                while pending:
+                    decoder_free_at, decoded_through = self._drain(
+                        pending, decoder_free_at, float("inf"), decoded_through
+                    )
+                stall = max(0.0, decoded_through - wall)
+                stall_total += stall
+                # syndrome generation continues while the machine idles —
+                # the key compounding mechanism of the paper's section III
+                extra_rounds = int(stall // cycle)
+                for k in range(1, extra_rounds + 1):
+                    pending.append(wall + k * cycle)
+                wall += stall
+                if len(pending) > self.queue_limit:
+                    return StreamingResult(
+                        wall_time_ns=float("inf"),
+                        compute_time_ns=n_gates * cycle,
+                        total_rounds=n_gates,
+                        max_queue_depth=len(pending),
+                        total_stall_ns=float("inf"),
+                        diverged=True,
+                    )
+        return StreamingResult(
+            wall_time_ns=wall,
+            compute_time_ns=n_gates * cycle,
+            total_rounds=n_gates,
+            max_queue_depth=max_queue,
+            total_stall_ns=stall_total,
+            diverged=False,
+        )
+
+    def _drain(self, pending, decoder_free_at, now, decoded_through):
+        """Serve queued rounds whose service completes by ``now``."""
+        while pending:
+            start = max(decoder_free_at, pending[0])
+            finish = start + self._service_time()
+            if finish > now:
+                break
+            pending.pop(0)
+            decoder_free_at = finish
+            decoded_through = finish
+        return decoder_free_at, decoded_through
+
+    def run_circuit(self, circuit: QCircuit) -> StreamingResult:
+        return self.run(circuit.total_gates, circuit.t_gate_positions())

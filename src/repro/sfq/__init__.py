@@ -1,0 +1,75 @@
+"""SFQ hardware model: cells, netlists, synthesis, simulation, budgets."""
+
+from .cells import LIBRARY, PAPER_CLOCK_GHZ, SFQCell, get_cell, library_table
+from .characterize import (
+    PAPER_TABLE3,
+    CircuitReport,
+    ModuleCharacterization,
+    characterize_module,
+    distances_to_modules,
+    mesh_totals,
+    paper_mesh_totals,
+)
+from .module_circuits import (
+    all_subcircuits,
+    build_decoder_module,
+    build_grant_relay_subcircuit,
+    build_grow_subcircuit,
+    build_pair_grant_subcircuit,
+    build_pair_req_subcircuit,
+    build_pair_subcircuit,
+    build_reset_keep_subcircuit,
+)
+from .netlist import GateInst, Netlist, NetlistBuilder, StateElement
+from .refrigerator import (
+    CryostatBudget,
+    MeshCapacity,
+    capacity_for_edge,
+    max_mesh_edge,
+    paper_d9_rollup,
+    plan_mesh,
+)
+from .simulator import (
+    ClockedSimulator,
+    WavePipelineSimulator,
+    exhaustive_equivalence,
+)
+from .synthesis import SynthesisResult, synthesize
+
+__all__ = [
+    "LIBRARY",
+    "PAPER_CLOCK_GHZ",
+    "SFQCell",
+    "get_cell",
+    "library_table",
+    "PAPER_TABLE3",
+    "CircuitReport",
+    "ModuleCharacterization",
+    "characterize_module",
+    "distances_to_modules",
+    "mesh_totals",
+    "paper_mesh_totals",
+    "all_subcircuits",
+    "build_decoder_module",
+    "build_grant_relay_subcircuit",
+    "build_grow_subcircuit",
+    "build_pair_grant_subcircuit",
+    "build_pair_req_subcircuit",
+    "build_pair_subcircuit",
+    "build_reset_keep_subcircuit",
+    "GateInst",
+    "Netlist",
+    "NetlistBuilder",
+    "StateElement",
+    "CryostatBudget",
+    "MeshCapacity",
+    "capacity_for_edge",
+    "max_mesh_edge",
+    "paper_d9_rollup",
+    "plan_mesh",
+    "ClockedSimulator",
+    "WavePipelineSimulator",
+    "exhaustive_equivalence",
+    "SynthesisResult",
+    "synthesize",
+]

@@ -1,0 +1,154 @@
+"""Area / power / latency characterization of the decoder module (Table III).
+
+Synthesizes every subcircuit of the decoder module with the path-balancing
+mapper and reports the Table III metrics, plus the paper's published
+numbers for side-by-side comparison in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .cells import PAPER_CLOCK_GHZ
+from .module_circuits import all_subcircuits
+from .synthesis import SynthesisResult, synthesize
+
+#: Table III rows as published (for comparison columns).
+PAPER_TABLE3 = {
+    "pair_grant": {"depth": 5, "latency_ps": 85.60, "area_um2": 338520, "power_uw": 3.38},
+    "pair": {"depth": 5, "latency_ps": 96.00, "area_um2": 347760, "power_uw": 3.51},
+    "pair_req_grow": {"depth": 5, "latency_ps": 96.00, "area_um2": 447720, "power_uw": 4.55},
+    "full_module": {"depth": 6, "latency_ps": 162.72, "area_um2": 1279320, "power_uw": 13.08},
+}
+
+
+@dataclass
+class CircuitReport:
+    """Characterization of one synthesized circuit."""
+
+    name: str
+    logic_depth: int
+    latency_ps: float
+    area_um2: float
+    jj_count: int
+    power_paper_uw: float
+    power_jj_uw: float
+    gate_count: int
+    dff_count: int
+    cells: Dict[str, int]
+    splitter_count: int = 0
+    jj_count_with_splitters: int = 0
+
+    @classmethod
+    def from_synthesis(cls, name: str, synth: SynthesisResult) -> "CircuitReport":
+        return cls(
+            name=name,
+            logic_depth=synth.depth,
+            latency_ps=synth.latency_ps,
+            area_um2=synth.area_um2,
+            jj_count=synth.jj_count,
+            power_paper_uw=synth.power_uw("paper"),
+            power_jj_uw=synth.power_uw("jj"),
+            gate_count=synth.logic_gate_count,
+            dff_count=synth.total_dffs,
+            cells=synth.cell_census(),
+            splitter_count=synth.splitter_count,
+            jj_count_with_splitters=synth.jj_count_with_splitters,
+        )
+
+
+@dataclass
+class ModuleCharacterization:
+    """All subcircuit reports plus the full-module roll-up."""
+
+    reports: Dict[str, CircuitReport]
+
+    @property
+    def full_module(self) -> CircuitReport:
+        return self.reports["full_module"]
+
+    @property
+    def cycle_time_ps(self) -> float:
+        """Mesh clock period: the full module's pipeline latency."""
+        return self.full_module.latency_ps
+
+    @property
+    def clock_ghz(self) -> float:
+        return 1000.0 / self.cycle_time_ps
+
+    def table(self, compare: bool = True) -> str:
+        """Render a Table III equivalent (optionally with paper columns)."""
+        header = (
+            f"{'Circuit':<18} {'Depth':>5} {'Latency(ps)':>12} "
+            f"{'Area(um^2)':>11} {'JJs':>6} {'P_paper(uW)':>12} {'P_jj(uW)':>9}"
+        )
+        lines = [header]
+        order = [
+            "grow", "pair_req", "pair_grant", "grant_relay", "pair",
+            "reset_keep", "full_module",
+        ]
+        for name in order:
+            r = self.reports[name]
+            lines.append(
+                f"{r.name:<18} {r.logic_depth:>5d} {r.latency_ps:>12.2f} "
+                f"{r.area_um2:>11.0f} {r.jj_count:>6d} "
+                f"{r.power_paper_uw:>12.3f} {r.power_jj_uw:>9.3f}"
+            )
+        if compare:
+            lines.append("")
+            lines.append("Paper Table III (published):")
+            for name, row in PAPER_TABLE3.items():
+                lines.append(
+                    f"{name:<18} {row['depth']:>5d} {row['latency_ps']:>12.2f} "
+                    f"{row['area_um2']:>11.0f} {'-':>6} {row['power_uw']:>12.3f}"
+                )
+        return "\n".join(lines)
+
+
+def characterize_module(clock_ghz: Optional[float] = None) -> ModuleCharacterization:
+    """Synthesize and characterize every decoder-module circuit."""
+    del clock_ghz  # power uses the paper clock; kept for API symmetry
+    reports = {}
+    for name, netlist in all_subcircuits().items():
+        synth = synthesize(netlist)
+        reports[name] = CircuitReport.from_synthesis(name, synth)
+    return ModuleCharacterization(reports)
+
+
+def mesh_totals(report: CircuitReport, n_modules: int) -> Dict[str, float]:
+    """Mesh-level roll-up: one module per physical qubit (section VIII)."""
+    return {
+        "modules": float(n_modules),
+        "area_mm2": report.area_um2 * n_modules / 1e6,
+        "power_mw_paper": report.power_paper_uw * n_modules / 1e3,
+        "power_mw_jj": report.power_jj_uw * n_modules / 1e3,
+        "jj_count": float(report.jj_count * n_modules),
+    }
+
+
+def paper_mesh_totals(n_modules: int) -> Dict[str, float]:
+    """Same roll-up using the paper's published per-module numbers."""
+    row = PAPER_TABLE3["full_module"]
+    return {
+        "modules": float(n_modules),
+        "area_mm2": row["area_um2"] * n_modules / 1e6,
+        "power_mw_paper": row["power_uw"] * n_modules / 1e3,
+    }
+
+
+def distances_to_modules(d: int) -> int:
+    """Module count for one code-distance-``d`` patch: (2d-1)^2."""
+    return (2 * d - 1) ** 2
+
+
+__all__ = [
+    "PAPER_TABLE3",
+    "PAPER_CLOCK_GHZ",
+    "CircuitReport",
+    "ModuleCharacterization",
+    "characterize_module",
+    "mesh_totals",
+    "paper_mesh_totals",
+    "distances_to_modules",
+]

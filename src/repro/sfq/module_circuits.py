@@ -1,0 +1,455 @@
+"""Gate-level netlists of the decoder-module subcircuits (paper Fig. 9).
+
+Each function builds one of the five subcircuits of the decoder module —
+Grow, Pair-Request, Pair-Grant, Pair and Reset-keep — out of the ERSFQ
+cell library, implementing exactly the boolean behaviour of the batched
+mesh automaton (:mod:`repro.decoders.sfq_mesh`).  Reference ``*_spec``
+functions mirror the same equations in plain Python; the test suite
+verifies netlist-vs-spec equivalence exhaustively over the input space.
+
+Port conventions: ``*_from_{n,e,s,w}`` inputs name the neighbour side the
+pulse arrives from; ``*_out_{n,e,s,w}`` outputs name the side it leaves
+through.  A relayed pulse entering from side ``x`` exits through the
+opposite side; a response (request/grant/pair sent back toward a source)
+exits through the side it arrived from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from .netlist import Netlist, NetlistBuilder
+
+DIRS = ("n", "e", "s", "w")
+_OPPOSITE = {"n": "s", "s": "n", "e": "w", "w": "e"}
+
+
+def opposite(direction: str) -> str:
+    return _OPPOSITE[direction]
+
+
+# ----------------------------------------------------------------------
+# Shared emission-choice logic (effective rule + two-direction priority)
+# ----------------------------------------------------------------------
+def _emit_choice(b: NetlistBuilder, rf: Mapping[str, str], enable: str) -> Dict[str, str]:
+    """Emission nets for the crossing rule, gated by ``enable``.
+
+    Effective iff a stream arrives from the North (paired with W > E > S by
+    priority) or the crossing is head-on East+West.
+    """
+    not_w = b.not_(rf["w"])
+    not_e = b.not_(rf["e"])
+    others = b.or2(b.or2(rf["e"], rf["w"]), rf["s"])
+    has_n = b.and2(rf["n"], b.and2(others, enable))
+    ew = b.and2(b.and2(rf["e"], rf["w"]), b.and2(b.not_(rf["n"]), enable))
+    to_w = b.or2(b.and2(has_n, rf["w"]), ew)
+    to_e = b.or2(b.and2(has_n, b.and2(not_w, rf["e"])), ew)
+    to_s = b.and2(has_n, b.and2(b.and2(not_w, not_e), rf["s"]))
+    return {"n": has_n, "e": to_e, "s": to_s, "w": to_w}
+
+
+def _emit_choice_spec(rf: Mapping[str, int], enable: int) -> Dict[str, int]:
+    others = rf["e"] | rf["w"] | rf["s"]
+    has_n = rf["n"] & others & enable
+    ew = rf["e"] & rf["w"] & (1 - rf["n"]) & enable
+    return {
+        "n": has_n,
+        "w": (has_n & rf["w"]) | ew,
+        "e": (has_n & (1 - rf["w"]) & rf["e"]) | ew,
+        "s": has_n & (1 - rf["w"]) & (1 - rf["e"]) & rf["s"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Grow subcircuit
+# ----------------------------------------------------------------------
+def build_grow_subcircuit() -> Netlist:
+    """Grow stream latches: latch (in | hot), re-emit every cycle.
+
+    ``grow_out_d = latch_d``;
+    ``latch_d' = (latch_d | ((grow_from_opp(d) | hot) & ~block)) & ~reset``.
+    """
+    b = NetlistBuilder("grow_subcircuit")
+    b.input("hot", "block", "reset")
+    for d in DIRS:
+        b.input(f"grow_from_{d}")
+    not_block = b.not_("block")
+    not_reset = b.not_("reset")
+    for d in DIRS:
+        q = b.state(f"grow_latch_{d}", d_net="")  # placeholder, fixed below
+        incoming = b.or2(f"grow_from_{opposite(d)}", "hot")
+        gated = b.and2(incoming, not_block)
+        held = b.or2(q, gated)
+        nxt = b.and2(held, not_reset)
+        b.netlist.state[-1].d = nxt
+        b.mark_output(f"grow_out_{d}", q)
+    return b.build()
+
+
+def grow_spec(inputs: Mapping[str, int], state: Mapping[str, int]) -> Tuple[Dict[str, int], Dict[str, int]]:
+    outputs, next_state = {}, {}
+    for d in DIRS:
+        q = state.get(f"grow_latch_{d}", 0)
+        gated = (inputs[f"grow_from_{opposite(d)}"] | inputs["hot"]) & (
+            1 - inputs["block"]
+        )
+        next_state[f"grow_latch_{d}"] = (q | gated) & (1 - inputs["reset"])
+        outputs[f"grow_out_{d}"] = q
+    return outputs, next_state
+
+
+# ----------------------------------------------------------------------
+# Pair-request subcircuit
+# ----------------------------------------------------------------------
+def build_pair_req_subcircuit() -> Netlist:
+    """Request emission at grow crossings plus straight-line relay.
+
+    ``req_out_d = (emit_d | (req_from_opp(d) & ~hot)) & ~block`` where the
+    emission directions follow the effective-corner rule over the grow
+    arrival sides and are suppressed at hot modules.
+    """
+    b = NetlistBuilder("pair_req_subcircuit")
+    b.input("hot", "block")
+    for d in DIRS:
+        b.input(f"grow_from_{d}")
+        b.input(f"req_from_{d}")
+    not_hot = b.not_("hot")
+    not_block = b.not_("block")
+    rf = {d: f"grow_from_{d}" for d in DIRS}
+    emit = _emit_choice(b, rf, enable=not_hot)
+    for d in DIRS:
+        relay = b.and2(f"req_from_{opposite(d)}", not_hot)
+        out = b.and2(b.or2(emit[d], relay), not_block)
+        b.mark_output(f"req_out_{d}", out)
+    return b.build()
+
+
+def pair_req_spec(inputs: Mapping[str, int]) -> Dict[str, int]:
+    not_hot = 1 - inputs["hot"]
+    rf = {d: inputs[f"grow_from_{d}"] for d in DIRS}
+    emit = _emit_choice_spec(rf, enable=not_hot)
+    out = {}
+    for d in DIRS:
+        relay = inputs[f"req_from_{opposite(d)}"] & not_hot
+        out[f"req_out_{d}"] = (emit[d] | relay) & (1 - inputs["block"])
+    return out
+
+
+# ----------------------------------------------------------------------
+# Pair-grant subcircuit
+# ----------------------------------------------------------------------
+def build_pair_grant_subcircuit() -> Netlist:
+    """Grant-direction lock at hot modules plus grant-stream relay.
+
+    A hot module locks onto the first request arrival side (one-hot state,
+    priority N > E > S > W on simultaneous arrivals; the mesh simulation's
+    rotating priority models post-watchdog jitter, which hardware gets for
+    free from analog timing).  While locked it emits a grant through the
+    locked side each cycle.  Non-hot modules relay grants straight unless
+    the pair subcircuit has fired here (``fired`` input consumes streams).
+    """
+    b = NetlistBuilder("pair_grant_subcircuit")
+    b.input("hot", "block", "reset", "fired")
+    for d in DIRS:
+        b.input(f"req_from_{d}")
+    not_reset = b.not_("reset")
+    not_block = b.not_("block")
+    not_hot = b.not_("hot")
+    not_fired = b.not_("fired")
+    # one-hot priority pick among request arrivals
+    pick = {
+        "n": "req_from_n",
+        "e": b.and2("req_from_e", b.not_("req_from_n")),
+        "s": b.and2(
+            "req_from_s", b.not_(b.or2("req_from_n", "req_from_e"))
+        ),
+        "w": b.and2(
+            "req_from_w",
+            b.not_(b.or2(b.or2("req_from_n", "req_from_e"), "req_from_s")),
+        ),
+    }
+    locks = {}
+    for d in DIRS:
+        q = b.state(f"lock_{d}", d_net="")
+        locks[d] = q
+    any_lock = b.or_tree(list(locks.values()))
+    unlocked = b.not_(any_lock)
+    acquire = b.and2(b.and2("hot", unlocked), not_block)
+    for i, d in enumerate(DIRS):
+        taken = b.and2(acquire, pick[d])
+        nxt = b.and2(b.or2(locks[d], taken), not_reset)
+        b.netlist.state[i].d = nxt
+    del not_hot  # relaying lives in the grant-relay subcircuit
+    for d in DIRS:
+        emit = b.and2(locks[d], b.and2("hot", not_block))
+        b.mark_output(f"grant_out_{d}", emit)
+    return b.build()
+
+
+def build_grant_relay_subcircuit() -> Netlist:
+    """Grant relay for non-hot modules (split out for clarity).
+
+    ``grant_out_d = grant_from_opp(d) & ~hot & ~fired & ~block``.
+    """
+    b = NetlistBuilder("grant_relay_subcircuit")
+    b.input("hot", "block", "fired")
+    for d in DIRS:
+        b.input(f"grant_from_{d}")
+    pass_ok = b.and2(
+        b.and2(b.not_("hot"), b.not_("fired")), b.not_("block")
+    )
+    for d in DIRS:
+        b.mark_output(f"grant_out_{d}", b.and2(f"grant_from_{opposite(d)}", pass_ok))
+    return b.build()
+
+
+def pair_grant_spec(
+    inputs: Mapping[str, int], state: Mapping[str, int]
+) -> Tuple[Dict[str, int], Dict[str, int]]:
+    req = {d: inputs[f"req_from_{d}"] for d in DIRS}
+    pick = {
+        "n": req["n"],
+        "e": req["e"] & (1 - req["n"]),
+        "s": req["s"] & (1 - req["n"]) & (1 - req["e"]),
+        "w": req["w"] & (1 - req["n"]) & (1 - req["e"]) & (1 - req["s"]),
+    }
+    locks = {d: state.get(f"lock_{d}", 0) for d in DIRS}
+    unlocked = 1 - (locks["n"] | locks["e"] | locks["s"] | locks["w"])
+    acquire = inputs["hot"] & unlocked & (1 - inputs["block"])
+    outputs, next_state = {}, {}
+    for d in DIRS:
+        taken = acquire & pick[d]
+        next_state[f"lock_{d}"] = (locks[d] | taken) & (1 - inputs["reset"])
+        outputs[f"grant_out_{d}"] = locks[d] & inputs["hot"] & (1 - inputs["block"])
+    return outputs, next_state
+
+
+def grant_relay_spec(inputs: Mapping[str, int]) -> Dict[str, int]:
+    pass_ok = (
+        (1 - inputs["hot"]) & (1 - inputs["fired"]) & (1 - inputs["block"])
+    )
+    return {
+        f"grant_out_{d}": inputs[f"grant_from_{opposite(d)}"] & pass_ok
+        for d in DIRS
+    }
+
+
+# ----------------------------------------------------------------------
+# Pair subcircuit
+# ----------------------------------------------------------------------
+def build_pair_subcircuit() -> Netlist:
+    """Pair firing at grant meetings, pair relay, chain toggle, reset raise.
+
+    Pair relay and the error toggle ignore ``block`` (the section VI-B
+    carve-out); the fire detector is blocked like the rest of the module.
+    """
+    b = NetlistBuilder("pair_subcircuit")
+    b.input("hot", "block", "reset")
+    for d in DIRS:
+        b.input(f"grant_from_{d}")
+        b.input(f"pair_from_{d}")
+    not_reset = b.not_("reset")
+    not_hot = b.not_("hot")
+    fired_q = b.state("fired", d_net="")
+    error_q = b.state("error", d_net="")
+    enable = b.and2(b.and2(not_hot, b.not_(fired_q)), b.not_("block"))
+    rf = {d: f"grant_from_{d}" for d in DIRS}
+    emit = _emit_choice(b, rf, enable=enable)
+    fire = b.or_tree(list(emit.values()))
+    # pair outputs: fire emission back toward grant sources, plus relay
+    for d in DIRS:
+        relay = b.and2(f"pair_from_{opposite(d)}", not_hot)
+        b.mark_output(f"pair_out_{d}", b.or2(emit[d], relay))
+    # chain toggle: parity of pair visits plus the fire event itself
+    visit = b.xor2(
+        b.xor2("pair_from_n", "pair_from_e"), b.xor2("pair_from_s", "pair_from_w")
+    )
+    toggled = b.xor2(error_q, b.xor2(visit, fire))
+    b.netlist.state[1].d = toggled  # error latch survives reset
+    fired_next = b.and2(b.or2(fired_q, fire), not_reset)
+    b.netlist.state[0].d = fired_next
+    # endpoint detection: a pair arriving at a hot module
+    any_pair = b.or_tree([f"pair_from_{d}" for d in DIRS])
+    endpoint = b.and2(any_pair, "hot")
+    b.mark_output("reset_out", endpoint)
+    b.mark_output("hot_clear", endpoint)
+    b.mark_output("error_out", error_q)
+    return b.build()
+
+
+def pair_spec(
+    inputs: Mapping[str, int], state: Mapping[str, int]
+) -> Tuple[Dict[str, int], Dict[str, int]]:
+    fired = state.get("fired", 0)
+    error = state.get("error", 0)
+    enable = (1 - inputs["hot"]) & (1 - fired) & (1 - inputs["block"])
+    rf = {d: inputs[f"grant_from_{d}"] for d in DIRS}
+    emit = _emit_choice_spec(rf, enable=enable)
+    fire = emit["n"] | emit["e"] | emit["s"] | emit["w"]
+    outputs = {}
+    for d in DIRS:
+        relay = inputs[f"pair_from_{opposite(d)}"] & (1 - inputs["hot"])
+        outputs[f"pair_out_{d}"] = emit[d] | relay
+    visit = (
+        inputs["pair_from_n"]
+        ^ inputs["pair_from_e"]
+        ^ inputs["pair_from_s"]
+        ^ inputs["pair_from_w"]
+    )
+    any_pair = (
+        inputs["pair_from_n"]
+        | inputs["pair_from_e"]
+        | inputs["pair_from_s"]
+        | inputs["pair_from_w"]
+    )
+    endpoint = any_pair & inputs["hot"]
+    outputs["reset_out"] = endpoint
+    outputs["hot_clear"] = endpoint
+    outputs["error_out"] = error
+    next_state = {
+        "fired": (fired | fire) & (1 - inputs["reset"]),
+        "error": error ^ visit ^ fire,
+    }
+    return outputs, next_state
+
+
+# ----------------------------------------------------------------------
+# Reset-keep subcircuit
+# ----------------------------------------------------------------------
+def build_reset_keep_subcircuit(depth: int = 5) -> Netlist:
+    """Hold the reset/block signal for ``depth`` cycles (paper section VI-A).
+
+    A chain of ``depth`` cascaded DFF buffers; the block output is the OR
+    of the incoming reset and every stage, so inputs stay blocked for as
+    many cycles as the module's logical depth.
+    """
+    b = NetlistBuilder("reset_keep_subcircuit")
+    b.input("reset_in")
+    taps: List[str] = ["reset_in"]
+    previous = "reset_in"
+    for i in range(depth):
+        q = b.state(f"hold_{i}", d_net=previous)
+        taps.append(q)
+        previous = q
+    b.mark_output("block", b.or_tree(taps))
+    return b.build()
+
+
+def reset_keep_spec(
+    inputs: Mapping[str, int], state: Mapping[str, int], depth: int = 5
+) -> Tuple[Dict[str, int], Dict[str, int]]:
+    taps = [inputs["reset_in"]] + [state.get(f"hold_{i}", 0) for i in range(depth)]
+    block = 0
+    for tap in taps:
+        block |= tap
+    next_state = {"hold_0": inputs["reset_in"]}
+    for i in range(1, depth):
+        next_state[f"hold_{i}"] = state.get(f"hold_{i - 1}", 0)
+    return {"block": block}, next_state
+
+
+# ----------------------------------------------------------------------
+# Full decoder module
+# ----------------------------------------------------------------------
+def build_decoder_module() -> Netlist:
+    """The complete decoder module of Fig. 9, all subcircuits composed.
+
+    Shares the hot-syndrome latch, the reset-keep block signal and the
+    per-side signal ports across subcircuits; the paper's Table III "Full
+    Circuit" row corresponds to this netlist.
+    """
+    b = NetlistBuilder("decoder_module")
+    b.input("hot_syndrome_in", "reset_in")
+    for kind in ("grow", "req", "grant", "pair"):
+        for d in DIRS:
+            b.input(f"{kind}_from_{d}")
+    # reset keep
+    taps = ["reset_in"]
+    previous = "reset_in"
+    for i in range(5):
+        q = b.state(f"hold_{i}", d_net=previous)
+        taps.append(q)
+        previous = q
+    block = b.or_tree(taps)
+    not_block = b.not_(block)
+    not_reset = b.not_("reset_in")
+    # hot latch: set by the syndrome input, cleared when a pair arrives
+    hot_q = b.state("hot", d_net="")
+    any_pair = b.or_tree([f"pair_from_{d}" for d in DIRS])
+    endpoint = b.and2(any_pair, hot_q)
+    hot_next = b.and2(
+        b.or2(hot_q, b.and2("hot_syndrome_in", not_block)), b.not_(endpoint)
+    )
+    b.netlist.state[-1].d = hot_next
+    not_hot = b.not_(hot_q)
+    # grow latches
+    grow_out = {}
+    for d in DIRS:
+        q = b.state(f"grow_latch_{d}", d_net="")
+        incoming = b.or2(f"grow_from_{opposite(d)}", hot_q)
+        nxt = b.and2(b.or2(q, b.and2(incoming, not_block)), not_reset)
+        b.netlist.state[-1].d = nxt
+        grow_out[d] = q
+        b.mark_output(f"grow_out_{d}", q)
+    # pair request
+    rf = {d: f"grow_from_{d}" for d in DIRS}
+    req_emit = _emit_choice(b, rf, enable=not_hot)
+    for d in DIRS:
+        relay = b.and2(f"req_from_{opposite(d)}", not_hot)
+        b.mark_output(f"req_out_{d}", b.and2(b.or2(req_emit[d], relay), not_block))
+    # pair: fire where grants meet
+    fired_q = b.state("fired", d_net="")
+    error_q = b.state("error", d_net="")
+    fire_enable = b.and2(b.and2(not_hot, b.not_(fired_q)), not_block)
+    gf = {d: f"grant_from_{d}" for d in DIRS}
+    pair_emit = _emit_choice(b, gf, enable=fire_enable)
+    fire = b.or_tree(list(pair_emit.values()))
+    for d in DIRS:
+        relay = b.and2(f"pair_from_{opposite(d)}", not_hot)
+        b.mark_output(f"pair_out_{d}", b.or2(pair_emit[d], relay))
+    visit = b.xor2(
+        b.xor2("pair_from_n", "pair_from_e"), b.xor2("pair_from_s", "pair_from_w")
+    )
+    b.netlist.state[-1].d = b.xor2(error_q, b.xor2(visit, fire))
+    fired_next = b.and2(b.or2(fired_q, fire), not_reset)
+    # fired_q was declared before error_q: state[-2]
+    b.netlist.state[-2].d = fired_next
+    # grant lock + emission + relay
+    pick = {
+        "n": "req_from_n",
+        "e": b.and2("req_from_e", b.not_("req_from_n")),
+        "s": b.and2("req_from_s", b.not_(b.or2("req_from_n", "req_from_e"))),
+        "w": b.and2(
+            "req_from_w",
+            b.not_(b.or2(b.or2("req_from_n", "req_from_e"), "req_from_s")),
+        ),
+    }
+    locks = {}
+    for d in DIRS:
+        locks[d] = b.state(f"lock_{d}", d_net="")
+    unlocked = b.not_(b.or_tree(list(locks.values())))
+    acquire = b.and2(b.and2(hot_q, unlocked), not_block)
+    for i, d in enumerate(DIRS):
+        taken = b.and2(acquire, pick[d])
+        b.netlist.state[-(4 - i)].d = b.and2(b.or2(locks[d], taken), not_reset)
+    grant_pass = b.and2(b.and2(not_hot, b.not_(fired_q)), not_block)
+    for d in DIRS:
+        emit = b.and2(locks[d], b.and2(hot_q, not_block))
+        relay = b.and2(f"grant_from_{opposite(d)}", grant_pass)
+        b.mark_output(f"grant_out_{d}", b.or2(emit, relay))
+    b.mark_output("error_out", error_q)
+    b.mark_output("reset_out", endpoint)
+    return b.build()
+
+
+def all_subcircuits() -> Dict[str, Netlist]:
+    """Every subcircuit netlist, keyed by the Table III row it maps to."""
+    return {
+        "grow": build_grow_subcircuit(),
+        "pair_req": build_pair_req_subcircuit(),
+        "pair_grant": build_pair_grant_subcircuit(),
+        "grant_relay": build_grant_relay_subcircuit(),
+        "pair": build_pair_subcircuit(),
+        "reset_keep": build_reset_keep_subcircuit(),
+        "full_module": build_decoder_module(),
+    }

@@ -1,0 +1,250 @@
+"""Gate-level netlist IR for SFQ circuits.
+
+A netlist is a DAG of cell instances over named nets, with explicit
+primary inputs/outputs and (optionally) state flip-flops whose Q outputs
+act as pseudo-inputs and whose D inputs act as pseudo-outputs.  Logic
+evaluation, level assignment and path balancing all operate on this IR.
+
+A small builder DSL keeps the module subcircuits readable::
+
+    b = NetlistBuilder("grow_north")
+    out = b.and2(b.or2("hot", "grow_in_n"), b.not_("block"))
+    b.mark_output("grow_out_n", out)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .cells import get_cell
+
+
+@dataclass(frozen=True)
+class GateInst:
+    """One placed cell: reads ``inputs`` nets, drives ``output``."""
+
+    cell: str
+    inputs: Tuple[str, ...]
+    output: str
+
+    def __post_init__(self) -> None:
+        spec = get_cell(self.cell)
+        if spec.is_storage:
+            raise ValueError("state DFFs are declared via Netlist.state, not gates")
+        if len(self.inputs) != spec.n_inputs:
+            raise ValueError(
+                f"{self.cell} expects {spec.n_inputs} inputs, got {self.inputs}"
+            )
+
+
+@dataclass
+class StateElement:
+    """A storage DFF: ``q`` is readable this cycle, ``d`` latched for next."""
+
+    name: str
+    d: str
+    q: str
+
+
+@dataclass
+class Netlist:
+    """A combinational DAG plus optional state elements."""
+
+    name: str
+    inputs: List[str] = field(default_factory=list)
+    outputs: Dict[str, str] = field(default_factory=dict)  # port -> net
+    gates: List[GateInst] = field(default_factory=list)
+    state: List[StateElement] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check single drivers, known nets and acyclicity."""
+        drivers: Dict[str, str] = {}
+        for net in self.inputs:
+            drivers[net] = "input"
+        for elem in self.state:
+            if elem.q in drivers:
+                raise ValueError(f"net {elem.q!r} driven twice")
+            drivers[elem.q] = f"state:{elem.name}"
+        for gate in self.gates:
+            if gate.output in drivers:
+                raise ValueError(f"net {gate.output!r} driven twice")
+            drivers[gate.output] = gate.cell
+        for gate in self.gates:
+            for net in gate.inputs:
+                if net not in drivers:
+                    raise ValueError(f"net {net!r} has no driver")
+        for port, net in self.outputs.items():
+            if net not in drivers:
+                raise ValueError(f"output {port!r} reads undriven net {net!r}")
+        for elem in self.state:
+            if elem.d not in drivers:
+                raise ValueError(f"state {elem.name!r} reads undriven net {elem.d!r}")
+        self.topo_order()  # raises on combinational cycles
+
+    def topo_order(self) -> List[GateInst]:
+        """Gates in dependency order (raises ValueError on cycles)."""
+        produced = set(self.inputs) | {e.q for e in self.state}
+        remaining = list(self.gates)
+        ordered: List[GateInst] = []
+        while remaining:
+            progress = []
+            for gate in remaining:
+                if all(net in produced for net in gate.inputs):
+                    progress.append(gate)
+            if not progress:
+                raise ValueError(f"combinational cycle in netlist {self.name!r}")
+            for gate in progress:
+                produced.add(gate.output)
+                ordered.append(gate)
+            remaining = [g for g in remaining if g not in progress]
+        return ordered
+
+    # ------------------------------------------------------------------
+    def levels(self) -> Dict[str, int]:
+        """ASAP level of every net (inputs and state outputs at level 0)."""
+        level: Dict[str, int] = {net: 0 for net in self.inputs}
+        level.update({e.q: 0 for e in self.state})
+        for gate in self.topo_order():
+            level[gate.output] = 1 + max(level[n] for n in gate.inputs)
+        return level
+
+    def logic_depth(self) -> int:
+        """Longest input-to-output path in gate counts."""
+        level = self.levels()
+        sinks = list(self.outputs.values()) + [e.d for e in self.state]
+        return max((level[n] for n in sinks), default=0)
+
+    def fanout(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for gate in self.gates:
+            for net in gate.inputs:
+                counts[net] = counts.get(net, 0) + 1
+        for net in self.outputs.values():
+            counts[net] = counts.get(net, 0) + 1
+        for elem in self.state:
+            counts[elem.d] = counts.get(elem.d, 0) + 1
+        return counts
+
+    def cell_census(self) -> Dict[str, int]:
+        census: Dict[str, int] = {}
+        for gate in self.gates:
+            census[gate.cell] = census.get(gate.cell, 0) + 1
+        if self.state:
+            census["DFF"] = census.get("DFF", 0) + len(self.state)
+        return census
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        inputs: Mapping[str, int],
+        state_values: Optional[Mapping[str, int]] = None,
+    ) -> Tuple[Dict[str, int], Dict[str, int]]:
+        """Combinational evaluation.
+
+        Returns ``(outputs, next_state)`` where ``next_state`` maps state
+        names to the latched D values.  Used for functional verification
+        against the behavioral mesh specification.
+        """
+        values: Dict[str, int] = {}
+        for net in self.inputs:
+            if net not in inputs:
+                raise ValueError(f"missing value for input {net!r}")
+            values[net] = int(inputs[net]) & 1
+        for elem in self.state:
+            values[elem.q] = int((state_values or {}).get(elem.name, 0)) & 1
+        for gate in self.topo_order():
+            values[gate.output] = _apply(gate.cell, [values[n] for n in gate.inputs])
+        outputs = {port: values[net] for port, net in self.outputs.items()}
+        next_state = {e.name: values[e.d] for e in self.state}
+        return outputs, next_state
+
+
+def _apply(cell: str, bits: Sequence[int]) -> int:
+    if cell == "AND2":
+        return bits[0] & bits[1]
+    if cell == "OR2":
+        return bits[0] | bits[1]
+    if cell == "XOR2":
+        return bits[0] ^ bits[1]
+    if cell == "NOT":
+        return 1 - bits[0]
+    raise ValueError(f"cannot evaluate cell {cell!r}")  # pragma: no cover
+
+
+class NetlistBuilder:
+    """Convenience builder producing fresh net names."""
+
+    def __init__(self, name: str) -> None:
+        self.netlist = Netlist(name)
+        self._counter = 0
+
+    # -- structure ------------------------------------------------------
+    def input(self, *names: str) -> None:
+        for name in names:
+            if name in self.netlist.inputs:
+                raise ValueError(f"duplicate input {name!r}")
+            self.netlist.inputs.append(name)
+
+    def mark_output(self, port: str, net: str) -> None:
+        if port in self.netlist.outputs:
+            raise ValueError(f"duplicate output {port!r}")
+        self.netlist.outputs[port] = net
+
+    def state(self, name: str, d_net: str) -> str:
+        """Declare a storage DFF; returns its Q net."""
+        q = f"{name}.q"
+        self.netlist.state.append(StateElement(name, d_net, q))
+        return q
+
+    def build(self) -> Netlist:
+        self.netlist.validate()
+        return self.netlist
+
+    # -- gates ----------------------------------------------------------
+    def _emit(self, cell: str, *ins: str) -> str:
+        self._counter += 1
+        out = f"n{self._counter}"
+        self.netlist.gates.append(GateInst(cell, tuple(ins), out))
+        return out
+
+    def and2(self, a: str, b: str) -> str:
+        return self._emit("AND2", a, b)
+
+    def or2(self, a: str, b: str) -> str:
+        return self._emit("OR2", a, b)
+
+    def xor2(self, a: str, b: str) -> str:
+        return self._emit("XOR2", a, b)
+
+    def not_(self, a: str) -> str:
+        return self._emit("NOT", a)
+
+    # -- wide helpers ----------------------------------------------------
+    def or_tree(self, nets: Iterable[str]) -> str:
+        """Balanced OR tree (the paper's 7-input OR is 6 OR2s, depth 3)."""
+        nets = list(nets)
+        if not nets:
+            raise ValueError("or_tree needs at least one net")
+        while len(nets) > 1:
+            nxt = []
+            for i in range(0, len(nets) - 1, 2):
+                nxt.append(self.or2(nets[i], nets[i + 1]))
+            if len(nets) % 2:
+                nxt.append(nets[-1])
+            nets = nxt
+        return nets[0]
+
+    def and_tree(self, nets: Iterable[str]) -> str:
+        nets = list(nets)
+        if not nets:
+            raise ValueError("and_tree needs at least one net")
+        while len(nets) > 1:
+            nxt = []
+            for i in range(0, len(nets) - 1, 2):
+                nxt.append(self.and2(nets[i], nets[i + 1]))
+            if len(nets) % 2:
+                nxt.append(nets[-1])
+            nets = nxt
+        return nets[0]

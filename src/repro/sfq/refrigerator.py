@@ -1,0 +1,95 @@
+"""Cryostat budget model (paper section VIII, "Synthesis Results").
+
+Dilution refrigerators cool 1-2 W at the 4 K stage; the decoder mesh is
+co-located with the quantum chip, so its total power and physical area
+must fit the stage.  The paper concludes a mesh of 87 x 87 modules fits,
+protecting one distance-44 logical qubit or ~100 distance-5 qubits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from .characterize import PAPER_TABLE3, CircuitReport
+
+
+@dataclass(frozen=True)
+class CryostatBudget:
+    """Available resources at the decoder's temperature stage."""
+
+    #: cooling power available at the 4 K stage, watts
+    power_budget_w: float = 1.5
+    #: usable co-location area, mm^2 (a ~100 mm square interposer)
+    area_budget_mm2: float = 10_000.0
+
+
+@dataclass(frozen=True)
+class MeshCapacity:
+    """What a given mesh edge length can protect."""
+
+    mesh_edge: int
+    total_modules: int
+    area_mm2: float
+    power_w: float
+    max_single_distance: int
+    patches_by_distance: Dict[int, int]
+
+
+def max_mesh_edge(
+    module_area_um2: float, module_power_uw: float, budget: CryostatBudget
+) -> int:
+    """Largest square mesh fitting both the power and area budget."""
+    if module_area_um2 <= 0 or module_power_uw <= 0:
+        raise ValueError("module area and power must be positive")
+    by_area = math.floor(math.sqrt(budget.area_budget_mm2 * 1e6 / module_area_um2))
+    by_power = math.floor(math.sqrt(budget.power_budget_w * 1e6 / module_power_uw))
+    return max(0, min(by_area, by_power))
+
+
+def capacity_for_edge(
+    edge: int, module_area_um2: float, module_power_uw: float,
+    distances=(3, 5, 7, 9),
+) -> MeshCapacity:
+    """Logical capacity of an ``edge x edge`` decoder mesh.
+
+    A distance-d patch occupies (2d-1) x (2d-1) modules; the largest
+    single patch the mesh can hold has distance ``(edge + 1) // 2``.
+    """
+    total = edge * edge
+    patches = {d: (edge // (2 * d - 1)) ** 2 for d in distances}
+    return MeshCapacity(
+        mesh_edge=edge,
+        total_modules=total,
+        area_mm2=module_area_um2 * total / 1e6,
+        power_w=module_power_uw * total / 1e6,
+        max_single_distance=(edge + 1) // 2,
+        patches_by_distance=patches,
+    )
+
+
+def plan_mesh(
+    report: CircuitReport = None,
+    budget: CryostatBudget = CryostatBudget(),
+    use_paper_module: bool = False,
+) -> MeshCapacity:
+    """Size the largest mesh for a module characterization and budget."""
+    if use_paper_module or report is None:
+        row = PAPER_TABLE3["full_module"]
+        area, power = row["area_um2"], row["power_uw"]
+    else:
+        area, power = report.area_um2, report.power_paper_uw
+    edge = max_mesh_edge(area, power, budget)
+    return capacity_for_edge(edge, area, power)
+
+
+def paper_d9_rollup() -> Dict[str, float]:
+    """The paper's headline d=9 roll-up: 289 modules, 369.72 mm^2, 3.78 mW."""
+    row = PAPER_TABLE3["full_module"]
+    modules = (2 * 9 - 1) ** 2
+    return {
+        "modules": modules,
+        "area_mm2": row["area_um2"] * modules / 1e6,
+        "power_mw": row["power_uw"] * modules / 1e3,
+    }

@@ -1,0 +1,185 @@
+"""Path-balancing technology mapping for dc-biased SFQ (PBMap-style).
+
+dc-biased SFQ circuits must be *fully path balanced*: every input-to-output
+path must traverse the same number of clocked stages, so DFFs are inserted
+on short paths (paper section VII, refs [45]-[47]).  The paper's tools
+minimize the inserted-DFF count with dynamic programming; we implement the
+same objective with ASAP/ALAP level assignment plus a slack-driven sweep,
+choosing whichever assignment needs fewer balancing DFFs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .cells import PAPER_CLOCK_GHZ, get_cell
+from .netlist import Netlist
+
+
+@dataclass
+class SynthesisResult:
+    """A level-assigned, fully path-balanced mapping of a netlist."""
+
+    netlist: Netlist
+    #: level of every net (primary/state inputs at 0)
+    levels: Dict[str, int]
+    #: pipeline depth (all outputs aligned to this level)
+    depth: int
+    #: DFFs inserted for path balancing (beyond declared state DFFs)
+    balancing_dffs: int
+    #: per-level worst cell delay, ps (balancing DFFs included)
+    stage_delays_ps: List[float] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def logic_gate_count(self) -> int:
+        return len(self.netlist.gates)
+
+    @property
+    def total_dffs(self) -> int:
+        return self.balancing_dffs + len(self.netlist.state)
+
+    @property
+    def splitter_count(self) -> int:
+        """Pulse splitters required by multi-fanout nets.
+
+        SFQ gates drive exactly one load; a net with fanout ``f`` needs
+        ``f - 1`` two-way splitters (the paper uses them to distribute
+        the global reset, section VI-A).  Splitters are unclocked and
+        contribute JJs but no standard-cell area in Table II's
+        accounting.
+        """
+        return sum(
+            max(0, fanout - 1) for fanout in self.netlist.fanout().values()
+        )
+
+    @property
+    def jj_count_with_splitters(self) -> int:
+        """JJ total including ~3 JJs per pulse splitter."""
+        return self.jj_count + 3 * self.splitter_count
+
+    @property
+    def area_um2(self) -> float:
+        area = sum(get_cell(g.cell).area_um2 for g in self.netlist.gates)
+        return area + self.total_dffs * get_cell("DFF").area_um2
+
+    @property
+    def jj_count(self) -> int:
+        jjs = sum(get_cell(g.cell).jj_count for g in self.netlist.gates)
+        return jjs + self.total_dffs * get_cell("DFF").jj_count
+
+    @property
+    def latency_ps(self) -> float:
+        """Sum over pipeline stages of the worst cell delay in the stage."""
+        return sum(self.stage_delays_ps)
+
+    def power_uw(self, model: str = "paper", f_ghz: float = PAPER_CLOCK_GHZ) -> float:
+        power = sum(
+            get_cell(g.cell).power_uw(model, f_ghz) for g in self.netlist.gates
+        )
+        return power + self.total_dffs * get_cell("DFF").power_uw(model, f_ghz)
+
+    def cell_census(self) -> Dict[str, int]:
+        census = dict(self.netlist.cell_census())
+        census["DFF"] = census.get("DFF", 0) + self.balancing_dffs
+        return census
+
+
+def synthesize(netlist: Netlist) -> SynthesisResult:
+    """Level-assign and path-balance ``netlist``."""
+    netlist.validate()
+    asap = _asap_levels(netlist)
+    depth = netlist.logic_depth()
+    alap = _alap_levels(netlist, asap, depth)
+    best_levels, best_cost = None, None
+    for levels in (asap, alap):
+        cost = _dff_cost(netlist, levels, depth)
+        if best_cost is None or cost < best_cost:
+            best_levels, best_cost = levels, cost
+    assert best_levels is not None
+    stage_delays = _stage_delays(netlist, best_levels, depth)
+    return SynthesisResult(
+        netlist=netlist,
+        levels=best_levels,
+        depth=depth,
+        balancing_dffs=best_cost,
+        stage_delays_ps=stage_delays,
+    )
+
+
+def _asap_levels(netlist: Netlist) -> Dict[str, int]:
+    return netlist.levels()
+
+
+def _alap_levels(netlist: Netlist, asap: Dict[str, int], depth: int) -> Dict[str, int]:
+    """Latest feasible level per net (outputs pinned to ``depth``).
+
+    Nets with no consumers inside the block (only outputs) sit at
+    ``depth``; moving gates later shortens their input-side padding.
+    Primary and state inputs remain at level 0 (they are external).
+    """
+    latest: Dict[str, int] = {}
+    sinks = set(netlist.outputs.values()) | {e.d for e in netlist.state}
+    consumers: Dict[str, List[str]] = {}
+    producer_gate = {g.output: g for g in netlist.gates}
+    for gate in netlist.gates:
+        for net in gate.inputs:
+            consumers.setdefault(net, []).append(gate.output)
+    for gate in reversed(netlist.topo_order()):
+        net = gate.output
+        bounds = [latest[c] - 1 for c in consumers.get(net, [])]
+        if net in sinks:
+            bounds.append(depth)
+        latest[net] = min(bounds) if bounds else depth
+    levels = {net: 0 for net in netlist.inputs}
+    levels.update({e.q: 0 for e in netlist.state})
+    for gate in netlist.topo_order():
+        levels[gate.output] = latest[gate.output]
+        # never earlier than data dependencies allow
+        feasible = 1 + max(levels[n] for n in gate.inputs)
+        if levels[gate.output] < feasible:
+            levels[gate.output] = feasible
+    del producer_gate
+    return levels
+
+
+def _dff_cost(netlist: Netlist, levels: Dict[str, int], depth: int) -> int:
+    """Balancing DFFs required by a level assignment.
+
+    One DFF per skipped level on each gate input edge, plus padding that
+    aligns every output (and state D input) to the common depth.
+    """
+    cost = 0
+    for gate in netlist.gates:
+        out_level = levels[gate.output]
+        for net in gate.inputs:
+            gap = out_level - levels[net] - 1
+            if gap < 0:
+                raise ValueError("invalid level assignment")
+            cost += gap
+    for net in set(netlist.outputs.values()) | {e.d for e in netlist.state}:
+        cost += depth - levels[net]
+    return cost
+
+
+def _stage_delays(netlist: Netlist, levels: Dict[str, int], depth: int) -> List[float]:
+    """Worst-case cell delay per pipeline stage.
+
+    Stages with only balancing DFFs contribute the DFF delay.  This gives
+    the paper's latency convention: the 7-input OR maps to three OR2
+    stages of 7.2 ps each (21.6 ps total).
+    """
+    dff_delay = get_cell("DFF").delay_ps
+    worst = [0.0] * (depth + 1)
+    for gate in netlist.gates:
+        lvl = levels[gate.output]
+        worst[lvl] = max(worst[lvl], get_cell(gate.cell).delay_ps)
+        # balancing DFFs occupy the skipped levels of this gate's inputs
+        for net in gate.inputs:
+            for skipped in range(levels[net] + 1, lvl):
+                worst[skipped] = max(worst[skipped], dff_delay)
+    for net in set(netlist.outputs.values()) | {e.d for e in netlist.state}:
+        for skipped in range(levels[net] + 1, depth + 1):
+            worst[skipped] = max(worst[skipped], dff_delay)
+    return [w if w > 0.0 else dff_delay for w in worst[1:]]

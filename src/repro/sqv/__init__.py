@@ -1,0 +1,59 @@
+"""Scaling-law fits, Simple Quantum Volume, cross-decoder comparisons."""
+
+from .comparison import (
+    DEFAULT_EPSILON,
+    DEFAULT_T_GATES,
+    FIG11_PROFILES,
+    ComparisonStudy,
+    DecoderProfile,
+    per_gate_budget_log10,
+    required_distance,
+    run_comparison,
+)
+from .scaling import (
+    PAPER_SFQ_THRESHOLD,
+    PAPER_TABLE5_C2,
+    ScalingLaw,
+    approximation_factor,
+    fit_scaling_law,
+    fit_sweep,
+    mwpm_reference_law,
+    paper_scaling_law,
+    table5,
+)
+from .volume import (
+    AQECPlan,
+    MachineConfig,
+    best_operating_point,
+    fig1_plans,
+    fig1_table,
+    physical_qubits_per_logical,
+    sqv_landscape,
+)
+
+__all__ = [
+    "DEFAULT_EPSILON",
+    "DEFAULT_T_GATES",
+    "FIG11_PROFILES",
+    "ComparisonStudy",
+    "DecoderProfile",
+    "per_gate_budget_log10",
+    "required_distance",
+    "run_comparison",
+    "PAPER_SFQ_THRESHOLD",
+    "PAPER_TABLE5_C2",
+    "ScalingLaw",
+    "approximation_factor",
+    "fit_scaling_law",
+    "fit_sweep",
+    "mwpm_reference_law",
+    "paper_scaling_law",
+    "table5",
+    "AQECPlan",
+    "MachineConfig",
+    "best_operating_point",
+    "fig1_plans",
+    "fig1_table",
+    "physical_qubits_per_logical",
+    "sqv_landscape",
+]

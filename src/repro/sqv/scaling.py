@@ -1,0 +1,149 @@
+"""Logical-error-rate scaling fits (paper Table V).
+
+The surface code under MWPM follows ``PL ~ 0.03 (p/pth)^(d/2)`` (Fowler
+et al.); the paper quantifies its decoder's approximation factor by
+fitting ``PL ~ c1 (p/pth)^(c2 * d)`` per code distance and reading the
+effective-distance coefficient ``c2`` (Table V: 0.650, 0.429, 0.306,
+0.323 for d = 3, 5, 7, 9).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from ..montecarlo.thresholds import ThresholdSweep
+
+#: Table V of the paper.
+PAPER_TABLE5_C2 = {3: 0.650, 5: 0.429, 7: 0.306, 9: 0.323}
+
+#: The paper's accuracy threshold for its decoder.
+PAPER_SFQ_THRESHOLD = 0.05
+
+#: Logical error rates quoted in section VIII ("Effect on SQV") at
+#: p = 1e-5; used to back out the c1 the paper's projections imply.
+PAPER_QUOTED_PL = {3: 2.94e-9, 5: 8.96e-10}
+
+
+@dataclass(frozen=True)
+class ScalingLaw:
+    """``PL(p) = c1 * (p / p_th)^(c2 * d)`` for one code distance."""
+
+    d: int
+    c1: float
+    c2: float
+    p_th: float
+
+    def logical_error_rate(self, p: float) -> float:
+        if p <= 0:
+            return 0.0
+        return self.c1 * (p / self.p_th) ** (self.c2 * self.d)
+
+    @property
+    def effective_distance(self) -> float:
+        """``c2 * d`` — the exponent actually achieved."""
+        return self.c2 * self.d
+
+
+def fit_scaling_law(
+    d: int,
+    physical_rates: Sequence[float],
+    logical_rates: Sequence[float],
+    p_th: float,
+    below_threshold_only: bool = True,
+) -> ScalingLaw:
+    """Least-squares fit of (c1, c2) in log space.
+
+    Points at or above threshold (and empty Monte-Carlo bins) are
+    excluded, following the paper's "at physical error rates below
+    accuracy threshold" protocol.
+    """
+    ps = np.asarray(physical_rates, dtype=float)
+    pls = np.asarray(logical_rates, dtype=float)
+    mask = pls > 0
+    if below_threshold_only:
+        mask &= ps < p_th
+    if mask.sum() < 2:
+        raise ValueError(
+            f"need >= 2 usable points to fit d={d} (got {int(mask.sum())})"
+        )
+    x = np.log(ps[mask] / p_th)
+    y = np.log(pls[mask])
+
+    def residuals(params):
+        log_c1, c2 = params
+        return y - (log_c1 + c2 * d * x)
+
+    result = optimize.least_squares(residuals, x0=[math.log(0.03), 0.5])
+    log_c1, c2 = result.x
+    return ScalingLaw(d=d, c1=float(math.exp(log_c1)), c2=float(c2), p_th=p_th)
+
+
+def fit_sweep(
+    sweep: ThresholdSweep, p_th: Optional[float] = None
+) -> Dict[int, ScalingLaw]:
+    """Fit every code distance of a threshold sweep (Table V protocol)."""
+    if p_th is None:
+        p_th = sweep.accuracy_threshold() or PAPER_SFQ_THRESHOLD
+    laws = {}
+    for d in sweep.distances:
+        laws[d] = fit_scaling_law(
+            d, sweep.physical_rates, sweep.logical_rates(d), p_th
+        )
+    return laws
+
+
+def paper_scaling_law(d: int) -> ScalingLaw:
+    """The scaling law the paper's SQV projections imply.
+
+    Uses Table V's c2 and, where the paper quotes a PL at p = 1e-5
+    (d = 3 and 5), backs out the matching c1; other distances fall back
+    to the Fowler-style c1 = 0.03.
+    """
+    if d not in PAPER_TABLE5_C2:
+        raise ValueError(f"paper reports c2 only for d in {sorted(PAPER_TABLE5_C2)}")
+    c2 = PAPER_TABLE5_C2[d]
+    if d in PAPER_QUOTED_PL:
+        base = (1e-5 / PAPER_SFQ_THRESHOLD) ** (c2 * d)
+        c1 = PAPER_QUOTED_PL[d] / base
+    else:
+        c1 = 0.03
+    return ScalingLaw(d=d, c1=c1, c2=c2, p_th=PAPER_SFQ_THRESHOLD)
+
+
+def mwpm_reference_law(d: int, p_th: float = 0.103) -> ScalingLaw:
+    """The ideal-decoder reference ``PL = 0.03 (p/pth)^(d/2)`` [20]."""
+    return ScalingLaw(d=d, c1=0.03, c2=0.5, p_th=p_th)
+
+
+def table5(laws: Dict[int, ScalingLaw]) -> str:
+    """Render Table V (ours vs paper)."""
+    ds = sorted(laws)
+    lines = [
+        "Code Distance   " + "".join(f"{d:>9d}" for d in ds),
+        "c2 (ours)       " + "".join(f"{laws[d].c2:>9.3f}" for d in ds),
+        "c2 (paper)      "
+        + "".join(f"{PAPER_TABLE5_C2.get(d, float('nan')):>9.3f}" for d in ds),
+        "c1 (ours)       " + "".join(f"{laws[d].c1:>9.3f}" for d in ds),
+    ]
+    return "\n".join(lines)
+
+
+def approximation_factor(law: ScalingLaw) -> float:
+    """Fraction of the full code distance achieved (paper: 65% at d=3).
+
+    The paper reads c2 itself as the effective-distance fraction: the
+    exponent achieved is ``c2 * d`` out of a nominal ``d``.
+    """
+    return law.c2
+
+
+def crossover_distance(
+    law_a: ScalingLaw, law_b: ScalingLaw, p: float
+) -> Tuple[float, float]:
+    """Logical rates of two laws at ``p`` (helper for comparisons)."""
+    return law_a.logical_error_rate(p), law_b.logical_error_rate(p)

@@ -1,0 +1,35 @@
+"""Surface-code substrate: lattice geometry, Pauli algebra, circuits, viz."""
+
+from .lattice import (
+    Coord,
+    SurfaceLattice,
+    is_data,
+    is_x_ancilla,
+    is_z_ancilla,
+)
+from .pauli import PauliString
+from .stabilizer_circuit import (
+    QubitLayout,
+    SyndromeRound,
+    build_full_round,
+    build_x_stabilizer_circuit,
+    build_z_stabilizer_circuit,
+)
+from .viz import describe_decode, render_lattice, render_syndrome_only
+
+__all__ = [
+    "Coord",
+    "SurfaceLattice",
+    "is_data",
+    "is_x_ancilla",
+    "is_z_ancilla",
+    "PauliString",
+    "QubitLayout",
+    "SyndromeRound",
+    "build_full_round",
+    "build_x_stabilizer_circuit",
+    "build_z_stabilizer_circuit",
+    "describe_decode",
+    "render_lattice",
+    "render_syndrome_only",
+]

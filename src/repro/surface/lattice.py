@@ -1,0 +1,269 @@
+"""Surface-code lattice geometry.
+
+The paper (Fig. 2) uses the unrotated surface code: a ``(2d-1) x (2d-1)``
+grid of physical qubits where ``d`` is the code distance.  We fix the
+following convention throughout the repository (see DESIGN.md section 5):
+
+* data qubits sit at positions ``(r, c)`` with ``r + c`` even,
+* X ancillas sit at ``(r odd, c even)`` and detect Pauli-Z errors,
+* Z ancillas sit at ``(r even, c odd)`` and detect Pauli-X errors.
+
+Z-error chains terminate on the North/South boundaries, X-error chains on
+the East/West boundaries.  The logical Z operator is a vertical column of
+data qubits, the logical X operator a horizontal row.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+Coord = Tuple[int, int]
+
+#: Sides on which Z-error (X-ancilla) chains terminate.
+Z_BOUNDARY_SIDES = ("north", "south")
+#: Sides on which X-error (Z-ancilla) chains terminate.
+X_BOUNDARY_SIDES = ("east", "west")
+
+
+def is_data(coord: Coord) -> bool:
+    """Return True if ``coord`` hosts a data qubit."""
+    r, c = coord
+    return (r + c) % 2 == 0
+
+
+def is_x_ancilla(coord: Coord) -> bool:
+    """Return True if ``coord`` hosts an X ancilla (detects Z errors)."""
+    r, c = coord
+    return r % 2 == 1 and c % 2 == 0
+
+
+def is_z_ancilla(coord: Coord) -> bool:
+    """Return True if ``coord`` hosts a Z ancilla (detects X errors)."""
+    r, c = coord
+    return r % 2 == 0 and c % 2 == 1
+
+
+@dataclass(frozen=True)
+class SurfaceLattice:
+    """Geometry and incidence structure of a distance-``d`` surface code.
+
+    Parameters
+    ----------
+    d:
+        Code distance.  Must be an odd integer >= 3 in the paper's
+        evaluation, although any integer >= 2 produces a valid lattice.
+
+    Attributes
+    ----------
+    size:
+        Side length of the square grid, ``2d - 1``.
+    data_qubits / x_ancillas / z_ancillas:
+        Sorted coordinate lists.
+    """
+
+    d: int
+    size: int = field(init=False)
+    data_qubits: Tuple[Coord, ...] = field(init=False)
+    x_ancillas: Tuple[Coord, ...] = field(init=False)
+    z_ancillas: Tuple[Coord, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.d < 2:
+            raise ValueError(f"code distance must be >= 2, got {self.d}")
+        size = 2 * self.d - 1
+        object.__setattr__(self, "size", size)
+        data, x_anc, z_anc = [], [], []
+        for r in range(size):
+            for c in range(size):
+                coord = (r, c)
+                if is_data(coord):
+                    data.append(coord)
+                elif is_x_ancilla(coord):
+                    x_anc.append(coord)
+                else:
+                    z_anc.append(coord)
+        object.__setattr__(self, "data_qubits", tuple(data))
+        object.__setattr__(self, "x_ancillas", tuple(x_anc))
+        object.__setattr__(self, "z_ancillas", tuple(z_anc))
+
+    # ------------------------------------------------------------------
+    # Counts
+    # ------------------------------------------------------------------
+    @property
+    def n_data(self) -> int:
+        """Number of data qubits, ``d^2 + (d-1)^2``."""
+        return len(self.data_qubits)
+
+    @property
+    def n_x_ancillas(self) -> int:
+        return len(self.x_ancillas)
+
+    @property
+    def n_z_ancillas(self) -> int:
+        return len(self.z_ancillas)
+
+    @property
+    def n_qubits(self) -> int:
+        """Total physical qubits, ``(2d-1)^2``."""
+        return self.size * self.size
+
+    # ------------------------------------------------------------------
+    # Index maps
+    # ------------------------------------------------------------------
+    @functools.cached_property
+    def data_index(self) -> Dict[Coord, int]:
+        """Map data-qubit coordinate -> column index in incidence matrices."""
+        return {q: i for i, q in enumerate(self.data_qubits)}
+
+    @functools.cached_property
+    def x_ancilla_index(self) -> Dict[Coord, int]:
+        return {q: i for i, q in enumerate(self.x_ancillas)}
+
+    @functools.cached_property
+    def z_ancilla_index(self) -> Dict[Coord, int]:
+        return {q: i for i, q in enumerate(self.z_ancillas)}
+
+    # ------------------------------------------------------------------
+    # Stabilizer supports
+    # ------------------------------------------------------------------
+    def neighbors(self, coord: Coord) -> List[Coord]:
+        """In-grid 4-neighbourhood of ``coord``."""
+        r, c = coord
+        out = []
+        for rr, cc in ((r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1)):
+            if 0 <= rr < self.size and 0 <= cc < self.size:
+                out.append((rr, cc))
+        return out
+
+    def stabilizer_support(self, ancilla: Coord) -> List[Coord]:
+        """Data qubits measured by ``ancilla`` (3 at edges, 4 in bulk)."""
+        if is_data(ancilla):
+            raise ValueError(f"{ancilla} is a data qubit, not an ancilla")
+        return [q for q in self.neighbors(ancilla) if is_data(q)]
+
+    @functools.cached_property
+    def x_stabilizers(self) -> Dict[Coord, Tuple[Coord, ...]]:
+        """Support of every X stabilizer, keyed by its ancilla coordinate."""
+        return {a: tuple(self.stabilizer_support(a)) for a in self.x_ancillas}
+
+    @functools.cached_property
+    def z_stabilizers(self) -> Dict[Coord, Tuple[Coord, ...]]:
+        return {a: tuple(self.stabilizer_support(a)) for a in self.z_ancillas}
+
+    # ------------------------------------------------------------------
+    # Incidence matrices (GF(2) parity-check matrices)
+    # ------------------------------------------------------------------
+    @functools.cached_property
+    def h_x(self) -> np.ndarray:
+        """X-ancilla incidence matrix; ``h_x @ z_error % 2`` = X syndromes."""
+        mat = np.zeros((self.n_x_ancillas, self.n_data), dtype=np.uint8)
+        for a, support in self.x_stabilizers.items():
+            for q in support:
+                mat[self.x_ancilla_index[a], self.data_index[q]] = 1
+        return mat
+
+    @functools.cached_property
+    def h_z(self) -> np.ndarray:
+        """Z-ancilla incidence matrix; ``h_z @ x_error % 2`` = Z syndromes."""
+        mat = np.zeros((self.n_z_ancillas, self.n_data), dtype=np.uint8)
+        for a, support in self.z_stabilizers.items():
+            for q in support:
+                mat[self.z_ancilla_index[a], self.data_index[q]] = 1
+        return mat
+
+    # ------------------------------------------------------------------
+    # Logical operators
+    # ------------------------------------------------------------------
+    @functools.cached_property
+    def logical_z_support(self) -> Tuple[Coord, ...]:
+        """Vertical data column (column 0): a minimum-weight logical Z."""
+        return tuple((r, 0) for r in range(0, self.size, 2))
+
+    @functools.cached_property
+    def logical_x_support(self) -> Tuple[Coord, ...]:
+        """Horizontal data row (row 0): a minimum-weight logical X."""
+        return tuple((0, c) for c in range(0, self.size, 2))
+
+    @functools.cached_property
+    def logical_x_mask(self) -> np.ndarray:
+        """Boolean data-qubit mask of the logical X support.
+
+        The parity of a residual Z-error vector against this mask decides
+        logical-Z failure (it is invariant under Z-stabilizer products).
+        """
+        mask = np.zeros(self.n_data, dtype=np.uint8)
+        for q in self.logical_x_support:
+            mask[self.data_index[q]] = 1
+        return mask
+
+    @functools.cached_property
+    def logical_z_mask(self) -> np.ndarray:
+        """Boolean data-qubit mask of the logical Z support."""
+        mask = np.zeros(self.n_data, dtype=np.uint8)
+        for q in self.logical_z_support:
+            mask[self.data_index[q]] = 1
+        return mask
+
+    # ------------------------------------------------------------------
+    # Syndromes and failure checks
+    # ------------------------------------------------------------------
+    def syndrome_of_z_errors(self, z_errors: np.ndarray) -> np.ndarray:
+        """X-ancilla syndrome bits of a Z-error vector.
+
+        ``z_errors`` may be 1-D (``n_data``) or batched (``batch, n_data``).
+        """
+        return (z_errors @ self.h_x.T) % 2
+
+    def syndrome_of_x_errors(self, x_errors: np.ndarray) -> np.ndarray:
+        """Z-ancilla syndrome bits of an X-error vector."""
+        return (x_errors @ self.h_z.T) % 2
+
+    def logical_z_failure(self, residual_z: np.ndarray) -> np.ndarray:
+        """True where a residual Z-error vector flips the logical qubit.
+
+        Only meaningful when the residual syndrome is zero; for ablation
+        variants that leave residual syndromes we use the same parity as
+        the conventional failure indicator (documented in DESIGN.md).
+        """
+        return (residual_z @ self.logical_x_mask) % 2 == 1
+
+    def logical_x_failure(self, residual_x: np.ndarray) -> np.ndarray:
+        """True where a residual X-error vector flips the logical qubit."""
+        return (residual_x @ self.logical_z_mask) % 2 == 1
+
+    # ------------------------------------------------------------------
+    # Coordinate/vector conversions
+    # ------------------------------------------------------------------
+    def data_vector_from_coords(self, coords) -> np.ndarray:
+        """Indicator vector (length ``n_data``) over data-qubit coordinates."""
+        vec = np.zeros(self.n_data, dtype=np.uint8)
+        for q in coords:
+            vec[self.data_index[q]] ^= 1
+        return vec
+
+    def coords_from_data_vector(self, vec: np.ndarray) -> List[Coord]:
+        """Data coordinates at which ``vec`` is nonzero."""
+        return [self.data_qubits[i] for i in np.flatnonzero(vec)]
+
+    def x_syndrome_coords(self, syndrome: np.ndarray) -> List[Coord]:
+        """X-ancilla coordinates at which ``syndrome`` is hot."""
+        return [self.x_ancillas[i] for i in np.flatnonzero(syndrome)]
+
+    def z_syndrome_coords(self, syndrome: np.ndarray) -> List[Coord]:
+        return [self.z_ancillas[i] for i in np.flatnonzero(syndrome)]
+
+    def x_syndrome_vector_from_coords(self, coords) -> np.ndarray:
+        vec = np.zeros(self.n_x_ancillas, dtype=np.uint8)
+        for q in coords:
+            vec[self.x_ancilla_index[q]] ^= 1
+        return vec
+
+    def z_syndrome_vector_from_coords(self, coords) -> np.ndarray:
+        vec = np.zeros(self.n_z_ancillas, dtype=np.uint8)
+        for q in coords:
+            vec[self.z_ancilla_index[q]] ^= 1
+        return vec

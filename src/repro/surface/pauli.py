@@ -1,0 +1,119 @@
+"""Light-weight Pauli algebra over qubit registers.
+
+The surface code discretizes continuous errors into the Pauli group
+``{I, X, Y, Z}`` (paper section II-C).  We represent an n-qubit Pauli
+operator by two GF(2) vectors: an X part and a Z part (the symplectic
+representation), with ``Y = X . Z`` up to global phase.  Phases are not
+tracked — they are irrelevant for error-correction simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+_LETTER_TO_BITS = {"I": (0, 0), "X": (1, 0), "Z": (0, 1), "Y": (1, 1)}
+_BITS_TO_LETTER = {v: k for k, v in _LETTER_TO_BITS.items()}
+
+
+@dataclass(frozen=True)
+class PauliString:
+    """An n-qubit Pauli operator (phase-free symplectic representation)."""
+
+    x: np.ndarray
+    z: np.ndarray
+
+    def __post_init__(self) -> None:
+        x = np.asarray(self.x, dtype=np.uint8) % 2
+        z = np.asarray(self.z, dtype=np.uint8) % 2
+        if x.shape != z.shape or x.ndim != 1:
+            raise ValueError("x and z parts must be equal-length 1-D vectors")
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "z", z)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls, n: int) -> "PauliString":
+        return cls(np.zeros(n, dtype=np.uint8), np.zeros(n, dtype=np.uint8))
+
+    @classmethod
+    def from_label(cls, label: str) -> "PauliString":
+        """Build from a string like ``"IXYZ"``."""
+        bits = [_LETTER_TO_BITS[ch] for ch in label.upper()]
+        x = np.array([b[0] for b in bits], dtype=np.uint8)
+        z = np.array([b[1] for b in bits], dtype=np.uint8)
+        return cls(x, z)
+
+    @classmethod
+    def from_sparse(cls, n: int, ops: Mapping[int, str]) -> "PauliString":
+        """Build from ``{qubit_index: letter}`` on an n-qubit register."""
+        x = np.zeros(n, dtype=np.uint8)
+        z = np.zeros(n, dtype=np.uint8)
+        for idx, letter in ops.items():
+            bx, bz = _LETTER_TO_BITS[letter.upper()]
+            x[idx] = bx
+            z[idx] = bz
+        return cls(x, z)
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self.x)
+
+    def __mul__(self, other: "PauliString") -> "PauliString":
+        """Phase-free product (XOR of symplectic parts)."""
+        if self.n != other.n:
+            raise ValueError("operand length mismatch")
+        return PauliString(self.x ^ other.x, self.z ^ other.z)
+
+    def commutes_with(self, other: "PauliString") -> bool:
+        """True iff the two operators commute (symplectic inner product 0)."""
+        if self.n != other.n:
+            raise ValueError("operand length mismatch")
+        overlap = int(self.x @ other.z) + int(self.z @ other.x)
+        return overlap % 2 == 0
+
+    def weight(self) -> int:
+        """Number of non-identity tensor factors."""
+        return int(np.count_nonzero(self.x | self.z))
+
+    def is_identity(self) -> bool:
+        return self.weight() == 0
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def label(self) -> str:
+        return "".join(
+            _BITS_TO_LETTER[(int(bx), int(bz))] for bx, bz in zip(self.x, self.z)
+        )
+
+    def support(self) -> Iterable[int]:
+        return [int(i) for i in np.flatnonzero(self.x | self.z)]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PauliString):
+            return NotImplemented
+        return bool(np.array_equal(self.x, other.x) and np.array_equal(self.z, other.z))
+
+    def __hash__(self) -> int:
+        return hash((self.x.tobytes(), self.z.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PauliString({self.label()!r})"
+
+
+def pauli_weight_counts(pauli: PauliString) -> Mapping[str, int]:
+    """Count how many qubits carry each non-identity letter."""
+    counts = {"X": 0, "Y": 0, "Z": 0}
+    for bx, bz in zip(pauli.x, pauli.z):
+        key = _BITS_TO_LETTER[(int(bx), int(bz))]
+        if key != "I":
+            counts[key] += 1
+    return counts

@@ -1,0 +1,168 @@
+"""Stabilizer-measurement circuits for the surface code (paper Fig. 3).
+
+Each X ancilla runs: ``RESET -> H -> CNOT(anc, data) x4 -> H -> MEASURE``
+(the ancilla is the control of every CNOT), detecting Z errors on its data
+neighbourhood.  Each Z ancilla runs: ``RESET -> CNOT(data, anc) x4 ->
+MEASURE``, detecting X errors.
+
+These circuits drive the Pauli-frame simulator; with a noiseless circuit
+they reproduce the incidence-matrix syndromes exactly, which is the
+code-capacity operating point of the paper's headline evaluation.  The
+same machinery accepts per-gate error injection for circuit-level studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..noise.pauli_frame import Circuit, PauliFrame, run_circuit
+from .lattice import Coord, SurfaceLattice
+
+
+def _ancilla_key(kind: str, coord: Coord) -> str:
+    return f"{kind}:{coord[0]},{coord[1]}"
+
+
+@dataclass(frozen=True)
+class QubitLayout:
+    """Flat indexing of every lattice position for circuit construction."""
+
+    lattice: SurfaceLattice
+
+    @property
+    def n_qubits(self) -> int:
+        return self.lattice.n_qubits
+
+    def index(self, coord: Coord) -> int:
+        r, c = coord
+        if not (0 <= r < self.lattice.size and 0 <= c < self.lattice.size):
+            raise ValueError(f"coordinate {coord} outside lattice")
+        return r * self.lattice.size + c
+
+
+def build_x_stabilizer_circuit(layout: QubitLayout, ancilla: Coord) -> Circuit:
+    """The Fig.-3 "X" circuit for a single ancilla."""
+    lattice = layout.lattice
+    circ = Circuit(layout.n_qubits)
+    a = layout.index(ancilla)
+    circ.add("RESET", a)
+    circ.add("H", a)
+    for data in lattice.x_stabilizers[ancilla]:
+        circ.add("CNOT", a, layout.index(data))
+    circ.add("H", a)
+    circ.add("MEASURE", a, key=_ancilla_key("X", ancilla))
+    return circ
+
+
+def build_z_stabilizer_circuit(layout: QubitLayout, ancilla: Coord) -> Circuit:
+    """The Fig.-3 "Z" circuit for a single ancilla."""
+    lattice = layout.lattice
+    circ = Circuit(layout.n_qubits)
+    a = layout.index(ancilla)
+    circ.add("RESET", a)
+    for data in lattice.z_stabilizers[ancilla]:
+        circ.add("CNOT", layout.index(data), a)
+    circ.add("MEASURE", a, key=_ancilla_key("Z", ancilla))
+    return circ
+
+
+def build_full_round(layout: QubitLayout) -> Circuit:
+    """One full syndrome-extraction cycle: every stabilizer circuit.
+
+    CNOTs are scheduled ancilla-by-ancilla; because the Pauli-frame
+    simulation is exact for Clifford circuits, inter-ancilla scheduling
+    order does not change noiseless syndromes.
+    """
+    lattice = layout.lattice
+    circ = Circuit(layout.n_qubits)
+    for ancilla in lattice.x_ancillas:
+        sub = build_x_stabilizer_circuit(layout, ancilla)
+        circ.gates.extend(sub.gates)
+    for ancilla in lattice.z_ancillas:
+        sub = build_z_stabilizer_circuit(layout, ancilla)
+        circ.gates.extend(sub.gates)
+    return circ
+
+
+@dataclass
+class SyndromeRound:
+    """Executes syndrome extraction on a batched Pauli frame.
+
+    This is the "cycle" of the paper's lifetime simulation: data errors are
+    injected between rounds, then the stabilizer circuits run and the
+    measurement record is assembled into X/Z syndrome vectors.
+    """
+
+    lattice: SurfaceLattice
+    layout: QubitLayout = None  # type: ignore[assignment]
+    circuit: Circuit = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.layout is None:
+            self.layout = QubitLayout(self.lattice)
+        if self.circuit is None:
+            self.circuit = build_full_round(self.layout)
+        self._data_indices = np.array(
+            [self.layout.index(q) for q in self.lattice.data_qubits], dtype=int
+        )
+
+    def new_frame(self, batch: int) -> PauliFrame:
+        return PauliFrame(self.layout.n_qubits, batch)
+
+    def inject_data_errors(
+        self, frame: PauliFrame, x_bits: np.ndarray, z_bits: np.ndarray
+    ) -> None:
+        """XOR ``(batch, n_data)`` X/Z error blocks onto the data qubits."""
+        frame.inject_pauli_arrays(self._data_indices, x_bits, z_bits)
+
+    def measure(
+        self, frame: PauliFrame, rng: Optional[np.random.Generator] = None,
+        measurement_flip_rate: float = 0.0,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Run one extraction round; return (x_syndrome, z_syndrome).
+
+        Shapes are ``(batch, n_x_ancillas)`` and ``(batch, n_z_ancillas)``.
+        ``measurement_flip_rate`` adds classical readout flips (circuit-level
+        extension; the paper's headline model keeps this at zero).
+        """
+        records = run_circuit(self.circuit, frame)
+        x_syn = self._collect(records, "X", self.lattice.x_ancillas, frame.batch)
+        z_syn = self._collect(records, "Z", self.lattice.z_ancillas, frame.batch)
+        if measurement_flip_rate > 0.0:
+            if rng is None:
+                raise ValueError("rng required when measurement_flip_rate > 0")
+            x_syn ^= (rng.random(x_syn.shape) < measurement_flip_rate).astype(np.uint8)
+            z_syn ^= (rng.random(z_syn.shape) < measurement_flip_rate).astype(np.uint8)
+        return x_syn, z_syn
+
+    def _collect(
+        self,
+        records: Dict[str, np.ndarray],
+        kind: str,
+        ancillas: Tuple[Coord, ...],
+        batch: int,
+    ) -> np.ndarray:
+        out = np.zeros((batch, len(ancillas)), dtype=np.uint8)
+        for i, anc in enumerate(ancillas):
+            out[:, i] = records[_ancilla_key(kind, anc)]
+        return out
+
+    def data_frame_views(self, frame: PauliFrame) -> Tuple[np.ndarray, np.ndarray]:
+        """Current (x, z) error bits restricted to data qubits."""
+        return (
+            frame.x[:, self._data_indices].copy(),
+            frame.z[:, self._data_indices].copy(),
+        )
+
+
+def gate_count_per_round(lattice: SurfaceLattice) -> Dict[str, int]:
+    """Instruction census of one extraction round (used in docs/tests)."""
+    layout = QubitLayout(lattice)
+    circ = build_full_round(layout)
+    counts: Dict[str, int] = {}
+    for gate in circ.gates:
+        counts[gate.name] = counts.get(gate.name, 0) + 1
+    return counts

@@ -1,0 +1,111 @@
+"""ASCII rendering of surface-code lattices, errors, syndromes and chains.
+
+Used by the examples and invaluable when debugging the mesh decoder: the
+paper's Figs. 2, 4, 7 and 8 are all small lattice diagrams, and this module
+reproduces them in text form.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+import numpy as np
+
+from .lattice import Coord, SurfaceLattice, is_data, is_x_ancilla
+
+#: glyphs: data qubit, X ancilla, Z ancilla
+_BASE = {"data": ".", "x_anc": "x", "z_anc": "z"}
+
+
+def render_lattice(
+    lattice: SurfaceLattice,
+    z_errors: Optional[np.ndarray] = None,
+    x_errors: Optional[np.ndarray] = None,
+    hot_x_syndromes: Optional[Iterable[Coord]] = None,
+    hot_z_syndromes: Optional[Iterable[Coord]] = None,
+    chain: Optional[Iterable[Coord]] = None,
+    legend: bool = True,
+) -> str:
+    """Render the lattice with overlays.
+
+    Overlay precedence (highest first): chain ``#``, hot syndrome ``!``,
+    error ``E`` (``Y`` when both X and Z), then the base glyph.
+    """
+    hot: Set[Coord] = set(hot_x_syndromes or []) | set(hot_z_syndromes or [])
+    chain_set: Set[Coord] = set(chain or [])
+    err_z: Set[Coord] = set()
+    err_x: Set[Coord] = set()
+    if z_errors is not None:
+        err_z = set(lattice.coords_from_data_vector(np.asarray(z_errors)))
+    if x_errors is not None:
+        err_x = set(lattice.coords_from_data_vector(np.asarray(x_errors)))
+
+    rows = []
+    header = "    " + " ".join(f"{c % 10}" for c in range(lattice.size))
+    rows.append(header)
+    for r in range(lattice.size):
+        cells = []
+        for c in range(lattice.size):
+            coord = (r, c)
+            cells.append(_glyph(coord, hot, chain_set, err_x, err_z))
+        rows.append(f"{r:>3} " + " ".join(cells))
+    if legend:
+        rows.append("")
+        rows.append(
+            "legend: . data  x X-ancilla  z Z-ancilla  E error (Y=both)"
+            "  ! hot syndrome  # chain"
+        )
+    return "\n".join(rows)
+
+
+def _glyph(
+    coord: Coord,
+    hot: Set[Coord],
+    chain: Set[Coord],
+    err_x: Set[Coord],
+    err_z: Set[Coord],
+) -> str:
+    if coord in chain:
+        return "#"
+    if coord in hot:
+        return "!"
+    if coord in err_x and coord in err_z:
+        return "Y"
+    if coord in err_x or coord in err_z:
+        return "E"
+    if is_data(coord):
+        return _BASE["data"]
+    if is_x_ancilla(coord):
+        return _BASE["x_anc"]
+    return _BASE["z_anc"]
+
+
+def render_syndrome_only(lattice: SurfaceLattice, x_syndrome: np.ndarray) -> str:
+    """Compact view showing only hot X-ancilla positions."""
+    hot = set(lattice.x_syndrome_coords(np.asarray(x_syndrome)))
+    return render_lattice(lattice, hot_x_syndromes=hot, legend=False)
+
+
+def describe_decode(
+    lattice: SurfaceLattice,
+    z_errors: np.ndarray,
+    correction: np.ndarray,
+) -> str:
+    """Three-panel before/correction/after view for a Z-error decode."""
+    syndrome = lattice.syndrome_of_z_errors(z_errors)
+    residual = (np.asarray(z_errors) ^ np.asarray(correction)) % 2
+    panels = [
+        "-- injected errors + syndrome --",
+        render_lattice(
+            lattice,
+            z_errors=z_errors,
+            hot_x_syndromes=lattice.x_syndrome_coords(syndrome),
+            legend=False,
+        ),
+        "-- correction --",
+        render_lattice(lattice, z_errors=correction, legend=False),
+        "-- residual --",
+        render_lattice(lattice, z_errors=residual, legend=False),
+        f"logical failure: {bool(lattice.logical_z_failure(residual))}",
+    ]
+    return "\n".join(panels)

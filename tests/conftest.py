@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.surface.lattice import SurfaceLattice
+
+
+@pytest.fixture(scope="session")
+def lattice3():
+    return SurfaceLattice(3)
+
+
+@pytest.fixture(scope="session")
+def lattice5():
+    return SurfaceLattice(5)
+
+
+@pytest.fixture(scope="session")
+def lattice7():
+    return SurfaceLattice(7)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

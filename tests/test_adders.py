@@ -1,0 +1,92 @@
+"""Functional and statistical tests for the benchmark adders."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.adders import cuccaro_adder, takahashi_adder
+from repro.circuits.decompose import decomposed_counts
+from repro.circuits.reversible_sim import run_on_registers
+
+
+class TestCuccaroFunctional:
+    def test_exhaustive_3bit(self):
+        layout = cuccaro_adder(3)
+        for a, b, cin in itertools.product(range(8), range(8), range(2)):
+            out = run_on_registers(
+                layout.circuit, layout.registers, {"a": a, "b": b, "cin": cin}
+            )
+            total = a + b + cin
+            assert out["b"] == total % 8
+            assert out["cout"] == total // 8
+            assert out["a"] == a  # operand restored
+            assert out["cin"] == cin
+
+    @given(st.integers(0, 2**20 - 1), st.integers(0, 2**20 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_random_20bit(self, a, b):
+        layout = cuccaro_adder(20)
+        out = run_on_registers(layout.circuit, layout.registers, {"a": a, "b": b})
+        assert out["b"] == (a + b) % 2**20
+        assert out["cout"] == (a + b) // 2**20
+        assert out["a"] == a
+
+    def test_carry_in(self):
+        layout = cuccaro_adder(4)
+        out = run_on_registers(
+            layout.circuit, layout.registers, {"a": 7, "b": 8, "cin": 1}
+        )
+        assert out["b"] == 0 and out["cout"] == 1
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            cuccaro_adder(0)
+
+
+class TestTakahashiFunctional:
+    def test_exhaustive_3bit(self):
+        layout = takahashi_adder(3)
+        for a, b in itertools.product(range(8), range(8)):
+            out = run_on_registers(
+                layout.circuit, layout.registers, {"a": a, "b": b}
+            )
+            assert out["b"] == (a + b) % 8
+            assert out["a"] == a
+
+    def test_exhaustive_4bit(self):
+        layout = takahashi_adder(4)
+        for a, b in itertools.product(range(16), range(16)):
+            out = run_on_registers(
+                layout.circuit, layout.registers, {"a": a, "b": b}
+            )
+            assert out["b"] == (a + b) % 16
+            assert out["a"] == a
+
+    @given(st.integers(0, 2**20 - 1), st.integers(0, 2**20 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_random_20bit(self, a, b):
+        layout = takahashi_adder(20)
+        out = run_on_registers(layout.circuit, layout.registers, {"a": a, "b": b})
+        assert out["b"] == (a + b) % 2**20
+        assert out["a"] == a
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            takahashi_adder(1)
+
+
+class TestTableICounts:
+    def test_cuccaro_t_count_matches_paper(self):
+        counts = decomposed_counts(cuccaro_adder(20).circuit)
+        assert counts == {"qubits": 42, "total_gates": 681, "t_gates": 280}
+
+    def test_takahashi_t_count_matches_paper(self):
+        counts = decomposed_counts(takahashi_adder(20).circuit)
+        assert counts["qubits"] == 40
+        assert counts["t_gates"] == 266
+
+    def test_toffoli_budgets(self):
+        assert cuccaro_adder(20).circuit.toffoli_count == 40  # 2n
+        assert takahashi_adder(20).circuit.toffoli_count == 38  # 2(n-1)

@@ -1,0 +1,115 @@
+"""Backlog-model tests (paper section III, Fig. 5)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.gates import QCircuit
+from repro.runtime.backlog import (
+    BacklogParameters,
+    log10_overhead_factor,
+    overhead_factor,
+    simulate_backlog,
+    simulate_circuit_backlog,
+)
+
+
+class TestParameters:
+    def test_f_ratio(self):
+        params = BacklogParameters(400.0, 800.0)
+        assert params.f_ratio == 2.0
+
+    def test_with_ratio(self):
+        params = BacklogParameters(400.0, 800.0).with_ratio(0.5)
+        assert params.decode_time_ns == 200.0
+
+
+class TestNoBacklogRegime:
+    @given(st.floats(0.05, 1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_f_leq_1_has_no_overhead(self, f):
+        params = BacklogParameters(400.0, 400.0 * f)
+        result = simulate_backlog(100, list(range(0, 100, 7)), params)
+        assert result.wall_time_ns == pytest.approx(result.compute_time_ns)
+
+    def test_no_t_gates_no_overhead(self):
+        params = BacklogParameters(400.0, 4000.0)  # f = 10, but no T gates
+        result = simulate_backlog(50, [], params)
+        assert result.overhead == pytest.approx(1.0)
+
+
+class TestExponentialRegime:
+    def test_wall_clock_multiplies_by_f(self):
+        """Each T gate multiplies the wall clock by ~f (paper's proof).
+
+        Early T gates exceed f (the inter-gate compute still matters);
+        the ratio decreases monotonically toward f as stalls dominate.
+        """
+        params = BacklogParameters(400.0, 800.0)
+        result = simulate_backlog(
+            120, list(range(9, 120, 10)), params, keep_trace=True
+        )
+        walls = result.trace.wall_time_ns
+        ratios = [walls[i] / walls[i - 1] for i in range(1, len(walls))]
+        assert all(r >= params.f_ratio for r in ratios)
+        assert all(a >= b for a, b in zip(ratios, ratios[1:]))
+        assert ratios[-1] == pytest.approx(params.f_ratio, rel=0.02)
+
+    def test_overhead_grows_with_t_count(self):
+        params = BacklogParameters(400.0, 800.0)
+        few = simulate_backlog(40, [10, 30], params)
+        many = simulate_backlog(40, list(range(0, 40, 4)), params)
+        assert many.overhead > few.overhead
+
+    def test_stalls_recorded(self):
+        params = BacklogParameters(400.0, 800.0)
+        result = simulate_backlog(30, [5, 15, 25], params, keep_trace=True)
+        assert all(s >= 0 for s in result.trace.stall_ns)
+        assert result.trace.stall_ns[-1] > result.trace.stall_ns[0]
+
+    def test_saturation_flag(self):
+        params = BacklogParameters(400.0, 1200.0)  # f = 3
+        result = simulate_backlog(3000, list(range(0, 3000, 2)), params)
+        assert result.saturated
+
+    def test_position_validation(self):
+        params = BacklogParameters()
+        with pytest.raises(ValueError):
+            simulate_backlog(10, [20], params)
+
+
+class TestCircuitInterface:
+    def test_circuit_positions(self):
+        circ = QCircuit(2)
+        circ.add("H", 0)
+        circ.add("T", 0)
+        circ.add("CX", 0, 1)
+        circ.add("T", 1)
+        params = BacklogParameters(400.0, 800.0)
+        result = simulate_circuit_backlog(circ, params)
+        assert result.n_t_gates == 2
+        assert result.n_gates == 4
+
+
+class TestAnalyticFactors:
+    def test_matches_simulation_order(self):
+        """Analytic f^k tracks the simulated overhead's magnitude."""
+        f, k = 1.5, 20
+        params = BacklogParameters(400.0, 400.0 * f)
+        result = simulate_backlog(
+            10 * k, list(range(5, 10 * k, 10)), params
+        )
+        analytic = overhead_factor(f, k)
+        assert 0.1 < result.overhead / analytic < 10.0
+
+    def test_log_form(self):
+        assert log10_overhead_factor(2.0, 100) == pytest.approx(
+            100 * math.log10(2.0)
+        )
+        assert log10_overhead_factor(0.5, 100) == 0.0
+
+    def test_overflow_saturates(self):
+        assert overhead_factor(10.0, 1000) == float("inf")
+        assert overhead_factor(0.9, 1000) == 1.0

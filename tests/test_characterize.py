@@ -1,0 +1,112 @@
+"""Characterization and cryostat-budget tests (Table III, section VIII)."""
+
+import pytest
+
+from repro.sfq.characterize import (
+    PAPER_TABLE3,
+    characterize_module,
+    distances_to_modules,
+    mesh_totals,
+    paper_mesh_totals,
+)
+from repro.sfq.refrigerator import (
+    CryostatBudget,
+    capacity_for_edge,
+    max_mesh_edge,
+    paper_d9_rollup,
+    plan_mesh,
+)
+
+
+@pytest.fixture(scope="module")
+def char():
+    return characterize_module()
+
+
+class TestModuleCharacterization:
+    def test_all_reports_present(self, char):
+        assert {"grow", "pair_req", "pair_grant", "grant_relay", "pair",
+                "reset_keep", "full_module"} <= set(char.reports)
+
+    def test_metrics_positive(self, char):
+        for report in char.reports.values():
+            assert report.logic_depth > 0
+            assert report.latency_ps > 0
+            assert report.area_um2 > 0
+            assert report.jj_count > 0
+            assert report.power_paper_uw > 0
+
+    def test_full_module_dominates_subcircuits(self, char):
+        full = char.full_module
+        for name, report in char.reports.items():
+            if name == "full_module":
+                continue
+            assert full.area_um2 > report.area_um2
+
+    def test_same_order_of_magnitude_as_paper(self, char):
+        """Area within ~3x, power within ~4x of Table III's full module."""
+        full = char.full_module
+        paper = PAPER_TABLE3["full_module"]
+        assert paper["area_um2"] / 3 < full.area_um2 < paper["area_um2"] * 3
+        assert paper["power_uw"] / 4 < full.power_paper_uw < paper["power_uw"] * 4
+
+    def test_cycle_time_scale(self, char):
+        """Module clock period lands in the paper's 100-200 ps regime."""
+        assert 50.0 < char.cycle_time_ps < 250.0
+
+    def test_table_renders(self, char):
+        text = char.table()
+        assert "full_module" in text and "Paper Table III" in text
+
+
+class TestMeshTotals:
+    def test_distance_modules(self):
+        assert distances_to_modules(9) == 289
+
+    def test_paper_d9_numbers(self):
+        roll = paper_mesh_totals(289)
+        assert roll["area_mm2"] == pytest.approx(369.72, abs=0.01)
+        assert roll["power_mw_paper"] == pytest.approx(3.78, abs=0.01)
+
+    def test_mesh_scaling_linear(self, char):
+        one = mesh_totals(char.full_module, 1)
+        many = mesh_totals(char.full_module, 100)
+        assert many["area_mm2"] == pytest.approx(100 * one["area_mm2"])
+
+
+class TestRefrigerator:
+    def test_paper_module_mesh_edge(self):
+        """Paper: an 87x87 mesh fits the 4K stage; we get 87-89."""
+        plan = plan_mesh(use_paper_module=True)
+        assert 85 <= plan.mesh_edge <= 90
+        assert plan.max_single_distance >= 43
+
+    def test_d5_patch_capacity(self):
+        plan = plan_mesh(use_paper_module=True)
+        # paper: ~100 distance-5 qubits
+        assert 60 <= plan.patches_by_distance[5] <= 130
+
+    def test_power_constrained_budget(self):
+        tiny = CryostatBudget(power_budget_w=1e-4, area_budget_mm2=1e9)
+        edge = max_mesh_edge(1279320, 13.08, tiny)
+        assert edge == int((1e-4 * 1e6 / 13.08) ** 0.5)
+
+    def test_area_constrained_budget(self):
+        tiny = CryostatBudget(power_budget_w=1e9, area_budget_mm2=100.0)
+        edge = max_mesh_edge(1279320, 13.08, tiny)
+        assert edge == int((100.0 * 1e6 / 1279320) ** 0.5)
+
+    def test_invalid_module(self):
+        with pytest.raises(ValueError):
+            max_mesh_edge(0, 1, CryostatBudget())
+
+    def test_capacity_geometry(self):
+        cap = capacity_for_edge(27, 1e6, 10.0)
+        assert cap.total_modules == 729
+        assert cap.max_single_distance == 14
+        assert cap.patches_by_distance[5] == (27 // 9) ** 2
+
+    def test_paper_rollup(self):
+        roll = paper_d9_rollup()
+        assert roll["modules"] == 289
+        assert roll["area_mm2"] == pytest.approx(369.72, abs=0.01)

@@ -1,0 +1,95 @@
+"""Fig. 11 comparison-model tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sqv.comparison import (
+    DEFAULT_T_GATES,
+    FIG11_PROFILES,
+    DecoderProfile,
+    per_gate_budget_log10,
+    required_distance,
+    run_comparison,
+)
+
+
+def profile(name):
+    return next(p for p in FIG11_PROFILES if p.name == name)
+
+
+class TestBudget:
+    def test_online_budget(self):
+        sfq = profile("sfq_decoder")
+        assert per_gate_budget_log10(sfq, k=100, epsilon=0.5) == pytest.approx(
+            math.log10(0.005)
+        )
+
+    def test_offline_budget_collapses_exponentially(self):
+        mwpm = profile("mwpm")
+        b = per_gate_budget_log10(mwpm, k=100, epsilon=0.5)
+        assert b < -25  # ~ -k log10(f) = -30.1
+
+    def test_no_backlog_profile_is_online(self):
+        ideal = profile("mwpm_no_backlog")
+        assert ideal.f_ratio() == 0.0
+        assert per_gate_budget_log10(ideal) == pytest.approx(math.log10(0.005))
+
+
+class TestRequiredDistance:
+    def test_above_threshold_is_impossible(self):
+        sfq = profile("sfq_decoder")
+        assert required_distance(sfq, 0.06) is None
+
+    def test_monotone_in_p(self):
+        mwpm = profile("mwpm")
+        ds = [required_distance(mwpm, p) for p in (1e-5, 1e-4, 1e-3, 1e-2)]
+        assert all(a <= b for a, b in zip(ds, ds[1:]))
+
+    def test_distances_are_odd(self):
+        for p in (1e-5, 1e-3, 1e-2):
+            for prof in FIG11_PROFILES:
+                d = required_distance(prof, p)
+                if d is not None:
+                    assert d % 2 == 1 and d >= 3
+
+    def test_backlog_demands_more_distance(self):
+        with_backlog = profile("mwpm")
+        without = profile("mwpm_no_backlog")
+        for p in (1e-4, 1e-3, 1e-2):
+            assert required_distance(with_backlog, p) > required_distance(
+                without, p
+            )
+
+    def test_cap(self):
+        mwpm = profile("mwpm")
+        assert required_distance(mwpm, 0.1, d_cap=100) is None
+
+
+class TestStudy:
+    def test_ten_x_claim(self):
+        """Median reduction vs offline MWPM lands near the paper's 10x."""
+        study = run_comparison()
+        reductions = [r for r in study.reduction_factor() if r is not None]
+        assert 5.0 <= float(np.median(reductions)) <= 15.0
+
+    def test_sfq_needs_least_distance(self):
+        study = run_comparison(physical_rates=[1e-4, 1e-3])
+        for i in range(2):
+            sfq = study.required["sfq_decoder"][i]
+            for name in ("mwpm", "neural_net", "union_find"):
+                assert sfq <= study.required[name][i]
+
+    def test_table_renders(self):
+        study = run_comparison(physical_rates=[1e-3])
+        assert "sfq_decoder" in study.table()
+
+    def test_custom_profile(self):
+        prof = DecoderProfile("x", p_th=0.05, c1=0.03, c2=0.5,
+                              decode_time_ns=100.0)
+        assert prof.f_ratio(400.0) == pytest.approx(0.25)
+        assert required_distance(prof, 1e-3) is not None
+
+    def test_default_t_gate_count(self):
+        assert DEFAULT_T_GATES == 100

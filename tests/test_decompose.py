@@ -1,0 +1,86 @@
+"""Toffoli decomposition tests."""
+
+import pytest
+
+from repro.circuits.catalog import PAPER_TABLE1, benchmark_suite, table1
+from repro.circuits.decompose import (
+    TOFFOLI_T_COUNT,
+    TOFFOLI_TOTAL_GATES,
+    decompose_toffolis,
+    decomposed_counts,
+)
+from repro.circuits.gates import QCircuit
+
+
+class TestDecomposition:
+    def _toffoli(self):
+        circ = QCircuit(3)
+        circ.add("CCX", 0, 1, 2)
+        return circ
+
+    def test_no_ccx_after_decomposition(self):
+        out = decompose_toffolis(self._toffoli())
+        assert out.toffoli_count == 0
+
+    def test_standard_budget(self):
+        out = decompose_toffolis(self._toffoli())
+        assert out.t_count == TOFFOLI_T_COUNT == 7
+        assert out.total_gates == TOFFOLI_TOTAL_GATES == 15
+        census = out.gate_census()
+        assert census["CX"] == 6
+        assert census["H"] == 2
+
+    def test_non_toffoli_gates_pass_through(self):
+        circ = QCircuit(3)
+        circ.add("H", 0)
+        circ.add("CCX", 0, 1, 2)
+        circ.add("T", 1)
+        out = decompose_toffolis(circ)
+        assert out.total_gates == 1 + 15 + 1
+        assert out.t_count == 7 + 1
+
+    def test_analytic_matches_explicit(self):
+        circ = QCircuit(4)
+        circ.add("CCX", 0, 1, 2)
+        circ.add("CX", 2, 3)
+        circ.add("CCX", 1, 2, 3)
+        circ.add("TDG", 0)
+        analytic = decomposed_counts(circ)
+        explicit = decompose_toffolis(circ)
+        assert analytic["total_gates"] == explicit.total_gates
+        assert analytic["t_gates"] == explicit.t_count
+
+
+class TestCatalog:
+    def test_suite_covers_table1(self):
+        names = {e.name for e in benchmark_suite()}
+        assert names == set(PAPER_TABLE1)
+
+    def test_qubit_counts_match_paper(self):
+        for entry in benchmark_suite():
+            if entry.name == "cnx_log_depth":
+                assert abs(entry.qubits - entry.paper["qubits"]) <= 1
+            else:
+                assert entry.qubits == entry.paper["qubits"]
+
+    def test_t_counts_match_paper_exactly_for_four(self):
+        exact = 0
+        for entry in benchmark_suite():
+            if entry.t_gates == entry.paper["t_gates"]:
+                exact += 1
+        assert exact >= 4
+
+    def test_total_gates_same_scale(self):
+        for entry in benchmark_suite():
+            assert 0.5 < entry.total_gates / entry.paper["total_gates"] < 1.5
+
+    def test_table_renders(self):
+        text = table1()
+        for name in PAPER_TABLE1:
+            assert name in text
+
+    def test_unknown_benchmark(self):
+        from repro.circuits.catalog import build_benchmark
+
+        with pytest.raises(ValueError):
+            build_benchmark("shor")

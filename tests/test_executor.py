@@ -1,0 +1,88 @@
+"""Execution-time study tests (paper Fig. 6)."""
+
+import math
+
+import pytest
+
+from repro.circuits.catalog import build_benchmark
+from repro.runtime.executor import (
+    default_ratio_grid,
+    mcnot_example,
+    run_benchmark_study,
+)
+from repro.runtime.latency import (
+    MWPM_LATENCY,
+    NEURAL_NET_LATENCY,
+    UNION_FIND_LATENCY,
+    ConstantLatency,
+)
+
+
+@pytest.fixture(scope="module")
+def small_study():
+    return run_benchmark_study(
+        ratios=[0.5, 1.0, 1.5, 2.0],
+        entries=[build_benchmark("cnx_log_depth")],
+    )
+
+
+class TestRuntimeStudy:
+    def test_flat_below_one(self, small_study):
+        curve = small_study.curves[0]
+        assert curve.wall_seconds[0] == pytest.approx(curve.wall_seconds[1])
+
+    def test_explodes_above_one(self, small_study):
+        curve = small_study.curves[0]
+        assert curve.wall_seconds[2] > 1e6 * curve.wall_seconds[1]
+        assert curve.wall_seconds[3] > curve.wall_seconds[2]
+
+    def test_exponent_scales_with_t_count(self):
+        study = run_benchmark_study(
+            ratios=[2.0],
+            entries=[
+                build_benchmark("cnx_log_depth"),     # 252 T
+                build_benchmark("barenco_half_dirty_toffoli"),  # 504 T
+            ],
+        )
+        small = math.log10(study.curves[0].wall_seconds[0])
+        large = math.log10(study.curves[1].wall_seconds[0])
+        # twice the T gates -> roughly twice the log-runtime
+        assert 1.5 < large / small < 2.5
+
+    def test_all_benchmarks_present_by_default(self):
+        study = run_benchmark_study(ratios=[0.5])
+        assert len(study.curves) == 5
+
+    def test_table_renders(self, small_study):
+        text = small_study.table()
+        assert "f ratio" in text and "cnx_log_depth" in text
+
+    def test_default_grid_spans_knee(self):
+        grid = default_ratio_grid()
+        assert min(grid) < 1.0 < max(grid)
+
+    def test_log10_view(self, small_study):
+        logs = small_study.curves[0].log10_seconds()
+        assert logs[2] > logs[1]
+
+
+class TestMcnotExample:
+    def test_matches_paper_scale(self):
+        """Paper: ~10^196 s; the recurrence gives the same magnitude."""
+        example = mcnot_example()
+        assert 180 < example["log10_wall_seconds"] < 220
+
+    def test_fast_decoder_is_fine(self):
+        example = mcnot_example(f=0.05)
+        assert example["log10_wall_seconds"] < 0
+
+
+class TestLatencyProfiles:
+    def test_published_ratios(self):
+        assert MWPM_LATENCY.ratio(400.0) == pytest.approx(2.0)
+        assert NEURAL_NET_LATENCY.ratio(400.0) == pytest.approx(2.0)
+        assert UNION_FIND_LATENCY.ratio(400.0) > 2.0
+
+    def test_constant_latency_stats(self):
+        lat = ConstantLatency("x", 100.0)
+        assert lat.mean_ns() == lat.max_ns() == 100.0

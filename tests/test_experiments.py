@@ -1,0 +1,88 @@
+"""Experiment-registry tests: every paper artifact has a runner."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    all_experiment_ids,
+    get_runner,
+    run_experiment,
+)
+
+EXPECTED_IDS = {
+    "table1", "table2", "table3", "table4", "table5",
+    "fig1", "fig5", "fig6", "fig10_top", "fig10a", "fig10c", "fig11",
+    "mesh_budget",
+    # extensions
+    "accuracy", "temporal", "mesh_ablation", "depolarizing",
+}
+
+FAST_IDS = ["table1", "table2", "table3", "fig1", "fig5", "fig6", "fig11",
+            "mesh_budget"]
+
+
+class TestRegistry:
+    def test_all_artifacts_covered(self):
+        assert set(all_experiment_ids()) == EXPECTED_IDS
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            get_runner("fig99")
+
+    def test_config_scaling(self):
+        config = ExperimentConfig(trials=1000)
+        assert config.scaled(0.5).trials == 500
+        assert config.scaled(0.0001).trials == 100  # floor
+
+
+@pytest.mark.parametrize("experiment_id", FAST_IDS)
+def test_fast_experiments_run(experiment_id):
+    result = run_experiment(experiment_id, ExperimentConfig(trials=100))
+    assert result.experiment_id == experiment_id
+    assert result.text
+    rendered = result.render()
+    assert "reproduces:" in rendered
+
+
+class TestExtensionExperiments:
+    """Cheap-config smoke runs of the extension experiments."""
+
+    def test_accuracy(self):
+        result = run_experiment("accuracy", ExperimentConfig(trials=150))
+        assert any("mesh" in row for row in result.rows)
+
+    def test_temporal(self):
+        result = run_experiment("temporal", ExperimentConfig(trials=400))
+        rows = {(r["q"], r["window"]): r for r in result.rows}
+        assert (0.05, 3) in rows
+
+    def test_mesh_ablation(self):
+        result = run_experiment("mesh_ablation", ExperimentConfig(trials=200))
+        assert all(row["nonconverged"] == 0 for row in result.rows)
+
+    def test_depolarizing(self):
+        config = ExperimentConfig(trials=120, distances=(3,))
+        result = run_experiment("depolarizing", config)
+        assert "pseudo-thresholds" in result.text
+
+
+class TestMonteCarloExperiments:
+    """Cheap-config smoke runs of the heavy experiments."""
+
+    def test_table4(self):
+        config = ExperimentConfig(trials=100, distances=(3, 5))
+        result = run_experiment("table4", config)
+        assert len(result.rows) == 2
+        assert all(row["max_ns"] > 0 for row in result.rows)
+
+    def test_fig10c(self):
+        config = ExperimentConfig(trials=100, distances=(3,))
+        result = run_experiment("fig10c", config)
+        assert len(result.rows) == 21  # cycles 0..20
+
+    def test_table5_and_fig10a(self):
+        config = ExperimentConfig(trials=150, distances=(3, 5))
+        fig = run_experiment("fig10a", config)
+        assert "pseudo-thresholds" in fig.text
+        tab = run_experiment("table5", config)
+        assert any("c2" in key for row in tab.rows for key in row)

@@ -1,0 +1,131 @@
+"""Cross-module integration tests: full pipelines end to end."""
+
+import numpy as np
+import pytest
+
+from repro.decoders import (
+    GreedyMatchingDecoder,
+    LookupDecoder,
+    MWPMDecoder,
+    SFQMeshDecoder,
+    UnionFindDecoder,
+)
+from repro.decoders.sfq_mesh import MeshConfig
+from repro.montecarlo import run_trials
+from repro.noise.models import DephasingChannel
+from repro.runtime.backlog import BacklogParameters, simulate_circuit_backlog
+from repro.runtime.latency import measure_mesh_latency
+from repro.circuits.catalog import build_benchmark
+from repro.circuits.decompose import decompose_toffolis
+from repro.sfq.characterize import characterize_module
+from repro.sqv.scaling import fit_sweep
+from repro.montecarlo.thresholds import run_threshold_sweep
+from repro.surface.lattice import SurfaceLattice
+
+
+class TestDecoderPipeline:
+    """Sample -> syndrome -> decode -> verify, across every backend."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda lat: SFQMeshDecoder(lat),
+            lambda lat: MWPMDecoder(lat),
+            lambda lat: UnionFindDecoder(lat),
+            lambda lat: GreedyMatchingDecoder(lat),
+            lambda lat: LookupDecoder(lat),
+        ],
+        ids=["mesh", "mwpm", "unionfind", "greedy", "lookup"],
+    )
+    def test_d3_end_to_end(self, factory, rng):
+        lattice = SurfaceLattice(3)
+        decoder = factory(lattice)
+        sample = DephasingChannel().sample(lattice, 0.06, 50, rng)
+        syndromes = lattice.syndrome_of_z_errors(sample.z)
+        for i in range(50):
+            result = decoder.decode(syndromes[i])
+            if result.converged:
+                assert decoder.verify_correction(syndromes[i], result)
+
+    def test_accuracy_ordering_at_moderate_p(self):
+        """MWPM <= mesh-final <= mesh-baseline in logical error rate."""
+        lattice = SurfaceLattice(5)
+        rng = np.random.default_rng(42)
+        sample = DephasingChannel().sample(lattice, 0.04, 1200, rng)
+        syndromes = lattice.syndrome_of_z_errors(sample.z)
+
+        def rate(corrections):
+            return lattice.logical_z_failure(sample.z ^ corrections).mean()
+
+        mesh = SFQMeshDecoder(lattice)
+        base = SFQMeshDecoder(lattice, config=MeshConfig.baseline())
+        mwpm = MWPMDecoder(lattice)
+        r_mesh = rate(mesh.decode_arrays(syndromes).corrections)
+        r_base = rate(base.decode_arrays(syndromes).corrections)
+        mwpm_corr = np.array(
+            [mwpm.decode(s).correction for s in syndromes[:400]]
+        )
+        r_mwpm = lattice.logical_z_failure(
+            sample.z[:400] ^ mwpm_corr
+        ).mean()
+        assert r_mwpm <= r_mesh + 0.02
+        assert r_mesh < r_base
+
+
+class TestHardwareTimingPipeline:
+    def test_mesh_latency_feeds_backlog_model(self):
+        """Measured hardware latency keeps the mesh in the online regime."""
+        lattice = SurfaceLattice(5)
+        latency = measure_mesh_latency(
+            lattice, DephasingChannel(), [0.02, 0.06, 0.1],
+            trials_per_rate=300, seed=1,
+        )
+        ratio = latency.ratio(syndrome_cycle_ns=400.0)
+        assert ratio < 1.0  # online: no backlog
+        # and an offline software decoder at 800 ns explodes:
+        circuit = decompose_toffolis(build_benchmark("cnx_log_depth").circuit)
+        offline = simulate_circuit_backlog(
+            circuit, BacklogParameters(400.0, 800.0)
+        )
+        online = simulate_circuit_backlog(
+            circuit, BacklogParameters(400.0, latency.max_ns())
+        )
+        assert online.overhead == pytest.approx(1.0)
+        assert offline.overhead > 1e30
+
+    def test_characterized_clock_works_in_mesh(self):
+        """The synthesized module clock can drive the mesh decoder."""
+        char = characterize_module()
+        config = MeshConfig.final().with_cycle_time(char.cycle_time_ps)
+        lattice = SurfaceLattice(3)
+        decoder = SFQMeshDecoder(lattice, config=config)
+        syn = lattice.x_syndrome_vector_from_coords([(1, 2), (3, 2)])
+        result = decoder.decode(syn)
+        ns = decoder.cycles_to_ns(np.array([result.cycles]))[0]
+        assert 0 < ns < 100.0
+
+
+class TestScalingPipeline:
+    def test_sweep_to_scaling_law_to_sqv(self):
+        """Monte Carlo -> Table V fit -> Fig. 1 style projection."""
+        sweep = run_threshold_sweep(
+            lambda lat: SFQMeshDecoder(lat),
+            DephasingChannel(),
+            distances=[3, 5],
+            physical_rates=[0.01, 0.02, 0.03, 0.04],
+            trials=2500,
+            seed=9,
+        )
+        laws = fit_sweep(sweep, p_th=0.05)
+        for d, law in laws.items():
+            assert 0.0 < law.c2 < 1.2
+            # projected logical rate at p = 1e-3 is well below physical
+            assert law.logical_error_rate(1e-3) < 1e-3
+
+    def test_trial_result_flows_into_fits(self):
+        lattice = SurfaceLattice(3)
+        result = run_trials(
+            lattice, SFQMeshDecoder(lattice), DephasingChannel(), 0.02,
+            1000, np.random.default_rng(17),
+        )
+        assert result.logical_error_rate < 0.05

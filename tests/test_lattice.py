@@ -1,0 +1,206 @@
+"""Unit and property tests for the surface-code lattice geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.surface.lattice import (
+    SurfaceLattice,
+    is_data,
+    is_x_ancilla,
+    is_z_ancilla,
+)
+
+DISTANCES = st.integers(min_value=2, max_value=8)
+
+
+class TestCounts:
+    @pytest.mark.parametrize("d", [2, 3, 5, 7, 9])
+    def test_total_qubits(self, d):
+        lat = SurfaceLattice(d)
+        assert lat.n_qubits == (2 * d - 1) ** 2
+
+    @pytest.mark.parametrize("d", [2, 3, 5, 7, 9])
+    def test_data_count(self, d):
+        lat = SurfaceLattice(d)
+        assert lat.n_data == d * d + (d - 1) * (d - 1)
+
+    @pytest.mark.parametrize("d", [2, 3, 5, 7, 9])
+    def test_ancilla_counts(self, d):
+        lat = SurfaceLattice(d)
+        assert lat.n_x_ancillas == d * (d - 1)
+        assert lat.n_z_ancillas == d * (d - 1)
+
+    def test_paper_d9_square(self):
+        # The paper: d = 9 corresponds to 289 qubits.
+        assert SurfaceLattice(9).n_qubits == 289
+
+    def test_rejects_small_distance(self):
+        with pytest.raises(ValueError):
+            SurfaceLattice(1)
+
+    @given(DISTANCES)
+    @settings(max_examples=20, deadline=None)
+    def test_partition_is_complete(self, d):
+        lat = SurfaceLattice(d)
+        assert lat.n_data + lat.n_x_ancillas + lat.n_z_ancillas == lat.n_qubits
+
+
+class TestRolePredicates:
+    def test_role_disjointness(self):
+        for r in range(9):
+            for c in range(9):
+                roles = [is_data((r, c)), is_x_ancilla((r, c)), is_z_ancilla((r, c))]
+                assert sum(roles) == 1
+
+    def test_examples(self):
+        assert is_data((0, 0))
+        assert is_data((1, 1))
+        assert is_x_ancilla((1, 0))
+        assert is_z_ancilla((0, 1))
+
+
+class TestStabilizers:
+    def test_bulk_support_size(self, lattice5):
+        bulk = (3, 2)  # interior X ancilla
+        assert len(lattice5.x_stabilizers[bulk]) == 4
+
+    def test_edge_support_size(self, lattice5):
+        # X ancillas on the W/E columns have 3 data neighbours.
+        edge = (1, 0)
+        assert len(lattice5.x_stabilizers[edge]) == 3
+
+    def test_supports_are_data(self, lattice5):
+        for support in lattice5.x_stabilizers.values():
+            assert all(is_data(q) for q in support)
+        for support in lattice5.z_stabilizers.values():
+            assert all(is_data(q) for q in support)
+
+    def test_ancilla_of_data_neighbors(self, lattice5):
+        with pytest.raises(ValueError):
+            lattice5.stabilizer_support((0, 0))
+
+    @given(DISTANCES)
+    @settings(max_examples=10, deadline=None)
+    def test_every_data_qubit_in_some_x_stabilizer(self, d):
+        lat = SurfaceLattice(d)
+        covered = {q for sup in lat.x_stabilizers.values() for q in sup}
+        assert covered == set(lat.data_qubits)
+
+    @given(DISTANCES)
+    @settings(max_examples=10, deadline=None)
+    def test_x_and_z_stabilizers_commute(self, d):
+        """Overlap between any X and Z stabilizer support is even."""
+        lat = SurfaceLattice(d)
+        for xs in lat.x_stabilizers.values():
+            for zs in lat.z_stabilizers.values():
+                assert len(set(xs) & set(zs)) % 2 == 0
+
+
+class TestIncidenceMatrices:
+    def test_shapes(self, lattice5):
+        assert lattice5.h_x.shape == (20, 41)
+        assert lattice5.h_z.shape == (20, 41)
+
+    def test_row_weights(self, lattice5):
+        weights = lattice5.h_x.sum(axis=1)
+        assert set(weights.tolist()) <= {3, 4}
+
+    def test_syndrome_matches_supports(self, lattice5):
+        data = lattice5.data_qubits[7]
+        err = lattice5.data_vector_from_coords([data])
+        syndrome = lattice5.syndrome_of_z_errors(err)
+        hot = set(lattice5.x_syndrome_coords(syndrome))
+        expected = {
+            anc
+            for anc, sup in lattice5.x_stabilizers.items()
+            if data in sup
+        }
+        assert hot == expected
+
+    @given(DISTANCES, st.integers(0, 2**16 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_syndrome_linearity(self, d, bits):
+        lat = SurfaceLattice(d)
+        rng = np.random.default_rng(bits)
+        e1 = rng.integers(0, 2, lat.n_data).astype(np.uint8)
+        e2 = rng.integers(0, 2, lat.n_data).astype(np.uint8)
+        s1 = lat.syndrome_of_z_errors(e1)
+        s2 = lat.syndrome_of_z_errors(e2)
+        s12 = lat.syndrome_of_z_errors(e1 ^ e2)
+        assert np.array_equal(s12, (s1 + s2) % 2)
+
+    def test_batched_syndromes(self, lattice5, rng):
+        errs = rng.integers(0, 2, (10, lattice5.n_data)).astype(np.uint8)
+        batched = lattice5.syndrome_of_z_errors(errs)
+        for i in range(10):
+            assert np.array_equal(
+                batched[i], lattice5.syndrome_of_z_errors(errs[i])
+            )
+
+
+class TestLogicalOperators:
+    @pytest.mark.parametrize("d", [3, 5, 7])
+    def test_logical_weights(self, d):
+        lat = SurfaceLattice(d)
+        assert len(lat.logical_z_support) == d
+        assert len(lat.logical_x_support) == d
+
+    @pytest.mark.parametrize("d", [3, 5, 7])
+    def test_logical_z_has_zero_syndrome(self, d):
+        lat = SurfaceLattice(d)
+        logical = lat.data_vector_from_coords(lat.logical_z_support)
+        assert not lat.syndrome_of_z_errors(logical).any()
+
+    @pytest.mark.parametrize("d", [3, 5, 7])
+    def test_logical_x_has_zero_syndrome(self, d):
+        lat = SurfaceLattice(d)
+        logical = lat.data_vector_from_coords(lat.logical_x_support)
+        assert not lat.syndrome_of_x_errors(logical).any()
+
+    @pytest.mark.parametrize("d", [3, 5, 7])
+    def test_logicals_anticommute(self, d):
+        lat = SurfaceLattice(d)
+        overlap = set(lat.logical_z_support) & set(lat.logical_x_support)
+        assert len(overlap) % 2 == 1
+
+    def test_logical_failure_detects_logical(self, lattice5):
+        logical = lattice5.data_vector_from_coords(lattice5.logical_z_support)
+        assert lattice5.logical_z_failure(logical)
+
+    def test_logical_failure_ignores_stabilizers(self, lattice5):
+        for support in lattice5.z_stabilizers.values():
+            stab = lattice5.data_vector_from_coords(support)
+            assert not lattice5.logical_z_failure(stab)
+
+    @given(DISTANCES, st.integers(0, 2**16 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_failure_invariant_under_z_stabilizers(self, d, seed):
+        """Multiplying by Z stabilizers never changes the verdict."""
+        lat = SurfaceLattice(d)
+        rng = np.random.default_rng(seed)
+        residual = rng.integers(0, 2, lat.n_data).astype(np.uint8)
+        verdict = lat.logical_z_failure(residual)
+        anc = lat.z_ancillas[rng.integers(len(lat.z_ancillas))]
+        stab = lat.data_vector_from_coords(lat.z_stabilizers[anc])
+        assert lat.logical_z_failure(residual ^ stab) == verdict
+
+
+class TestCoordinateConversions:
+    def test_round_trip(self, lattice5, rng):
+        vec = rng.integers(0, 2, lattice5.n_data).astype(np.uint8)
+        coords = lattice5.coords_from_data_vector(vec)
+        back = lattice5.data_vector_from_coords(coords)
+        assert np.array_equal(vec, back)
+
+    def test_duplicate_coords_cancel(self, lattice5):
+        q = lattice5.data_qubits[0]
+        vec = lattice5.data_vector_from_coords([q, q])
+        assert not vec.any()
+
+    def test_syndrome_coord_round_trip(self, lattice5, rng):
+        vec = rng.integers(0, 2, lattice5.n_x_ancillas).astype(np.uint8)
+        coords = lattice5.x_syndrome_coords(vec)
+        back = lattice5.x_syndrome_vector_from_coords(coords)
+        assert np.array_equal(vec, back)

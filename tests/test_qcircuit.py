@@ -1,0 +1,72 @@
+"""Quantum-circuit IR tests."""
+
+import pytest
+
+from repro.circuits.gates import QCircuit, QGate
+
+
+class TestGateValidation:
+    def test_unknown_gate(self):
+        with pytest.raises(ValueError):
+            QGate("RY", (0,))
+
+    def test_arity(self):
+        with pytest.raises(ValueError):
+            QGate("CCX", (0, 1))
+
+    def test_duplicate_operands(self):
+        with pytest.raises(ValueError):
+            QGate("CX", (1, 1))
+
+    def test_range_check(self):
+        circ = QCircuit(2)
+        with pytest.raises(ValueError):
+            circ.add("X", 5)
+
+
+class TestStatistics:
+    def _sample(self):
+        circ = QCircuit(3, name="sample")
+        circ.add("H", 0)
+        circ.add("T", 0)
+        circ.add("CX", 0, 1)
+        circ.add("TDG", 1)
+        circ.add("CCX", 0, 1, 2)
+        return circ
+
+    def test_counts(self):
+        circ = self._sample()
+        assert circ.total_gates == 5
+        assert circ.t_count == 2
+        assert circ.toffoli_count == 1
+
+    def test_census(self):
+        census = self._sample().gate_census()
+        assert census == {"H": 1, "T": 1, "CX": 1, "TDG": 1, "CCX": 1}
+
+    def test_t_positions(self):
+        assert self._sample().t_gate_positions() == [1, 3]
+
+    def test_extend(self):
+        a = self._sample()
+        b = QCircuit(3)
+        b.extend(a.gates)
+        assert b.total_gates == a.total_gates
+
+
+class TestInverse:
+    def test_inverse_reverses_and_daggers(self):
+        circ = QCircuit(2)
+        circ.add("T", 0)
+        circ.add("CX", 0, 1)
+        circ.add("S", 1)
+        inv = circ.inverse()
+        names = [g.name for g in inv.gates]
+        assert names == ["SDG", "CX", "TDG"]
+
+    def test_double_inverse_is_identity(self):
+        circ = QCircuit(2)
+        circ.add("T", 0)
+        circ.add("H", 1)
+        twice = circ.inverse().inverse()
+        assert [g.name for g in twice.gates] == [g.name for g in circ.gates]

@@ -1,0 +1,70 @@
+"""Reversible-simulator tests."""
+
+import pytest
+
+from repro.circuits.gates import QCircuit
+from repro.circuits.reversible_sim import (
+    bits_to_int,
+    int_to_bits,
+    is_reversible_core,
+    run_on_registers,
+    simulate,
+)
+
+
+class TestBitHelpers:
+    def test_round_trip(self):
+        for v in (0, 1, 5, 127, 255):
+            assert bits_to_int(int_to_bits(v, 8)) == v
+
+    def test_little_endian(self):
+        assert int_to_bits(1, 3) == [1, 0, 0]
+        assert int_to_bits(4, 3) == [0, 0, 1]
+
+
+class TestSimulate:
+    def test_x(self):
+        circ = QCircuit(1)
+        circ.add("X", 0)
+        assert simulate(circ, [0]) == [1]
+
+    def test_cx(self):
+        circ = QCircuit(2)
+        circ.add("CX", 0, 1)
+        assert simulate(circ, [1, 0]) == [1, 1]
+        assert simulate(circ, [0, 0]) == [0, 0]
+
+    def test_ccx(self):
+        circ = QCircuit(3)
+        circ.add("CCX", 0, 1, 2)
+        assert simulate(circ, [1, 1, 0]) == [1, 1, 1]
+        assert simulate(circ, [1, 0, 0]) == [1, 0, 0]
+
+    def test_rejects_non_reversible(self):
+        circ = QCircuit(1)
+        circ.add("H", 0)
+        with pytest.raises(ValueError):
+            simulate(circ, [0])
+
+    def test_width_check(self):
+        circ = QCircuit(2)
+        with pytest.raises(ValueError):
+            simulate(circ, [0])
+
+    def test_is_reversible_core(self):
+        circ = QCircuit(2)
+        circ.add("CX", 0, 1)
+        assert is_reversible_core(circ)
+        circ.add("T", 0)
+        assert not is_reversible_core(circ)
+
+
+class TestRegisters:
+    def test_register_round_trip(self):
+        circ = QCircuit(4)
+        circ.add("CX", 0, 2)
+        circ.add("CX", 1, 3)
+        out = run_on_registers(
+            circ, {"a": [0, 1], "b": [2, 3]}, {"a": 3, "b": 0}
+        )
+        assert out["a"] == 3 and out["b"] == 3

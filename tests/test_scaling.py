@@ -1,0 +1,106 @@
+"""Scaling-law fit tests (Table V) and paper-calibrated laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqv.scaling import (
+    PAPER_QUOTED_PL,
+    PAPER_SFQ_THRESHOLD,
+    PAPER_TABLE5_C2,
+    ScalingLaw,
+    approximation_factor,
+    fit_scaling_law,
+    mwpm_reference_law,
+    paper_scaling_law,
+    table5,
+)
+
+
+class TestScalingLaw:
+    def test_evaluation(self):
+        law = ScalingLaw(d=3, c1=0.03, c2=0.5, p_th=0.1)
+        assert law.logical_error_rate(0.1) == pytest.approx(0.03)
+        assert law.logical_error_rate(0.01) == pytest.approx(
+            0.03 * (0.1) ** 1.5
+        )
+
+    def test_effective_distance(self):
+        law = ScalingLaw(d=9, c1=0.03, c2=0.323, p_th=0.05)
+        assert law.effective_distance == pytest.approx(2.907)
+
+    def test_zero_rate(self):
+        law = ScalingLaw(d=3, c1=0.03, c2=0.5, p_th=0.1)
+        assert law.logical_error_rate(0.0) == 0.0
+
+
+class TestFitting:
+    @given(
+        st.floats(0.01, 0.08),   # c1
+        st.floats(0.25, 0.75),   # c2
+        st.integers(0, 2**16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fit_recovers_synthetic_parameters(self, c1, c2, seed):
+        d = 5
+        truth = ScalingLaw(d=d, c1=c1, c2=c2, p_th=0.05)
+        ps = np.geomspace(0.005, 0.045, 8)
+        pls = [truth.logical_error_rate(p) for p in ps]
+        fitted = fit_scaling_law(d, ps, pls, p_th=0.05)
+        assert fitted.c1 == pytest.approx(c1, rel=1e-4)
+        assert fitted.c2 == pytest.approx(c2, rel=1e-4)
+
+    def test_fit_with_noise(self):
+        rng = np.random.default_rng(3)
+        truth = ScalingLaw(d=7, c1=0.04, c2=0.35, p_th=0.05)
+        ps = np.geomspace(0.01, 0.045, 8)
+        pls = [
+            truth.logical_error_rate(p) * np.exp(rng.normal(0, 0.1))
+            for p in ps
+        ]
+        fitted = fit_scaling_law(7, ps, pls, p_th=0.05)
+        assert fitted.c2 == pytest.approx(0.35, abs=0.08)
+
+    def test_excludes_above_threshold_points(self):
+        truth = ScalingLaw(d=3, c1=0.03, c2=0.6, p_th=0.05)
+        ps = [0.02, 0.03, 0.04, 0.2, 0.5]
+        pls = [truth.logical_error_rate(p) for p in ps[:3]] + [0.9, 0.9]
+        fitted = fit_scaling_law(3, ps, pls, p_th=0.05)
+        assert fitted.c2 == pytest.approx(0.6, rel=1e-3)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_scaling_law(3, [0.01], [1e-4], p_th=0.05)
+
+
+class TestPaperLaws:
+    def test_quoted_pl_reproduced(self):
+        for d, quoted in PAPER_QUOTED_PL.items():
+            law = paper_scaling_law(d)
+            assert law.logical_error_rate(1e-5) == pytest.approx(quoted, rel=1e-6)
+
+    def test_table5_c2(self):
+        for d, c2 in PAPER_TABLE5_C2.items():
+            assert paper_scaling_law(d).c2 == c2
+
+    def test_unknown_distance(self):
+        with pytest.raises(ValueError):
+            paper_scaling_law(11)
+
+    def test_approximation_factor(self):
+        """Paper: 65% of the full distance at d=3, ~43% at d=5."""
+        assert approximation_factor(paper_scaling_law(3)) == pytest.approx(0.650)
+        assert approximation_factor(paper_scaling_law(5)) == pytest.approx(0.429)
+
+    def test_mwpm_reference(self):
+        law = mwpm_reference_law(9)
+        assert law.c2 == 0.5 and law.c1 == 0.03
+
+    def test_threshold_constant(self):
+        assert PAPER_SFQ_THRESHOLD == 0.05
+
+    def test_table_renders(self):
+        laws = {d: paper_scaling_law(d) for d in (3, 5)}
+        text = table5(laws)
+        assert "c2 (ours)" in text and "c2 (paper)" in text

@@ -1,0 +1,85 @@
+"""Experiment-result serialization tests."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.base import ExperimentResult
+from repro.experiments.serialization import (
+    result_to_json,
+    rows_to_csv,
+    save_result,
+)
+
+
+@pytest.fixture(scope="module")
+def fig1_result():
+    return run_experiment("fig1", ExperimentConfig(trials=100))
+
+
+class TestJson:
+    def test_round_trip(self, fig1_result):
+        payload = json.loads(result_to_json(fig1_result))
+        assert payload["experiment_id"] == "fig1"
+        assert payload["rows"]
+
+    def test_infinities_are_safe(self):
+        result = ExperimentResult(
+            "x", "t", "ref", "text",
+            rows=[{"v": float("inf")}, {"v": float("nan")}],
+        )
+        payload = json.loads(result_to_json(result))
+        assert payload["rows"][0]["v"] == "inf"
+        assert payload["rows"][1]["v"] is None
+
+
+class TestCsv:
+    def test_columns_are_union(self):
+        result = ExperimentResult(
+            "x", "t", "ref", "text",
+            rows=[{"a": 1}, {"a": 2, "b": 3}],
+        )
+        reader = csv.DictReader(io.StringIO(rows_to_csv(result)))
+        rows = list(reader)
+        assert reader.fieldnames == ["a", "b"]
+        assert rows[0]["b"] == ""
+
+    def test_empty_rows(self):
+        result = ExperimentResult("x", "t", "ref", "text")
+        assert rows_to_csv(result) == ""
+
+
+class TestSave:
+    def test_save_json(self, fig1_result, tmp_path):
+        path = tmp_path / "fig1.json"
+        save_result(fig1_result, str(path))
+        assert json.loads(path.read_text())["experiment_id"] == "fig1"
+
+    def test_save_csv(self, fig1_result, tmp_path):
+        path = tmp_path / "fig1.csv"
+        save_result(fig1_result, str(path))
+        assert "boost_factor" in path.read_text()
+
+    def test_bad_extension(self, fig1_result):
+        with pytest.raises(ValueError):
+            save_result(fig1_result, "out.xml")
+
+
+class TestCli:
+    def test_cli_save(self, tmp_path):
+        from repro.experiments.__main__ import main
+
+        path = tmp_path / "out.json"
+        code = main(["--id", "table2", "--save", str(path), "--trials", "100"])
+        assert code == 0
+        assert path.exists()
+
+    def test_cli_list(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10a" in out

@@ -1,0 +1,76 @@
+"""Cell-library tests (paper Table II)."""
+
+import pytest
+
+from repro.sfq.cells import (
+    LIBRARY,
+    PAPER_CLOCK_GHZ,
+    PAPER_DFF_POWER_UW,
+    PAPER_LOGIC_POWER_UW,
+    get_cell,
+    library_table,
+)
+
+
+class TestTable2Values:
+    def test_cell_set(self):
+        assert set(LIBRARY) == {"AND2", "OR2", "XOR2", "NOT", "DFF"}
+
+    @pytest.mark.parametrize(
+        "name,area,jj,delay",
+        [
+            ("AND2", 4200, 17, 9.2),
+            ("OR2", 4200, 12, 7.2),
+            ("XOR2", 4200, 12, 5.7),
+            ("NOT", 4200, 13, 9.2),
+            ("DFF", 3360, 10, 5.0),
+        ],
+    )
+    def test_published_characteristics(self, name, area, jj, delay):
+        cell = get_cell(name)
+        assert cell.area_um2 == area
+        assert cell.jj_count == jj
+        assert cell.delay_ps == pytest.approx(delay)
+
+    def test_dff_is_storage(self):
+        assert get_cell("DFF").is_storage
+        assert not get_cell("AND2").is_storage
+
+    def test_unknown_cell(self):
+        with pytest.raises(ValueError):
+            get_cell("NAND3")
+
+
+class TestPowerModels:
+    def test_paper_model_constants(self):
+        assert get_cell("AND2").power_uw("paper") == PAPER_LOGIC_POWER_UW
+        assert get_cell("DFF").power_uw("paper") == PAPER_DFF_POWER_UW
+
+    def test_jj_model_calibration(self):
+        """The physical model reproduces the paper's AND2 power at its clock."""
+        p = get_cell("AND2").power_uw("jj", f_ghz=PAPER_CLOCK_GHZ)
+        assert p == pytest.approx(0.026, rel=0.02)
+
+    def test_jj_model_scales_with_jj_count(self):
+        and2 = get_cell("AND2").power_uw("jj")
+        or2 = get_cell("OR2").power_uw("jj")
+        assert and2 / or2 == pytest.approx(17 / 12)
+
+    def test_jj_model_scales_with_clock(self):
+        slow = get_cell("AND2").power_uw("jj", f_ghz=1.0)
+        fast = get_cell("AND2").power_uw("jj", f_ghz=2.0)
+        assert fast == pytest.approx(2 * slow)
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            get_cell("AND2").power_uw("spice")
+
+    def test_activity_scaling(self):
+        half = get_cell("AND2").power_uw("paper", activity=0.5)
+        assert half == pytest.approx(PAPER_LOGIC_POWER_UW / 2)
+
+
+def test_library_table_renders_all_cells():
+    text = library_table()
+    for name in LIBRARY:
+        assert name in text

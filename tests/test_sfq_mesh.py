@@ -1,0 +1,298 @@
+"""Cycle-accurate mesh-decoder tests: pairing semantics, variants, timing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decoders.sfq_mesh import (
+    PAPER_CYCLE_TIME_PS,
+    RESET_HOLD,
+    MeshConfig,
+    SFQMeshDecoder,
+)
+from repro.noise.models import DephasingChannel, DepolarizingChannel
+from repro.surface.lattice import SurfaceLattice
+
+
+def decode_coords(decoder, lattice, hot_coords):
+    syn = lattice.x_syndrome_vector_from_coords(hot_coords)
+    return decoder.decode(syn)
+
+
+class TestSinglePairings:
+    def test_no_syndrome_is_trivial(self, lattice5):
+        decoder = SFQMeshDecoder(lattice5)
+        result = decode_coords(decoder, lattice5, [])
+        assert not result.correction.any()
+        assert result.cycles == 0
+        assert result.converged
+
+    def test_adjacent_pair(self, lattice5):
+        decoder = SFQMeshDecoder(lattice5)
+        result = decode_coords(decoder, lattice5, [(3, 2), (5, 2)])
+        assert lattice5.coords_from_data_vector(result.correction) == [(4, 2)]
+
+    def test_horizontal_pair(self, lattice5):
+        decoder = SFQMeshDecoder(lattice5)
+        result = decode_coords(decoder, lattice5, [(3, 2), (3, 4)])
+        assert lattice5.coords_from_data_vector(result.correction) == [(3, 3)]
+
+    def test_distant_headon_pair(self, lattice7):
+        # graph distance 2 beats boundary chains of total weight 5
+        decoder = SFQMeshDecoder(lattice7)
+        result = decode_coords(decoder, lattice7, [(5, 6), (9, 6)])
+        assert lattice7.coords_from_data_vector(result.correction) == [
+            (6, 6), (8, 6),
+        ]
+
+    def test_far_pair_prefers_boundaries(self, lattice5):
+        # graph distance 3, but each hot is 1 from its own boundary
+        decoder = SFQMeshDecoder(lattice5)
+        result = decode_coords(decoder, lattice5, [(1, 4), (7, 4)])
+        assert lattice5.coords_from_data_vector(result.correction) == [
+            (0, 4), (8, 4),
+        ]
+
+    def test_l_shaped_pair_uses_effective_corner(self, lattice7):
+        decoder = SFQMeshDecoder(lattice7)
+        result = decode_coords(decoder, lattice7, [(5, 4), (7, 6)])
+        corr = set(lattice7.coords_from_data_vector(result.correction))
+        # corner at (7, 4): vertical leg data (6,4), horizontal leg (7,5)
+        assert corr == {(6, 4), (7, 5)}
+
+    def test_lone_hot_pairs_with_nearest_boundary(self, lattice5):
+        decoder = SFQMeshDecoder(lattice5)
+        result = decode_coords(decoder, lattice5, [(1, 2)])
+        assert lattice5.coords_from_data_vector(result.correction) == [(0, 2)]
+
+    def test_lone_hot_south_boundary(self, lattice5):
+        decoder = SFQMeshDecoder(lattice5)
+        result = decode_coords(decoder, lattice5, [(7, 2)])
+        assert lattice5.coords_from_data_vector(result.correction) == [(8, 2)]
+
+    def test_central_hot_boundary_chain_length(self, lattice7):
+        decoder = SFQMeshDecoder(lattice7)
+        result = decode_coords(decoder, lattice7, [(5, 6)])
+        # north distance 3 vs south 4: expect the 3-data north chain
+        corr = lattice7.coords_from_data_vector(result.correction)
+        assert corr == [(0, 6), (2, 6), (4, 6)]
+
+
+class TestMultiPairings:
+    def test_three_collinear(self, lattice7):
+        """Adjacent pair matches; leftover goes to its nearest boundary."""
+        decoder = SFQMeshDecoder(lattice7)
+        syn = lattice7.x_syndrome_vector_from_coords([(7, 6), (9, 6), (11, 6)])
+        result = decoder.decode(syn)
+        assert decoder.verify_correction(syn, result)
+        # valid corrections have weight 2 here (e.g. pair + boundary)
+        assert result.correction.sum() == 2
+
+    def test_two_separate_pairs(self, lattice7):
+        decoder = SFQMeshDecoder(lattice7)
+        syn = lattice7.x_syndrome_vector_from_coords(
+            [(1, 2), (3, 2), (9, 10), (11, 10)]
+        )
+        result = decoder.decode(syn)
+        corr = set(lattice7.coords_from_data_vector(result.correction))
+        assert corr == {(2, 2), (10, 10)}
+
+    def test_equidistant_tie_resolves_to_single_pairing(self, lattice7):
+        """The request/grant mechanism pairs a middle hot exactly once."""
+        decoder = SFQMeshDecoder(lattice7)
+        syn = lattice7.x_syndrome_vector_from_coords([(3, 6), (7, 6), (11, 6)])
+        result = decoder.decode(syn)
+        assert decoder.verify_correction(syn, result)
+
+
+class TestBatchedDecoding:
+    def test_batch_matches_single(self, lattice5, rng):
+        decoder = SFQMeshDecoder(lattice5)
+        sample = DephasingChannel().sample(lattice5, 0.06, 30, rng)
+        syndromes = lattice5.syndrome_of_z_errors(sample.z)
+        batch = decoder.decode_arrays(syndromes)
+        for i in range(30):
+            single = decoder.decode(syndromes[i])
+            assert np.array_equal(single.correction, batch.corrections[i])
+            assert single.cycles == batch.cycles[i]
+
+    def test_decode_batch_wrapper(self, lattice3, rng):
+        decoder = SFQMeshDecoder(lattice3)
+        sample = DephasingChannel().sample(lattice3, 0.1, 8, rng)
+        syndromes = lattice3.syndrome_of_z_errors(sample.z)
+        results = decoder.decode_batch(syndromes)
+        assert len(results) == 8
+
+    def test_shape_validation(self, lattice3):
+        decoder = SFQMeshDecoder(lattice3)
+        with pytest.raises(ValueError):
+            decoder.decode_arrays(np.zeros((2, 5), dtype=np.uint8))
+
+    def test_compaction_preserves_results(self, lattice5, rng):
+        """Mixed trivial/heavy shots exercise the batch compaction path."""
+        decoder = SFQMeshDecoder(lattice5)
+        n = lattice5.n_x_ancillas
+        syndromes = np.zeros((64, n), dtype=np.uint8)
+        # one heavy shot among many empty ones forces early compaction
+        syndromes[0] = lattice5.x_syndrome_vector_from_coords(
+            [(1, 0), (5, 4), (7, 8)]
+        )
+        syndromes[13] = lattice5.x_syndrome_vector_from_coords([(3, 2), (5, 2)])
+        out = decoder.decode_arrays(syndromes)
+        assert out.cycles[1] == 0 and not out.corrections[1].any()
+        assert np.array_equal(
+            out.corrections[13],
+            lattice5.data_vector_from_coords([(4, 2)]),
+        )
+        produced = (out.corrections[0] @ lattice5.h_x.T) % 2
+        assert np.array_equal(produced, syndromes[0])
+
+
+class TestStatisticalConsistency:
+    @pytest.mark.parametrize("d", [3, 5, 7])
+    def test_corrections_reproduce_syndromes(self, d, rng):
+        lattice = SurfaceLattice(d)
+        decoder = SFQMeshDecoder(lattice)
+        sample = DephasingChannel().sample(lattice, 0.04, 400, rng)
+        syndromes = lattice.syndrome_of_z_errors(sample.z)
+        out = decoder.decode_arrays(syndromes)
+        produced = (out.corrections @ lattice.h_x.T) % 2
+        bad = np.sum(np.any(produced != syndromes, axis=1))
+        # below threshold the race artifacts are well under 1%
+        assert bad / 400 < 0.01
+
+    def test_low_p_failure_rate_is_small(self, rng):
+        lattice = SurfaceLattice(5)
+        decoder = SFQMeshDecoder(lattice)
+        sample = DephasingChannel().sample(lattice, 0.01, 1500, rng)
+        syndromes = lattice.syndrome_of_z_errors(sample.z)
+        out = decoder.decode_arrays(syndromes)
+        failures = lattice.logical_z_failure(sample.z ^ out.corrections)
+        assert failures.mean() < 0.02
+
+    def test_x_orientation_decoding(self, rng):
+        lattice = SurfaceLattice(5)
+        decoder = SFQMeshDecoder(lattice, error_type="x")
+        errors = (rng.random((200, lattice.n_data)) < 0.03).astype(np.uint8)
+        syndromes = lattice.syndrome_of_x_errors(errors)
+        out = decoder.decode_arrays(syndromes)
+        produced = (out.corrections @ lattice.h_z.T) % 2
+        bad = np.sum(np.any(produced != syndromes, axis=1))
+        assert bad / 200 < 0.02
+
+    def test_depolarizing_both_orientations(self, rng):
+        lattice = SurfaceLattice(5)
+        z_dec = SFQMeshDecoder(lattice, "z")
+        x_dec = SFQMeshDecoder(lattice, "x")
+        sample = DepolarizingChannel().sample(lattice, 0.03, 100, rng)
+        z_out = z_dec.decode_arrays(lattice.syndrome_of_z_errors(sample.z))
+        x_out = x_dec.decode_arrays(lattice.syndrome_of_x_errors(sample.x))
+        assert z_out.corrections.shape == x_out.corrections.shape
+
+
+class TestTiming:
+    def test_cycle_conversion(self, lattice3):
+        decoder = SFQMeshDecoder(lattice3)
+        ns = decoder.cycles_to_ns(np.array([100]))
+        assert ns[0] == pytest.approx(100 * PAPER_CYCLE_TIME_PS / 1000.0)
+
+    def test_adjacent_pairing_is_fast(self, lattice5):
+        decoder = SFQMeshDecoder(lattice5)
+        result = decode_coords(decoder, lattice5, [(3, 2), (5, 2)])
+        assert 0 < result.cycles <= 12
+
+    def test_cycles_grow_with_distance(self, lattice7):
+        decoder = SFQMeshDecoder(lattice7)
+        near = decode_coords(decoder, lattice7, [(5, 6), (7, 6)]).cycles
+        far = decode_coords(decoder, lattice7, [(1, 0), (11, 12)]).cycles
+        assert far > near
+
+    def test_d9_worst_case_under_paper_scale(self, rng):
+        """Max solution time stays in the paper's tens-of-ns regime."""
+        lattice = SurfaceLattice(9)
+        decoder = SFQMeshDecoder(lattice)
+        sample = DephasingChannel().sample(lattice, 0.12, 300, rng)
+        syndromes = lattice.syndrome_of_z_errors(sample.z)
+        out = decoder.decode_arrays(syndromes)
+        times = out.time_ns(PAPER_CYCLE_TIME_PS)
+        assert times.max() < 40.0  # paper: ~20 ns; same order
+
+    def test_reset_hold_visible_in_two_round_decode(self, lattice7):
+        """Two sequential pairings include the 5-cycle reset hold."""
+        decoder = SFQMeshDecoder(lattice7)
+        one = decode_coords(decoder, lattice7, [(5, 6), (7, 6)]).cycles
+        two = decode_coords(
+            decoder, lattice7, [(5, 6), (7, 6), (1, 0)]
+        ).cycles
+        assert two >= one + RESET_HOLD
+
+
+class TestVariants:
+    def test_labels(self):
+        assert MeshConfig.baseline().label() == "baseline"
+        assert MeshConfig.with_reset().label() == "reset"
+        assert MeshConfig.with_reset_and_boundary().label() == "reset+boundary"
+        assert MeshConfig.final().label() == "final"
+
+    def test_no_boundary_variant_cannot_pair_lone_hot(self, lattice5):
+        decoder = SFQMeshDecoder(lattice5, config=MeshConfig.with_reset())
+        result = decode_coords(decoder, lattice5, [(3, 4)])
+        assert not result.converged
+
+    def test_final_beats_baseline_statistically(self, rng):
+        lattice = SurfaceLattice(5)
+        final = SFQMeshDecoder(lattice, config=MeshConfig.final())
+        base = SFQMeshDecoder(lattice, config=MeshConfig.baseline())
+        sample = DephasingChannel().sample(lattice, 0.02, 600, rng)
+        syndromes = lattice.syndrome_of_z_errors(sample.z)
+        pl_final = lattice.logical_z_failure(
+            sample.z ^ final.decode_arrays(syndromes).corrections
+        ).mean()
+        pl_base = lattice.logical_z_failure(
+            sample.z ^ base.decode_arrays(syndromes).corrections
+        ).mean()
+        assert pl_final < pl_base
+
+    def test_boundary_mechanism_helps(self, rng):
+        lattice = SurfaceLattice(5)
+        with_b = SFQMeshDecoder(
+            lattice, config=MeshConfig.with_reset_and_boundary()
+        )
+        without = SFQMeshDecoder(lattice, config=MeshConfig.with_reset())
+        sample = DephasingChannel().sample(lattice, 0.02, 600, rng)
+        syndromes = lattice.syndrome_of_z_errors(sample.z)
+        pl_with = lattice.logical_z_failure(
+            sample.z ^ with_b.decode_arrays(syndromes).corrections
+        ).mean()
+        pl_without = lattice.logical_z_failure(
+            sample.z ^ without.decode_arrays(syndromes).corrections
+        ).mean()
+        assert pl_with < pl_without
+
+    def test_cycle_time_override(self):
+        config = MeshConfig.final().with_cycle_time(100.0)
+        assert config.cycle_time_ps == 100.0
+
+
+class TestAgainstMWPM:
+    @given(st.integers(0, 2**20))
+    @settings(max_examples=20, deadline=None)
+    def test_single_pair_agrees_with_mwpm_class(self, seed):
+        """For two hot syndromes, mesh and MWPM agree up to stabilizers."""
+        from repro.decoders.mwpm import MWPMDecoder
+
+        rng = np.random.default_rng(seed)
+        lattice = SurfaceLattice(5)
+        mesh = SFQMeshDecoder(lattice)
+        mwpm = MWPMDecoder(lattice)
+        ancs = list(lattice.x_ancillas)
+        picks = rng.choice(len(ancs), size=2, replace=False)
+        coords = [ancs[picks[0]], ancs[picks[1]]]
+        syn = lattice.x_syndrome_vector_from_coords(coords)
+        m_res = mesh.decode(syn)
+        w_res = mwpm.decode(syn)
+        assert mesh.verify_correction(syn, m_res)
+        diff = m_res.correction ^ w_res.correction
+        # Same homology class: difference has trivial syndrome and no flip.
+        assert not lattice.syndrome_of_z_errors(diff).any()

@@ -1,0 +1,234 @@
+"""Tests for the software decoders: greedy, MWPM, union-find, lookup."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decoders import (
+    GreedyMatchingDecoder,
+    LookupDecoder,
+    MWPMDecoder,
+    UnionFindDecoder,
+    make_decoder,
+)
+from repro.decoders.geometry import MatchingGeometry
+from repro.decoders.mwpm import matching_weight, mwpm_pairs
+from repro.decoders.greedy import greedy_pairs
+from repro.noise.models import DephasingChannel
+from repro.surface.lattice import SurfaceLattice
+
+SOFTWARE = [GreedyMatchingDecoder, MWPMDecoder, UnionFindDecoder]
+
+
+def random_syndromes(lattice, rng, batch, p=0.08):
+    sample = DephasingChannel().sample(lattice, p, batch, rng)
+    return sample.z, lattice.syndrome_of_z_errors(sample.z)
+
+
+class TestSyndromeConsistency:
+    """Every software decoder must exactly reproduce the syndrome."""
+
+    @pytest.mark.parametrize("cls", SOFTWARE)
+    @pytest.mark.parametrize("d", [3, 5, 7])
+    def test_random_errors(self, cls, d, rng):
+        lattice = SurfaceLattice(d)
+        decoder = cls(lattice)
+        _, syndromes = random_syndromes(lattice, rng, 40)
+        for syn in syndromes:
+            result = decoder.decode(syn)
+            assert decoder.verify_correction(syn, result), cls.name
+
+    @pytest.mark.parametrize("cls", SOFTWARE)
+    def test_empty_syndrome(self, cls, lattice5):
+        decoder = cls(lattice5)
+        result = decoder.decode(np.zeros(lattice5.n_x_ancillas, dtype=np.uint8))
+        assert not result.correction.any()
+
+    @pytest.mark.parametrize("cls", SOFTWARE)
+    def test_single_hot_pairs_with_boundary(self, cls, lattice5):
+        decoder = cls(lattice5)
+        syn = lattice5.x_syndrome_vector_from_coords([(1, 2)])
+        result = decoder.decode(syn)
+        assert decoder.verify_correction(syn, result)
+        # nearest boundary is north at graph distance 1 -> weight-1 fix
+        assert result.correction.sum() == 1
+
+    @pytest.mark.parametrize("cls", SOFTWARE)
+    def test_x_error_orientation(self, cls, rng):
+        lattice = SurfaceLattice(5)
+        decoder = cls(lattice, error_type="x")
+        errors = (rng.random((20, lattice.n_data)) < 0.08).astype(np.uint8)
+        syndromes = lattice.syndrome_of_x_errors(errors)
+        for syn in syndromes:
+            result = decoder.decode(syn)
+            assert decoder.verify_correction(syn, result)
+
+    def test_shape_validation(self, lattice5):
+        decoder = MWPMDecoder(lattice5)
+        with pytest.raises(ValueError):
+            decoder.decode(np.zeros(7, dtype=np.uint8))
+
+
+class TestMWPMOptimality:
+    def test_prefers_short_pairing(self, lattice5):
+        # Two adjacent hots: pairing beats two boundary chains.
+        decoder = MWPMDecoder(lattice5)
+        syn = lattice5.x_syndrome_vector_from_coords([(3, 2), (5, 2)])
+        result = decoder.decode(syn)
+        assert result.correction.sum() == 1
+
+    def test_prefers_boundaries_when_far(self, lattice5):
+        decoder = MWPMDecoder(lattice5)
+        syn = lattice5.x_syndrome_vector_from_coords([(1, 0), (7, 8)])
+        result = decoder.decode(syn)
+        # each hot is distance 1 from its boundary; pairing costs 7
+        assert result.correction.sum() == 2
+
+    @given(st.integers(0, 2**20))
+    @settings(max_examples=25, deadline=None)
+    def test_minimum_weight_vs_bruteforce(self, seed):
+        """MWPM matches exhaustive minimum-weight matching on d=3."""
+        rng = np.random.default_rng(seed)
+        lattice = SurfaceLattice(3)
+        geo = MatchingGeometry(lattice, "z")
+        hots = [geo.to_canonical(a) for a in lattice.x_ancillas
+                if rng.random() < 0.5]
+        pairs = mwpm_pairs(geo, hots)
+        got = matching_weight(geo, pairs)
+        best = _bruteforce_weight(geo, hots)
+        assert got == best
+
+
+def _bruteforce_weight(geo, hots):
+    if not hots:
+        return 0
+    best = float("inf")
+
+    def recurse(remaining, acc):
+        nonlocal best
+        if acc >= best:
+            return
+        if not remaining:
+            best = min(best, acc)
+            return
+        a = remaining[0]
+        rest = remaining[1:]
+        recurse(rest, acc + geo.nearest_boundary(a)[1])
+        for i, b in enumerate(rest):
+            recurse(
+                rest[:i] + rest[i + 1:], acc + geo.graph_distance(a, b)
+            )
+
+    recurse(list(hots), 0)
+    return best
+
+
+class TestGreedyApproximation:
+    @given(st.integers(0, 2**20))
+    @settings(max_examples=25, deadline=None)
+    def test_two_approximation(self, seed):
+        """Greedy weight is at most 2x the optimal matching weight."""
+        rng = np.random.default_rng(seed)
+        lattice = SurfaceLattice(5)
+        geo = MatchingGeometry(lattice, "z")
+        hots = [geo.to_canonical(a) for a in lattice.x_ancillas
+                if rng.random() < 0.3]
+        greedy_weight = matching_weight(geo, greedy_pairs(geo, hots))
+        optimal_weight = matching_weight(geo, mwpm_pairs(geo, hots))
+        assert greedy_weight <= max(1, 2 * optimal_weight)
+
+    def test_deterministic(self, lattice5, rng):
+        decoder = GreedyMatchingDecoder(lattice5)
+        _, syndromes = random_syndromes(lattice5, rng, 5, p=0.15)
+        for syn in syndromes:
+            a = decoder.decode(syn).correction
+            b = decoder.decode(syn).correction
+            assert np.array_equal(a, b)
+
+
+class TestUnionFind:
+    def test_growth_rounds_bounded(self, lattice7, rng):
+        decoder = UnionFindDecoder(lattice7)
+        _, syndromes = random_syndromes(lattice7, rng, 20, p=0.1)
+        for syn in syndromes:
+            result = decoder.decode(syn)
+            assert result.metadata["growth_rounds"] <= 4 * lattice7.size + 8
+
+    def test_single_error_correction_is_minimal(self, lattice5):
+        err = lattice5.data_vector_from_coords([(2, 2)])
+        syn = lattice5.syndrome_of_z_errors(err)
+        result = UnionFindDecoder(lattice5).decode(syn)
+        # weight-1 or equivalent weight-1 correction
+        residual = err ^ result.correction
+        assert not lattice5.syndrome_of_z_errors(residual).any()
+        assert not lattice5.logical_z_failure(residual)
+
+    def test_suppresses_errors_at_low_p(self, rng):
+        """UF at p=1% should fail much less often than 10%."""
+        lattice = SurfaceLattice(5)
+        decoder = UnionFindDecoder(lattice)
+        errors, syndromes = random_syndromes(lattice, rng, 300, p=0.01)
+        fails = 0
+        for err, syn in zip(errors, syndromes):
+            corr = decoder.decode(syn).correction
+            fails += int(lattice.logical_z_failure(err ^ corr))
+        assert fails / 300 < 0.05
+
+
+class TestLookup:
+    def test_requires_small_lattice(self):
+        with pytest.raises(ValueError):
+            LookupDecoder(SurfaceLattice(5))
+
+    def test_table_covers_all_syndromes(self, lattice3):
+        decoder = LookupDecoder(lattice3)
+        assert decoder.table_size == 2 ** lattice3.n_x_ancillas
+
+    def test_minimum_weight(self, lattice3):
+        """Lookup corrections achieve the true minimum error weight."""
+        decoder = LookupDecoder(lattice3)
+        n = lattice3.n_data
+        # brute-force minimum weight per syndrome
+        best = {}
+        for bits in range(2 ** n):
+            err = np.array([(bits >> i) & 1 for i in range(n)], dtype=np.uint8)
+            key = lattice3.syndrome_of_z_errors(err).tobytes()
+            w = int(err.sum())
+            if key not in best or w < best[key]:
+                best[key] = w
+        for syn_bits in range(2 ** lattice3.n_x_ancillas):
+            syn = np.array(
+                [(syn_bits >> i) & 1 for i in range(lattice3.n_x_ancillas)],
+                dtype=np.uint8,
+            )
+            corr = decoder.decode(syn).correction
+            assert int(corr.sum()) == best[syn.tobytes()]
+
+    def test_exhaustive_consistency(self, lattice3):
+        decoder = LookupDecoder(lattice3)
+        for syn_bits in range(2 ** lattice3.n_x_ancillas):
+            syn = np.array(
+                [(syn_bits >> i) & 1 for i in range(lattice3.n_x_ancillas)],
+                dtype=np.uint8,
+            )
+            assert decoder.verify_correction(syn, decoder.decode(syn))
+
+
+class TestRegistry:
+    def test_make_decoder(self, lattice3):
+        for name in ("greedy", "mwpm", "unionfind", "lookup", "sfq_mesh"):
+            decoder = make_decoder(name, lattice3)
+            assert decoder.name == name
+
+    def test_unknown_decoder(self, lattice3):
+        with pytest.raises(ValueError):
+            make_decoder("tensor_network", lattice3)
+
+    def test_decode_batch_default(self, lattice3, rng):
+        decoder = GreedyMatchingDecoder(lattice3)
+        _, syndromes = random_syndromes(lattice3, rng, 4)
+        results = decoder.decode_batch(syndromes)
+        assert len(results) == 4

@@ -1,0 +1,132 @@
+"""Stabilizer-circuit substrate tests: circuits must reproduce H @ e."""
+
+import numpy as np
+import pytest
+
+from repro.noise.models import DephasingChannel, DepolarizingChannel
+from repro.surface.lattice import SurfaceLattice
+from repro.surface.stabilizer_circuit import (
+    QubitLayout,
+    SyndromeRound,
+    build_full_round,
+    build_x_stabilizer_circuit,
+    build_z_stabilizer_circuit,
+    gate_count_per_round,
+)
+
+
+class TestLayout:
+    def test_index_bijection(self, lattice5):
+        layout = QubitLayout(lattice5)
+        seen = set()
+        for r in range(lattice5.size):
+            for c in range(lattice5.size):
+                seen.add(layout.index((r, c)))
+        assert seen == set(range(lattice5.n_qubits))
+
+    def test_out_of_range(self, lattice3):
+        with pytest.raises(ValueError):
+            QubitLayout(lattice3).index((9, 0))
+
+
+class TestSingleStabilizerCircuits:
+    def test_x_circuit_shape(self, lattice3):
+        layout = QubitLayout(lattice3)
+        anc = lattice3.x_ancillas[0]
+        circ = build_x_stabilizer_circuit(layout, anc)
+        names = [g.name for g in circ.gates]
+        assert names[0] == "RESET" and names[1] == "H"
+        assert names[-2] == "H" and names[-1] == "MEASURE"
+        assert names.count("CNOT") == len(lattice3.x_stabilizers[anc])
+
+    def test_z_circuit_shape(self, lattice3):
+        layout = QubitLayout(lattice3)
+        anc = lattice3.z_ancillas[0]
+        circ = build_z_stabilizer_circuit(layout, anc)
+        names = [g.name for g in circ.gates]
+        assert "H" not in names
+        assert names.count("CNOT") == len(lattice3.z_stabilizers[anc])
+
+
+class TestFullRound:
+    @pytest.mark.parametrize("d", [3, 5])
+    def test_noiseless_syndrome_equals_incidence(self, d, rng):
+        lattice = SurfaceLattice(d)
+        runner = SyndromeRound(lattice)
+        batch = 16
+        frame = runner.new_frame(batch)
+        x_err = rng.integers(0, 2, (batch, lattice.n_data)).astype(np.uint8)
+        z_err = rng.integers(0, 2, (batch, lattice.n_data)).astype(np.uint8)
+        runner.inject_data_errors(frame, x_err, z_err)
+        x_syn, z_syn = runner.measure(frame)
+        assert np.array_equal(x_syn, lattice.syndrome_of_z_errors(z_err))
+        assert np.array_equal(z_syn, lattice.syndrome_of_x_errors(x_err))
+
+    def test_round_preserves_data_frame(self, lattice3, rng):
+        runner = SyndromeRound(lattice3)
+        frame = runner.new_frame(4)
+        z_err = rng.integers(0, 2, (4, lattice3.n_data)).astype(np.uint8)
+        runner.inject_data_errors(frame, np.zeros_like(z_err), z_err)
+        runner.measure(frame)
+        x_after, z_after = runner.data_frame_views(frame)
+        assert np.array_equal(z_after, z_err)
+        assert not x_after.any()
+
+    def test_two_rounds_are_idempotent(self, lattice3, rng):
+        """Measuring twice without new errors repeats the syndrome."""
+        runner = SyndromeRound(lattice3)
+        frame = runner.new_frame(8)
+        z_err = rng.integers(0, 2, (8, lattice3.n_data)).astype(np.uint8)
+        runner.inject_data_errors(frame, np.zeros_like(z_err), z_err)
+        first, _ = runner.measure(frame)
+        second, _ = runner.measure(frame)
+        assert np.array_equal(first, second)
+
+    def test_measurement_flips(self, lattice3, rng):
+        runner = SyndromeRound(lattice3)
+        frame = runner.new_frame(64)
+        x_syn, _ = runner.measure(frame, rng=rng, measurement_flip_rate=1.0)
+        assert x_syn.all()  # every bit flipped from the trivial syndrome
+
+    def test_measurement_flip_requires_rng(self, lattice3):
+        runner = SyndromeRound(lattice3)
+        frame = runner.new_frame(1)
+        with pytest.raises(ValueError):
+            runner.measure(frame, measurement_flip_rate=0.5)
+
+    def test_gate_census(self, lattice3):
+        counts = gate_count_per_round(lattice3)
+        n_anc = lattice3.n_x_ancillas + lattice3.n_z_ancillas
+        assert counts["MEASURE"] == n_anc
+        assert counts["RESET"] == n_anc
+        assert counts["H"] == 2 * lattice3.n_x_ancillas
+        total_support = sum(
+            len(s) for s in lattice3.x_stabilizers.values()
+        ) + sum(len(s) for s in lattice3.z_stabilizers.values())
+        assert counts["CNOT"] == total_support
+
+    def test_full_round_composition(self, lattice3):
+        layout = QubitLayout(lattice3)
+        circ = build_full_round(layout)
+        assert len(circ.measurement_keys) == (
+            lattice3.n_x_ancillas + lattice3.n_z_ancillas
+        )
+
+
+class TestWithChannels:
+    def test_dephasing_round_trip(self, lattice5, rng):
+        runner = SyndromeRound(lattice5)
+        frame = runner.new_frame(32)
+        sample = DephasingChannel().sample(lattice5, 0.1, 32, rng)
+        runner.inject_data_errors(frame, sample.x, sample.z)
+        x_syn, z_syn = runner.measure(frame)
+        assert np.array_equal(x_syn, lattice5.syndrome_of_z_errors(sample.z))
+        assert not z_syn.any()  # dephasing has no X component
+
+    def test_depolarizing_triggers_both(self, lattice5, rng):
+        runner = SyndromeRound(lattice5)
+        frame = runner.new_frame(64)
+        sample = DepolarizingChannel().sample(lattice5, 0.2, 64, rng)
+        runner.inject_data_errors(frame, sample.x, sample.z)
+        x_syn, z_syn = runner.measure(frame)
+        assert x_syn.any() and z_syn.any()

@@ -1,0 +1,87 @@
+"""Streaming (queueing) execution tests."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import QCircuit
+from repro.runtime.latency import ConstantLatency, EmpiricalLatency
+from repro.runtime.streaming import StreamingExecutor
+
+
+def executor(decode_ns, **kwargs):
+    return StreamingExecutor(
+        ConstantLatency("test", decode_ns),
+        rng=np.random.default_rng(0),
+        **kwargs,
+    )
+
+
+class TestOnlineRegime:
+    def test_fast_decoder_no_overhead(self):
+        result = executor(100.0).run(200, list(range(9, 200, 10)))
+        assert not result.diverged
+        assert result.overhead < 1.1
+        assert result.max_queue_depth <= 2
+
+    def test_exact_rate_match_is_stable(self):
+        result = executor(400.0).run(150, list(range(9, 150, 10)))
+        assert not result.diverged
+        assert result.overhead < 1.2
+
+    def test_no_t_gates_never_stalls(self):
+        result = executor(4000.0).run(50, [])
+        assert result.total_stall_ns == 0.0
+        assert result.overhead == pytest.approx(1.0)
+
+
+class TestOfflineRegime:
+    def test_slow_decoder_diverges(self):
+        result = executor(800.0, queue_limit=3000).run(
+            500, list(range(9, 500, 10))
+        )
+        assert result.diverged
+        assert result.wall_time_ns == float("inf")
+
+    def test_stalls_compound(self):
+        """With f > 1, the queue grows across successive T gates."""
+        ex = executor(800.0, queue_limit=10**7)
+        short = ex.run(40, [39])
+        long = ex.run(80, [39, 79])
+        assert long.total_stall_ns > 2 * short.total_stall_ns
+
+
+class TestEmpiricalLatency:
+    def test_sampled_service_times(self):
+        lat = EmpiricalLatency(
+            "synthetic", samples_ns=np.array([10.0, 20.0, 30.0])
+        )
+        ex = StreamingExecutor(lat, rng=np.random.default_rng(5))
+        result = ex.run(100, list(range(9, 100, 10)))
+        assert not result.diverged
+        assert result.overhead < 1.05
+
+    def test_heavy_tail_still_online_if_below_cycle(self):
+        rng = np.random.default_rng(9)
+        samples = np.concatenate([
+            np.full(99, 10.0), np.full(1, 350.0)  # rare near-cycle spike
+        ])
+        ex = StreamingExecutor(
+            EmpiricalLatency("tail", samples), rng=rng
+        )
+        result = ex.run(300, list(range(9, 300, 10)))
+        assert not result.diverged
+        assert result.overhead < 1.2
+
+
+class TestInterface:
+    def test_position_validation(self):
+        with pytest.raises(ValueError):
+            executor(10.0).run(10, [99])
+
+    def test_circuit_interface(self):
+        circ = QCircuit(2)
+        circ.add("H", 0)
+        circ.add("T", 0)
+        circ.add("T", 1)
+        result = executor(10.0).run_circuit(circ)
+        assert result.total_rounds == 3

@@ -1,0 +1,129 @@
+"""Path-balancing synthesis tests (PBMap-style objective)."""
+
+import pytest
+
+from repro.sfq.netlist import NetlistBuilder
+from repro.sfq.synthesis import synthesize
+
+
+def or7_netlist():
+    b = NetlistBuilder("or7")
+    names = [f"i{k}" for k in range(7)]
+    b.input(*names)
+    b.mark_output("y", b.or_tree(names))
+    return b.build()
+
+
+def skewed_netlist():
+    """A deliberately unbalanced DAG: one long path, one direct input."""
+    b = NetlistBuilder("skewed")
+    b.input("a", "b", "c", "late")
+    x = b.and2("a", "b")
+    y = b.and2(x, "c")
+    z = b.and2(y, "late")  # 'late' skips two levels
+    b.mark_output("z", z)
+    return b.build()
+
+
+class TestPathBalancing:
+    def test_or7_matches_paper_row(self):
+        """Depth 3, 6 OR2 cells, 21.6 ps — the Table III OR7 row.
+
+        The paper's 38640 um^2 decomposes as 6 OR2 + 4 balancing DFFs;
+        our mapper balances the standalone tree with a single DFF (the
+        odd seventh input skips one level), so area is bounded by the
+        paper's figure rather than equal to it.
+        """
+        synth = synthesize(or7_netlist())
+        assert synth.depth == 3
+        assert synth.logic_gate_count == 6
+        assert 1 <= synth.balancing_dffs <= 4
+        assert synth.area_um2 <= 38640
+        assert synth.latency_ps == pytest.approx(21.6)
+
+    def test_or7_paper_power_bound(self):
+        synth = synthesize(or7_netlist())
+        assert synth.power_uw("paper") <= 0.338 + 1e-9
+
+    def test_skewed_needs_dffs(self):
+        synth = synthesize(skewed_netlist())
+        assert synth.depth == 3
+        assert synth.balancing_dffs >= 2  # 'late' needs 2-level padding
+
+    def test_balanced_chain_needs_none(self):
+        b = NetlistBuilder("chain")
+        b.input("a", "b")
+        x = b.and2("a", "b")
+        b.mark_output("y", b.not_(x))
+        synth = synthesize(b.build())
+        # 'b'/'a' at level 0 feed level 1; NOT at level 2; no gaps.
+        assert synth.balancing_dffs == 0
+
+    def test_full_balance_invariant(self):
+        """After balancing, every input->output path has equal length.
+
+        Verified by checking that on each gate edge the level gap equals
+        the number of DFFs the cost function charged for it.
+        """
+        net = skewed_netlist()
+        synth = synthesize(net)
+        levels = synth.levels
+        total_gap = 0
+        for gate in net.gates:
+            for src in gate.inputs:
+                gap = levels[gate.output] - levels[src] - 1
+                assert gap >= 0
+                total_gap += gap
+        for out_net in net.outputs.values():
+            total_gap += synth.depth - levels[out_net]
+        assert total_gap == synth.balancing_dffs
+
+    def test_alap_never_worse_than_reported(self):
+        """The chosen assignment is the better of ASAP and ALAP."""
+        net = skewed_netlist()
+        synth = synthesize(net)
+        asap_cost = _dff_cost_for(net, net.levels(), synth.depth)
+        assert synth.balancing_dffs <= asap_cost
+
+
+def _dff_cost_for(net, levels, depth):
+    cost = 0
+    for gate in net.gates:
+        for src in gate.inputs:
+            cost += levels[gate.output] - levels[src] - 1
+    for out_net in net.outputs.values():
+        cost += depth - levels[out_net]
+    return cost
+
+
+class TestMetrics:
+    def test_area_includes_dffs(self):
+        synth = synthesize(or7_netlist())
+        assert synth.area_um2 == 6 * 4200 + synth.balancing_dffs * 3360
+
+    def test_jj_count(self):
+        synth = synthesize(or7_netlist())
+        assert synth.jj_count == 6 * 12 + synth.balancing_dffs * 10
+
+    def test_latency_is_sum_of_stage_delays(self):
+        synth = synthesize(or7_netlist())
+        assert len(synth.stage_delays_ps) == synth.depth
+        assert synth.latency_ps == pytest.approx(sum(synth.stage_delays_ps))
+
+    def test_stage_delay_uses_worst_cell(self):
+        b = NetlistBuilder("mixed")
+        b.input("a", "b", "c", "d")
+        x = b.and2("a", "b")  # 9.2 ps
+        y = b.xor2("c", "d")  # 5.7 ps, same stage
+        b.mark_output("o", b.or2(x, y))
+        synth = synthesize(b.build())
+        assert synth.stage_delays_ps[0] == pytest.approx(9.2)
+
+    def test_power_models_differ(self):
+        synth = synthesize(or7_netlist())
+        assert synth.power_uw("paper") != synth.power_uw("jj")
+
+    def test_census(self):
+        synth = synthesize(or7_netlist())
+        census = synth.cell_census()
+        assert census == {"OR2": 6, "DFF": synth.balancing_dffs}

@@ -1,0 +1,121 @@
+"""Temporal windowed-decoding extension tests."""
+
+import numpy as np
+import pytest
+
+from repro.decoders import MWPMDecoder
+from repro.decoders.temporal import (
+    WindowedSyndromeVoter,
+    run_windowed_trials,
+)
+from repro.noise.models import DephasingChannel
+from repro.surface.lattice import SurfaceLattice
+
+
+class TestVoter:
+    def test_window_must_be_odd_positive(self):
+        with pytest.raises(ValueError):
+            WindowedSyndromeVoter(n_bits=4, window=2)
+        with pytest.raises(ValueError):
+            WindowedSyndromeVoter(n_bits=4, window=0)
+
+    def test_shape_validation(self):
+        voter = WindowedSyndromeVoter(n_bits=4, window=3, batch=2)
+        with pytest.raises(ValueError):
+            voter.push(np.zeros((2, 5), dtype=np.uint8))
+
+    def test_majority_vote(self):
+        voter = WindowedSyndromeVoter(n_bits=1, window=3, batch=1)
+        assert voter.push(np.array([[1]], dtype=np.uint8))[0, 0] == 1
+        assert voter.push(np.array([[0]], dtype=np.uint8))[0, 0] == 0  # 1/2
+        assert voter.push(np.array([[1]], dtype=np.uint8))[0, 0] == 1  # 2/3
+
+    def test_single_flip_suppressed(self):
+        voter = WindowedSyndromeVoter(n_bits=1, window=3, batch=1)
+        voter.push(np.array([[0]], dtype=np.uint8))
+        voter.push(np.array([[1]], dtype=np.uint8))  # measurement flip
+        out = voter.push(np.array([[0]], dtype=np.uint8))
+        assert out[0, 0] == 0
+
+    def test_partial_window_behaviour(self):
+        voter = WindowedSyndromeVoter(n_bits=1, window=5, batch=1)
+        # first round: 1 of 1 -> majority
+        assert voter.push(np.array([[1]], dtype=np.uint8))[0, 0] == 1
+
+    def test_reset(self):
+        voter = WindowedSyndromeVoter(n_bits=1, window=3, batch=1)
+        voter.push(np.array([[1]], dtype=np.uint8))
+        voter.reset()
+        assert voter.push(np.array([[0]], dtype=np.uint8))[0, 0] == 0
+
+
+class TestWindowedTrials:
+    def test_zero_noise_zero_failures(self, rng):
+        lattice = SurfaceLattice(3)
+        result = run_windowed_trials(
+            lattice, DephasingChannel(), p=0.0, measurement_flip_rate=0.0,
+            window=3, rounds=9, shots=16, rng=rng,
+        )
+        assert result.logical_failures == 0
+
+    def test_windowing_recovers_measurement_noise(self):
+        """q = 5% flips: window=3 strictly beats window=1."""
+        lattice = SurfaceLattice(5)
+        unwindowed = run_windowed_trials(
+            lattice, DephasingChannel(), p=0.01, measurement_flip_rate=0.05,
+            window=1, rounds=30, shots=96, rng=np.random.default_rng(4),
+        )
+        windowed = run_windowed_trials(
+            lattice, DephasingChannel(), p=0.01, measurement_flip_rate=0.05,
+            window=3, rounds=30, shots=96, rng=np.random.default_rng(4),
+        )
+        assert windowed.failures_per_round < unwindowed.failures_per_round / 2
+
+    def test_windowing_costs_without_measurement_noise(self):
+        """q = 0: decoding less often lets data errors accumulate."""
+        lattice = SurfaceLattice(5)
+        unwindowed = run_windowed_trials(
+            lattice, DephasingChannel(), p=0.01, measurement_flip_rate=0.0,
+            window=1, rounds=30, shots=96, rng=np.random.default_rng(5),
+        )
+        windowed = run_windowed_trials(
+            lattice, DephasingChannel(), p=0.01, measurement_flip_rate=0.0,
+            window=5, rounds=30, shots=96, rng=np.random.default_rng(5),
+        )
+        assert windowed.failures_per_round > unwindowed.failures_per_round
+
+    def test_software_decoder_backend(self, rng):
+        lattice = SurfaceLattice(3)
+        result = run_windowed_trials(
+            lattice, DephasingChannel(), p=0.02, measurement_flip_rate=0.02,
+            window=3, rounds=9, shots=8,
+            decoder=MWPMDecoder(lattice), rng=rng,
+        )
+        assert result.rounds == 9
+
+
+class TestSplitters:
+    def test_splitter_counting(self):
+        from repro.sfq.netlist import NetlistBuilder
+        from repro.sfq.synthesis import synthesize
+
+        b = NetlistBuilder("fan3")
+        b.input("a", "b")
+        x = b.and2("a", "b")
+        b.mark_output("y1", b.not_(x))
+        b.mark_output("y2", b.not_(x))
+        b.mark_output("y3", b.xor2(x, "a"))
+        synth = synthesize(b.build())
+        # x fans out 3 times -> 2 splitters; 'a' twice -> 1 splitter
+        assert synth.splitter_count >= 3
+        assert synth.jj_count_with_splitters == (
+            synth.jj_count + 3 * synth.splitter_count
+        )
+
+    def test_module_reports_include_splitters(self):
+        from repro.sfq.characterize import characterize_module
+
+        char = characterize_module()
+        full = char.full_module
+        assert full.splitter_count > 0
+        assert full.jj_count_with_splitters > full.jj_count

@@ -1,0 +1,56 @@
+"""ASCII visualization tests."""
+
+import numpy as np
+
+from repro.surface.viz import describe_decode, render_lattice, render_syndrome_only
+
+
+class TestRenderLattice:
+    def test_base_glyphs(self, lattice3):
+        text = render_lattice(lattice3)
+        assert "." in text and "x" in text and "z" in text
+        assert "legend" in text
+
+    def test_grid_size(self, lattice3):
+        lines = [l for l in render_lattice(lattice3, legend=False).splitlines()
+                 if l.strip()]
+        # header + 5 rows
+        assert len(lines) == lattice3.size + 1
+
+    def test_error_overlay(self, lattice3):
+        err = lattice3.data_vector_from_coords([(2, 2)])
+        text = render_lattice(lattice3, z_errors=err, legend=False)
+        assert "E" in text
+
+    def test_y_error_overlay(self, lattice3):
+        err = lattice3.data_vector_from_coords([(2, 2)])
+        text = render_lattice(lattice3, z_errors=err, x_errors=err, legend=False)
+        assert "Y" in text
+
+    def test_hot_overlay(self, lattice3):
+        text = render_lattice(lattice3, hot_x_syndromes=[(1, 2)], legend=False)
+        assert "!" in text
+
+    def test_chain_overlay_wins(self, lattice3):
+        text = render_lattice(
+            lattice3, hot_x_syndromes=[(1, 2)], chain=[(1, 2)], legend=False
+        )
+        assert "#" in text and "!" not in text
+
+
+class TestHelpers:
+    def test_syndrome_only(self, lattice3):
+        syn = lattice3.x_syndrome_vector_from_coords([(1, 0)])
+        assert "!" in render_syndrome_only(lattice3, syn)
+
+    def test_describe_decode_reports_verdict(self, lattice3):
+        err = lattice3.data_vector_from_coords([(2, 2)])
+        corr = err.copy()
+        text = describe_decode(lattice3, err, corr)
+        assert "logical failure: False" in text
+
+    def test_describe_decode_detects_failure(self, lattice3):
+        err = np.zeros(lattice3.n_data, dtype=np.uint8)
+        corr = lattice3.data_vector_from_coords(lattice3.logical_z_support)
+        text = describe_decode(lattice3, err, corr)
+        assert "logical failure: True" in text

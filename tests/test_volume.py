@@ -1,0 +1,113 @@
+"""SQV analysis tests (Fig. 1)."""
+
+import pytest
+
+from repro.sqv.scaling import ScalingLaw, paper_scaling_law
+from repro.sqv.volume import (
+    AQECPlan,
+    MachineConfig,
+    fig1_plans,
+    fig1_table,
+    physical_qubits_per_logical,
+)
+
+
+class TestPacking:
+    def test_data_only_convention(self):
+        assert physical_qubits_per_logical(3) == 13
+        assert physical_qubits_per_logical(5) == 41
+
+    def test_full_patch_convention(self):
+        assert physical_qubits_per_logical(3, count_ancillas=True) == 25
+        assert physical_qubits_per_logical(9, count_ancillas=True) == 289
+
+    def test_paper_78_logical_qubits(self):
+        machine = MachineConfig(1024, 1e-5)
+        plan = AQECPlan(machine, paper_scaling_law(3))
+        assert plan.n_logical == 78
+
+
+class TestSQV:
+    def test_nisq_baseline(self):
+        machine = MachineConfig(1024, 1e-5)
+        assert machine.nisq_sqv == pytest.approx(1e5)
+
+    def test_sqv_is_inverse_logical_rate(self):
+        machine = MachineConfig(1024, 1e-5)
+        plan = AQECPlan(machine, paper_scaling_law(3))
+        assert plan.sqv == pytest.approx(1.0 / plan.logical_error_rate)
+
+    def test_fig1_boost_factors(self):
+        """The paper's headline: 3,402x at d=3 and 11,163x at d=5."""
+        plans = fig1_plans()
+        assert plans[3].boost_factor == pytest.approx(3402, rel=0.01)
+        assert plans[5].boost_factor == pytest.approx(11163, rel=0.01)
+
+    def test_fig1_quoted_logical_rates(self):
+        plans = fig1_plans()
+        assert plans[3].logical_error_rate == pytest.approx(2.94e-9, rel=1e-6)
+        assert plans[5].logical_error_rate == pytest.approx(8.96e-10, rel=1e-6)
+
+    def test_fig1_gates_per_qubit(self):
+        """Fig. 1 labels the d=3 point at 4.36e6 gates per qubit."""
+        plans = fig1_plans()
+        assert plans[3].gates_per_qubit == pytest.approx(4.36e6, rel=0.01)
+
+    def test_gates_times_qubits_equals_sqv(self):
+        plans = fig1_plans()
+        for plan in plans.values():
+            assert plan.n_logical * plan.gates_per_qubit == pytest.approx(
+                plan.sqv
+            )
+
+    def test_zero_error_rate_is_infinite(self):
+        machine = MachineConfig(100, 1e-5)
+        law = ScalingLaw(d=3, c1=0.0, c2=0.5, p_th=0.05)
+        plan = AQECPlan(machine, law)
+        assert plan.sqv == float("inf")
+
+    def test_summary_keys(self):
+        plan = fig1_plans()[3]
+        summary = plan.summary()
+        assert {"d", "n_logical", "sqv", "boost_factor"} <= set(summary)
+
+    def test_table_renders(self):
+        text = fig1_table(fig1_plans())
+        assert "boost" in text
+
+
+class TestLandscape:
+    def test_landscape_covers_distances(self):
+        from repro.sqv.volume import sqv_landscape
+
+        plans = sqv_landscape(distances=(3, 5, 7))
+        assert set(plans) == {3, 5, 7}
+
+    def test_best_operating_point(self):
+        from repro.sqv.volume import best_operating_point, sqv_landscape
+
+        best = best_operating_point(sqv_landscape())
+        # at p = 1e-5 deeper codes keep winning until packing runs out
+        assert best.d == 9
+
+    def test_best_requires_feasible_plan(self):
+        from repro.sqv.volume import best_operating_point, sqv_landscape
+
+        plans = sqv_landscape(MachineConfig(n_physical=5, p_physical=1e-5))
+        with pytest.raises(ValueError):
+            best_operating_point(plans)
+
+
+class TestCustomMachines:
+    def test_better_qubits_smaller_boost(self):
+        """Boost = p/PL shrinks as physical qubits improve (fixed law)."""
+        law = paper_scaling_law(3)
+        good = AQECPlan(MachineConfig(1024, 1e-6), law)
+        bad = AQECPlan(MachineConfig(1024, 1e-4), law)
+        # PL scales as p^1.95, so boost ~ p^-0.95: worse qubits boost more
+        assert bad.boost_factor < good.boost_factor
+
+    def test_small_machine_fits_no_qubits(self):
+        plan = AQECPlan(MachineConfig(10, 1e-5), paper_scaling_law(3))
+        assert plan.n_logical == 0
+        assert plan.gates_per_qubit == float("inf")
