@@ -4,20 +4,31 @@ Every benchmark regenerates one table or figure of the paper through the
 experiment registry, at a reduced Monte-Carlo budget so the whole suite
 stays in the minutes range.  Full-fidelity numbers come from
 ``python -m repro.experiments --all --trials 4000`` (see EXPERIMENTS.md).
+
+Set ``REPRO_BENCH_WORKERS=N`` to fan Monte-Carlo grid cells out over N
+worker processes; all results are bit-identical to the serial run.
 """
+
+import os
 
 import pytest
 
 from repro.experiments import ExperimentConfig
 
 
+def _workers() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+
+
 @pytest.fixture(scope="session")
 def bench_config():
     """Reduced-budget config shared by the Monte-Carlo benchmarks."""
-    return ExperimentConfig(trials=300, seed=2020)
+    return ExperimentConfig(trials=300, seed=2020, workers=_workers())
 
 
 @pytest.fixture(scope="session")
 def bench_config_small():
     """Tiny config for the heaviest sweeps (ablation grid)."""
-    return ExperimentConfig(trials=150, seed=2020, distances=(3, 5, 7))
+    return ExperimentConfig(
+        trials=150, seed=2020, distances=(3, 5, 7), workers=_workers()
+    )

@@ -1,0 +1,120 @@
+"""Record mesh-decoder throughput baselines for the perf trajectory.
+
+Measures batched ``decode_arrays`` shots/s at d in {7, 9, 11} for both
+stepping backends — ``reference`` (the seed implementation,
+``_MeshState``) and ``fast`` (the ``repro.perf`` engine) — on a fixed
+seeded workload, and writes ``benchmarks/BENCH_mesh_throughput.json``.
+
+Future PRs rerun this script and compare against the committed baseline
+to track the throughput trajectory::
+
+    PYTHONPATH=src python benchmarks/record.py            # refresh file
+    PYTHONPATH=src python benchmarks/record.py --check 3  # assert >=3x
+
+Timing is best-of-``--reps`` wall clock on the current machine; the
+speedup column (fast vs reference on the same run) is the
+machine-portable number, the absolute shots/s are indicative only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from datetime import date
+from pathlib import Path
+
+import numpy as np
+
+DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_mesh_throughput.json"
+DISTANCES = (7, 9, 11)
+
+
+def _measure(decoder, syndromes, engine: str, reps: int) -> float:
+    decoder.decode_arrays(syndromes[:64], engine=engine)  # warmup
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        decoder.decode_arrays(syndromes, engine=engine)
+        best = min(best, time.perf_counter() - start)
+    return syndromes.shape[0] / best
+
+
+def run_benchmark(shots: int = 2048, p: float = 0.05, seed: int = 2020,
+                  reps: int = 3) -> dict:
+    from repro.decoders.sfq_mesh import SFQMeshDecoder
+    from repro.noise.models import DephasingChannel
+    from repro.surface.lattice import SurfaceLattice
+
+    entries = {}
+    for d in DISTANCES:
+        lattice = SurfaceLattice(d)
+        decoder = SFQMeshDecoder(lattice)
+        rng = np.random.default_rng(seed)
+        sample = DephasingChannel().sample(lattice, p, shots, rng)
+        syndromes = lattice.syndrome_of_z_errors(sample.z)
+        before = _measure(decoder, syndromes, "reference", reps)
+        after = _measure(decoder, syndromes, "fast", reps)
+        entries[f"d{d}"] = {
+            "before_reference_shots_per_s": round(before, 1),
+            "after_fast_shots_per_s": round(after, 1),
+            "speedup": round(after / before, 2),
+        }
+    return {
+        "benchmark": "mesh_decode_arrays_throughput",
+        "workload": {
+            "shots": shots,
+            "p": p,
+            "seed": seed,
+            "model": "dephasing",
+            "reps": reps,
+            "timing": "best-of-reps wall clock",
+        },
+        "recorded": date.today().isoformat(),
+        "machine": platform.machine(),
+        "entries": entries,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Record mesh decode_arrays throughput baselines."
+    )
+    parser.add_argument("--shots", type=int, default=2048)
+    parser.add_argument("--p", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--check", type=float, metavar="MIN_SPEEDUP",
+        help="exit nonzero unless every d >= 9 speedup meets this bar "
+        "(the PR acceptance gate); skips writing the file",
+    )
+    args = parser.parse_args(argv)
+
+    record = run_benchmark(args.shots, args.p, args.seed, args.reps)
+    for name, entry in record["entries"].items():
+        print(
+            f"{name}: reference {entry['before_reference_shots_per_s']:>8.1f} "
+            f"shots/s -> fast {entry['after_fast_shots_per_s']:>8.1f} shots/s "
+            f"({entry['speedup']:.2f}x)"
+        )
+    if args.check is not None:
+        failing = {
+            name: e["speedup"]
+            for name, e in record["entries"].items()
+            if int(name[1:]) >= 9 and e["speedup"] < args.check
+        }
+        if failing:
+            print(f"FAIL: below {args.check}x at {failing}")
+            return 1
+        print(f"OK: all d >= 9 speedups >= {args.check}x")
+        return 0
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,12 +7,23 @@ error rates, pseudo-thresholds and the accuracy threshold.
 
 Run:  python examples/threshold_study.py --trials 2000
       python examples/threshold_study.py --variant reset+boundary
+      python examples/threshold_study.py --workers 8
+      python examples/threshold_study.py --point 9 0.03 --trials 200000
+
+``--workers`` fans the (d, p) grid cells — or the chunks of a single
+``--point`` deep sample — over worker processes; results are identical
+for any worker count.
 """
 
 import argparse
 
-from repro import MeshConfig, SFQMeshDecoder
-from repro.montecarlo import default_rate_grid, run_threshold_sweep
+from repro import MeshConfig
+from repro.decoders.sfq_mesh import MeshDecoderFactory
+from repro.montecarlo import (
+    default_rate_grid,
+    run_threshold_sweep,
+    run_trials_chunked,
+)
 from repro.noise import DephasingChannel
 
 VARIANTS = {
@@ -29,16 +40,38 @@ def main() -> None:
     parser.add_argument("--distances", type=int, nargs="+", default=[3, 5, 7, 9])
     parser.add_argument("--variant", choices=sorted(VARIANTS), default="final")
     parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument(
+        "--point", nargs=2, metavar=("D", "P"),
+        help="deep-sample a single (distance, rate) cell instead of the "
+        "grid, splitting the trial budget into parallel chunks",
+    )
     args = parser.parse_args()
 
     mesh_config = VARIANTS[args.variant]()
+    factory = MeshDecoderFactory(config=mesh_config)
+
+    if args.point:
+        d, p = int(args.point[0]), float(args.point[1])
+        result = run_trials_chunked(
+            factory, DephasingChannel(), d=d, p=p, trials=args.trials,
+            seed=args.seed, workers=args.workers,
+        )
+        lo, hi = result.estimate.interval
+        print(f"variant: {args.variant}; d={d}, p={p:g}, "
+              f"{result.trials} trials ({args.workers} workers)")
+        print(f"logical error rate: {result.logical_error_rate:.3e} "
+              f"(95% CI [{lo:.3e}, {hi:.3e}], {result.failures} failures)")
+        return
+
     sweep = run_threshold_sweep(
-        decoder_factory=lambda lat: SFQMeshDecoder(lat, config=mesh_config),
+        decoder_factory=factory,
         model=DephasingChannel(),
         distances=args.distances,
         physical_rates=default_rate_grid(),
         trials=args.trials,
         seed=args.seed,
+        workers=args.workers,
     )
 
     print(f"variant: {args.variant}; {args.trials} trials per point\n")

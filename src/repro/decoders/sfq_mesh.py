@@ -67,6 +67,12 @@ RESET_HOLD = 5
 #: Paper full-circuit latency per mesh cycle, picoseconds (Table III).
 PAPER_CYCLE_TIME_PS = 162.72
 
+#: Batched stepping backend used when none is requested explicitly:
+#: ``"fast"`` is the preallocated bit-packed engine in
+#: :mod:`repro.perf.mesh_engine`; ``"reference"`` is :class:`_MeshState`,
+#: the readable automaton the engine is golden-tested against.
+DEFAULT_ENGINE = "fast"
+
 
 @dataclass(frozen=True)
 class MeshConfig:
@@ -189,6 +195,8 @@ class SFQMeshDecoder(Decoder):
             self._rows + self._cols
         ) + 24
         self._hard_cap = (len(anc) + 2) * (self._watchdog_limit + RESET_HOLD + 4)
+        #: lazily built fast-engine instance (reused across decode calls)
+        self._engine_cache = None
 
     def _native_ancillas(self):
         if self.error_type == "z":
@@ -218,8 +226,17 @@ class SFQMeshDecoder(Decoder):
             for i in range(batch.corrections.shape[0])
         ]
 
-    def decode_arrays(self, syndromes: np.ndarray) -> MeshBatchResult:
-        """Decode a ``(batch, n_syndromes)`` array of syndromes."""
+    def decode_arrays(
+        self, syndromes: np.ndarray, engine: Optional[str] = None
+    ) -> MeshBatchResult:
+        """Decode a ``(batch, n_syndromes)`` array of syndromes.
+
+        ``engine`` selects the stepping backend: ``"fast"`` (the
+        preallocated in-place engine, reused across calls), or
+        ``"reference"`` (the readable automaton in :class:`_MeshState`).
+        Both produce identical corrections, cycle counts and convergence
+        flags; ``None`` uses :data:`DEFAULT_ENGINE`.
+        """
         syndromes = np.asarray(syndromes, dtype=np.uint8)
         if syndromes.ndim != 2 or syndromes.shape[1] != self.geometry.n_syndromes:
             raise ValueError(
@@ -230,13 +247,49 @@ class SFQMeshDecoder(Decoder):
         out_corr = np.zeros((total, self.lattice.n_data), dtype=np.uint8)
         out_cycles = np.zeros(total, dtype=np.int64)
         out_conv = np.ones(total, dtype=bool)
-        state = _MeshState(self, syndromes)
-        state.run(out_corr, out_cycles, out_conv)
+        engine = engine or DEFAULT_ENGINE
+        if engine == "reference":
+            state = _MeshState(self, syndromes)
+            state.run(out_corr, out_cycles, out_conv)
+        elif engine == "fast":
+            self._fast_engine(total).decode(
+                syndromes, out_corr, out_cycles, out_conv
+            )
+        else:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected 'fast' or 'reference'"
+            )
         return MeshBatchResult(out_corr, out_cycles, out_conv)
+
+    def _fast_engine(self, batch: int):
+        """Cached :class:`repro.perf.mesh_engine.FastMeshEngine`."""
+        engine = self._engine_cache
+        if engine is None:
+            from ..perf.mesh_engine import FastMeshEngine
+
+            engine = FastMeshEngine(self, capacity=batch)
+            self._engine_cache = engine
+        return engine
 
     def cycles_to_ns(self, cycles: np.ndarray) -> np.ndarray:
         """Convert mesh cycles to nanoseconds at the configured clock."""
         return np.asarray(cycles, dtype=float) * (self.config.cycle_time_ps / 1000.0)
+
+
+@dataclass(frozen=True)
+class MeshDecoderFactory:
+    """Picklable decoder factory for multi-process sweep orchestration.
+
+    ``run_threshold_sweep(..., workers=N)`` ships factories to worker
+    processes, which rules out lambdas/closures; this frozen dataclass
+    carries the same information and builds the decoder on the far side.
+    """
+
+    config: Optional[MeshConfig] = None
+    error_type: str = "z"
+
+    def __call__(self, lattice: SurfaceLattice) -> "SFQMeshDecoder":
+        return SFQMeshDecoder(lattice, self.error_type, self.config)
 
 
 class _MeshState:

@@ -30,6 +30,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=2020)
     parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for Monte-Carlo grid cells (default 1; "
+        "results are identical for any worker count)",
+    )
+    parser.add_argument(
         "--save", metavar="PATH",
         help="also write the result to PATH (.json or .csv; single --id only)",
     )
@@ -40,7 +45,9 @@ def main(argv=None) -> int:
             print(experiment_id)
         return 0
 
-    config = ExperimentConfig(trials=args.trials, seed=args.seed)
+    config = ExperimentConfig(
+        trials=args.trials, seed=args.seed, workers=args.workers
+    )
     ids = all_experiment_ids() if args.all else None
     if not ids:
         if not args.experiment_id:

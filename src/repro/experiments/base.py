@@ -17,17 +17,23 @@ class ExperimentConfig:
 
     ``trials`` scales the Monte-Carlo experiments; the defaults keep a
     full run in the minutes range.  ``seed`` makes runs reproducible.
+    ``workers`` fans Monte-Carlo grid cells out over a process pool
+    (see :mod:`repro.perf.parallel`); results are bit-identical for any
+    worker count because every grid cell draws from its own spawned
+    ``np.random.SeedSequence`` child regardless of scheduling.
     """
 
     trials: int = 2000
     seed: int = 2020  # ISCA 2020
     distances: tuple = (3, 5, 7, 9)
+    workers: int = 1
 
     def scaled(self, factor: float) -> "ExperimentConfig":
         return ExperimentConfig(
             trials=max(100, int(self.trials * factor)),
             seed=self.seed,
             distances=self.distances,
+            workers=self.workers,
         )
 
 

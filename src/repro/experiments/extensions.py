@@ -22,7 +22,7 @@ from ..decoders import (
     SFQMeshDecoder,
     UnionFindDecoder,
 )
-from ..decoders.sfq_mesh import MeshConfig
+from ..decoders.sfq_mesh import MeshConfig, MeshDecoderFactory
 from ..decoders.temporal import run_windowed_trials
 from ..montecarlo.thresholds import default_rate_grid, run_threshold_sweep
 from ..noise.models import DephasingChannel, DepolarizingChannel
@@ -132,12 +132,13 @@ def run_depolarizing(config: ExperimentConfig) -> ExperimentResult:
     ("the decoder will be operated symmetrically for both X and Z").
     """
     sweep = run_threshold_sweep(
-        decoder_factory=lambda lat: SFQMeshDecoder(lat),
+        decoder_factory=MeshDecoderFactory(),
         model=DepolarizingChannel(),
         distances=config.distances,
         physical_rates=default_rate_grid(),
         trials=config.trials,
         seed=config.seed,
+        workers=config.workers,
     )
     lines = [
         f"{'p':>8} " + "".join(f"{'d=' + str(d):>10}" for d in sweep.distances)

@@ -2,15 +2,17 @@
 
 from __future__ import annotations
 
+import functools
 from typing import Dict, List
 
 import numpy as np
 
 from ..circuits.catalog import benchmark_suite, table1
-from ..decoders.sfq_mesh import MeshConfig, SFQMeshDecoder
+from ..decoders.sfq_mesh import MeshConfig, MeshDecoderFactory, SFQMeshDecoder
 from ..montecarlo.stats import summarize_times
 from ..montecarlo.thresholds import default_rate_grid, run_threshold_sweep
 from ..noise.models import DephasingChannel
+from ..perf.parallel import parallel_map, spawn_cell_seeds
 from ..runtime.backlog import BacklogParameters, simulate_backlog
 from ..runtime.executor import mcnot_example, run_benchmark_study
 from ..sfq.cells import library_table
@@ -33,13 +35,53 @@ PAPER_TABLE4_NS = {
 
 def _mesh_sweep(config: ExperimentConfig, mesh_config: MeshConfig):
     return run_threshold_sweep(
-        decoder_factory=lambda lat: SFQMeshDecoder(lat, config=mesh_config),
+        decoder_factory=MeshDecoderFactory(config=mesh_config),
         model=DephasingChannel(),
         distances=config.distances,
         physical_rates=default_rate_grid(),
         trials=config.trials,
         seed=config.seed,
+        workers=config.workers,
     )
+
+
+def _decode_cycles_cell(payload):
+    """Worker cell: decode one (d, p) sample batch, return mesh cycles."""
+    d, p, trials, seedseq = payload
+    lattice = SurfaceLattice(d)
+    decoder = SFQMeshDecoder(lattice)
+    rng = np.random.default_rng(seedseq)
+    sample = DephasingChannel().sample(lattice, p, trials, rng)
+    syn = lattice.syndrome_of_z_errors(sample.z)
+    return decoder.decode_arrays(syn).cycles
+
+
+def _decode_cycles_grid(config: ExperimentConfig, rates) -> Dict[int, np.ndarray]:
+    """Per-distance decoder cycle samples over the full rate grid.
+
+    Cells are seeded by grid position (distance-major), so the result is
+    independent of ``config.workers``.  Memoized because ``table4`` and
+    ``fig10c`` consume the identical grid — under ``--all`` the second
+    experiment reuses the first one's decode instead of repeating it.
+    """
+    return _decode_cycles_grid_cached(config, tuple(rates))
+
+
+@functools.lru_cache(maxsize=2)
+def _decode_cycles_grid_cached(
+    config: ExperimentConfig, rates: tuple
+) -> Dict[int, np.ndarray]:
+    cells = [(d, p) for d in config.distances for p in rates]
+    seeds = spawn_cell_seeds(config.seed, len(cells))
+    payloads = [
+        (d, p, config.trials, seeds[i]) for i, (d, p) in enumerate(cells)
+    ]
+    chunks = parallel_map(_decode_cycles_cell, payloads, workers=config.workers)
+    out: Dict[int, np.ndarray] = {}
+    n_p = len(rates)
+    for i, d in enumerate(config.distances):
+        out[d] = np.concatenate(chunks[i * n_p : (i + 1) * n_p])
+    return out
 
 
 def _sweep_text(sweep) -> str:
@@ -122,24 +164,17 @@ def run_table3(config: ExperimentConfig) -> ExperimentResult:
 
 @register("table4")
 def run_table4(config: ExperimentConfig) -> ExperimentResult:
-    rng = np.random.default_rng(config.seed)
-    model = DephasingChannel()
     rates = default_rate_grid()
+    cycles_by_d = _decode_cycles_grid(config, rates)
+    cycle_time_ps = MeshConfig.final().cycle_time_ps
     rows: List[dict] = []
     lines = [
         f"{'d':>3} {'max(ns)':>9} {'mean(ns)':>9} {'std(ns)':>9} "
         f"{'paper max':>10} {'paper mean':>11} {'paper std':>10}"
     ]
     for d in config.distances:
-        lattice = SurfaceLattice(d)
-        decoder = SFQMeshDecoder(lattice)
-        chunks = []
-        for p in rates:
-            sample = model.sample(lattice, p, config.trials, rng)
-            syn = lattice.syndrome_of_z_errors(sample.z)
-            out = decoder.decode_arrays(syn)
-            chunks.append(out.time_ns(decoder.config.cycle_time_ps))
-        tmax, tmean, tstd = summarize_times(np.concatenate(chunks))
+        times_ns = cycles_by_d[d] * (cycle_time_ps / 1000.0)
+        tmax, tmean, tstd = summarize_times(times_ns)
         paper = PAPER_TABLE4_NS.get(d, {"max": float("nan"), "mean": float("nan"), "std": float("nan")})
         rows.append(
             {"d": d, "max_ns": tmax, "mean_ns": tmean, "std_ns": tstd, **{
@@ -332,21 +367,13 @@ def run_fig10a(config: ExperimentConfig) -> ExperimentResult:
 
 @register("fig10c")
 def run_fig10c(config: ExperimentConfig) -> ExperimentResult:
-    rng = np.random.default_rng(config.seed)
-    model = DephasingChannel()
     rates = default_rate_grid()
+    cycles_by_d = _decode_cycles_grid(config, rates)
     rows = []
     lines = [f"{'cycles':>7} " + "".join(f"{'d=' + str(d):>9}" for d in config.distances)]
     histos: Dict[int, np.ndarray] = {}
     for d in config.distances:
-        lattice = SurfaceLattice(d)
-        decoder = SFQMeshDecoder(lattice)
-        chunks = []
-        for p in rates:
-            sample = model.sample(lattice, p, config.trials, rng)
-            syn = lattice.syndrome_of_z_errors(sample.z)
-            chunks.append(decoder.decode_arrays(syn).cycles)
-        cycles = np.concatenate(chunks)
+        cycles = cycles_by_d[d]
         histos[d] = np.bincount(np.clip(cycles, 0, 20), minlength=21) / len(cycles)
     for c in range(21):
         lines.append(

@@ -14,6 +14,7 @@ from .thresholds import (
     run_threshold_sweep,
 )
 from .trial import TrialResult, run_trials
+from ..perf.parallel import run_trials_chunked
 
 __all__ = [
     "LifetimeResult",
@@ -28,4 +29,5 @@ __all__ = [
     "run_threshold_sweep",
     "TrialResult",
     "run_trials",
+    "run_trials_chunked",
 ]

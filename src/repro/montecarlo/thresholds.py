@@ -19,7 +19,7 @@ from ..decoders.base import Decoder
 from ..noise.models import ErrorModel
 from ..surface.lattice import SurfaceLattice
 from .stats import loglog_crossing, pseudo_threshold
-from .trial import TrialResult, run_trials
+from .trial import TrialResult
 
 DecoderFactory = Callable[[SurfaceLattice], Decoder]
 
@@ -108,21 +108,35 @@ def run_threshold_sweep(
     physical_rates: Sequence[float],
     trials: int,
     seed: Optional[int] = None,
+    workers: int = 1,
 ) -> ThresholdSweep:
     """Monte-Carlo sweep over the (d, p) grid.
 
     ``decoder_factory`` builds a fresh decoder per lattice, so sweeps can
     compare mesh variants and software baselines uniformly.
+
+    Each ``(d, p)`` grid cell draws from its own child of
+    ``np.random.SeedSequence(seed)`` (spawned in fixed grid order) and
+    ``workers > 1`` fans the cells out over a process pool — results are
+    bit-identical for any worker count.  Multi-process execution requires
+    a picklable ``decoder_factory`` (e.g.
+    :class:`repro.decoders.sfq_mesh.MeshDecoderFactory`); lambdas degrade
+    gracefully to serial execution with the same seeding.
     """
-    rng = np.random.default_rng(seed)
+    from ..perf.parallel import run_sweep_cells
+
     sweep = ThresholdSweep(list(distances), list(physical_rates))
-    for d in distances:
-        lattice = SurfaceLattice(d)
-        decoder = decoder_factory(lattice)
-        sweep.results[d] = [
-            run_trials(lattice, decoder, model, p, trials, rng)
-            for p in physical_rates
-        ]
+    grid = run_sweep_cells(
+        decoder_factory,
+        model,
+        sweep.distances,
+        sweep.physical_rates,
+        trials,
+        seed=seed,
+        workers=workers,
+    )
+    for i, d in enumerate(sweep.distances):
+        sweep.results[d] = grid[i]
     return sweep
 
 

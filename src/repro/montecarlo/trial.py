@@ -41,7 +41,8 @@ class TrialResult:
 
     @property
     def logical_error_rate(self) -> float:
-        return self.failures / self.trials
+        # Empty runs (trials == 0) report a 0.0 rate rather than raising.
+        return self.failures / self.trials if self.trials else 0.0
 
     @property
     def estimate(self) -> RateEstimate:

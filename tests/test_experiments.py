@@ -51,6 +51,7 @@ class TestExtensionExperiments:
         result = run_experiment("accuracy", ExperimentConfig(trials=150))
         assert any("mesh" in row for row in result.rows)
 
+    @pytest.mark.slow
     def test_temporal(self):
         result = run_experiment("temporal", ExperimentConfig(trials=400))
         rows = {(r["q"], r["window"]): r for r in result.rows}
@@ -66,6 +67,7 @@ class TestExtensionExperiments:
         assert "pseudo-thresholds" in result.text
 
 
+@pytest.mark.slow
 class TestMonteCarloExperiments:
     """Cheap-config smoke runs of the heavy experiments."""
 

@@ -106,6 +106,7 @@ class TestHardwareTimingPipeline:
 
 
 class TestScalingPipeline:
+    @pytest.mark.slow
     def test_sweep_to_scaling_law_to_sqv(self):
         """Monte Carlo -> Table V fit -> Fig. 1 style projection."""
         sweep = run_threshold_sweep(

@@ -31,6 +31,7 @@ class TestLifetime:
         )
         assert long.logical_failures > short.logical_failures
 
+    @pytest.mark.slow
     def test_agrees_with_single_round_estimate(self):
         """Lifetime failures/cycle ~ single-shot failure rate (factorization)."""
         lattice = SurfaceLattice(5)

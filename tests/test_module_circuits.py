@@ -23,6 +23,7 @@ from repro.sfq.module_circuits import (
 from repro.sfq.simulator import exhaustive_equivalence
 
 
+@pytest.mark.slow
 class TestExhaustiveEquivalence:
     """Netlists implement exactly the automaton's boolean behaviour."""
 

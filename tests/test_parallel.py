@@ -1,0 +1,131 @@
+"""Determinism and merging tests for the parallel sweep orchestrator."""
+
+import numpy as np
+import pytest
+
+from repro.decoders.sfq_mesh import MeshDecoderFactory
+from repro.experiments import ExperimentConfig
+from repro.montecarlo.lifetime import LifetimeResult
+from repro.montecarlo.thresholds import run_threshold_sweep
+from repro.montecarlo.trial import TrialResult
+from repro.noise.models import DephasingChannel
+from repro.perf.parallel import (
+    parallel_map,
+    run_trials_chunked,
+    spawn_cell_seeds,
+)
+
+
+def _sweep(workers, seed=2020):
+    return run_threshold_sweep(
+        decoder_factory=MeshDecoderFactory(),
+        model=DephasingChannel(),
+        distances=(3, 5),
+        physical_rates=[0.02, 0.05, 0.09],
+        trials=300,
+        seed=seed,
+        workers=workers,
+    )
+
+
+def _assert_sweeps_identical(a, b):
+    assert a.distances == b.distances
+    assert a.physical_rates == b.physical_rates
+    for d in a.distances:
+        for ra, rb in zip(a.results[d], b.results[d]):
+            assert (ra.failures, ra.trials) == (rb.failures, rb.trials)
+            assert ra.inconsistent == rb.inconsistent
+            assert ra.nonconverged == rb.nonconverged
+            assert np.array_equal(ra.cycles, rb.cycles)
+
+
+class TestWorkerDeterminism:
+    @pytest.mark.slow
+    def test_workers_4_bit_identical_to_serial(self):
+        """Regression: ExperimentConfig(seed=...) results are independent
+        of the worker count."""
+        config = ExperimentConfig(seed=2020)
+        _assert_sweeps_identical(
+            _sweep(workers=1, seed=config.seed),
+            _sweep(workers=4, seed=config.seed),
+        )
+
+    def test_seed_changes_results(self):
+        a = _sweep(workers=1, seed=1)
+        b = _sweep(workers=1, seed=2)
+        failures_a = [r.failures for d in a.distances for r in a.results[d]]
+        failures_b = [r.failures for d in b.distances for r in b.results[d]]
+        assert failures_a != failures_b
+
+    def test_cell_seeds_are_stable(self):
+        a = spawn_cell_seeds(2020, 5)
+        b = spawn_cell_seeds(2020, 5)
+        for sa, sb in zip(a, b):
+            assert np.random.default_rng(sa).integers(1 << 30) == \
+                np.random.default_rng(sb).integers(1 << 30)
+
+    def test_lambda_factory_falls_back_to_serial(self):
+        with pytest.warns(RuntimeWarning, match="picklable"):
+            sweep = run_threshold_sweep(
+                decoder_factory=lambda lat: MeshDecoderFactory()(lat),
+                model=DephasingChannel(),
+                distances=(3,),
+                physical_rates=[0.05],
+                trials=100,
+                seed=7,
+                workers=4,
+            )
+        assert sweep.results[3][0].trials == 100
+
+
+class TestChunkedTrials:
+    def test_chunking_is_worker_invariant(self):
+        kw = dict(
+            decoder_factory=MeshDecoderFactory(),
+            model=DephasingChannel(),
+            d=3,
+            p=0.06,
+            trials=700,
+            seed=11,
+            chunk_size=256,
+        )
+        serial = run_trials_chunked(workers=1, **kw)
+        parallel = run_trials_chunked(workers=3, **kw)
+        assert serial.trials == parallel.trials == 700
+        assert serial.failures == parallel.failures
+        assert np.array_equal(serial.cycles, parallel.cycles)
+
+    def test_zero_trials(self):
+        result = run_trials_chunked(
+            decoder_factory=MeshDecoderFactory(),
+            model=DephasingChannel(),
+            d=3,
+            p=0.06,
+            trials=0,
+            seed=11,
+        )
+        assert result.trials == 0
+        assert result.logical_error_rate == 0.0
+
+
+class TestParallelMap:
+    def test_empty(self):
+        assert parallel_map(abs, [], workers=4) == []
+
+    def test_order_preserved(self):
+        assert parallel_map(abs, [-3, 2, -1], workers=2) == [3, 2, 1]
+
+
+class TestZeroDivisionGuards:
+    def test_trial_result_empty_rate(self):
+        result = TrialResult(
+            d=3, p=0.05, trials=0, failures=0,
+            error_model="dephasing", decoder="sfq_mesh",
+        )
+        assert result.logical_error_rate == 0.0
+
+    def test_lifetime_result_empty_rate(self):
+        result = LifetimeResult(
+            d=3, p=0.05, cycles_run=0, logical_failures=0, shots=16
+        )
+        assert result.failures_per_cycle == 0.0

@@ -58,6 +58,7 @@ class TestWindowedTrials:
         )
         assert result.logical_failures == 0
 
+    @pytest.mark.slow
     def test_windowing_recovers_measurement_noise(self):
         """q = 5% flips: window=3 strictly beats window=1."""
         lattice = SurfaceLattice(5)
