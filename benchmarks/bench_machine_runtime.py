@@ -1,0 +1,22 @@
+"""Machine-scale runtime: 64-tile pooled-vs-dedicated decode sweep."""
+
+from repro.experiments import run_experiment
+from repro.runtime import MachineRuntime, make_tile_fleet
+
+
+def test_machine_experiment_benchmark(benchmark, bench_config):
+    result = benchmark(lambda: run_experiment("machine", bench_config))
+    sweep = [r for r in result.rows if r["scenario"] == "heterogeneous_sweep"]
+    assert sweep and not any(r["diverged"] for r in sweep)
+    # the software-speed scenario must trip the divergence detector
+    software = [r for r in result.rows if r["scenario"] == "software_divergence"]
+    assert software[0]["diverged"]
+
+
+def test_machine_simulation_throughput(benchmark):
+    """Rounds simulated per second for a contended 64-tile pooled run."""
+    fleet = make_tile_fleet(64, n_gates=240, t_period=12)
+    runtime = MachineRuntime(fleet, n_decoders=16, policy="pooled", seed=2020)
+    result = benchmark(runtime.run)
+    assert not result.diverged
+    assert result.total_rounds == 64 * 240

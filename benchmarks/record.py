@@ -1,25 +1,35 @@
-"""Record mesh-decoder throughput baselines for the perf trajectory.
+"""Record performance baselines for the perf trajectory.
 
-Measures batched ``decode_arrays`` shots/s at d in {7, 9, 11} for both
-stepping backends — ``reference`` (the seed implementation,
-``_MeshState``) and ``fast`` (the ``repro.perf`` engine) — on a fixed
-seeded workload, and writes ``benchmarks/BENCH_mesh_throughput.json``.
+Two suites, each writing one committed JSON baseline:
 
-Future PRs rerun this script and compare against the committed baseline
-to track the throughput trajectory::
+* ``mesh`` — batched ``decode_arrays`` shots/s at d in {7, 9, 11} for
+  both stepping backends (``reference`` vs the ``repro.perf`` fast
+  engine) -> ``benchmarks/BENCH_mesh_throughput.json``;
+* ``machine`` — the 64-tile d-heterogeneous machine runtime's
+  pooled-vs-dedicated-vs-batched sweep: simulated makespan/stall plus
+  host-side simulated-rounds/s -> ``benchmarks/BENCH_machine_runtime.json``.
 
-    PYTHONPATH=src python benchmarks/record.py            # refresh file
-    PYTHONPATH=src python benchmarks/record.py --check 3  # assert >=3x
+Future PRs rerun this script and compare against the committed baselines
+to track the perf trajectory::
 
-Timing is best-of-``--reps`` wall clock on the current machine; the
-speedup column (fast vs reference on the same run) is the
-machine-portable number, the absolute shots/s are indicative only.
+    PYTHONPATH=src python benchmarks/record.py            # refresh both
+    PYTHONPATH=src python benchmarks/record.py --suite mesh --check 3
+
+Timing is best-of-``--reps`` wall clock on the current machine; ratios
+between columns of the same run (speedup, policy deltas) are the
+machine-portable numbers, absolute rates are indicative only.
+
+``REPRO_BENCH_SMOKE=1`` drops both suites to a seconds-scale budget —
+the CI benchmark smoke job runs that and uploads the JSONs as build
+artifacts so the trajectory is visible per-PR (the committed baselines
+are only refreshed from full local runs).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from datetime import date
@@ -27,8 +37,12 @@ from pathlib import Path
 
 import numpy as np
 
-DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_mesh_throughput.json"
+BENCH_DIR = Path(__file__).resolve().parent
+DEFAULT_OUT = BENCH_DIR / "BENCH_mesh_throughput.json"
+MACHINE_OUT = BENCH_DIR / "BENCH_machine_runtime.json"
 DISTANCES = (7, 9, 11)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 
 
 def _measure(decoder, syndromes, engine: str, reps: int) -> float:
@@ -77,42 +91,116 @@ def run_benchmark(shots: int = 2048, p: float = 0.05, seed: int = 2020,
     }
 
 
+def run_machine_benchmark(
+    n_tiles: int = 64,
+    n_gates: int = 400,
+    t_period: int = 10,
+    seed: int = 2020,
+    reps: int = 3,
+) -> dict:
+    """The 64-tile d-heterogeneous pooled-vs-dedicated machine sweep."""
+    from repro.runtime import MachineRuntime, make_tile_fleet
+    from repro.runtime.machine import pool_size_from_budget
+
+    fleet = make_tile_fleet(
+        n_tiles, distances=(3, 5, 7, 9), n_gates=n_gates, t_period=t_period
+    )
+    m_budget = pool_size_from_budget(9)
+    pools = sorted({m_budget, max(1, n_tiles // 4)})
+    entries = {}
+    for policy in ("dedicated", "pooled", "batched"):
+        for m in pools:
+            runtime = MachineRuntime(
+                fleet, n_decoders=m, policy=policy, seed=seed
+            )
+            best = float("inf")
+            for _ in range(reps):
+                start = time.perf_counter()
+                result = runtime.run()
+                best = min(best, time.perf_counter() - start)
+            row = result.summary_row()
+            row["sim_rounds_per_s"] = round(result.total_rounds / best, 1)
+            entries[f"{policy}_M{m}"] = row
+    return {
+        "benchmark": "machine_runtime_policy_sweep",
+        "workload": {
+            "tiles": n_tiles,
+            "distances": [3, 5, 7, 9],
+            "n_gates": n_gates,
+            "t_period": t_period,
+            "seed": seed,
+            "reps": reps,
+            "pool_sizes": pools,
+            "budget_pool_d9": m_budget,
+            "timing": "best-of-reps wall clock",
+        },
+        "recorded": date.today().isoformat(),
+        "machine": platform.machine(),
+        "entries": entries,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Record mesh decode_arrays throughput baselines."
+        description="Record perf baselines (mesh throughput, machine runtime)."
     )
-    parser.add_argument("--shots", type=int, default=2048)
+    parser.add_argument(
+        "--suite", choices=("mesh", "machine", "all"), default="all"
+    )
+    parser.add_argument("--shots", type=int, default=256 if SMOKE else 2048)
     parser.add_argument("--p", type=float, default=0.05)
     parser.add_argument("--seed", type=int, default=2020)
-    parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument("--reps", type=int, default=1 if SMOKE else 3)
+    parser.add_argument("--tiles", type=int, default=16 if SMOKE else 64)
+    parser.add_argument("--gates", type=int, default=120 if SMOKE else 400)
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument("--machine-out", type=Path, default=MACHINE_OUT)
     parser.add_argument(
         "--check", type=float, metavar="MIN_SPEEDUP",
-        help="exit nonzero unless every d >= 9 speedup meets this bar "
-        "(the PR acceptance gate); skips writing the file",
+        help="exit nonzero unless every d >= 9 mesh speedup meets this "
+        "bar (the PR acceptance gate); skips writing the files",
     )
     args = parser.parse_args(argv)
+    if args.check is not None and args.suite == "machine":
+        parser.error("--check gates the mesh suite; use --suite mesh or all")
+    if SMOKE:
+        print("REPRO_BENCH_SMOKE=1: reduced budget (artifact-only numbers)")
 
-    record = run_benchmark(args.shots, args.p, args.seed, args.reps)
-    for name, entry in record["entries"].items():
-        print(
-            f"{name}: reference {entry['before_reference_shots_per_s']:>8.1f} "
-            f"shots/s -> fast {entry['after_fast_shots_per_s']:>8.1f} shots/s "
-            f"({entry['speedup']:.2f}x)"
+    if args.suite in ("mesh", "all"):
+        record = run_benchmark(args.shots, args.p, args.seed, args.reps)
+        for name, entry in record["entries"].items():
+            print(
+                f"{name}: reference "
+                f"{entry['before_reference_shots_per_s']:>8.1f} shots/s -> "
+                f"fast {entry['after_fast_shots_per_s']:>8.1f} shots/s "
+                f"({entry['speedup']:.2f}x)"
+            )
+        if args.check is not None:
+            failing = {
+                name: e["speedup"]
+                for name, e in record["entries"].items()
+                if int(name[1:]) >= 9 and e["speedup"] < args.check
+            }
+            if failing:
+                print(f"FAIL: below {args.check}x at {failing}")
+                return 1
+            print(f"OK: all d >= 9 speedups >= {args.check}x")
+            return 0
+        args.out.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {args.out}")
+
+    if args.suite in ("machine", "all") and args.check is None:
+        record = run_machine_benchmark(
+            args.tiles, args.gates, seed=args.seed, reps=args.reps
         )
-    if args.check is not None:
-        failing = {
-            name: e["speedup"]
-            for name, e in record["entries"].items()
-            if int(name[1:]) >= 9 and e["speedup"] < args.check
-        }
-        if failing:
-            print(f"FAIL: below {args.check}x at {failing}")
-            return 1
-        print(f"OK: all d >= 9 speedups >= {args.check}x")
-        return 0
-    args.out.write_text(json.dumps(record, indent=2) + "\n")
-    print(f"wrote {args.out}")
+        for name, entry in record["entries"].items():
+            print(
+                f"{name:>16}: makespan {entry['makespan_ns'] / 1e3:>8.1f} us  "
+                f"stall {entry['total_stall_ns'] / 1e3:>8.1f} us  "
+                f"{entry['sim_rounds_per_s']:>10.1f} sim rounds/s"
+            )
+        args.machine_out.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {args.machine_out}")
     return 0
 
 

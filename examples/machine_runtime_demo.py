@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Machine-runtime demo: N logical-qubit tiles vs a 4-K decoder pool.
+
+Walks the paper's section III throughput race at machine scale:
+
+1. size the decoder pool from the section VIII cryostat budget,
+2. run a d-heterogeneous tile fleet under the three scheduling
+   policies (dedicated wiring, shared FIFO pool, batched dispatch),
+3. shrink the pool until the machine starts to stall,
+4. show the queue-limit divergence detector catching a software-speed
+   pool (f = 2), the regime where T-gate latency explodes as f^k.
+
+Run:  python examples/machine_runtime_demo.py [--tiles 64] [--gates 240]
+"""
+
+import argparse
+
+from repro.runtime import (
+    ConstantLatency,
+    MachineRuntime,
+    TileSpec,
+    make_tile_fleet,
+    pool_size_from_budget,
+    run_policy_sweep,
+)
+from repro.sfq.refrigerator import CryostatBudget
+
+
+def show(result, label):
+    if result.diverged:
+        n = sum(t.diverged for t in result.tiles)
+        print(f"  {label:>24}  DIVERGED ({n}/{result.n_tiles} tiles)")
+        return
+    print(
+        f"  {label:>24}  makespan {result.makespan_ns / 1e3:>8.1f} us  "
+        f"stall {result.total_stall_ns / 1e3:>8.1f} us  "
+        f"decoder util {result.decoder_utilization:>6.1%}  "
+        f"SQV_eff {result.sqv_summary()['effective_sqv']:.3g}"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiles", type=int, default=64)
+    parser.add_argument("--gates", type=int, default=240)
+    parser.add_argument("--seed", type=int, default=2020)
+    args = parser.parse_args()
+
+    budget = CryostatBudget()
+    m_budget = pool_size_from_budget(9, budget)
+    print(f"cryostat budget: {budget.power_budget_w} W / "
+          f"{budget.area_budget_mm2:.0f} mm^2 at 4 K "
+          f"-> {m_budget} distance-9 patch decoders\n")
+
+    fleet = make_tile_fleet(args.tiles, n_gates=args.gates, t_period=12)
+    print(f"policy sweep, {args.tiles} tiles (d = 3/5/7/9 round-robin), "
+          f"M = {m_budget} decoders:")
+    for result in run_policy_sweep(
+        fleet, [(p, m_budget) for p in ("dedicated", "pooled", "batched")],
+        seed=args.seed,
+    ):
+        show(result, result.policy)
+
+    print("\nshrinking the shared pool:")
+    for m in (m_budget, max(1, args.tiles // 8), 2, 1):
+        result = MachineRuntime(
+            fleet, n_decoders=m, policy="pooled", seed=args.seed,
+            queue_limit=5000,
+        ).run()
+        show(result, f"pooled M={m}")
+
+    print("\nsoftware-speed decoders (800 ns/round, f = 2 per tile):")
+    software = [
+        TileSpec(t.name, t.distance, t.n_gates, t.t_positions,
+                 latency=ConstantLatency("software", 800.0))
+        for t in fleet
+    ]
+    # a shared pool can mask slow decoders while M/N >= f; contend it
+    for m in (m_budget, max(1, args.tiles // 8)):
+        result = MachineRuntime(
+            software, n_decoders=m, policy="pooled",
+            seed=args.seed, queue_limit=2000,
+        ).run()
+        show(result, f"pooled+software M={m}")
+    print("\nthe SFQ mesh keeps every tile's backlog empty at a fraction "
+          "of the pool;\nsoftware-speed decoding survives only while "
+          "M/N covers f, and once aggregate\ngeneration outpaces the "
+          "pool the f^k blow-up diverges every tile — the\npaper's "
+          "conclusion, now at machine scale.")
+
+
+if __name__ == "__main__":
+    main()

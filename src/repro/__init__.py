@@ -17,10 +17,6 @@ Public entry points:
 * :mod:`repro.experiments` — one runner per paper table/figure.
 """
 
-__version__ = "1.0.0"
-
-from .surface import SurfaceLattice
-from .noise import DephasingChannel, DepolarizingChannel
 from .decoders import (
     GreedyMatchingDecoder,
     MWPMDecoder,
@@ -29,6 +25,10 @@ from .decoders import (
     UnionFindDecoder,
     make_decoder,
 )
+from .noise import DephasingChannel, DepolarizingChannel
+from .surface import SurfaceLattice
+
+__version__ = "1.0.0"
 
 __all__ = [
     "__version__",

@@ -42,7 +42,9 @@ class MCXLayout:
         }
 
 
-def _vchain(circ: QCircuit, controls: List[int], ancillas: List[int], target: int) -> None:
+def _vchain(
+    circ: QCircuit, controls: List[int], ancillas: List[int], target: int
+) -> None:
     """Barenco V-chain: flip ``target`` iff all controls; ancillas restored.
 
     Requires ``len(ancillas) == len(controls) - 2``.  Emits ``4(c-2)``

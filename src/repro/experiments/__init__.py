@@ -2,6 +2,7 @@
 
 from . import runners  # noqa: F401  (populates the registry)
 from . import extensions  # noqa: F401  (extension experiments)
+from . import machine  # noqa: F401  (machine-scale runtime experiment)
 from .base import (
     ExperimentConfig,
     ExperimentResult,

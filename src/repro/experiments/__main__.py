@@ -3,6 +3,8 @@
 Examples::
 
     python -m repro.experiments --list
+    python -m repro.experiments machine
+    python -m repro.experiments fig10a table4 --trials 4000
     python -m repro.experiments --id fig10a --trials 4000
     python -m repro.experiments --all --trials 1000
 """
@@ -21,7 +23,14 @@ def main(argv=None) -> int:
         prog="python -m repro.experiments",
         description="Regenerate NISQ+ paper tables and figures.",
     )
-    parser.add_argument("--id", dest="experiment_id", help="experiment to run")
+    parser.add_argument(
+        "ids", nargs="*", metavar="ID",
+        help="experiment id(s) to run (see --list)",
+    )
+    parser.add_argument(
+        "--id", dest="experiment_id",
+        help="experiment to run (same as a positional ID)",
+    )
     parser.add_argument("--all", action="store_true", help="run everything")
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument(
@@ -48,11 +57,14 @@ def main(argv=None) -> int:
     config = ExperimentConfig(
         trials=args.trials, seed=args.seed, workers=args.workers
     )
-    ids = all_experiment_ids() if args.all else None
-    if not ids:
-        if not args.experiment_id:
-            parser.error("provide --id, --all or --list")
-        ids = [args.experiment_id]
+    if args.all:
+        ids = all_experiment_ids()
+    else:
+        ids = list(args.ids)
+        if args.experiment_id and args.experiment_id not in ids:
+            ids.append(args.experiment_id)
+        if not ids:
+            parser.error("provide experiment ID(s), --id, --all or --list")
     if args.save and len(ids) != 1:
         parser.error("--save requires a single --id")
     for experiment_id in ids:

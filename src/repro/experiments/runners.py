@@ -15,6 +15,7 @@ from ..noise.models import DephasingChannel
 from ..perf.parallel import parallel_map, spawn_cell_seeds
 from ..runtime.backlog import BacklogParameters, simulate_backlog
 from ..runtime.executor import mcnot_example, run_benchmark_study
+from ..runtime.latency import PAPER_TABLE4_NS
 from ..sfq.cells import library_table
 from ..sfq.characterize import characterize_module, mesh_totals, paper_mesh_totals
 from ..sfq.refrigerator import CryostatBudget, paper_d9_rollup, plan_mesh
@@ -24,13 +25,8 @@ from ..sqv.volume import MachineConfig, fig1_plans, fig1_table, sqv_landscape
 from ..surface.lattice import SurfaceLattice
 from .base import ExperimentConfig, ExperimentResult, register
 
-#: Paper values for side-by-side reporting.
-PAPER_TABLE4_NS = {
-    3: {"max": 3.74, "mean": 0.28, "std": 0.58},
-    5: {"max": 9.28, "mean": 0.72, "std": 1.09},
-    7: {"max": 14.2, "mean": 2.00, "std": 1.99},
-    9: {"max": 19.2, "mean": 3.81, "std": 3.11},
-}
+#: Paper Table IV values (now in repro.runtime.latency, re-exported here
+#: because the machine runtime's synthetic latencies share them).
 
 
 def _mesh_sweep(config: ExperimentConfig, mesh_config: MeshConfig):
@@ -175,7 +171,8 @@ def run_table4(config: ExperimentConfig) -> ExperimentResult:
     for d in config.distances:
         times_ns = cycles_by_d[d] * (cycle_time_ps / 1000.0)
         tmax, tmean, tstd = summarize_times(times_ns)
-        paper = PAPER_TABLE4_NS.get(d, {"max": float("nan"), "mean": float("nan"), "std": float("nan")})
+        nan = float("nan")
+        paper = PAPER_TABLE4_NS.get(d, {"max": nan, "mean": nan, "std": nan})
         rows.append(
             {"d": d, "max_ns": tmax, "mean_ns": tmean, "std_ns": tstd, **{
                 f"paper_{k}": v for k, v in paper.items()}}
@@ -370,7 +367,10 @@ def run_fig10c(config: ExperimentConfig) -> ExperimentResult:
     rates = default_rate_grid()
     cycles_by_d = _decode_cycles_grid(config, rates)
     rows = []
-    lines = [f"{'cycles':>7} " + "".join(f"{'d=' + str(d):>9}" for d in config.distances)]
+    lines = [
+        f"{'cycles':>7} "
+        + "".join(f"{'d=' + str(d):>9}" for d in config.distances)
+    ]
     histos: Dict[int, np.ndarray] = {}
     for d in config.distances:
         cycles = cycles_by_d[d]

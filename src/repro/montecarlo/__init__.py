@@ -1,5 +1,6 @@
 """Monte-Carlo benchmarking: trials, lifetimes, thresholds, statistics."""
 
+from ..perf.parallel import run_trials_chunked
 from .lifetime import LifetimeResult, run_lifetime
 from .stats import (
     RateEstimate,
@@ -14,7 +15,6 @@ from .thresholds import (
     run_threshold_sweep,
 )
 from .trial import TrialResult, run_trials
-from ..perf.parallel import run_trials_chunked
 
 __all__ = [
     "LifetimeResult",

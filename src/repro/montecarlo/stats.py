@@ -32,7 +32,9 @@ class RateEstimate:
         return f"{self.rate:.4g} [{lo:.4g}, {hi:.4g}]"
 
 
-def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float, float]:
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
     """Wilson score interval for a binomial proportion."""
     if trials < 0 or successes < 0 or successes > trials:
         raise ValueError("need 0 <= successes <= trials")

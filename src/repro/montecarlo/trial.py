@@ -85,7 +85,9 @@ def run_trials(
         if sample.x.any():
             needs_x = True
             if x_decoder is None:
-                x_decoder = type(decoder)(lattice, error_type="x", **_extra_kwargs(decoder))
+                x_decoder = type(decoder)(
+                    lattice, error_type="x", **_extra_kwargs(decoder)
+                )
             x_fail, x_stats = _decode_orientation(lattice, x_decoder, sample.x, "x")
             inconsistent += x_stats["inconsistent"]
             nonconverged += x_stats["nonconverged"]

@@ -1,0 +1,534 @@
+"""Machine-scale multi-tile decode runtime (beyond the paper's single qubit).
+
+The paper's throughput race (section III) is stated per logical qubit:
+syndrome rounds arrive every cycle and the decoder must keep up or the
+T-gate wait grows as ``f^k``.  A real machine runs *many* logical-qubit
+tiles against however many decoders fit the 4-K cryostat budget
+(section VIII / ``mesh_budget``), so the machine-level question is
+whether a pool of M decoders can serve N tiles' aggregate syndrome
+traffic.  This module simulates exactly that: an event-driven runtime
+where every tile emits one syndrome round per cycle at its own cadence,
+T gates are per-tile synchronization barriers (rounds keep generating
+while a tile stalls — the compounding mechanism), and a
+:mod:`~repro.runtime.scheduler` policy maps rounds onto the decoder
+pool.
+
+With one tile, one decoder and the dedicated or pooled policy the
+simulation degenerates *bit-identically* to
+:class:`~repro.runtime.streaming.StreamingExecutor` (same service-draw
+order via :func:`~repro.runtime.latency.sample_service_ns`, same
+arithmetic; regression-tested in ``tests/test_machine.py``).
+
+Scenario knobs beyond the paper: heterogeneous tile distances (per-tile
+latency models), bursty T-gate schedules, decoder failure with fallback
+to a software decode, and queue-limit divergence detection per tile.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..sfq.refrigerator import CryostatBudget, plan_mesh
+from .latency import (
+    MWPM_LATENCY,
+    ConstantLatency,
+    EmpiricalLatency,
+    paper_table4_latency,
+    sample_service_ns,
+)
+from .scheduler import DecodeRound, SchedulingPolicy, make_policy
+from .streaming import StreamingResult
+
+LatencyModel = Union[ConstantLatency, EmpiricalLatency]
+
+
+# ----------------------------------------------------------------------
+# Workload helpers
+# ----------------------------------------------------------------------
+def periodic_t_positions(n_gates: int, period: int, offset: int = 0) -> Tuple[int, ...]:
+    """T gates every ``period`` gates (the Fig. 5/6 style workload)."""
+    if period < 1:
+        raise ValueError("period must be >= 1")
+    return tuple(range(offset + period - 1, n_gates, period))
+
+
+def bursty_t_positions(
+    n_gates: int,
+    n_bursts: int,
+    burst_len: int,
+    seed: Optional[int] = None,
+) -> Tuple[int, ...]:
+    """Clustered T-gate schedule: ``n_bursts`` runs of consecutive T gates.
+
+    Magic-state-heavy program phases produce exactly this shape — long
+    Clifford stretches punctuated by dense T bursts, which is the worst
+    case for a shared decode pool because every tile synchronizes at
+    nearly the same time.  Deterministic for a given ``seed``.
+    """
+    if burst_len < 1 or n_bursts < 1:
+        raise ValueError("need at least one burst of length >= 1")
+    if n_bursts * burst_len > n_gates:
+        raise ValueError("bursts do not fit the program")
+    rng = np.random.default_rng(seed)
+    starts = np.sort(
+        rng.choice(n_gates - burst_len + 1, size=n_bursts, replace=False)
+    )
+    positions: List[int] = []
+    for start in starts:
+        for k in range(burst_len):
+            pos = int(start) + k
+            if not positions or pos > positions[-1]:
+                positions.append(pos)
+    return tuple(positions)
+
+
+@dataclass(frozen=True)
+class TileSpec:
+    """One logical-qubit tile: its code patch and its gate program."""
+
+    name: str
+    distance: int
+    n_gates: int
+    t_positions: Tuple[int, ...] = ()
+    syndrome_cycle_ns: float = 400.0
+    latency: Optional[LatencyModel] = None
+
+    def resolved_latency(self) -> LatencyModel:
+        """The per-round decode-time model (Table IV default for ``d``)."""
+        if self.latency is not None:
+            return self.latency
+        return paper_table4_latency(self.distance)
+
+
+def make_tile_fleet(
+    n_tiles: int,
+    distances: Sequence[int] = (3, 5, 7, 9),
+    n_gates: int = 400,
+    t_period: int = 10,
+    syndrome_cycle_ns: float = 400.0,
+    latency_for: Optional[Dict[int, LatencyModel]] = None,
+) -> List[TileSpec]:
+    """A d-heterogeneous fleet: tile ``i`` gets ``distances[i % len]``."""
+    latency_for = latency_for or {}
+    tiles = []
+    for i in range(n_tiles):
+        d = distances[i % len(distances)]
+        tiles.append(
+            TileSpec(
+                name=f"tile{i:03d}_d{d}",
+                distance=d,
+                n_gates=n_gates,
+                t_positions=periodic_t_positions(n_gates, t_period),
+                syndrome_cycle_ns=syndrome_cycle_ns,
+                latency=latency_for.get(d),
+            )
+        )
+    return tiles
+
+
+def pool_size_from_budget(
+    distance: int,
+    budget: Optional[CryostatBudget] = None,
+    use_paper_module: bool = True,
+) -> int:
+    """Decoders of a given patch distance fitting the 4-K stage.
+
+    Ties machine capacity to the paper's section VIII analysis: the
+    cryostat's power/area budget caps the mesh edge
+    (:func:`repro.sfq.refrigerator.plan_mesh`), and one distance-d patch
+    decoder occupies ``(2d-1) x (2d-1)`` mesh modules.
+    """
+    plan = plan_mesh(budget=budget or CryostatBudget(),
+                     use_paper_module=use_paper_module)
+    per_side = plan.mesh_edge // (2 * distance - 1)
+    if per_side == 0:
+        raise ValueError(
+            f"cryostat budget fits a {plan.mesh_edge}x{plan.mesh_edge} mesh "
+            f"— too small for even one distance-{distance} patch decoder "
+            f"({2 * distance - 1} modules per side)"
+        )
+    return per_side * per_side
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass
+class TileResult:
+    """Per-tile outcome (the StreamingResult fields, per tile)."""
+
+    name: str
+    distance: int
+    wall_time_ns: float
+    compute_time_ns: float
+    total_rounds: int
+    max_backlog: int
+    total_stall_ns: float
+    fallback_decodes: int = 0
+    diverged: bool = False
+
+    @property
+    def overhead(self) -> float:
+        if self.compute_time_ns == 0:
+            return 1.0
+        return self.wall_time_ns / self.compute_time_ns
+
+    def as_streaming_result(self) -> StreamingResult:
+        """This tile's outcome in the single-qubit result type."""
+        return StreamingResult(
+            wall_time_ns=self.wall_time_ns,
+            compute_time_ns=self.compute_time_ns,
+            total_rounds=self.total_rounds,
+            max_queue_depth=self.max_backlog,
+            total_stall_ns=self.total_stall_ns,
+            diverged=self.diverged,
+        )
+
+
+@dataclass
+class MachineResult:
+    """Machine-level outcome of one multi-tile run."""
+
+    policy: str
+    n_tiles: int
+    n_decoders: int
+    tiles: List[TileResult]
+    decoder_busy_ns: List[float]
+    decoder_rounds: List[int]
+
+    @property
+    def diverged(self) -> bool:
+        return any(t.diverged for t in self.tiles)
+
+    @property
+    def makespan_ns(self) -> float:
+        """Wall time until the last tile finishes its program."""
+        if not self.tiles:
+            return 0.0
+        return max(t.wall_time_ns for t in self.tiles)
+
+    @property
+    def total_stall_ns(self) -> float:
+        return sum(t.total_stall_ns for t in self.tiles)
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(t.total_rounds for t in self.tiles)
+
+    @property
+    def max_backlog(self) -> int:
+        return max((t.max_backlog for t in self.tiles), default=0)
+
+    @property
+    def machine_overhead(self) -> float:
+        """Aggregate wall/compute ratio across tiles (inf if diverged)."""
+        compute = sum(t.compute_time_ns for t in self.tiles)
+        if compute == 0:
+            return 1.0
+        return sum(t.wall_time_ns for t in self.tiles) / compute
+
+    @property
+    def decoder_utilization(self) -> float:
+        span = self.makespan_ns
+        if span <= 0 or not np.isfinite(span) or not self.decoder_busy_ns:
+            return 0.0
+        return float(sum(self.decoder_busy_ns) / (len(self.decoder_busy_ns) * span))
+
+    def sqv_summary(self, p_physical: float = 1e-5) -> Dict[str, float]:
+        """Machine-level SQV, stall-adjusted (extension metric).
+
+        The machine's gate budget is set by its weakest tile (largest
+        logical error rate under the paper-calibrated scaling law); the
+        decode backlog then scales the *achieved* gate rate down by the
+        wall/compute overhead, so
+        ``effective_sqv = sqv / machine_overhead`` — 0 when any tile
+        diverged (the program never finishes).
+        """
+        from ..sqv.scaling import paper_scaling_law
+
+        worst_pl = 0.0
+        for tile in self.tiles:
+            law = paper_scaling_law(tile.distance)
+            worst_pl = max(worst_pl, law.logical_error_rate(p_physical))
+        sqv = float("inf") if worst_pl <= 0 else 1.0 / worst_pl
+        overhead = self.machine_overhead
+        if self.diverged or not np.isfinite(overhead):
+            effective = 0.0
+        else:
+            effective = sqv / overhead
+        return {
+            "worst_logical_error_rate": worst_pl,
+            "sqv": sqv,
+            "machine_overhead": overhead,
+            "effective_sqv": effective,
+        }
+
+    def summary_row(self) -> Dict[str, object]:
+        """Flat record for serialization / benchmark JSON."""
+        sqv = self.sqv_summary()
+        return {
+            "policy": self.policy,
+            "tiles": self.n_tiles,
+            "decoders": self.n_decoders,
+            "diverged": self.diverged,
+            "makespan_ns": self.makespan_ns,
+            "total_stall_ns": self.total_stall_ns,
+            "total_rounds": self.total_rounds,
+            "max_backlog": self.max_backlog,
+            "machine_overhead": self.machine_overhead,
+            "decoder_utilization": self.decoder_utilization,
+            "effective_sqv": sqv["effective_sqv"],
+        }
+
+
+# ----------------------------------------------------------------------
+# The event-driven runtime
+# ----------------------------------------------------------------------
+class _TileState:
+    """Mutable per-tile simulation state."""
+
+    __slots__ = (
+        "idx", "spec", "latency", "rng", "cycle", "t_set", "wall",
+        "gate_index", "emitted", "finished", "max_finish", "unresolved",
+        "extra_queue", "finish_heap", "stall_total", "max_backlog",
+        "fallback_decodes", "blocked", "barrier_w", "active", "diverged",
+    )
+
+    def __init__(self, idx: int, spec: TileSpec, rng: np.random.Generator):
+        if any(p < 0 or p >= spec.n_gates for p in spec.t_positions):
+            raise ValueError(
+                f"T-gate position outside program on tile {spec.name!r}"
+            )
+        self.idx = idx
+        self.spec = spec
+        self.latency = spec.resolved_latency()
+        self.rng = rng
+        self.cycle = spec.syndrome_cycle_ns
+        self.t_set = set(spec.t_positions)
+        self.wall = 0.0
+        self.gate_index = 0
+        self.emitted = 0
+        self.finished = 0
+        self.max_finish = 0.0
+        self.unresolved = 0
+        self.extra_queue: deque = deque()
+        self.finish_heap: List[float] = []
+        self.stall_total = 0.0
+        self.max_backlog = 0
+        self.fallback_decodes = 0
+        self.blocked = False
+        self.barrier_w = 0.0
+        self.active = spec.n_gates > 0
+        self.diverged = False
+
+    def next_emission(self) -> float:
+        if self.extra_queue:
+            return self.extra_queue[0]
+        return self.wall + self.cycle
+
+    def result(self) -> TileResult:
+        inf = float("inf")
+        return TileResult(
+            name=self.spec.name,
+            distance=self.spec.distance,
+            wall_time_ns=inf if self.diverged else self.wall,
+            compute_time_ns=self.spec.n_gates * self.cycle,
+            total_rounds=self.spec.n_gates,
+            max_backlog=self.max_backlog,
+            total_stall_ns=inf if self.diverged else self.stall_total,
+            fallback_decodes=self.fallback_decodes,
+            diverged=self.diverged,
+        )
+
+
+@dataclass
+class MachineRuntime:
+    """N logical-qubit tiles against a pool of M decoders.
+
+    ``policy`` is a policy name (``dedicated`` / ``pooled`` /
+    ``batched``) resolved via
+    :func:`repro.runtime.scheduler.make_policy` with ``policy_kwargs``.
+    Per-tile service times are drawn from each tile's latency model with
+    a per-tile child of ``np.random.SeedSequence(seed)`` (spawned in
+    tile order, so results do not depend on scheduling).  With
+    ``failure_prob > 0`` a decode attempt fails with that probability
+    and the round is re-decoded by the software ``fallback_latency``
+    (drawn from a separate fault stream, so fault injection never
+    perturbs the tiles' latency draws).
+    """
+
+    tiles: Sequence[TileSpec]
+    n_decoders: int = 1
+    policy: str = "pooled"
+    queue_limit: int = 200_000
+    seed: Optional[int] = None
+    failure_prob: float = 0.0
+    fallback_latency: LatencyModel = MWPM_LATENCY
+    policy_kwargs: Dict[str, object] = field(default_factory=dict)
+
+    def run(self) -> MachineResult:
+        if not self.tiles:
+            raise ValueError("need at least one tile")
+        policy = make_policy(self.policy, self.n_decoders, **self.policy_kwargs)
+        root = np.random.SeedSequence(self.seed)
+        children = root.spawn(len(self.tiles) + 1)
+        fault_rng = np.random.default_rng(children[-1])
+        states = [
+            _TileState(i, spec, np.random.default_rng(children[i]))
+            for i, spec in enumerate(self.tiles)
+        ]
+        while True:
+            runnable = [s for s in states if s.active and not s.blocked]
+            blocked = [s for s in states if s.active and s.blocked]
+            if not runnable and not blocked:
+                break
+            barrier = (
+                min(blocked, key=lambda s: (s.barrier_w, s.idx))
+                if blocked else None
+            )
+            if runnable:
+                nxt = min(runnable, key=lambda s: (s.next_emission(), s.idx))
+                if barrier is not None and barrier.barrier_w <= nxt.next_emission():
+                    self._resolve_barrier(barrier, states, policy)
+                else:
+                    self._emit(nxt, states, policy, fault_rng)
+            else:
+                self._resolve_barrier(barrier, states, policy)
+        # dispatch any batch still open at end of program so decoder
+        # accounting (busy time, rounds served) covers every round
+        for done_rnd, finish in policy.flush(float("inf")):
+            self._record_finish(states[done_rnd.tile], finish)
+        return MachineResult(
+            policy=self.policy,
+            n_tiles=len(states),
+            n_decoders=self.n_decoders,
+            tiles=[s.result() for s in states],
+            decoder_busy_ns=list(policy.busy_ns),
+            decoder_rounds=list(policy.rounds_served),
+        )
+
+    # -- simulation steps ----------------------------------------------
+    def _emit(
+        self,
+        s: _TileState,
+        states: List[_TileState],
+        policy: SchedulingPolicy,
+        fault_rng: np.random.Generator,
+    ) -> None:
+        if s.extra_queue:
+            gen = s.extra_queue.popleft()
+            gate: Optional[int] = None
+        else:
+            s.wall += s.cycle
+            gen = s.wall
+            gate = s.gate_index
+            s.gate_index += 1
+        rnd = DecodeRound(tile=s.idx, index=s.emitted, gen_ns=gen)
+        s.emitted += 1
+        s.unresolved += 1
+        service = sample_service_ns(s.latency, s.rng)
+        if self.failure_prob > 0 and fault_rng.random() < self.failure_prob:
+            service += sample_service_ns(self.fallback_latency, fault_rng)
+            s.fallback_decodes += 1
+        for done_rnd, finish in policy.submit(rnd, service):
+            self._record_finish(states[done_rnd.tile], finish)
+        # backlog = rounds generated but not yet decoded at 'gen'
+        while s.finish_heap and s.finish_heap[0] <= gen:
+            heapq.heappop(s.finish_heap)
+            s.finished += 1
+        backlog = s.emitted - s.finished
+        s.max_backlog = max(s.max_backlog, backlog)
+        if backlog > self.queue_limit:
+            s.diverged = True
+            s.active = False
+            return
+        if gate is not None and gate in s.t_set:
+            s.blocked = True
+            s.barrier_w = gen
+        elif gate is not None and s.gate_index == s.spec.n_gates:
+            s.active = False
+
+    def _resolve_barrier(
+        self,
+        s: _TileState,
+        states: List[_TileState],
+        policy: SchedulingPolicy,
+    ) -> None:
+        if s.unresolved:
+            for done_rnd, finish in policy.flush(s.barrier_w):
+                self._record_finish(states[done_rnd.tile], finish)
+        stall = max(0.0, s.max_finish - s.barrier_w)
+        s.stall_total += stall
+        extra_rounds = int(stall // s.cycle)
+        for k in range(1, extra_rounds + 1):
+            s.extra_queue.append(s.barrier_w + k * s.cycle)
+        s.wall = s.barrier_w + stall
+        s.blocked = False
+        if s.gate_index == s.spec.n_gates:
+            # program over: trailing stall-generated rounds are dropped
+            s.extra_queue.clear()
+            s.active = False
+
+    @staticmethod
+    def _record_finish(owner: _TileState, finish: float) -> None:
+        heapq.heappush(owner.finish_heap, finish)
+        owner.max_finish = max(owner.max_finish, finish)
+        owner.unresolved -= 1
+
+
+# ----------------------------------------------------------------------
+# Policy sweeps over the process pool
+# ----------------------------------------------------------------------
+def _run_machine_cell(payload) -> Tuple[int, MachineResult]:
+    """Worker entry point: one (policy, pool size) machine configuration."""
+    (index, tiles, n_decoders, policy, policy_kwargs, queue_limit, seed,
+     failure_prob) = payload
+    runtime = MachineRuntime(
+        tiles=tiles,
+        n_decoders=n_decoders,
+        policy=policy,
+        policy_kwargs=dict(policy_kwargs),
+        queue_limit=queue_limit,
+        seed=seed,
+        failure_prob=failure_prob,
+    )
+    return index, runtime.run()
+
+
+def run_policy_sweep(
+    tiles: Sequence[TileSpec],
+    configurations: Sequence[Tuple[str, int]],
+    queue_limit: int = 200_000,
+    seed: Optional[int] = None,
+    failure_prob: float = 0.0,
+    policy_kwargs: Optional[Dict[str, Dict[str, object]]] = None,
+    workers: int = 1,
+) -> List[MachineResult]:
+    """Run one machine per ``(policy, n_decoders)`` configuration.
+
+    Cells fan out over :func:`repro.perf.parallel.parallel_map`; every
+    cell reuses the same ``seed`` so policies are compared on identical
+    per-tile latency draws, and results are independent of ``workers``.
+    """
+    from ..perf.parallel import parallel_map
+
+    policy_kwargs = policy_kwargs or {}
+    tiles = list(tiles)
+    payloads = [
+        (
+            i, tiles, n_decoders, policy,
+            tuple(sorted(policy_kwargs.get(policy, {}).items())),
+            queue_limit, seed, failure_prob,
+        )
+        for i, (policy, n_decoders) in enumerate(configurations)
+    ]
+    indexed = parallel_map(_run_machine_cell, payloads, workers=workers)
+    ordered: List[Optional[MachineResult]] = [None] * len(payloads)
+    for index, result in indexed:
+        ordered[index] = result
+    return ordered

@@ -1,0 +1,186 @@
+"""Decoder-pool scheduling policies for the multi-tile machine runtime.
+
+A machine runs N logical-qubit tiles against a pool of M decoders; the
+policy decides which decoder serves which syndrome round and when.  All
+policies consume rounds in global generation-time order (the machine
+loop guarantees that ordering), so a policy only has to map an ordered
+round stream onto decoder timelines:
+
+* :class:`DedicatedPolicy` — tile ``i`` is statically wired to decoder
+  ``i % M``.  With M >= N this is the paper's baseline of one SFQ mesh
+  per logical patch; with M < N it is a static partition.
+* :class:`PooledFifoPolicy` — any free decoder serves the globally
+  oldest undecoded round (work-conserving shared pool).
+* :class:`BatchedPolicy` — ready rounds are grouped into dispatch
+  batches (one ``FastMeshEngine.decode_arrays``-style call decoding many
+  tiles' rounds in one pass); a batch closes when its collection window
+  expires or a T-gate barrier forces a flush, and every round in it
+  completes together at ``start + overhead + max(per-round service)``.
+
+Policies are constructed via :func:`make_policy` from a picklable
+``(name, kwargs)`` description so policy sweeps can ship cells to worker
+processes (see :func:`repro.runtime.machine.run_policy_sweep`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class DecodeRound:
+    """One syndrome round awaiting decode."""
+
+    tile: int
+    index: int  # per-tile round counter
+    gen_ns: float  # generation (arrival) time
+
+
+#: ``(round, finish_ns)`` pairs resolved by a policy operation.
+Resolved = List[Tuple[DecodeRound, float]]
+
+
+class SchedulingPolicy:
+    """Base class: maps an ordered round stream onto M decoder timelines.
+
+    ``submit`` is called once per round, in nondecreasing ``gen_ns``
+    order, with the round's sampled service time.  It returns every
+    ``(round, finish)`` pair whose completion time became known as a
+    result — immediately for the non-batched policies, possibly
+    earlier-buffered rounds for the batched one.  ``flush`` forces any
+    buffered work out (used at T-gate barriers and at end of program).
+    """
+
+    name = "base"
+
+    def __init__(self, n_decoders: int):
+        if n_decoders < 1:
+            raise ValueError("need at least one decoder")
+        self.n_decoders = n_decoders
+        self.free_at = [0.0] * n_decoders
+        self.busy_ns = [0.0] * n_decoders
+        self.rounds_served = [0] * n_decoders
+
+    def submit(self, rnd: DecodeRound, service_ns: float) -> Resolved:
+        raise NotImplementedError
+
+    def flush(self, now_ns: float) -> Resolved:
+        """Dispatch any buffered rounds; default policies buffer nothing."""
+        return []
+
+    def _serve_on(
+        self, decoder: int, rnd: DecodeRound, service_ns: float
+    ) -> float:
+        start = max(self.free_at[decoder], rnd.gen_ns)
+        finish = start + service_ns
+        self.free_at[decoder] = finish
+        self.busy_ns[decoder] += service_ns
+        self.rounds_served[decoder] += 1
+        return finish
+
+
+class DedicatedPolicy(SchedulingPolicy):
+    """Static tile-to-decoder wiring: tile ``i`` uses decoder ``i % M``."""
+
+    name = "dedicated"
+
+    def submit(self, rnd: DecodeRound, service_ns: float) -> Resolved:
+        decoder = rnd.tile % self.n_decoders
+        return [(rnd, self._serve_on(decoder, rnd, service_ns))]
+
+
+class PooledFifoPolicy(SchedulingPolicy):
+    """Work-conserving shared pool: earliest-free decoder takes the
+    globally oldest round (ties broken by decoder index)."""
+
+    name = "pooled"
+
+    def submit(self, rnd: DecodeRound, service_ns: float) -> Resolved:
+        decoder = min(range(self.n_decoders), key=lambda k: self.free_at[k])
+        return [(rnd, self._serve_on(decoder, rnd, service_ns))]
+
+
+@dataclass
+class _OpenBatch:
+    opened_ns: float
+    rounds: List[DecodeRound] = field(default_factory=list)
+    services: List[float] = field(default_factory=list)
+
+
+class BatchedPolicy(SchedulingPolicy):
+    """Grouped dispatch: one batched decode call serves many rounds.
+
+    Rounds arriving within ``window_ns`` of the batch's first round are
+    decoded together; the batch occupies one decoder for
+    ``overhead_ns + max(per-round service)`` (the mesh decodes disjoint
+    tile regions concurrently, so the batch is bounded by its slowest
+    member plus a fixed marshalling overhead).  A T-gate barrier flushes
+    the open batch early so the blocked tile is never gated on rounds
+    that have not been generated yet.
+    """
+
+    name = "batched"
+
+    def __init__(
+        self,
+        n_decoders: int,
+        window_ns: float = 400.0,
+        overhead_ns: float = 20.0,
+    ):
+        super().__init__(n_decoders)
+        if window_ns <= 0:
+            raise ValueError("batch window must be positive")
+        self.window_ns = window_ns
+        self.overhead_ns = overhead_ns
+        self._open: Optional[_OpenBatch] = None
+
+    def submit(self, rnd: DecodeRound, service_ns: float) -> Resolved:
+        resolved: Resolved = []
+        batch = self._open
+        if batch is not None and rnd.gen_ns >= batch.opened_ns + self.window_ns:
+            resolved = self._dispatch(batch, batch.opened_ns + self.window_ns)
+            batch = None
+        if batch is None:
+            batch = _OpenBatch(opened_ns=rnd.gen_ns)
+            self._open = batch
+        batch.rounds.append(rnd)
+        batch.services.append(service_ns)
+        return resolved
+
+    def flush(self, now_ns: float) -> Resolved:
+        batch, self._open = self._open, None
+        if batch is None:
+            return []
+        close = min(now_ns, batch.opened_ns + self.window_ns)
+        return self._dispatch(batch, max(close, batch.opened_ns))
+
+    def _dispatch(self, batch: _OpenBatch, close_ns: float) -> Resolved:
+        self._open = None
+        decoder = min(range(self.n_decoders), key=lambda k: self.free_at[k])
+        start = max(self.free_at[decoder], close_ns)
+        batch_ns = self.overhead_ns + max(batch.services)
+        finish = start + batch_ns
+        self.free_at[decoder] = finish
+        self.busy_ns[decoder] += batch_ns
+        self.rounds_served[decoder] += len(batch.rounds)
+        return [(rnd, finish) for rnd in batch.rounds]
+
+
+POLICIES = {
+    DedicatedPolicy.name: DedicatedPolicy,
+    PooledFifoPolicy.name: PooledFifoPolicy,
+    BatchedPolicy.name: BatchedPolicy,
+}
+
+
+def make_policy(
+    name: str, n_decoders: int, **kwargs
+) -> SchedulingPolicy:
+    """Instantiate a policy from its picklable ``(name, kwargs)`` form."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(POLICIES))
+        raise ValueError(f"unknown policy {name!r}; known: {known}") from None
+    return cls(n_decoders, **kwargs)

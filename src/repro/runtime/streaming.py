@@ -23,7 +23,7 @@ from typing import List, Optional, Sequence, Union
 import numpy as np
 
 from ..circuits.gates import QCircuit
-from .latency import ConstantLatency, EmpiricalLatency
+from .latency import ConstantLatency, EmpiricalLatency, sample_service_ns
 
 LatencyModel = Union[ConstantLatency, EmpiricalLatency]
 
@@ -68,10 +68,14 @@ class StreamingExecutor:
     rng: Optional[np.random.Generator] = None
 
     def _service_time(self) -> float:
-        if isinstance(self.latency, EmpiricalLatency):
-            rng = self.rng or np.random.default_rng()
-            return float(rng.choice(self.latency.samples_ns))
-        return self.latency.decode_time_ns
+        """One per-round decode-time draw, fixed at generation time.
+
+        Drawn once per round (when the round is generated), so a round's
+        decode time is a property of the round itself — and the draw
+        order matches the multi-tile machine runtime exactly, which is
+        what makes the N = M = 1 equivalence regression bit-identical.
+        """
+        return sample_service_ns(self.latency, self.rng)
 
     def run(
         self, n_gates: int, t_positions: Sequence[int]
@@ -83,14 +87,15 @@ class StreamingExecutor:
         cycle = self.syndrome_cycle_ns
         wall = 0.0
         decoder_free_at = 0.0  # when the server finishes its current item
-        pending: List[float] = []  # generation times of undecoded rounds
+        # (generation time, service time) of undecoded rounds
+        pending: List[tuple] = []
         decoded_through = 0.0  # finish time of the last decoded round
         max_queue = 0
         stall_total = 0.0
         for gate_index in range(n_gates):
             # one round of syndromes is generated during this gate
             wall += cycle
-            pending.append(wall)
+            pending.append((wall, self._service_time()))
             # serve everything the decoder can finish by 'wall'
             decoder_free_at, decoded_through = self._drain(
                 pending, decoder_free_at, wall, decoded_through
@@ -117,7 +122,7 @@ class StreamingExecutor:
                 # the key compounding mechanism of the paper's section III
                 extra_rounds = int(stall // cycle)
                 for k in range(1, extra_rounds + 1):
-                    pending.append(wall + k * cycle)
+                    pending.append((wall + k * cycle, self._service_time()))
                 wall += stall
                 if len(pending) > self.queue_limit:
                     return StreamingResult(
@@ -140,8 +145,9 @@ class StreamingExecutor:
     def _drain(self, pending, decoder_free_at, now, decoded_through):
         """Serve queued rounds whose service completes by ``now``."""
         while pending:
-            start = max(decoder_free_at, pending[0])
-            finish = start + self._service_time()
+            gen, service = pending[0]
+            start = max(decoder_free_at, gen)
+            finish = start + service
             if finish > now:
                 break
             pending.pop(0)

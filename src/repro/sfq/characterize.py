@@ -16,10 +16,14 @@ from .synthesis import SynthesisResult, synthesize
 
 #: Table III rows as published (for comparison columns).
 PAPER_TABLE3 = {
-    "pair_grant": {"depth": 5, "latency_ps": 85.60, "area_um2": 338520, "power_uw": 3.38},
-    "pair": {"depth": 5, "latency_ps": 96.00, "area_um2": 347760, "power_uw": 3.51},
-    "pair_req_grow": {"depth": 5, "latency_ps": 96.00, "area_um2": 447720, "power_uw": 4.55},
-    "full_module": {"depth": 6, "latency_ps": 162.72, "area_um2": 1279320, "power_uw": 13.08},
+    "pair_grant":
+        {"depth": 5, "latency_ps": 85.60, "area_um2": 338520, "power_uw": 3.38},
+    "pair":
+        {"depth": 5, "latency_ps": 96.00, "area_um2": 347760, "power_uw": 3.51},
+    "pair_req_grow":
+        {"depth": 5, "latency_ps": 96.00, "area_um2": 447720, "power_uw": 4.55},
+    "full_module":
+        {"depth": 6, "latency_ps": 162.72, "area_um2": 1279320, "power_uw": 13.08},
 }
 
 

@@ -31,7 +31,9 @@ def opposite(direction: str) -> str:
 # ----------------------------------------------------------------------
 # Shared emission-choice logic (effective rule + two-direction priority)
 # ----------------------------------------------------------------------
-def _emit_choice(b: NetlistBuilder, rf: Mapping[str, str], enable: str) -> Dict[str, str]:
+def _emit_choice(
+    b: NetlistBuilder, rf: Mapping[str, str], enable: str
+) -> Dict[str, str]:
     """Emission nets for the crossing rule, gated by ``enable``.
 
     Effective iff a stream arrives from the North (paired with W > E > S by
@@ -86,7 +88,9 @@ def build_grow_subcircuit() -> Netlist:
     return b.build()
 
 
-def grow_spec(inputs: Mapping[str, int], state: Mapping[str, int]) -> Tuple[Dict[str, int], Dict[str, int]]:
+def grow_spec(
+    inputs: Mapping[str, int], state: Mapping[str, int]
+) -> Tuple[Dict[str, int], Dict[str, int]]:
     outputs, next_state = {}, {}
     for d in DIRS:
         q = state.get(f"grow_latch_{d}", 0)
@@ -154,8 +158,10 @@ def build_pair_grant_subcircuit() -> Netlist:
         b.input(f"req_from_{d}")
     not_reset = b.not_("reset")
     not_block = b.not_("block")
-    not_hot = b.not_("hot")
-    not_fired = b.not_("fired")
+    # complements kept in the netlist for parity with the paper's module
+    # even though this concretization never consumes them
+    b.not_("hot")
+    b.not_("fired")
     # one-hot priority pick among request arrivals
     pick = {
         "n": "req_from_n",
@@ -179,7 +185,6 @@ def build_pair_grant_subcircuit() -> Netlist:
         taken = b.and2(acquire, pick[d])
         nxt = b.and2(b.or2(locks[d], taken), not_reset)
         b.netlist.state[i].d = nxt
-    del not_hot  # relaying lives in the grant-relay subcircuit
     for d in DIRS:
         emit = b.and2(locks[d], b.and2("hot", not_block))
         b.mark_output(f"grant_out_{d}", emit)

@@ -122,7 +122,6 @@ def _alap_levels(netlist: Netlist, asap: Dict[str, int], depth: int) -> Dict[str
     latest: Dict[str, int] = {}
     sinks = set(netlist.outputs.values()) | {e.d for e in netlist.state}
     consumers: Dict[str, List[str]] = {}
-    producer_gate = {g.output: g for g in netlist.gates}
     for gate in netlist.gates:
         for net in gate.inputs:
             consumers.setdefault(net, []).append(gate.output)
@@ -140,7 +139,6 @@ def _alap_levels(netlist: Netlist, asap: Dict[str, int], depth: int) -> Dict[str
         feasible = 1 + max(levels[n] for n in gate.inputs)
         if levels[gate.output] < feasible:
             levels[gate.output] = feasible
-    del producer_gate
     return levels
 
 

@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+from repro.circuits.catalog import build_benchmark
+from repro.circuits.decompose import decompose_toffolis
 from repro.decoders import (
     GreedyMatchingDecoder,
     LookupDecoder,
@@ -12,14 +14,12 @@ from repro.decoders import (
 )
 from repro.decoders.sfq_mesh import MeshConfig
 from repro.montecarlo import run_trials
+from repro.montecarlo.thresholds import run_threshold_sweep
 from repro.noise.models import DephasingChannel
 from repro.runtime.backlog import BacklogParameters, simulate_circuit_backlog
 from repro.runtime.latency import measure_mesh_latency
-from repro.circuits.catalog import build_benchmark
-from repro.circuits.decompose import decompose_toffolis
 from repro.sfq.characterize import characterize_module
 from repro.sqv.scaling import fit_sweep
-from repro.montecarlo.thresholds import run_threshold_sweep
 from repro.surface.lattice import SurfaceLattice
 
 

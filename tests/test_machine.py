@@ -1,0 +1,273 @@
+"""Machine-scale multi-tile runtime and scheduler tests."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    ConstantLatency,
+    EmpiricalLatency,
+    MachineRuntime,
+    StreamingExecutor,
+    TileSpec,
+    bursty_t_positions,
+    make_policy,
+    make_tile_fleet,
+    paper_table4_latency,
+    periodic_t_positions,
+    pool_size_from_budget,
+    run_policy_sweep,
+)
+from repro.runtime.latency import PAPER_TABLE4_NS
+from repro.runtime.scheduler import BatchedPolicy, DecodeRound
+from repro.sfq.refrigerator import CryostatBudget, plan_mesh
+
+
+def single_tile(latency, n_gates=300, t_period=10, **kwargs):
+    return TileSpec(
+        "t0", 9, n_gates, periodic_t_positions(n_gates, t_period),
+        latency=latency, **kwargs,
+    )
+
+
+class TestStreamingEquivalence:
+    """N = M = 1 must be bit-identical to StreamingExecutor."""
+
+    @pytest.mark.parametrize("policy", ["dedicated", "pooled"])
+    @pytest.mark.parametrize("decode_ns", [100.0, 400.0, 799.0])
+    def test_constant_latency(self, policy, decode_ns):
+        latency = ConstantLatency("c", decode_ns)
+        expected = StreamingExecutor(latency, queue_limit=3000).run(
+            300, list(range(9, 300, 10))
+        )
+        got = MachineRuntime(
+            [single_tile(latency)], 1, policy=policy,
+            queue_limit=3000, seed=0,
+        ).run().tiles[0]
+        assert got.wall_time_ns == expected.wall_time_ns
+        assert got.total_stall_ns == expected.total_stall_ns
+        assert got.diverged == expected.diverged
+
+    @pytest.mark.parametrize("policy", ["dedicated", "pooled"])
+    def test_empirical_latency(self, policy):
+        seed = 42
+        latency = EmpiricalLatency(
+            "e", np.array([10.0, 120.0, 380.0, 500.0])
+        )
+        # the runtime hands tile 0 the first spawned child of the seed
+        child = np.random.SeedSequence(seed).spawn(2)[0]
+        expected = StreamingExecutor(
+            latency, rng=np.random.default_rng(child), queue_limit=5000
+        ).run(400, list(range(4, 400, 5)))
+        got = MachineRuntime(
+            [single_tile(latency, n_gates=400, t_period=5)], 1,
+            policy=policy, queue_limit=5000, seed=seed,
+        ).run().tiles[0]
+        assert got.wall_time_ns == expected.wall_time_ns
+        assert got.total_stall_ns == expected.total_stall_ns
+
+    def test_divergence_matches(self):
+        latency = ConstantLatency("slow", 800.0)
+        expected = StreamingExecutor(latency, queue_limit=1000).run(
+            500, list(range(9, 500, 10))
+        )
+        got = MachineRuntime(
+            [single_tile(latency, n_gates=500)], 1,
+            policy="pooled", queue_limit=1000, seed=0,
+        ).run().tiles[0]
+        assert expected.diverged and got.diverged
+        assert got.wall_time_ns == expected.wall_time_ns == float("inf")
+
+
+class TestPolicies:
+    def test_pooled_never_worse_than_dedicated_single_server(self):
+        """One shared decoder == one dedicated decoder for one tile."""
+        tile = single_tile(ConstantLatency("c", 350.0))
+        results = [
+            MachineRuntime([tile], 1, policy=p, seed=1).run().makespan_ns
+            for p in ("dedicated", "pooled")
+        ]
+        assert results[0] == results[1]
+
+    def test_pooling_helps_under_skew(self):
+        """A shared pool absorbs one hot tile that a static wiring can't."""
+        hot = TileSpec(
+            "hot", 9, 200, periodic_t_positions(200, 4),
+            latency=ConstantLatency("slow", 390.0),
+        )
+        cold = TileSpec(
+            "cold", 3, 200, (),
+            latency=ConstantLatency("fast", 5.0),
+        )
+        dedicated = MachineRuntime(
+            [hot, cold], 2, policy="dedicated", seed=0
+        ).run()
+        pooled = MachineRuntime(
+            [hot, cold], 2, policy="pooled", seed=0
+        ).run()
+        assert pooled.total_stall_ns <= dedicated.total_stall_ns
+
+    def test_batched_groups_rounds(self):
+        policy = BatchedPolicy(1, window_ns=100.0, overhead_ns=10.0)
+        first = policy.submit(DecodeRound(0, 0, 0.0), 5.0)
+        second = policy.submit(DecodeRound(1, 0, 50.0), 8.0)
+        assert first == [] and second == []
+        resolved = policy.submit(DecodeRound(0, 1, 150.0), 3.0)
+        # the first two rounds dispatched together at window close
+        assert [(r.tile, f) for r, f in resolved] == [(0, 118.0), (1, 118.0)]
+        flushed = policy.flush(150.0)
+        assert [(r.tile, r.index) for r, f in flushed] == [(0, 1)]
+
+    def test_batched_accounts_for_every_round(self):
+        """The batch left open at end of program is still dispatched."""
+        fleet = make_tile_fleet(4, n_gates=50, t_period=100)  # no T gates
+        result = MachineRuntime(fleet, 2, policy="batched", seed=1).run()
+        assert sum(result.decoder_rounds) == result.total_rounds == 4 * 50
+
+    def test_batched_runs_whole_machine(self):
+        fleet = make_tile_fleet(8, n_gates=100, t_period=10)
+        result = MachineRuntime(
+            fleet, 2, policy="batched", seed=3,
+            policy_kwargs={"window_ns": 400.0, "overhead_ns": 20.0},
+        ).run()
+        assert not result.diverged
+        assert result.total_rounds == 8 * 100
+        assert result.makespan_ns >= 100 * 400.0
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("round_robin", 2)
+        with pytest.raises(ValueError):
+            BatchedPolicy(2, window_ns=0.0)
+        with pytest.raises(ValueError):
+            make_policy("pooled", 0)
+
+
+class TestScenarios:
+    def test_failure_fallback(self):
+        fleet = make_tile_fleet(4, n_gates=50, t_period=10)
+        result = MachineRuntime(
+            fleet, 4, policy="pooled", seed=5, failure_prob=1.0,
+            fallback_latency=ConstantLatency("sw", 10.0),
+        ).run()
+        assert sum(t.fallback_decodes for t in result.tiles) >= 4 * 50
+        clean = MachineRuntime(fleet, 4, policy="pooled", seed=5).run()
+        assert result.total_stall_ns >= clean.total_stall_ns
+
+    def test_fault_stream_does_not_perturb_latency_draws(self):
+        """Fault draws come from their own stream: a zero-cost fallback
+        leaves every latency draw — and thus the results — unchanged."""
+        fleet = make_tile_fleet(4, n_gates=80, t_period=8)
+        base = MachineRuntime(fleet, 2, policy="pooled", seed=9).run()
+        with_fb = MachineRuntime(
+            fleet, 2, policy="pooled", seed=9, failure_prob=1.0,
+            fallback_latency=ConstantLatency("free", 0.0),
+        ).run()
+        assert with_fb.makespan_ns == base.makespan_ns
+        assert with_fb.total_stall_ns == base.total_stall_ns
+
+    def test_software_pool_diverges(self):
+        fleet = [
+            TileSpec(
+                f"t{i}", 9, 400, periodic_t_positions(400, 10),
+                latency=ConstantLatency("software", 800.0),
+            )
+            for i in range(4)
+        ]
+        result = MachineRuntime(
+            fleet, 2, policy="pooled", seed=0, queue_limit=500
+        ).run()
+        assert result.diverged
+        assert result.makespan_ns == float("inf")
+        assert result.sqv_summary()["effective_sqv"] == 0.0
+
+    def test_empty_program_tile(self):
+        result = MachineRuntime(
+            [TileSpec("empty", 3, 0)], 1, policy="pooled", seed=0
+        ).run()
+        tile = result.tiles[0]
+        assert tile.wall_time_ns == 0.0
+        assert tile.total_stall_ns == 0.0
+        assert not tile.diverged
+
+    def test_zero_latency_decoder(self):
+        tile = single_tile(ConstantLatency("ideal", 0.0))
+        result = MachineRuntime([tile], 1, policy="pooled", seed=0).run()
+        assert result.total_stall_ns == 0.0
+        assert result.machine_overhead == pytest.approx(1.0)
+
+    def test_invalid_t_position(self):
+        with pytest.raises(ValueError, match="outside program"):
+            MachineRuntime(
+                [TileSpec("bad", 3, 10, (99,))], 1, seed=0
+            ).run()
+
+
+class TestSweepAndCapacity:
+    def test_sweep_worker_determinism(self):
+        fleet = make_tile_fleet(8, n_gates=60, t_period=6)
+        configurations = [("pooled", 2), ("dedicated", 2), ("batched", 2)]
+        serial = run_policy_sweep(fleet, configurations, seed=3, workers=1)
+        parallel = run_policy_sweep(fleet, configurations, seed=3, workers=2)
+        for a, b in zip(serial, parallel):
+            assert a.summary_row() == b.summary_row()
+
+    def test_pool_size_from_budget(self):
+        plan = plan_mesh(use_paper_module=True, budget=CryostatBudget())
+        for d in (3, 5, 9):
+            expected = (plan.mesh_edge // (2 * d - 1)) ** 2
+            assert pool_size_from_budget(d) == expected
+        assert pool_size_from_budget(9) > 0
+
+    def test_pool_size_too_small_budget_raises(self):
+        tiny = CryostatBudget(power_budget_w=0.002, area_budget_mm2=50.0)
+        with pytest.raises(ValueError, match="too small"):
+            pool_size_from_budget(9, tiny)
+
+    def test_tile_fleet_round_robin(self):
+        fleet = make_tile_fleet(10, distances=(3, 5))
+        assert [t.distance for t in fleet] == [3, 5] * 5
+        assert all(t.n_gates == 400 for t in fleet)
+
+
+class TestWorkloads:
+    def test_periodic_positions(self):
+        assert periodic_t_positions(30, 10) == (9, 19, 29)
+        with pytest.raises(ValueError):
+            periodic_t_positions(30, 0)
+
+    def test_bursty_positions(self):
+        positions = bursty_t_positions(200, 4, 5, seed=7)
+        assert positions == tuple(sorted(set(positions)))
+        assert all(0 <= p < 200 for p in positions)
+        assert positions == bursty_t_positions(200, 4, 5, seed=7)
+        with pytest.raises(ValueError):
+            bursty_t_positions(10, 3, 5)
+
+    def test_paper_table4_latency(self):
+        for d, row in PAPER_TABLE4_NS.items():
+            latency = paper_table4_latency(d)
+            assert latency.max_ns() <= row["max"] + 1e-9
+            assert latency.mean_ns() == pytest.approx(row["mean"], rel=0.25)
+        with pytest.raises(ValueError):
+            paper_table4_latency(11)
+
+
+class TestResults:
+    def test_as_streaming_result(self):
+        tile = single_tile(ConstantLatency("c", 100.0))
+        result = MachineRuntime([tile], 1, policy="pooled", seed=0).run()
+        streaming = result.tiles[0].as_streaming_result()
+        assert streaming.wall_time_ns == result.tiles[0].wall_time_ns
+        assert streaming.total_stall_ns == result.tiles[0].total_stall_ns
+
+    def test_summary_row_keys(self):
+        fleet = make_tile_fleet(2, n_gates=40, t_period=10)
+        row = MachineRuntime(fleet, 1, policy="pooled", seed=0).run().summary_row()
+        for key in ("policy", "tiles", "decoders", "makespan_ns",
+                    "machine_overhead", "effective_sqv", "diverged"):
+            assert key in row
+
+    def test_utilization_bounds(self):
+        fleet = make_tile_fleet(4, n_gates=60, t_period=6)
+        result = MachineRuntime(fleet, 2, policy="pooled", seed=1).run()
+        assert 0.0 < result.decoder_utilization <= 1.0

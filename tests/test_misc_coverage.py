@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
+from repro.decoders import GreedyMatchingDecoder
 from repro.decoders.base import DecodeResult
 from repro.decoders.sfq_mesh import MeshBatchResult, SFQMeshDecoder
-from repro.decoders import GreedyMatchingDecoder
 from repro.noise.models import DephasingChannel
 from repro.runtime.latency import EmpiricalLatency, measure_mesh_latency
 from repro.sqv.comparison import FIG11_PROFILES, required_distance

@@ -16,7 +16,6 @@ from repro.montecarlo.stats import (
 from repro.montecarlo.thresholds import default_rate_grid, run_threshold_sweep
 from repro.montecarlo.trial import run_trials
 from repro.noise.models import DephasingChannel, DepolarizingChannel
-from repro.surface.lattice import SurfaceLattice
 
 
 class TestWilson:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sfq.netlist import GateInst, Netlist, NetlistBuilder, StateElement
+from repro.sfq.netlist import GateInst, Netlist, NetlistBuilder
 
 
 def tiny_and_or():

@@ -14,7 +14,6 @@ from repro.noise.models import (
     get_error_model,
     sample_with_seed,
 )
-from repro.surface.lattice import SurfaceLattice
 
 
 class TestDephasing:

@@ -1,7 +1,5 @@
 """Tests for the software decoders: greedy, MWPM, union-find, lookup."""
 
-import itertools
-
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -15,8 +13,8 @@ from repro.decoders import (
     make_decoder,
 )
 from repro.decoders.geometry import MatchingGeometry
-from repro.decoders.mwpm import matching_weight, mwpm_pairs
 from repro.decoders.greedy import greedy_pairs
+from repro.decoders.mwpm import matching_weight, mwpm_pairs
 from repro.noise.models import DephasingChannel
 from repro.surface.lattice import SurfaceLattice
 

@@ -73,6 +73,51 @@ class TestEmpiricalLatency:
         assert result.overhead < 1.2
 
 
+class TestEdgeCases:
+    """Edge cases the multi-tile machine runtime inherits."""
+
+    def test_queue_limit_divergence_flagged(self):
+        result = executor(800.0, queue_limit=50).run(
+            300, list(range(9, 300, 10))
+        )
+        assert result.diverged
+        assert result.wall_time_ns == float("inf")
+        assert result.total_stall_ns == float("inf")
+        assert result.max_queue_depth > 50
+        assert result.compute_time_ns == 300 * 400.0
+
+    def test_empty_circuit(self):
+        result = executor(100.0).run(0, [])
+        assert result.total_rounds == 0
+        assert result.wall_time_ns == 0.0
+        assert result.total_stall_ns == 0.0
+        assert result.overhead == pytest.approx(1.0)
+        assert not result.diverged
+
+    def test_empty_circuit_interface(self):
+        result = executor(100.0).run_circuit(QCircuit(1))
+        assert result.total_rounds == 0
+
+    def test_zero_latency_model(self):
+        result = executor(0.0).run(100, list(range(4, 100, 5)))
+        assert result.total_stall_ns == 0.0
+        assert result.overhead == pytest.approx(1.0)
+        assert result.max_queue_depth <= 1
+
+    def test_service_drawn_once_per_round(self):
+        """A round's decode time is fixed at generation: with a slow and
+        a fast sample, reruns under the same seed are reproducible."""
+        lat = EmpiricalLatency("bimodal", np.array([1.0, 399.0]))
+        runs = [
+            StreamingExecutor(
+                lat, rng=np.random.default_rng(3), queue_limit=10**6
+            ).run(200, list(range(9, 200, 10)))
+            for _ in range(2)
+        ]
+        assert runs[0].wall_time_ns == runs[1].wall_time_ns
+        assert runs[0].total_stall_ns == runs[1].total_stall_ns
+
+
 class TestInterface:
     def test_position_validation(self):
         with pytest.raises(ValueError):
