@@ -1,25 +1,33 @@
 """Record performance baselines for the perf trajectory.
 
-Two suites, each writing one committed JSON baseline:
+Three suites, each writing one committed JSON baseline:
 
 * ``mesh`` — batched ``decode_arrays`` shots/s at d in {7, 9, 11} for
   both stepping backends (``reference`` vs the ``repro.perf`` fast
   engine) -> ``benchmarks/BENCH_mesh_throughput.json``;
+* ``decoders`` — the software comparison decoders (union-find, MWPM,
+  greedy, lookup): per-shot ``decode()`` loop vs the vectorized
+  ``decode_batch`` fast paths, same protocol as the mesh suite ->
+  ``benchmarks/BENCH_decoder_throughput.json``;
 * ``machine`` — the 64-tile d-heterogeneous machine runtime's
-  pooled-vs-dedicated-vs-batched sweep: simulated makespan/stall plus
-  host-side simulated-rounds/s -> ``benchmarks/BENCH_machine_runtime.json``.
+  pooled-vs-dedicated-vs-batched sweep (simulated makespan/stall plus
+  host-side simulated-rounds/s), plus the dedicated-wiring Lindley
+  fast path vs the event loop ->
+  ``benchmarks/BENCH_machine_runtime.json``.
 
 Future PRs rerun this script and compare against the committed baselines
 to track the perf trajectory::
 
-    PYTHONPATH=src python benchmarks/record.py            # refresh both
+    PYTHONPATH=src python benchmarks/record.py            # refresh all
     PYTHONPATH=src python benchmarks/record.py --suite mesh --check 3
+    PYTHONPATH=src python benchmarks/record.py --suite decoders \
+        --regress-check   # warn-only drift report vs committed baseline
 
 Timing is best-of-``--reps`` wall clock on the current machine; ratios
 between columns of the same run (speedup, policy deltas) are the
 machine-portable numbers, absolute rates are indicative only.
 
-``REPRO_BENCH_SMOKE=1`` drops both suites to a seconds-scale budget —
+``REPRO_BENCH_SMOKE=1`` drops all suites to a seconds-scale budget —
 the CI benchmark smoke job runs that and uploads the JSONs as build
 artifacts so the trajectory is visible per-PR (the committed baselines
 are only refreshed from full local runs).
@@ -39,8 +47,17 @@ import numpy as np
 
 BENCH_DIR = Path(__file__).resolve().parent
 DEFAULT_OUT = BENCH_DIR / "BENCH_mesh_throughput.json"
+DECODER_OUT = BENCH_DIR / "BENCH_decoder_throughput.json"
 MACHINE_OUT = BENCH_DIR / "BENCH_machine_runtime.json"
 DISTANCES = (7, 9, 11)
+#: (decoder name, distance) cells of the decoder suite; lookup only
+#: exists at d = 3
+DECODER_CELLS = (
+    ("unionfind", 5), ("unionfind", 9),
+    ("mwpm", 5), ("mwpm", 9),
+    ("greedy", 5), ("greedy", 9),
+    ("lookup", 3),
+)
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 
@@ -91,6 +108,130 @@ def run_benchmark(shots: int = 2048, p: float = 0.05, seed: int = 2020,
     }
 
 
+def run_decoder_benchmark(shots: int = 2048, p: float = 0.05,
+                          seed: int = 2020, reps: int = 3) -> dict:
+    """Per-shot ``decode()`` loop vs vectorized ``decode_batch``.
+
+    Same protocol as the mesh suite (dephasing at p, fixed seed,
+    best-of-reps); the reference column times the exact seed-era
+    per-shot path (for MWPM: the networkx blossom engine).
+    """
+    from repro.decoders import make_decoder
+    from repro.noise.models import DephasingChannel
+    from repro.surface.lattice import SurfaceLattice
+
+    entries = {}
+    for name, d in DECODER_CELLS:
+        lattice = SurfaceLattice(d)
+        decoder = make_decoder(name, lattice)
+        reference = (
+            make_decoder(name, lattice, engine="reference")
+            if name == "mwpm" else decoder
+        )
+        rng = np.random.default_rng(seed)
+        sample = DephasingChannel().sample(lattice, p, shots, rng)
+        syndromes = decoder.geometry.syndrome_of_errors(sample.z)
+        ref_shots = syndromes[: max(32, shots // 8)]  # per-shot loop is slow
+        for s in ref_shots[:8]:
+            reference.decode(s)  # warmup
+        best_ref = float("inf")
+        for _ in range(reps):
+            start = time.perf_counter()
+            for s in ref_shots:
+                reference.decode(s)
+            best_ref = min(best_ref, time.perf_counter() - start)
+        before = len(ref_shots) / best_ref
+        decoder.decode_batch(syndromes[:64])  # warm geometry caches
+        # cold pass: component memos cleared, so this is the first-pass
+        # throughput a sweep sees on fresh syndromes
+        _clear_decode_memos(decoder)
+        start = time.perf_counter()
+        decoder.decode_batch(syndromes)
+        cold = shots / (time.perf_counter() - start)
+        best_fast = float("inf")
+        for _ in range(reps):
+            start = time.perf_counter()
+            batch = decoder.decode_batch(syndromes)
+            best_fast = min(best_fast, time.perf_counter() - start)
+        after = shots / best_fast
+        for i, s in enumerate(ref_shots[:16]):  # spot-check equivalence
+            single = decoder.decode(s)
+            if not np.array_equal(single.correction, batch.corrections[i]):
+                raise AssertionError(
+                    f"{name} d={d}: decode_batch != decode at shot {i}"
+                )
+        entries[f"{name}_d{d}"] = {
+            "before_pershot_shots_per_s": round(before, 1),
+            "cold_batch_shots_per_s": round(cold, 1),
+            "after_batch_shots_per_s": round(after, 1),
+            "speedup": round(after / before, 2),
+        }
+    return {
+        "benchmark": "software_decoder_batch_throughput",
+        "workload": {
+            "shots": shots,
+            "p": p,
+            "seed": seed,
+            "model": "dephasing",
+            "reps": reps,
+            "timing": "best-of-reps wall clock",
+            "reference": "per-shot decode() (mwpm: networkx engine)",
+            "memoization": "component memos warm across reps; the cold "
+            "column is a single pass with cleared memos",
+        },
+        "recorded": date.today().isoformat(),
+        "machine": platform.machine(),
+        "entries": entries,
+    }
+
+
+def _clear_decode_memos(decoder) -> None:
+    """Empty the cross-call component/key memos of a decoder, if any."""
+    for attr in ("_match_memo", "_peel_memo", "_decode_cache"):
+        memo = getattr(decoder, attr, None)
+        if memo is not None:
+            memo.clear()
+
+
+def regression_report(record: dict, baseline_path: Path,
+                      key: str = "after_batch_shots_per_s",
+                      tolerance: float = 0.8) -> int:
+    """Warn-only drift check of shots/s against the committed baseline.
+
+    Returns the number of regressed entries but never fails the build:
+    absolute rates are machine-dependent, so CI surfaces the warning and
+    a human decides whether the trajectory actually regressed.
+    """
+    if not baseline_path.exists():
+        print(f"regress-check: no baseline at {baseline_path}; skipping")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    regressed = 0
+    for name, entry in record["entries"].items():
+        base = baseline.get("entries", {}).get(name, {}).get(key)
+        now = entry.get(key)
+        if base is None or now is None or base <= 0:
+            continue
+        ratio = now / base
+        if ratio < tolerance:
+            regressed += 1
+            print(
+                f"WARNING regress-check: {name} {key} {now:.1f} is "
+                f"{ratio:.2f}x of baseline {base:.1f} (< {tolerance:.2f}x)"
+            )
+    if regressed == 0:
+        print(
+            f"regress-check: all entries within {tolerance:.2f}x of "
+            f"{baseline_path.name} (warn-only)"
+        )
+    else:
+        print(
+            f"regress-check: {regressed} entries regressed (warn-only, "
+            "not failing the build)"
+        )
+    return regressed
+
+
 def run_machine_benchmark(
     n_tiles: int = 64,
     n_gates: int = 400,
@@ -121,6 +262,42 @@ def run_machine_benchmark(
             row = result.summary_row()
             row["sim_rounds_per_s"] = round(result.total_rounds / best, 1)
             entries[f"{policy}_M{m}"] = row
+    # Dedicated wiring with a private decoder per tile: the Lindley fast
+    # path vs the event loop on identical seeds (results bit-identical;
+    # regression-tested in tests/test_lindley.py).
+    import dataclasses
+
+    event_rt = MachineRuntime(
+        fleet, n_decoders=n_tiles, policy="dedicated", seed=seed,
+        engine="event",
+    )
+    fast_rt = MachineRuntime(
+        fleet, n_decoders=n_tiles, policy="dedicated", seed=seed,
+        engine="fast",
+    )
+    event_res, fast_res = event_rt.run(), fast_rt.run()
+    identical = all(
+        dataclasses.asdict(a) == dataclasses.asdict(b)
+        for a, b in zip(event_res.tiles, fast_res.tiles)
+    ) and event_res.decoder_busy_ns == fast_res.decoder_busy_ns
+    best_event = best_fast = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        event_rt.run()
+        best_event = min(best_event, time.perf_counter() - start)
+        start = time.perf_counter()
+        fast_rt.run()
+        best_fast = min(best_fast, time.perf_counter() - start)
+    entries[f"dedicated_fastpath_M{n_tiles}"] = {
+        "bit_identical_to_event_loop": identical,
+        "event_loop_sim_rounds_per_s": round(
+            event_res.total_rounds / best_event, 1
+        ),
+        "fastpath_sim_rounds_per_s": round(
+            fast_res.total_rounds / best_fast, 1
+        ),
+        "speedup": round(best_event / best_fast, 2),
+    }
     return {
         "benchmark": "machine_runtime_policy_sweep",
         "workload": {
@@ -145,7 +322,8 @@ def main(argv=None) -> int:
         description="Record perf baselines (mesh throughput, machine runtime)."
     )
     parser.add_argument(
-        "--suite", choices=("mesh", "machine", "all"), default="all"
+        "--suite", choices=("mesh", "decoders", "machine", "all"),
+        default="all",
     )
     parser.add_argument("--shots", type=int, default=256 if SMOKE else 2048)
     parser.add_argument("--p", type=float, default=0.05)
@@ -154,14 +332,21 @@ def main(argv=None) -> int:
     parser.add_argument("--tiles", type=int, default=16 if SMOKE else 64)
     parser.add_argument("--gates", type=int, default=120 if SMOKE else 400)
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument("--decoder-out", type=Path, default=DECODER_OUT)
     parser.add_argument("--machine-out", type=Path, default=MACHINE_OUT)
     parser.add_argument(
         "--check", type=float, metavar="MIN_SPEEDUP",
         help="exit nonzero unless every d >= 9 mesh speedup meets this "
         "bar (the PR acceptance gate); skips writing the files",
     )
+    parser.add_argument(
+        "--regress-check", action="store_true",
+        help="after measuring, warn (never fail) when decoder shots/s "
+        "drops below 0.8x of the committed baseline; report-only — the "
+        "baseline file is left untouched",
+    )
     args = parser.parse_args(argv)
-    if args.check is not None and args.suite == "machine":
+    if args.check is not None and args.suite not in ("mesh", "all"):
         parser.error("--check gates the mesh suite; use --suite mesh or all")
     if SMOKE:
         print("REPRO_BENCH_SMOKE=1: reduced budget (artifact-only numbers)")
@@ -189,16 +374,45 @@ def main(argv=None) -> int:
         args.out.write_text(json.dumps(record, indent=2) + "\n")
         print(f"wrote {args.out}")
 
+    if args.suite in ("decoders", "all") and args.check is None:
+        record = run_decoder_benchmark(
+            args.shots, args.p, args.seed, args.reps
+        )
+        for name, entry in record["entries"].items():
+            print(
+                f"{name:>14}: per-shot "
+                f"{entry['before_pershot_shots_per_s']:>9.1f} shots/s -> "
+                f"batch {entry['after_batch_shots_per_s']:>9.1f} shots/s "
+                f"({entry['speedup']:.2f}x)"
+            )
+        if args.regress_check:
+            # report-only: leave the committed baseline untouched, like
+            # --check does for the mesh suite
+            regression_report(record, args.decoder_out)
+        else:
+            args.decoder_out.write_text(json.dumps(record, indent=2) + "\n")
+            print(f"wrote {args.decoder_out}")
+
     if args.suite in ("machine", "all") and args.check is None:
         record = run_machine_benchmark(
             args.tiles, args.gates, seed=args.seed, reps=args.reps
         )
         for name, entry in record["entries"].items():
-            print(
-                f"{name:>16}: makespan {entry['makespan_ns'] / 1e3:>8.1f} us  "
-                f"stall {entry['total_stall_ns'] / 1e3:>8.1f} us  "
-                f"{entry['sim_rounds_per_s']:>10.1f} sim rounds/s"
-            )
+            if "makespan_ns" in entry:
+                print(
+                    f"{name:>16}: makespan "
+                    f"{entry['makespan_ns'] / 1e3:>8.1f} us  "
+                    f"stall {entry['total_stall_ns'] / 1e3:>8.1f} us  "
+                    f"{entry['sim_rounds_per_s']:>10.1f} sim rounds/s"
+                )
+            else:
+                print(
+                    f"{name:>16}: event "
+                    f"{entry['event_loop_sim_rounds_per_s']:>10.1f} -> fast "
+                    f"{entry['fastpath_sim_rounds_per_s']:>10.1f} "
+                    f"sim rounds/s ({entry['speedup']:.1f}x, bit-identical="
+                    f"{entry['bit_identical_to_event_loop']})"
+                )
         args.machine_out.write_text(json.dumps(record, indent=2) + "\n")
         print(f"wrote {args.machine_out}")
     return 0

@@ -2,7 +2,7 @@
 
 from typing import Dict, Type
 
-from .base import DecodeResult, Decoder
+from .base import BatchDecodeResult, DecodeResult, Decoder
 from .geometry import NORTH, SOUTH, MatchingGeometry
 from .greedy import GreedyMatchingDecoder, greedy_pairs
 from .lookup import LookupDecoder
@@ -40,6 +40,7 @@ def make_decoder(name: str, lattice, error_type: str = "z", **kwargs) -> Decoder
 
 
 __all__ = [
+    "BatchDecodeResult",
     "DecodeResult",
     "Decoder",
     "NORTH",

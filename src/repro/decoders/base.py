@@ -13,6 +13,53 @@ from .geometry import Coord, MatchingGeometry, PairTarget
 
 
 @dataclass
+class BatchDecodeResult:
+    """Outcome of decoding a batch of syndromes in one call.
+
+    This is the structure-of-arrays counterpart of :class:`DecodeResult`:
+    every field is stacked over the batch axis so Monte-Carlo loops can
+    consume corrections without per-shot Python objects.
+
+    Attributes
+    ----------
+    corrections:
+        ``(batch, n_data)`` uint8 correction vectors.
+    converged:
+        ``(batch,)`` bool; False where the backend gave up.
+    cycles:
+        ``(batch,)`` hardware cycles to solution (mesh decoder only;
+        ``None`` otherwise).
+    """
+
+    corrections: np.ndarray
+    converged: np.ndarray
+    cycles: Optional[np.ndarray] = None
+    metadata: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return int(self.corrections.shape[0])
+
+    def __getitem__(self, i: int) -> "DecodeResult":
+        """Materialize one shot as a per-shot :class:`DecodeResult`."""
+        return DecodeResult(
+            correction=self.corrections[i],
+            cycles=None if self.cycles is None else int(self.cycles[i]),
+            converged=bool(self.converged[i]),
+        )
+
+    @classmethod
+    def from_results(cls, results: List["DecodeResult"]) -> "BatchDecodeResult":
+        """Stack per-shot results (the generic fallback path)."""
+        corrections = np.stack([r.correction for r in results]) if results \
+            else np.zeros((0, 0), dtype=np.uint8)
+        converged = np.array([r.converged for r in results], dtype=bool)
+        cycles = None
+        if results and all(r.cycles is not None for r in results):
+            cycles = np.array([r.cycles for r in results], dtype=np.int64)
+        return cls(corrections=corrections, converged=converged, cycles=cycles)
+
+
+@dataclass
 class DecodeResult:
     """Outcome of decoding one syndrome.
 
@@ -59,9 +106,34 @@ class Decoder(abc.ABC):
     def decode(self, syndrome: np.ndarray) -> DecodeResult:
         """Decode a single ``(n_syndromes,)`` syndrome vector."""
 
-    def decode_batch(self, syndromes: np.ndarray) -> List[DecodeResult]:
-        """Decode a ``(batch, n_syndromes)`` array (default: loop)."""
-        return [self.decode(s) for s in np.asarray(syndromes)]
+    def decode_batch(self, syndromes: np.ndarray) -> BatchDecodeResult:
+        """Decode a ``(batch, n_syndromes)`` array in one call.
+
+        The base implementation loops :meth:`decode`; hot decoders
+        override it with vectorized paths that are golden-tested
+        bit-identical to the per-shot loop (``tests/test_batch_decode.py``).
+        """
+        syndromes = self._check_syndrome_batch(syndromes)
+        if syndromes.shape[0] == 0:
+            return self._empty_batch()
+        return BatchDecodeResult.from_results(
+            [self.decode(s) for s in syndromes]
+        )
+
+    def _check_syndrome_batch(self, syndromes: np.ndarray) -> np.ndarray:
+        syndromes = np.asarray(syndromes, dtype=np.uint8)
+        if syndromes.ndim != 2 or syndromes.shape[1] != self.geometry.n_syndromes:
+            raise ValueError(
+                f"syndrome batch shape {syndromes.shape} != "
+                f"(batch, {self.geometry.n_syndromes})"
+            )
+        return syndromes
+
+    def _empty_batch(self) -> BatchDecodeResult:
+        return BatchDecodeResult(
+            corrections=np.zeros((0, self.lattice.n_data), dtype=np.uint8),
+            converged=np.zeros(0, dtype=bool),
+        )
 
     def decode_to_correction(self, syndrome: np.ndarray) -> np.ndarray:
         return self.decode(syndrome).correction

@@ -14,8 +14,9 @@ coordinates into this frame and transposes corrections back, which is the
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -24,6 +25,10 @@ from ..surface.lattice import Coord, SurfaceLattice, is_data
 #: Virtual boundary identifiers (canonical frame).
 NORTH = "north"
 SOUTH = "south"
+
+#: Cap on the precomputed pair-correction table (bytes); above this the
+#: batched decoders fall back to per-pair path walking.
+_CORRECTION_TABLE_MAX_BYTES = 64 * 1024 * 1024
 BoundarySide = str
 PairTarget = Union[Coord, BoundarySide]
 
@@ -80,9 +85,17 @@ class MatchingGeometry:
         return [self.to_canonical(c) for c in coords]
 
     def syndrome_of_errors(self, errors: np.ndarray) -> np.ndarray:
-        if self.error_type == "z":
-            return self.lattice.syndrome_of_z_errors(errors)
-        return self.lattice.syndrome_of_x_errors(errors)
+        """Syndrome bits of an error vector or ``(batch, n_data)`` array.
+
+        Uses the cached :attr:`parity_map` operator (one contiguous
+        array shared by the error check and the correction check) with a
+        float32 BLAS matmul; row weights are <= 4 so the float path is
+        exact and the result is returned as uint8, matching the direct
+        GF(2) incidence product bit-for-bit.
+        """
+        errors = np.asarray(errors)
+        produced = errors.astype(np.float32, copy=False) @ self.parity_map
+        return produced.astype(np.uint8) & 1
 
     def logical_failure(self, residual: np.ndarray) -> np.ndarray:
         if self.error_type == "z":
@@ -116,6 +129,99 @@ class MatchingGeometry:
         if isinstance(b, str):
             return self.boundary_graph_distance(a, b)
         return self.graph_distance(a, b)
+
+    # ------------------------------------------------------------------
+    # Cached integer arrays (shared by every batched decode fast path)
+    # ------------------------------------------------------------------
+    @functools.cached_property
+    def parity_map(self) -> np.ndarray:
+        """Contiguous ``(n_data, n_syndromes)`` float32 parity operator.
+
+        The transpose of the relevant incidence matrix, precomputed once
+        per geometry so that both the error-syndrome computation and the
+        correction-syndrome check share one BLAS-friendly operand.
+        """
+        h = self.lattice.h_x if self.error_type == "z" else self.lattice.h_z
+        return np.ascontiguousarray(h.T, dtype=np.float32)
+
+    @functools.cached_property
+    def ancilla_coords(self) -> np.ndarray:
+        """``(n_syndromes, 2)`` canonical ancilla coords in syndrome order."""
+        coords = (
+            self.lattice.x_ancillas
+            if self.error_type == "z"
+            else self.lattice.z_ancillas
+        )
+        return np.array([self.to_canonical(c) for c in coords], dtype=np.int64)
+
+    @functools.cached_property
+    def ancilla_coord_tuples(self) -> Tuple[Coord, ...]:
+        """Canonical ancilla coordinates as plain tuples, syndrome order."""
+        return tuple(tuple(c) for c in self.ancilla_coords.tolist())
+
+    @functools.cached_property
+    def ancilla_index(self) -> Dict[Coord, int]:
+        """Canonical ancilla coordinate -> syndrome index."""
+        return {c: i for i, c in enumerate(self.ancilla_coord_tuples)}
+
+    @functools.cached_property
+    def distance_matrix(self) -> np.ndarray:
+        """``(n, n)`` pairwise graph distances between ancillas.
+
+        Cached once per geometry; the per-shot matching decoders index
+        the reduced hot-set out of this instead of recomputing Manhattan
+        distances per shot (the old per-``decode()`` hot loop).
+        """
+        coords = self.ancilla_coords
+        delta = np.abs(coords[:, None, :] - coords[None, :, :]).sum(axis=2)
+        return delta // 2
+
+    @functools.cached_property
+    def boundary_distance_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(north, south)`` graph distances to each boundary, per ancilla."""
+        rows = self.ancilla_coords[:, 0]
+        return (rows + 1) // 2, (self.size - rows) // 2
+
+    @functools.cached_property
+    def nearest_boundary_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-ancilla ``(side_is_south, distance)`` of the nearest boundary.
+
+        ``side_is_south`` is 0 where north is nearest (ties go north,
+        matching :meth:`nearest_boundary`).
+        """
+        north, south = self.boundary_distance_arrays
+        is_south = (south < north).astype(np.int64)
+        return is_south, np.where(is_south == 1, south, north)
+
+    @functools.cached_property
+    def correction_tables(self) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Precomputed path corrections ``(pair_table, boundary_table)``.
+
+        ``pair_table[i, j]`` is the data-qubit correction of matching
+        ancillas ``i`` and ``j``; ``boundary_table[i]`` matches ancilla
+        ``i`` to its nearest boundary.  XORing rows composes exactly like
+        :meth:`correction_from_pairs`.  ``None`` for lattices where the
+        table would exceed the memory cap (fast paths then fall back to
+        per-pair path walking).
+        """
+        n = self.n_syndromes
+        n_data = self.lattice.n_data
+        if n * n * n_data > _CORRECTION_TABLE_MAX_BYTES:
+            return None
+        sides = [NORTH, SOUTH]
+        is_south, _ = self.nearest_boundary_arrays
+        coords = [tuple(c) for c in self.ancilla_coords.tolist()]
+        pair_table = np.zeros((n, n, n_data), dtype=np.uint8)
+        for i in range(n):
+            for j in range(i + 1, n):
+                corr = self.correction_from_pairs([(coords[i], coords[j])])
+                pair_table[i, j] = corr
+                pair_table[j, i] = corr
+        boundary_table = np.stack([
+            self.correction_from_pairs([(coords[i], sides[int(is_south[i])])])
+            for i in range(n)
+        ])
+        return pair_table, boundary_table
 
     # ------------------------------------------------------------------
     # Correction paths

@@ -3,51 +3,422 @@
 The classical baseline of the paper (Fowler et al. [20], [21]): build a
 complete graph on hot syndromes, give every syndrome a private virtual
 boundary node, connect boundary nodes to each other at zero weight, and
-solve minimum-weight perfect matching with the blossom algorithm
-(networkx's ``max_weight_matching`` on negated weights).
+solve minimum-weight perfect matching.
+
+Two engines share the decoder:
+
+* ``engine="reference"`` — the original networkx blossom path
+  (``max_weight_matching`` on negated weights), kept as the golden
+  reference; its per-shot graph build now reads the distances cached on
+  :class:`~repro.decoders.geometry.MatchingGeometry` instead of
+  recomputing them per call.
+* ``engine="fast"`` (default) — per-shot matching on the reduced hot-set
+  only: a pair ``(i, j)`` with ``d_ij >= bd_i + bd_j`` can always be
+  replaced by two boundary matches at no extra cost, so the optimal
+  matching decomposes over connected components of the "useful pair"
+  graph (split with :func:`scipy.sparse.csgraph.connected_components`).
+  Each component is solved exactly — a bitmask dynamic program for small
+  instances, the blossom reference for rare large ones — and corrections
+  come from the precomputed path tables.  The fast engine is
+  weight-optimal like the reference (golden-tested) but may select a
+  different equal-weight matching on ties; within an engine,
+  ``decode_batch`` is bit-identical to ``decode``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 import networkx as nx
 import numpy as np
 
-from .base import DecodeResult, Decoder
-from .geometry import Coord, PairTarget
+from .base import BatchDecodeResult, DecodeResult, Decoder
+from .geometry import NORTH, SOUTH, Coord, PairTarget
+
+#: components up to this size are solved by the O(2^n n) bitmask DP
+_DP_MAX = 8
+
+#: LAP branch-and-bound node budget before falling back to blossom
+_BNB_NODE_CAP = 600
+
+_ENGINES = ("fast", "reference")
 
 
 class MWPMDecoder(Decoder):
-    """Blossom-based exact minimum-weight matching."""
+    """Blossom-exact minimum-weight matching (fast or reference engine)."""
 
     name = "mwpm"
 
+    def __init__(self, lattice, error_type: str = "z",
+                 engine: str = "fast") -> None:
+        super().__init__(lattice, error_type)
+        if engine not in _ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; known: {', '.join(_ENGINES)}"
+            )
+        self.engine = engine
+        #: per-component matching memo (hot components recur across shots)
+        self._match_memo: Dict[Tuple[int, ...], Tuple] = {}
+
     def decode(self, syndrome: np.ndarray) -> DecodeResult:
         syndrome = self._check_syndrome(syndrome)
-        hots = self.geometry.syndrome_coords(syndrome)
-        pairs = mwpm_pairs(self.geometry, hots)
-        correction = self.geometry.correction_from_pairs(pairs)
-        return DecodeResult(correction=correction, pairs=pairs)
+        if self.engine == "reference":
+            hots = self.geometry.syndrome_coords(syndrome)
+            pairs = mwpm_pairs(self.geometry, hots)
+            correction = self.geometry.correction_from_pairs(pairs)
+            return DecodeResult(correction=correction, pairs=pairs)
+        hot_idx = np.flatnonzero(syndrome)
+        pair_idx, bd_idx = _solve_hot_set(
+            self.geometry, hot_idx, self._match_memo
+        )
+        return DecodeResult(
+            correction=_correction_from_indices(
+                self.geometry, pair_idx, bd_idx
+            ),
+            pairs=_pairs_from_indices(self.geometry, pair_idx, bd_idx),
+        )
+
+    def decode_batch(self, syndromes: np.ndarray) -> BatchDecodeResult:
+        """Batched matching on the cached reduced-hot-set arrays."""
+        if self.engine == "reference":
+            return super().decode_batch(syndromes)
+        syndromes = self._check_syndrome_batch(syndromes)
+        geo = self.geometry
+        corrections = np.zeros(
+            (syndromes.shape[0], self.lattice.n_data), dtype=np.uint8
+        )
+        for shot, syn in enumerate(syndromes):
+            hot_idx = np.flatnonzero(syn)
+            if len(hot_idx) == 0:
+                continue
+            pair_idx, bd_idx = _solve_hot_set(geo, hot_idx, self._match_memo)
+            corrections[shot] = _correction_from_indices(
+                geo, pair_idx, bd_idx
+            )
+        return BatchDecodeResult(
+            corrections=corrections,
+            converged=np.ones(syndromes.shape[0], dtype=bool),
+        )
 
 
-def mwpm_pairs(geometry, hots: List[Coord]) -> List[Tuple[Coord, PairTarget]]:
-    """Minimum-weight perfect matching over syndromes + boundary twins."""
+# ----------------------------------------------------------------------
+# Fast engine: component split + exact small-instance solvers
+# ----------------------------------------------------------------------
+def _solve_hot_set(
+    geometry, hot_idx: np.ndarray, memo: Dict[Tuple[int, ...], Tuple]
+) -> Tuple[List[Tuple[int, int]], List[int]]:
+    """Exact minimum-weight matching over syndrome indices.
+
+    Returns (hot-hot pairs, boundary-matched hots), all as global
+    syndrome indices.  Solutions are memoized per connected component of
+    the useful-pair graph, keyed by the component's hot indices — local
+    hot clusters recur constantly across Monte-Carlo shots.
+    """
+    h = len(hot_idx)
+    if h == 0:
+        return [], []
+    _, near = geometry.nearest_boundary_arrays
+    bd = near[hot_idx]
+    if h == 1:
+        return [], [int(hot_idx[0])]
+    dist = geometry.distance_matrix[np.ix_(hot_idx, hot_idx)]
+    useful = dist < bd[:, None] + bd[None, :]
+    pair_out: List[Tuple[int, int]] = []
+    bd_out: List[int] = []
+    for members in _components(useful):
+        if len(members) == 1:
+            bd_out.append(int(hot_idx[members[0]]))
+            continue
+        key = tuple(int(hot_idx[m]) for m in members)
+        cached = memo.get(key)
+        if cached is None:
+            sub_d = dist[np.ix_(members, members)]
+            sub_b = bd[members]
+            n = len(members)
+            if n == 2:
+                if int(sub_d[0, 1]) < int(sub_b[0]) + int(sub_b[1]):
+                    prs, bds = [(0, 1)], []
+                else:
+                    prs, bds = [], [0, 1]
+            elif n <= _DP_MAX:
+                prs, bds = _dp_match(sub_d.tolist(), sub_b.tolist())
+            else:
+                prs, bds = _bnb_match(sub_d, sub_b)
+                if prs is None:  # node budget blown: exact blossom
+                    prs, bds = _blossom_match(geometry, hot_idx, members)
+            cached = (
+                [(key[i], key[j]) for i, j in prs],
+                [key[i] for i in bds],
+            )
+            memo[key] = cached
+        pair_out.extend(cached[0])
+        bd_out.extend(cached[1])
+    return pair_out, bd_out
+
+
+def _components(useful: np.ndarray) -> List[List[int]]:
+    """Connected components of the useful-pair graph, smallest-index first.
+
+    ``useful[i, j]`` marks pairs with ``d_ij < bd_i + bd_j``; any other
+    pair is never needed by some optimal matching (two boundary matches
+    are at least as good), so components solve independently.
+    """
+    h = useful.shape[0]
+    parent = list(range(h))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    ii, jj = np.nonzero(np.triu(useful, 1))
+    for i, j in zip(ii.tolist(), jj.tolist()):
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[rj] = ri
+    comps: Dict[int, List[int]] = {}
+    for i in range(h):
+        comps.setdefault(find(i), []).append(i)
+    return [comps[k] for k in sorted(comps, key=lambda k: comps[k][0])]
+
+
+def _greedy_ub(
+    dist: np.ndarray, bd: np.ndarray
+) -> Tuple[int, List[Tuple[int, int]], List[int]]:
+    """Greedy feasible matching: a tight upper bound seeding the B&B."""
+    n = len(bd)
+    options = [(int(bd[i]), i, -1) for i in range(n)]
+    options.extend(
+        (int(dist[i, j]), i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if dist[i, j] < bd[i] + bd[j]
+    )
+    options.sort()
+    matched = [False] * n
+    weight = 0
+    pairs: List[Tuple[int, int]] = []
+    singles: List[int] = []
+    for w, i, j in options:
+        if matched[i]:
+            continue
+        if j < 0:
+            matched[i] = True
+            singles.append(i)
+            weight += w
+        elif not matched[j]:
+            matched[i] = matched[j] = True
+            pairs.append((i, j))
+            weight += w
+    return weight, pairs, singles
+
+
+def _bnb_match(dist: np.ndarray, bd: np.ndarray):
+    """Exact matching via LAP-bounded branch and bound (scipy solver).
+
+    The symmetric assignment problem with ``C[i][j] = d_ij`` and
+    ``C[i][i] = 2 b_i`` lower-bounds twice the matching weight, and an
+    involution solution *is* an optimal matching.  Branch on the first
+    non-involution element: force the pair (shrink the instance) or
+    forbid it (raise the entry).  All weights are integers, so bound
+    comparisons are exact.  Returns ``(None, None)`` if the node budget
+    is exhausted (caller falls back to blossom).
+    """
+    from scipy.optimize import linear_sum_assignment
+
+    n = len(bd)
+    base_c = dist.astype(np.int64).copy()
+    np.fill_diagonal(base_c, 2 * bd.astype(np.int64))
+    big = int(base_c.max()) * (n + 2)
+    ub_w, ub_pairs, ub_singles = _greedy_ub(dist, bd)
+    best = [2 * ub_w, ub_pairs, ub_singles]
+    nodes = [0]
+
+    def solve(c: np.ndarray, alive: List[int], base2: int, forced) -> None:
+        if nodes[0] >= _BNB_NODE_CAP:
+            return
+        nodes[0] += 1
+        if not alive:
+            if base2 < best[0]:
+                best[0] = base2
+                best[1] = list(forced)
+                best[2] = []
+            return
+        sub = c[np.ix_(alive, alive)]
+        rows, cols = linear_sum_assignment(sub)
+        val = base2 + int(sub[rows, cols].sum())
+        if val >= best[0]:
+            return
+        perm = cols.tolist()
+        bad = -1
+        for k, pk in enumerate(perm):
+            if perm[pk] != k:
+                bad = k
+                break
+        if bad < 0:  # involution: an optimal matching of this subproblem
+            best[0] = val
+            pairs = list(forced)
+            singles = []
+            for k, pk in enumerate(perm):
+                if pk == k:
+                    singles.append(alive[k])
+                elif k < pk:
+                    pairs.append((alive[k], alive[pk]))
+            best[1] = pairs
+            best[2] = singles
+            return
+        i, j = alive[bad], alive[perm[bad]]
+        # branch 1: force the pair (i, j)
+        rest = [a for a in alive if a != i and a != j]
+        solve(c, rest, base2 + 2 * int(dist[i, j]), forced + [(i, j)])
+        # branch 2: forbid the pair (i, j)
+        c2 = c.copy()
+        c2[i, j] = c2[j, i] = big
+        solve(c2, alive, base2, forced)
+
+    solve(base_c, list(range(n)), 0, [])
+    if nodes[0] >= _BNB_NODE_CAP:
+        return None, None
+    return best[1], best[2]
+
+
+def _dp_match(
+    dist: List[List[int]], bd: List[int]
+) -> Tuple[List[Tuple[int, int]], List[int]]:
+    """Exact bitmask DP over one component (component-local indices).
+
+    Deterministic tie-break: the first minimal option found with
+    boundary-before-pairs, partners in ascending index order.
+    """
+    n = len(bd)
+    full = (1 << n) - 1
+    inf = float("inf")
+    f = [inf] * (full + 1)
+    f[0] = 0.0
+    choice = [0] * (full + 1)
+    for mask in range(full):
+        c = f[mask]
+        if c == inf:
+            continue
+        i = 0
+        while (mask >> i) & 1:
+            i += 1
+        m2 = mask | (1 << i)
+        nc = c + bd[i]
+        if nc < f[m2]:
+            f[m2] = nc
+            choice[m2] = (i << 8) | 0xFF
+        row = dist[i]
+        for j in range(i + 1, n):
+            if (mask >> j) & 1:
+                continue
+            m3 = m2 | (1 << j)
+            nc = c + row[j]
+            if nc < f[m3]:
+                f[m3] = nc
+                choice[m3] = (i << 8) | j
+    pairs: List[Tuple[int, int]] = []
+    bds: List[int] = []
+    mask = full
+    while mask:
+        ch = choice[mask]
+        i, j = ch >> 8, ch & 0xFF
+        if j == 0xFF:
+            bds.append(i)
+            mask ^= 1 << i
+        else:
+            pairs.append((i, j))
+            mask ^= (1 << i) | (1 << j)
+    return pairs, bds
+
+
+def _blossom_match(
+    geometry, hot_idx: np.ndarray, members: List[int]
+) -> Tuple[List[Tuple[int, int]], List[int]]:
+    """Networkx blossom on one oversized component (exact fallback)."""
+    coords = geometry.ancilla_coord_tuples
+    member_coords = [coords[hot_idx[m]] for m in members]
+    back = {c: i for i, c in enumerate(member_coords)}
+    pairs: List[Tuple[int, int]] = []
+    bds: List[int] = []
+    for a, b in mwpm_pairs(geometry, member_coords):
+        if isinstance(b, str):
+            bds.append(back[a])
+        else:
+            pairs.append((back[a], back[b]))
+    return pairs, bds
+
+
+def _correction_from_indices(geometry, pair_idx, bd_idx) -> np.ndarray:
+    tables = geometry.correction_tables
+    if tables is not None:
+        pair_table, boundary_table = tables
+        corr = np.zeros(geometry.lattice.n_data, dtype=np.uint8)
+        for i, j in pair_idx:
+            corr ^= pair_table[i, j]
+        for i in bd_idx:
+            corr ^= boundary_table[i]
+        return corr
+    return geometry.correction_from_pairs(
+        _pairs_from_indices(geometry, pair_idx, bd_idx)
+    )
+
+
+def _pairs_from_indices(
+    geometry, pair_idx, bd_idx
+) -> List[Tuple[Coord, PairTarget]]:
+    coords = geometry.ancilla_coord_tuples
+    is_south, _ = geometry.nearest_boundary_arrays
+    sides = (NORTH, SOUTH)
+    pairs: List[Tuple[Coord, PairTarget]] = [
+        (coords[i], coords[j]) for i, j in pair_idx
+    ]
+    pairs.extend((coords[i], sides[int(is_south[i])]) for i in bd_idx)
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# Reference engine (networkx blossom)
+# ----------------------------------------------------------------------
+def mwpm_pairs(
+    geometry, hots: Sequence[Coord]
+) -> List[Tuple[Coord, PairTarget]]:
+    """Minimum-weight perfect matching over syndromes + boundary twins.
+
+    Distances come from the arrays cached on the geometry when every hot
+    is a known ancilla coordinate (the decoding case), falling back to
+    per-pair arithmetic for arbitrary coordinates.
+    """
     if not hots:
         return []
+    index = geometry.ancilla_index
+    idx = [index.get(a) for a in hots]
+    if all(i is not None for i in idx):
+        dist_m = geometry.distance_matrix
+        is_south, near = geometry.nearest_boundary_arrays
+        sides = (NORTH, SOUTH)
+        nearest = [(sides[int(is_south[i])], int(near[i])) for i in idx]
+
+        def pair_dist(i: int, j: int) -> int:
+            return int(dist_m[idx[i], idx[j]])
+    else:  # arbitrary coordinates (direct library use)
+        nearest = [geometry.nearest_boundary(a) for a in hots]
+
+        def pair_dist(i: int, j: int) -> int:
+            return geometry.graph_distance(hots[i], hots[j])
+
     graph = nx.Graph()
     # Node labels: ("s", i) for syndromes, ("b", i) for boundary twins.
     max_dist = 2 * geometry.size + 2  # upper bound on any single distance
     big = max_dist * (len(hots) + 1)  # forces maximum cardinality greedily
     boundary_side: Dict[int, str] = {}
     for i, a in enumerate(hots):
-        side, dist = geometry.nearest_boundary(a)
+        side, dist = nearest[i]
         boundary_side[i] = side
         graph.add_edge(("s", i), ("b", i), weight=big - dist)
         for j in range(i + 1, len(hots)):
-            graph.add_edge(
-                ("s", i), ("s", j), weight=big - geometry.graph_distance(a, hots[j])
-            )
+            graph.add_edge(("s", i), ("s", j), weight=big - pair_dist(i, j))
     for i in range(len(hots)):
         for j in range(i + 1, len(hots)):
             graph.add_edge(("b", i), ("b", j), weight=big)

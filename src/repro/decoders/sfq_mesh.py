@@ -50,12 +50,12 @@ design with the request/grant equidistant mechanism.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
 from ..surface.lattice import SurfaceLattice
-from .base import DecodeResult, Decoder
+from .base import BatchDecodeResult, DecodeResult, Decoder
 
 # Directions of travel.
 N, E, S, W = 0, 1, 2, 3
@@ -215,16 +215,14 @@ class SFQMeshDecoder(Decoder):
             converged=bool(batch.converged[0]),
         )
 
-    def decode_batch(self, syndromes: np.ndarray) -> List[DecodeResult]:
+    def decode_batch(self, syndromes: np.ndarray) -> BatchDecodeResult:
+        """Structured batch result backed by :meth:`decode_arrays`."""
         batch = self.decode_arrays(np.asarray(syndromes))
-        return [
-            DecodeResult(
-                correction=batch.corrections[i],
-                cycles=int(batch.cycles[i]),
-                converged=bool(batch.converged[i]),
-            )
-            for i in range(batch.corrections.shape[0])
-        ]
+        return BatchDecodeResult(
+            corrections=batch.corrections,
+            converged=batch.converged,
+            cycles=batch.cycles,
+        )
 
     def decode_arrays(
         self, syndromes: np.ndarray, engine: Optional[str] = None

@@ -140,11 +140,4 @@ def run_windowed_trials(
 
 
 def _decode_batch(decoder: Decoder, syndromes: np.ndarray) -> np.ndarray:
-    if isinstance(decoder, SFQMeshDecoder):
-        return decoder.decode_arrays(syndromes).corrections
-    out = np.zeros(
-        (syndromes.shape[0], decoder.lattice.n_data), dtype=np.uint8
-    )
-    for i, syn in enumerate(syndromes):
-        out[i] = decoder.decode(syn).correction
-    return out
+    return decoder.decode_batch(syndromes).corrections

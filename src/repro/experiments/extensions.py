@@ -55,12 +55,7 @@ def run_accuracy(config: ExperimentConfig) -> ExperimentResult:
             syndromes = lattice.syndrome_of_z_errors(sample.z)
             row = {"d": d, "p": p}
             for name, decoder in backends.items():
-                if isinstance(decoder, SFQMeshDecoder):
-                    corr = decoder.decode_arrays(syndromes).corrections
-                else:
-                    corr = np.array(
-                        [decoder.decode(s).correction for s in syndromes]
-                    )
+                corr = decoder.decode_batch(syndromes).corrections
                 row[name] = float(
                     lattice.logical_z_failure(sample.z ^ corr).mean()
                 )

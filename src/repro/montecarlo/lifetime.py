@@ -93,12 +93,7 @@ def run_lifetime(
 
 
 def _corrections(decoder: Decoder, syndromes: np.ndarray) -> np.ndarray:
-    if isinstance(decoder, SFQMeshDecoder):
-        return decoder.decode_arrays(syndromes).corrections
-    out = np.zeros((syndromes.shape[0], decoder.lattice.n_data), dtype=np.uint8)
-    for i, syn in enumerate(syndromes):
-        out[i] = decoder.decode(syn).correction
-    return out
+    return decoder.decode_batch(syndromes).corrections
 
 
 def _apply_data_pauli(round_runner, frame, x_bits=None, z_bits=None):

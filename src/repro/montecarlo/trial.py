@@ -116,18 +116,22 @@ def _extra_kwargs(decoder: Decoder) -> dict:
 
 
 def _decode_orientation(lattice, decoder, errors, orientation):
+    """Decode one orientation's error batch through ``decode_batch``.
+
+    Every decoder flows through the batched API (the mesh backend's
+    ``decode_arrays`` included); the syndrome computation and the
+    correction-consistency check share the geometry's cached parity
+    operator, so no per-shot Python remains on this path.
+    """
     geometry = decoder.geometry
     syndromes = geometry.syndrome_of_errors(errors)
-    stats = {"inconsistent": 0, "nonconverged": 0, "cycles": None}
-    if isinstance(decoder, SFQMeshDecoder):
-        out = decoder.decode_arrays(syndromes)
-        corrections = out.corrections
-        stats["cycles"] = out.cycles
-        stats["nonconverged"] = int(np.sum(~out.converged))
-    else:
-        corrections = np.zeros_like(errors)
-        for i, syn in enumerate(syndromes):
-            corrections[i] = decoder.decode(syn).correction
+    out = decoder.decode_batch(syndromes)
+    corrections = out.corrections
+    stats = {
+        "inconsistent": 0,
+        "nonconverged": int(np.sum(~out.converged)),
+        "cycles": out.cycles,
+    }
     produced = geometry.syndrome_of_errors(corrections)
     stats["inconsistent"] = int(np.sum(np.any(produced != syndromes, axis=1)))
     residual = errors ^ corrections

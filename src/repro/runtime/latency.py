@@ -88,6 +88,75 @@ def sample_service_ns(
     return latency.decode_time_ns
 
 
+class ServiceDrawBuffer:
+    """Pre-drawn per-round service times, bit-identical to scalar draws.
+
+    ``numpy.random.Generator`` bounded-integer (and hence ``choice``)
+    streams are identical whether drawn one value at a time or as
+    vectorized blocks of any sizes (regression-tested in
+    ``tests/test_lindley.py``), so buffering vectorized chunks removes
+    the per-round Python sampling cost from the runtime event loop
+    without perturbing any simulation result.
+    """
+
+    def __init__(self, latency, rng: Optional[np.random.Generator],
+                 chunk: int = 256) -> None:
+        self._latency = latency
+        self._empirical = isinstance(latency, EmpiricalLatency)
+        self._rng = rng
+        self._chunk = chunk
+        self._buf: Optional[np.ndarray] = None
+        self._pos = 0
+
+    def draw(self, n: int) -> np.ndarray:
+        """The next ``n`` service times of the stream as an array.
+
+        Always served from the internal buffer, so an unused suffix can
+        be handed back with :meth:`rewind` (the optimistic Lindley pass
+        draws past a stalling barrier, then rewinds).
+        """
+        if not self._empirical:
+            return np.full(n, self._latency.decode_time_ns)
+        rng = self._rng
+        if rng is None:
+            rng = self._rng = np.random.default_rng()
+        left = 0 if self._buf is None else len(self._buf) - self._pos
+        if left < n:
+            fresh = rng.choice(
+                self._latency.samples_ns, size=max(n - left, self._chunk)
+            )
+            if left:
+                self._buf = np.concatenate([self._buf[self._pos:], fresh])
+            else:
+                self._buf = fresh
+            self._pos = 0
+        out = self._buf[self._pos:self._pos + n]
+        self._pos += n
+        return out
+
+    def rewind(self, n: int) -> None:
+        """Hand back the last ``n`` values of the most recent draw."""
+        if not self._empirical or n == 0:
+            return
+        if n > self._pos:
+            raise ValueError("cannot rewind past the buffer start")
+        self._pos -= n
+
+    def next(self) -> float:
+        """One service time (buffered; same stream as scalar sampling)."""
+        if not self._empirical:
+            return self._latency.decode_time_ns
+        if self._buf is None or self._pos >= len(self._buf):
+            rng = self._rng
+            if rng is None:
+                rng = self._rng = np.random.default_rng()
+            self._buf = rng.choice(self._latency.samples_ns, size=self._chunk)
+            self._pos = 0
+        value = float(self._buf[self._pos])
+        self._pos += 1
+        return value
+
+
 def paper_table4_latency(
     d: int, n_samples: int = 4096, seed: Optional[int] = 1404
 ) -> EmpiricalLatency:

@@ -1,0 +1,429 @@
+"""Vectorized single-server queue evolution (Lindley recursion).
+
+For a tile wired to its own decoder, per-round completion times obey
+
+    finish_k = max(finish_{k-1}, gen_k) + service_k
+
+— the Lindley recursion of a G/G/1 queue.  With the service times
+pre-drawn (:class:`~repro.runtime.latency.ServiceDrawBuffer` reproduces
+the event loop's draw stream exactly), a whole between-barriers segment
+collapses into a numpy scan:
+
+    finish = cumsum(service) + running_max(gen_k - cumsum(service)_{k-1},
+                                           decoder_free_at)
+
+and the backlog at every emission is ``emitted - searchsorted(finish,
+gen)``.  The T-gate barrier logic (stall, stall-generated extra rounds)
+stays sequential across segments but is O(#T gates), not O(#rounds).
+
+Both the single-tile :class:`~repro.runtime.streaming.StreamingExecutor`
+fast path and the dedicated-wiring machine fast path build on these
+helpers; each is regression-tested bit-identical to its event loop in
+``tests/test_lindley.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .latency import ServiceDrawBuffer
+
+
+def _chain_add(base: float, values: np.ndarray) -> float:
+    """``base + v1 + v2 + ...`` with left-to-right float order.
+
+    ``np.cumsum`` adds sequentially, so this reproduces the event loop's
+    one-value-at-a-time accumulation bit-for-bit (``np.sum`` would not:
+    it sums pairwise).
+    """
+    if len(values) == 0:
+        return base
+    chain = np.empty(len(values) + 1, dtype=np.float64)
+    chain[0] = base
+    chain[1:] = values
+    return float(np.cumsum(chain)[-1])
+
+
+def lindley_finishes(
+    free_at: float, gens: np.ndarray, services: np.ndarray
+) -> np.ndarray:
+    """Per-round completion times of one single-server segment.
+
+    Bit-exact against the sequential ``finish = max(finish, gen) +
+    service`` loop: a closed-form scan locates the idle resets (rounds
+    arriving at a free server), then each busy period is one
+    ``np.cumsum`` — numpy's cumulative sum adds left-to-right, exactly
+    the float operation order of the event loop.  Reset detection uses
+    the closed form, whose rounding could only misplace a reset when an
+    arrival ties its predecessor's finish to within ~1 ulp — and an
+    exact tie makes both branches equal anyway.
+    """
+    k = len(gens)
+    if k == 0:
+        return np.empty(0, dtype=np.float64)
+    total = np.cumsum(services)
+    offsets = gens - (total - services)  # gen_k - S_{k-1}
+    running = np.maximum.accumulate(offsets)
+    approx = total + np.maximum(running, free_at)
+    prev = np.empty(k, dtype=np.float64)
+    prev[0] = free_at
+    prev[1:] = approx[:-1]
+    reset = gens >= prev  # round k starts at its own gen (server idle)
+    if reset.all():
+        return gens + services
+    finishes = np.empty(k, dtype=np.float64)
+    starts = np.flatnonzero(reset).tolist()
+    if not starts or starts[0] != 0:
+        starts = [0] + starts  # first chain starts from free_at
+    starts.append(k)
+    for a, b in zip(starts[:-1], starts[1:]):
+        head = gens[a] if reset[a] else free_at
+        chain = np.empty(b - a + 1, dtype=np.float64)
+        chain[0] = head
+        chain[1:] = services[a:b]
+        finishes[a:b] = np.cumsum(chain)[1:]
+    return finishes
+
+
+@dataclass
+class TileTrace:
+    """Outcome of one tile simulated against a private decoder."""
+
+    wall: float
+    stall_total: float
+    max_backlog: int
+    diverged: bool
+    busy_ns: float
+    emissions: int
+    #: streaming-style queue depth tracked at gate emissions only
+    max_gate_backlog: int
+    #: backlog the moment divergence was declared (streaming reports it)
+    diverge_depth: int
+
+
+@dataclass
+class _TileInit:
+    """Mid-program continuation state for a cohort-evicted tile."""
+
+    wall: float = 0.0
+    free_at: float = 0.0
+    busy: float = 0.0
+    emissions: int = 0
+    stall_total: float = 0.0
+    max_backlog: int = 0
+    gate_index: int = 0
+    extra_gens: Optional[np.ndarray] = None
+    #: finish time of the one prior round that may still be in flight
+    #: when stall-generated extras (whose gens precede it) are queued
+    pending_finish: Optional[float] = None
+
+
+def simulate_dedicated_tile(
+    n_gates: int,
+    t_positions: Sequence[int],
+    cycle: float,
+    draws: ServiceDrawBuffer,
+    queue_limit: int,
+    check_extra_emissions: bool = True,
+    barrier_extra_check: bool = False,
+    init: Optional[_TileInit] = None,
+) -> TileTrace:
+    """One tile, one decoder: the machine runtime's per-tile evolution.
+
+    Replicates :class:`~repro.runtime.machine.MachineRuntime` semantics
+    for a dedicated-wired tile exactly: rounds emit once per cycle
+    (stall-generated extras first), each emission draws one service time,
+    the backlog (emitted - finished at the emission instant) is checked
+    against ``queue_limit`` on every emission, and each T gate stalls
+    until all generated rounds are decoded while fresh rounds keep
+    accumulating.
+
+    :class:`~repro.runtime.streaming.StreamingExecutor` semantics differ
+    in exactly two places, selected by the flags: the backlog is only
+    checked at gate emissions (``check_extra_emissions=False``) but also
+    right after a barrier queues its stall-generated extra rounds
+    (``barrier_extra_check=True``).
+    """
+    t_sorted = sorted(set(t_positions))
+    if any(p < 0 or p >= n_gates for p in t_sorted):
+        raise ValueError("T-gate position outside program")
+    init = init or _TileInit()
+    wall = init.wall
+    free_at = init.free_at
+    stall_total = init.stall_total
+    max_backlog = init.max_backlog
+    max_gate_backlog = 0
+    busy = init.busy
+    # Earlier emissions were decoded before any continuation round is
+    # generated (their backlog offsets cancel), except possibly the
+    # barrier round still in flight while its stall-extras generate —
+    # that one is seeded into the finish log so backlog counts see it.
+    finish_log = np.empty(max(n_gates, 1) + 1, dtype=np.float64)
+    if init.pending_finish is not None:
+        finish_log[0] = init.pending_finish
+        emissions = 1
+        emissions0 = init.emissions - 1
+    else:
+        emissions = 0
+        emissions0 = init.emissions
+    extra_gens = (
+        init.extra_gens if init.extra_gens is not None
+        else np.empty(0, dtype=np.float64)
+    )
+    gate_index = init.gate_index
+    seg_ptr = 0
+    while seg_ptr < len(t_sorted) and t_sorted[seg_ptr] < gate_index:
+        seg_ptr += 1
+    while gate_index < n_gates:
+        # Optimistic pass: queued extras plus every remaining gate round,
+        # as if no barrier stalls.  All emissions before the first
+        # positive-stall barrier are exact; everything after it is
+        # discarded (and its RNG draws rewound) because the stall shifts
+        # later generation times.  Zero-stall barriers change nothing, so
+        # a tile whose decoder keeps up is simulated in one scan.
+        seg_gates = n_gates - gate_index
+        n_extra = len(extra_gens)
+        k = n_extra + seg_gates
+        gens = np.empty(k, dtype=np.float64)
+        gens[:n_extra] = extra_gens
+        # gate gens via cumsum so the floats match the event loop's
+        # sequential ``wall += cycle`` chain bit-for-bit
+        chain = np.full(seg_gates + 1, cycle, dtype=np.float64)
+        chain[0] = wall
+        gens[n_extra:] = np.cumsum(chain)[1:]
+        services = draws.draw(k)
+        finishes = lindley_finishes(free_at, gens, services)
+        # first barrier whose stall is positive bounds the exact prefix
+        accept = k
+        stalled_at: Optional[int] = None
+        while seg_ptr < len(t_sorted):
+            li = n_extra + (t_sorted[seg_ptr] - gate_index)
+            if finishes[li] > gens[li]:
+                accept = li + 1
+                stalled_at = li
+                break
+            seg_ptr += 1  # zero-stall barrier: no state change
+        if emissions + accept > len(finish_log):
+            finish_log = np.concatenate(
+                [finish_log[:emissions],
+                 np.empty(max(accept, len(finish_log)), dtype=np.float64)]
+            )
+        finish_log[emissions:emissions + accept] = finishes[:accept]
+        counts = np.searchsorted(
+            finish_log[:emissions + accept], gens[:accept], side="right"
+        )
+        emitted = emissions + 1 + np.arange(accept)
+        backlog = emitted - np.minimum(counts, emitted)
+        over = backlog > queue_limit
+        if not check_extra_emissions:
+            over[:n_extra] = False
+        if over.any():
+            stop = int(np.argmax(over))
+            busy = _chain_add(busy, services[:stop + 1])
+            return TileTrace(
+                wall=float("inf"),
+                stall_total=float("inf"),
+                max_backlog=max(max_backlog, int(backlog[:stop + 1].max())),
+                diverged=True,
+                busy_ns=busy,
+                emissions=emissions0 + emissions + stop + 1,
+                max_gate_backlog=max(
+                    max_gate_backlog,
+                    int(backlog[n_extra:stop + 1].max())
+                    if stop >= n_extra else 0,
+                ),
+                diverge_depth=int(backlog[stop]),
+            )
+        max_backlog = max(max_backlog, int(backlog.max()))
+        if accept > n_extra:
+            max_gate_backlog = max(
+                max_gate_backlog, int(backlog[n_extra:].max())
+            )
+        busy = _chain_add(busy, services[:accept])
+        emissions += accept
+        free_at = float(finishes[accept - 1])
+        extra_gens = np.empty(0, dtype=np.float64)
+        if stalled_at is None:
+            wall = float(gens[-1])  # last gate's generation time
+            break  # whole remaining program accepted
+        draws.rewind(k - accept)
+        gate_index = t_sorted[seg_ptr] + 1
+        seg_ptr += 1
+        wall = float(gens[stalled_at])  # the barrier gate's generation
+        # max finish over all emitted rounds = last accepted finish
+        stall = max(0.0, free_at - wall)
+        stall_total += stall
+        n_new = int(stall // cycle)
+        if gate_index < n_gates:
+            extra_gens = wall + cycle * np.arange(1, n_new + 1)
+            if barrier_extra_check and n_new > queue_limit:
+                return TileTrace(
+                    wall=float("inf"),
+                    stall_total=float("inf"),
+                    max_backlog=max(max_backlog, n_new),
+                    diverged=True,
+                    busy_ns=busy,
+                    emissions=emissions0 + emissions,
+                    max_gate_backlog=max_gate_backlog,
+                    diverge_depth=n_new,
+                )
+        wall += stall
+    return TileTrace(
+        wall=wall,
+        stall_total=stall_total,
+        max_backlog=max_backlog,
+        diverged=False,
+        busy_ns=busy,
+        emissions=emissions0 + emissions,
+        max_gate_backlog=max_gate_backlog,
+        diverge_depth=0,
+    )
+
+
+def simulate_dedicated_cohort(
+    n_gates: int,
+    t_positions: Sequence[int],
+    cycle: float,
+    buffers: Sequence[ServiceDrawBuffer],
+    queue_limit: int,
+) -> Tuple[TileTrace, ...]:
+    """Lockstep Lindley scan for tiles sharing one program shape.
+
+    All tiles with the same ``(n_gates, t_positions, cycle)`` march
+    through identical segment boundaries, so the whole cohort advances
+    as 2-D arrays (tile x round).  While a tile's decoder *keeps up* —
+    every round finishes before the next one is generated, the regime
+    the SFQ mesh is designed for — its finishes are exactly
+    ``gen + service``, its backlog is constantly one, and each barrier
+    stall is exactly the barrier round's residual service, so no
+    per-tile Python runs at all.  A tile that violates keep-up in some
+    segment (or whose stall spawns extra rounds) is evicted: its RNG
+    buffer is rewound to the segment start and it finishes on the exact
+    per-tile path via :func:`simulate_dedicated_tile`.  Results are
+    bit-identical to the event loop either way.
+    """
+    t_sorted = sorted(set(t_positions))
+    if any(p < 0 or p >= n_gates for p in t_sorted):
+        raise ValueError("T-gate position outside program")
+    n_tiles = len(buffers)
+    if n_gates == 0:
+        return tuple(
+            TileTrace(0.0, 0.0, 0, False, 0.0, 0, 0, 0)
+            for _ in range(n_tiles)
+        )
+
+    def _evict(
+        row: int, g0: int, extra: Optional[np.ndarray],
+        pending: Optional[float] = None,
+    ) -> TileTrace:
+        buffers[row].rewind(n_gates - g0)
+        return simulate_dedicated_tile(
+            n_gates, t_sorted, cycle, buffers[row], queue_limit,
+            init=_TileInit(
+                wall=float(wall[row]),
+                free_at=float(free[row]),
+                busy=float(busy[row]),
+                emissions=g0,
+                stall_total=float(stall_total[row]),
+                max_backlog=int(max_backlog[row]),
+                gate_index=g0,
+                extra_gens=extra,
+                pending_finish=pending,
+            ),
+        )
+
+    if queue_limit < 1:
+        # keep-up still implies backlog 1 > limit: no lockstep shortcut
+        wall = np.zeros(n_tiles)
+        free = np.zeros(n_tiles)
+        busy = np.zeros(n_tiles)
+        stall_total = np.zeros(n_tiles)
+        max_backlog = np.zeros(n_tiles, dtype=np.int64)
+        for b in buffers:
+            b.draw(n_gates)
+        return tuple(_evict(r, 0, None) for r in range(n_tiles))
+
+    services = np.stack([np.array(b.draw(n_gates)) for b in buffers])
+    wall = np.zeros(n_tiles)
+    free = np.zeros(n_tiles)
+    busy = np.zeros(n_tiles)
+    stall_total = np.zeros(n_tiles)
+    max_backlog = np.zeros(n_tiles, dtype=np.int64)
+    done: dict = {}
+    active = np.arange(n_tiles)
+    bounds = [t + 1 for t in t_sorted]
+    if not bounds or bounds[-1] != n_gates:
+        bounds.append(n_gates)
+    g0 = 0
+    for g1 in bounds:
+        if len(active) == 0:
+            break
+        is_barrier = g1 - 1 in t_sorted if t_sorted else False
+        seg = services[active, g0:g1]
+        chain = np.empty((len(active), g1 - g0 + 1), dtype=np.float64)
+        chain[:, 0] = wall[active]
+        chain[:, 1:] = cycle
+        gens = np.cumsum(chain, axis=1)[:, 1:]
+        # keep-up: every round starts at its own generation time
+        ok = gens[:, 0] >= free[active]
+        if g1 - g0 > 1:
+            ok &= (gens[:, 1:] >= gens[:, :-1] + seg[:, :-1]).all(axis=1)
+        if not ok.all():
+            for row in active[~ok].tolist():
+                done[row] = _evict(row, g0, None)
+            active = active[ok]
+            seg = seg[ok]
+            gens = gens[ok]
+            if len(active) == 0:
+                break
+        fin_last = gens[:, -1] + seg[:, -1]
+        bchain = np.empty((len(active), g1 - g0 + 1), dtype=np.float64)
+        bchain[:, 0] = busy[active]
+        bchain[:, 1:] = seg
+        busy[active] = np.cumsum(bchain, axis=1)[:, -1]
+        free[active] = fin_last
+        # a kept-up round leaves backlog 1 while in service — except
+        # zero-service rounds, which finish at their own generation time
+        max_backlog[active] = np.maximum(
+            max_backlog[active],
+            (seg > 0).any(axis=1).astype(np.int64),
+        )
+        if is_barrier:
+            stall = fin_last - gens[:, -1]  # = max(0, max_finish - wall)
+            stall_total[active] = stall_total[active] + stall
+            wall[active] = gens[:, -1] + stall
+            if g1 < n_gates:
+                n_new = (stall // cycle).astype(np.int64)
+                has_extra = n_new > 0
+                if has_extra.any():
+                    barrier_w = gens[:, -1]
+                    for pos in np.flatnonzero(has_extra).tolist():
+                        row = int(active[pos])
+                        # extras generate from the barrier wall, exactly
+                        # as the event loop queues them at resolution
+                        extra = (
+                            barrier_w[pos]
+                            + cycle * np.arange(1, n_new[pos] + 1)
+                        )
+                        done[row] = _evict(
+                            row, g1, extra, pending=float(fin_last[pos])
+                        )
+                    active = active[~has_extra]
+        else:
+            wall[active] = gens[:, -1]
+        g0 = g1
+    for row in active.tolist():
+        done[row] = TileTrace(
+            wall=float(wall[row]),
+            stall_total=float(stall_total[row]),
+            max_backlog=int(max_backlog[row]),
+            diverged=False,
+            busy_ns=float(busy[row]),
+            emissions=n_gates,
+            max_gate_backlog=int(max_backlog[row]),
+            diverge_depth=0,
+        )
+    return tuple(done[r] for r in range(n_tiles))

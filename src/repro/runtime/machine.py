@@ -38,9 +38,11 @@ from .latency import (
     MWPM_LATENCY,
     ConstantLatency,
     EmpiricalLatency,
+    ServiceDrawBuffer,
     paper_table4_latency,
     sample_service_ns,
 )
+from .lindley import TileTrace, simulate_dedicated_cohort
 from .scheduler import DecodeRound, SchedulingPolicy, make_policy
 from .streaming import StreamingResult
 
@@ -293,13 +295,15 @@ class _TileState:
     """Mutable per-tile simulation state."""
 
     __slots__ = (
-        "idx", "spec", "latency", "rng", "cycle", "t_set", "wall",
+        "idx", "spec", "latency", "services", "cycle", "t_set", "wall",
         "gate_index", "emitted", "finished", "max_finish", "unresolved",
-        "extra_queue", "finish_heap", "stall_total", "max_backlog",
-        "fallback_decodes", "blocked", "barrier_w", "active", "diverged",
+        "extra_queue", "finish_heap", "finish_fifo", "stall_total",
+        "max_backlog", "fallback_decodes", "blocked", "barrier_w",
+        "active", "diverged",
     )
 
-    def __init__(self, idx: int, spec: TileSpec, rng: np.random.Generator):
+    def __init__(self, idx: int, spec: TileSpec, rng: np.random.Generator,
+                 monotone_finishes: bool = False):
         if any(p < 0 or p >= spec.n_gates for p in spec.t_positions):
             raise ValueError(
                 f"T-gate position outside program on tile {spec.name!r}"
@@ -307,7 +311,9 @@ class _TileState:
         self.idx = idx
         self.spec = spec
         self.latency = spec.resolved_latency()
-        self.rng = rng
+        # pre-drawn service-time chunks; same draw stream as per-round
+        # scalar sampling (see ServiceDrawBuffer)
+        self.services = ServiceDrawBuffer(self.latency, rng)
         self.cycle = spec.syndrome_cycle_ns
         self.t_set = set(spec.t_positions)
         self.wall = 0.0
@@ -318,6 +324,9 @@ class _TileState:
         self.unresolved = 0
         self.extra_queue: deque = deque()
         self.finish_heap: List[float] = []
+        # FIFO shortcut when the policy guarantees in-order completions
+        self.finish_fifo: Optional[deque] = deque() if monotone_finishes \
+            else None
         self.stall_total = 0.0
         self.max_backlog = 0
         self.fallback_decodes = 0
@@ -360,6 +369,16 @@ class MachineRuntime:
     and the round is re-decoded by the software ``fallback_latency``
     (drawn from a separate fault stream, so fault injection never
     perturbs the tiles' latency draws).
+
+    ``engine`` selects the simulation backend: under dedicated wiring
+    with a private decoder per tile (``n_decoders >= n_tiles``) and no
+    fault injection, per-tile backlog/stall evolution is a Lindley
+    recursion over pre-drawn service times, so ``"auto"`` (the default)
+    replaces the event loop with the numpy scan of
+    :mod:`repro.runtime.lindley` — bit-identical results,
+    regression-tested in ``tests/test_lindley.py``.  ``"event"`` forces
+    the event loop; ``"fast"`` demands the scan and raises when the
+    configuration is ineligible.
     """
 
     tiles: Sequence[TileSpec]
@@ -370,16 +389,36 @@ class MachineRuntime:
     failure_prob: float = 0.0
     fallback_latency: LatencyModel = MWPM_LATENCY
     policy_kwargs: Dict[str, object] = field(default_factory=dict)
+    engine: str = "auto"
+
+    def _fast_path_eligible(self) -> bool:
+        return (
+            self.policy == "dedicated"
+            and self.n_decoders >= len(self.tiles)
+            and self.failure_prob == 0.0
+            and not self.policy_kwargs
+        )
 
     def run(self) -> MachineResult:
         if not self.tiles:
             raise ValueError("need at least one tile")
+        if self.engine not in ("auto", "event", "fast"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+        if self.engine == "fast" and not self._fast_path_eligible():
+            raise ValueError(
+                "fast engine requires the dedicated policy with a private "
+                "decoder per tile (n_decoders >= n_tiles) and "
+                "failure_prob == 0"
+            )
+        if self.engine in ("auto", "fast") and self._fast_path_eligible():
+            return self._run_lindley()
         policy = make_policy(self.policy, self.n_decoders, **self.policy_kwargs)
         root = np.random.SeedSequence(self.seed)
         children = root.spawn(len(self.tiles) + 1)
         fault_rng = np.random.default_rng(children[-1])
+        monotone = policy.monotone_tile_finishes
         states = [
-            _TileState(i, spec, np.random.default_rng(children[i]))
+            _TileState(i, spec, np.random.default_rng(children[i]), monotone)
             for i, spec in enumerate(self.tiles)
         ]
         while True:
@@ -412,6 +451,74 @@ class MachineRuntime:
             decoder_rounds=list(policy.rounds_served),
         )
 
+    # -- vectorized dedicated-wiring fast path -------------------------
+    def _run_lindley(self) -> MachineResult:
+        """Per-tile Lindley scans (dedicated wiring, private decoders).
+
+        Tiles are mutually independent here: each one feeds its own
+        decoder, T barriers are per-tile, and the per-tile RNG children
+        are spawned in tile order exactly as in the event loop, so each
+        tile's whole history collapses into
+        :func:`repro.runtime.lindley.simulate_dedicated_tile`.
+        """
+        tiles = list(self.tiles)
+        root = np.random.SeedSequence(self.seed)
+        children = root.spawn(len(tiles) + 1)
+        busy = [0.0] * self.n_decoders
+        rounds = [0] * self.n_decoders
+        for spec in tiles:
+            if any(p < 0 or p >= spec.n_gates for p in spec.t_positions):
+                raise ValueError(
+                    f"T-gate position outside program on tile {spec.name!r}"
+                )
+        # tiles sharing a program shape advance in one lockstep scan
+        groups: Dict[Tuple, List[int]] = {}
+        for i, spec in enumerate(tiles):
+            key = (
+                spec.n_gates, tuple(spec.t_positions),
+                spec.syndrome_cycle_ns,
+            )
+            groups.setdefault(key, []).append(i)
+        traces: List[Optional[TileTrace]] = [None] * len(tiles)
+        for (n_gates, t_pos, cycle), members in groups.items():
+            buffers = [
+                ServiceDrawBuffer(
+                    tiles[i].resolved_latency(),
+                    np.random.default_rng(children[i]),
+                )
+                for i in members
+            ]
+            cohort = simulate_dedicated_cohort(
+                n_gates, t_pos, cycle, buffers, self.queue_limit
+            )
+            for i, trace in zip(members, cohort):
+                traces[i] = trace
+        results: List[TileResult] = []
+        for i, (spec, trace) in enumerate(zip(tiles, traces)):
+            busy[i] += trace.busy_ns
+            rounds[i] += trace.emissions
+            results.append(
+                TileResult(
+                    name=spec.name,
+                    distance=spec.distance,
+                    wall_time_ns=trace.wall,
+                    compute_time_ns=spec.n_gates * spec.syndrome_cycle_ns,
+                    total_rounds=spec.n_gates,
+                    max_backlog=trace.max_backlog,
+                    total_stall_ns=trace.stall_total,
+                    fallback_decodes=0,
+                    diverged=trace.diverged,
+                )
+            )
+        return MachineResult(
+            policy=self.policy,
+            n_tiles=len(tiles),
+            n_decoders=self.n_decoders,
+            tiles=results,
+            decoder_busy_ns=busy,
+            decoder_rounds=rounds,
+        )
+
     # -- simulation steps ----------------------------------------------
     def _emit(
         self,
@@ -431,16 +538,22 @@ class MachineRuntime:
         rnd = DecodeRound(tile=s.idx, index=s.emitted, gen_ns=gen)
         s.emitted += 1
         s.unresolved += 1
-        service = sample_service_ns(s.latency, s.rng)
+        service = s.services.next()
         if self.failure_prob > 0 and fault_rng.random() < self.failure_prob:
             service += sample_service_ns(self.fallback_latency, fault_rng)
             s.fallback_decodes += 1
         for done_rnd, finish in policy.submit(rnd, service):
             self._record_finish(states[done_rnd.tile], finish)
         # backlog = rounds generated but not yet decoded at 'gen'
-        while s.finish_heap and s.finish_heap[0] <= gen:
-            heapq.heappop(s.finish_heap)
-            s.finished += 1
+        if s.finish_fifo is not None:
+            fifo = s.finish_fifo
+            while fifo and fifo[0] <= gen:
+                fifo.popleft()
+                s.finished += 1
+        else:
+            while s.finish_heap and s.finish_heap[0] <= gen:
+                heapq.heappop(s.finish_heap)
+                s.finished += 1
         backlog = s.emitted - s.finished
         s.max_backlog = max(s.max_backlog, backlog)
         if backlog > self.queue_limit:
@@ -476,7 +589,10 @@ class MachineRuntime:
 
     @staticmethod
     def _record_finish(owner: _TileState, finish: float) -> None:
-        heapq.heappush(owner.finish_heap, finish)
+        if owner.finish_fifo is not None:
+            owner.finish_fifo.append(finish)
+        else:
+            heapq.heappush(owner.finish_heap, finish)
         owner.max_finish = max(owner.max_finish, finish)
         owner.unresolved -= 1
 

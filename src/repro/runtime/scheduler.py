@@ -69,6 +69,17 @@ class SchedulingPolicy:
         """Dispatch any buffered rounds; default policies buffer nothing."""
         return []
 
+    @property
+    def monotone_tile_finishes(self) -> bool:
+        """True when one tile's rounds always finish in emission order.
+
+        Lets the runtime track per-tile completions with a plain FIFO
+        instead of a heap.  Holds whenever a tile's rounds are all served
+        by the same decoder (dedicated wiring, or any single-decoder
+        pool).
+        """
+        return self.n_decoders == 1
+
     def _serve_on(
         self, decoder: int, rnd: DecodeRound, service_ns: float
     ) -> float:
@@ -89,6 +100,10 @@ class DedicatedPolicy(SchedulingPolicy):
         decoder = rnd.tile % self.n_decoders
         return [(rnd, self._serve_on(decoder, rnd, service_ns))]
 
+    @property
+    def monotone_tile_finishes(self) -> bool:
+        return True  # a tile's rounds always share one decoder
+
 
 class PooledFifoPolicy(SchedulingPolicy):
     """Work-conserving shared pool: earliest-free decoder takes the
@@ -97,7 +112,12 @@ class PooledFifoPolicy(SchedulingPolicy):
     name = "pooled"
 
     def submit(self, rnd: DecodeRound, service_ns: float) -> Resolved:
-        decoder = min(range(self.n_decoders), key=lambda k: self.free_at[k])
+        if self.n_decoders == 1:  # single-decoder shortcut: no pool scan
+            decoder = 0
+        else:
+            decoder = min(
+                range(self.n_decoders), key=lambda k: self.free_at[k]
+            )
         return [(rnd, self._serve_on(decoder, rnd, service_ns))]
 
 
@@ -157,7 +177,12 @@ class BatchedPolicy(SchedulingPolicy):
 
     def _dispatch(self, batch: _OpenBatch, close_ns: float) -> Resolved:
         self._open = None
-        decoder = min(range(self.n_decoders), key=lambda k: self.free_at[k])
+        if self.n_decoders == 1:
+            decoder = 0
+        else:
+            decoder = min(
+                range(self.n_decoders), key=lambda k: self.free_at[k]
+            )
         start = max(self.free_at[decoder], close_ns)
         batch_ns = self.overhead_ns + max(batch.services)
         finish = start + batch_ns

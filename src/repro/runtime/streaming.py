@@ -66,6 +66,10 @@ class StreamingExecutor:
     syndrome_cycle_ns: float = 400.0
     queue_limit: int = 200_000
     rng: Optional[np.random.Generator] = None
+    #: ``auto`` runs the vectorized Lindley scan (bit-identical to the
+    #: event loop; regression-tested), ``event`` forces the original
+    #: per-round loop, ``fast`` forces the scan.
+    engine: str = "auto"
 
     def _service_time(self) -> float:
         """One per-round decode-time draw, fixed at generation time.
@@ -81,6 +85,10 @@ class StreamingExecutor:
         self, n_gates: int, t_positions: Sequence[int]
     ) -> StreamingResult:
         """Execute ``n_gates`` with T gates at ``t_positions``."""
+        if self.engine not in ("auto", "event", "fast"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+        if self.engine in ("auto", "fast"):
+            return self._run_lindley(n_gates, t_positions)
         t_set = set(t_positions)
         if any(pos < 0 or pos >= n_gates for pos in t_set):
             raise ValueError("T-gate position outside program")
@@ -154,6 +162,41 @@ class StreamingExecutor:
             decoder_free_at = finish
             decoded_through = finish
         return decoder_free_at, decoded_through
+
+    def _run_lindley(
+        self, n_gates: int, t_positions: Sequence[int]
+    ) -> StreamingResult:
+        """Vectorized fast path (bit-identical to the event loop)."""
+        from .latency import ServiceDrawBuffer
+        from .lindley import simulate_dedicated_tile
+
+        cycle = self.syndrome_cycle_ns
+        trace = simulate_dedicated_tile(
+            n_gates=n_gates,
+            t_positions=t_positions,
+            cycle=cycle,
+            draws=ServiceDrawBuffer(self.latency, self.rng),
+            queue_limit=self.queue_limit,
+            check_extra_emissions=False,
+            barrier_extra_check=True,
+        )
+        if trace.diverged:
+            return StreamingResult(
+                wall_time_ns=float("inf"),
+                compute_time_ns=n_gates * cycle,
+                total_rounds=n_gates,
+                max_queue_depth=trace.diverge_depth,
+                total_stall_ns=float("inf"),
+                diverged=True,
+            )
+        return StreamingResult(
+            wall_time_ns=trace.wall,
+            compute_time_ns=n_gates * cycle,
+            total_rounds=n_gates,
+            max_queue_depth=trace.max_gate_backlog,
+            total_stall_ns=trace.stall_total,
+            diverged=False,
+        )
 
     def run_circuit(self, circuit: QCircuit) -> StreamingResult:
         return self.run(circuit.total_gates, circuit.t_gate_positions())

@@ -1,0 +1,205 @@
+"""Batched-decode equivalence: ``decode_batch`` === per-shot ``decode``.
+
+The PR-3 tentpole contract: every decoder's vectorized batch path must
+produce bit-identical corrections (and metadata, where defined) to its
+per-shot golden path, across distances, orientations and error models.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decoders import (
+    BatchDecodeResult,
+    GreedyMatchingDecoder,
+    LookupDecoder,
+    MaximumLikelihoodDecoder,
+    MWPMDecoder,
+    SFQMeshDecoder,
+    UnionFindDecoder,
+)
+from repro.decoders.mwpm import matching_weight
+from repro.noise.models import (
+    BitFlipChannel,
+    DephasingChannel,
+    DepolarizingChannel,
+)
+from repro.surface.lattice import SurfaceLattice
+
+BITWISE_IDENTICAL = [GreedyMatchingDecoder, UnionFindDecoder, MWPMDecoder]
+MODELS = [DephasingChannel(), BitFlipChannel(), DepolarizingChannel()]
+
+
+def syndromes_for(decoder, model, p, batch, rng):
+    lattice = decoder.lattice
+    sample = model.sample(lattice, p, batch, rng)
+    errors = sample.z if decoder.error_type == "z" else sample.x
+    return decoder.geometry.syndrome_of_errors(errors)
+
+
+class TestBatchEqualsDecode:
+    @pytest.mark.parametrize("cls", BITWISE_IDENTICAL)
+    @pytest.mark.parametrize("d", [3, 5, 7, 9])
+    @pytest.mark.parametrize("error_type", ["z", "x"])
+    def test_all_distances(self, cls, d, error_type):
+        rng = np.random.default_rng(1000 + d)
+        decoder = cls(SurfaceLattice(d), error_type)
+        syndromes = syndromes_for(
+            decoder, DephasingChannel(), 0.08, 24, rng
+        )
+        batch = decoder.decode_batch(syndromes)
+        assert isinstance(batch, BatchDecodeResult)
+        for i, syn in enumerate(syndromes):
+            single = decoder.decode(syn)
+            assert np.array_equal(single.correction, batch.corrections[i])
+            assert batch.converged[i]
+
+    @pytest.mark.parametrize("cls", BITWISE_IDENTICAL)
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name)
+    def test_all_error_models(self, cls, model):
+        rng = np.random.default_rng(7)
+        decoder = cls(SurfaceLattice(5))
+        syndromes = syndromes_for(decoder, model, 0.1, 20, rng)
+        batch = decoder.decode_batch(syndromes)
+        for i, syn in enumerate(syndromes):
+            assert np.array_equal(
+                decoder.decode(syn).correction, batch.corrections[i]
+            )
+
+    @pytest.mark.parametrize(
+        "cls", [LookupDecoder, MaximumLikelihoodDecoder]
+    )
+    def test_small_lattice_decoders(self, cls, lattice3, rng):
+        decoder = cls(lattice3)
+        syndromes = syndromes_for(
+            decoder, DephasingChannel(), 0.12, 40, rng
+        )
+        batch = decoder.decode_batch(syndromes)
+        for i, syn in enumerate(syndromes):
+            assert np.array_equal(
+                decoder.decode(syn).correction, batch.corrections[i]
+            )
+
+    def test_mesh_batch_matches_decode_arrays(self, lattice3, rng):
+        decoder = SFQMeshDecoder(lattice3)
+        syndromes = syndromes_for(
+            decoder, DephasingChannel(), 0.1, 16, rng
+        )
+        batch = decoder.decode_batch(syndromes)
+        arrays = decoder.decode_arrays(syndromes)
+        assert np.array_equal(batch.corrections, arrays.corrections)
+        assert np.array_equal(batch.cycles, arrays.cycles)
+        assert np.array_equal(batch.converged, arrays.converged)
+
+    @given(st.integers(0, 2**20))
+    @settings(max_examples=20, deadline=None)
+    def test_property_randomized(self, seed):
+        """Random seeds, both orientations, both hot decoders (d=5)."""
+        rng = np.random.default_rng(seed)
+        lattice = SurfaceLattice(5)
+        for cls in (UnionFindDecoder, GreedyMatchingDecoder):
+            for error_type in ("z", "x"):
+                decoder = cls(lattice, error_type)
+                syndromes = syndromes_for(
+                    decoder, DephasingChannel(), 0.15, 6, rng
+                )
+                batch = decoder.decode_batch(syndromes)
+                for i, syn in enumerate(syndromes):
+                    assert np.array_equal(
+                        decoder.decode(syn).correction,
+                        batch.corrections[i],
+                    ), (cls.name, error_type, seed, i)
+
+
+class TestUnionFindMetadata:
+    @pytest.mark.parametrize("d", [3, 5, 7])
+    def test_growth_rounds_match(self, d, rng):
+        decoder = UnionFindDecoder(SurfaceLattice(d))
+        syndromes = syndromes_for(
+            decoder, DephasingChannel(), 0.1, 20, rng
+        )
+        batch = decoder.decode_batch(syndromes)
+        rounds = batch.metadata["growth_rounds"]
+        for i, syn in enumerate(syndromes):
+            expected = decoder.decode(syn).metadata.get("growth_rounds", 0)
+            assert rounds[i] == expected
+
+
+class TestMWPMEngines:
+    """Fast engine: weight-optimal like the blossom golden path."""
+
+    @pytest.mark.parametrize("d", [3, 5, 7])
+    def test_fast_matches_reference_weight(self, d, rng):
+        lattice = SurfaceLattice(d)
+        fast = MWPMDecoder(lattice)
+        reference = MWPMDecoder(lattice, engine="reference")
+        geo = fast.geometry
+        syndromes = syndromes_for(fast, DephasingChannel(), 0.08, 15, rng)
+        for syn in syndromes:
+            rf = fast.decode(syn)
+            rr = reference.decode(syn)
+            assert matching_weight(geo, rf.pairs) == matching_weight(
+                geo, rr.pairs
+            )
+            assert fast.verify_correction(syn, rf)
+
+    def test_reference_engine_batch_is_per_shot(self, lattice5, rng):
+        decoder = MWPMDecoder(lattice5, engine="reference")
+        syndromes = syndromes_for(
+            decoder, DephasingChannel(), 0.1, 8, rng
+        )
+        batch = decoder.decode_batch(syndromes)
+        for i, syn in enumerate(syndromes):
+            assert np.array_equal(
+                decoder.decode(syn).correction, batch.corrections[i]
+            )
+
+    def test_unknown_engine_rejected(self, lattice3):
+        with pytest.raises(ValueError):
+            MWPMDecoder(lattice3, engine="quantum")
+
+
+class TestBatchResultStructure:
+    def test_empty_batch(self, lattice3):
+        decoder = GreedyMatchingDecoder(lattice3)
+        batch = decoder.decode_batch(
+            np.zeros((0, lattice3.n_x_ancillas), dtype=np.uint8)
+        )
+        assert len(batch) == 0
+        assert batch.corrections.shape == (0, lattice3.n_data)
+
+    def test_zero_syndromes_give_zero_corrections(self, lattice5):
+        for cls in BITWISE_IDENTICAL:
+            decoder = cls(lattice5)
+            batch = decoder.decode_batch(
+                np.zeros((3, lattice5.n_x_ancillas), dtype=np.uint8)
+            )
+            assert not batch.corrections.any()
+
+    def test_shape_validation(self, lattice5):
+        decoder = UnionFindDecoder(lattice5)
+        with pytest.raises(ValueError):
+            decoder.decode_batch(np.zeros((4, 3), dtype=np.uint8))
+
+    def test_getitem_materializes_decode_result(self, lattice3, rng):
+        decoder = SFQMeshDecoder(lattice3)
+        syndromes = syndromes_for(
+            decoder, DephasingChannel(), 0.1, 5, rng
+        )
+        batch = decoder.decode_batch(syndromes)
+        one = batch[2]
+        assert np.array_equal(one.correction, batch.corrections[2])
+        assert one.cycles == batch.cycles[2]
+
+    def test_from_results_stacks(self, lattice3, rng):
+        decoder = LookupDecoder(lattice3)
+        syndromes = syndromes_for(
+            decoder, DephasingChannel(), 0.1, 4, rng
+        )
+        stacked = BatchDecodeResult.from_results(
+            [decoder.decode(s) for s in syndromes]
+        )
+        assert np.array_equal(
+            stacked.corrections, decoder.decode_batch(syndromes).corrections
+        )

@@ -1,0 +1,208 @@
+"""Lindley fast path === event loop, bit for bit.
+
+Covers the three layers of the PR-3 runtime leg: the vectorized draw
+buffer reproduces scalar RNG streams exactly, the streaming fast path
+equals the streaming event loop, and the dedicated-wiring machine fast
+path (lockstep cohorts + per-tile scans) equals the multi-tile event
+loop on randomized fleets.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.latency import (
+    ConstantLatency,
+    EmpiricalLatency,
+    ServiceDrawBuffer,
+    paper_table4_latency,
+    sample_service_ns,
+)
+from repro.runtime.lindley import lindley_finishes
+from repro.runtime.machine import MachineRuntime, TileSpec, make_tile_fleet
+from repro.runtime.streaming import StreamingExecutor
+
+WIDE = EmpiricalLatency(
+    "wide", np.random.default_rng(5).gamma(3.0, 150.0, 2048)
+)
+LATENCIES = [
+    paper_table4_latency(3),
+    paper_table4_latency(9),
+    ConstantLatency("zero", 0.0),
+    ConstantLatency("slow", 500.0),
+    ConstantLatency("vslow", 900.0),
+    WIDE,
+]
+
+
+class TestServiceDrawBuffer:
+    """Vectorized chunks must reproduce the scalar draw stream."""
+
+    def test_chunked_equals_scalar(self):
+        lat = paper_table4_latency(7)
+        buf = ServiceDrawBuffer(lat, np.random.default_rng(42), chunk=64)
+        got = np.concatenate(
+            [buf.draw(10), buf.draw(100), [buf.next() for _ in range(25)],
+             buf.draw(7)]
+        )
+        rng = np.random.default_rng(42)
+        want = np.array(
+            [sample_service_ns(lat, rng) for _ in range(142)]
+        )
+        assert np.array_equal(got, want)
+
+    def test_rewind_restores_stream(self):
+        lat = paper_table4_latency(5)
+        buf = ServiceDrawBuffer(lat, np.random.default_rng(3))
+        first = np.array(buf.draw(50))
+        buf.rewind(30)
+        again = buf.draw(30)
+        assert np.array_equal(first[20:], again)
+
+    def test_rewind_past_start_rejected(self):
+        buf = ServiceDrawBuffer(
+            paper_table4_latency(3), np.random.default_rng(0)
+        )
+        buf.draw(4)
+        with pytest.raises(ValueError):
+            buf.rewind(5)
+
+    def test_constant_latency_draws(self):
+        buf = ServiceDrawBuffer(ConstantLatency("c", 42.0), None)
+        assert np.array_equal(buf.draw(3), [42.0, 42.0, 42.0])
+        assert buf.next() == 42.0
+
+
+class TestLindleyFinishes:
+    @given(st.integers(0, 2**20))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_sequential_recursion(self, seed):
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(1, 60))
+        gens = np.cumsum(rng.uniform(0.0, 500.0, size=k))
+        services = rng.uniform(0.0, 900.0, size=k)
+        free = float(rng.uniform(0.0, 800.0))
+        got = lindley_finishes(free, gens, services)
+        finish = free
+        for i in range(k):
+            finish = max(finish, gens[i]) + services[i]
+            assert got[i] == finish
+
+
+class TestStreamingFastPath:
+    @pytest.mark.parametrize("lat", LATENCIES, ids=lambda m: m.name)
+    def test_bit_identical_to_event_loop(self, lat):
+        r = np.random.default_rng(77)
+        for _ in range(10):
+            n_gates = int(r.integers(1, 250))
+            t_pos = sorted(
+                set(r.integers(0, n_gates, size=int(r.random() * 10)).tolist())
+            )
+            cycle = float(r.choice([100.0, 400.0, 417.3]))
+            limit = int(r.choice([3, 50, 2000]))
+            seed = int(r.integers(0, 2**31))
+            event = StreamingExecutor(
+                lat, cycle, limit, np.random.default_rng(seed),
+                engine="event",
+            ).run(n_gates, t_pos)
+            fast = StreamingExecutor(
+                lat, cycle, limit, np.random.default_rng(seed),
+                engine="fast",
+            ).run(n_gates, t_pos)
+            assert event == fast
+
+    def test_unknown_engine_rejected(self):
+        executor = StreamingExecutor(LATENCIES[0], engine="warp")
+        with pytest.raises(ValueError):
+            executor.run(5, [])
+
+
+def _assert_machines_equal(kwargs):
+    event = MachineRuntime(engine="event", **kwargs).run()
+    fast = MachineRuntime(engine="fast", **kwargs).run()
+    assert event.decoder_busy_ns == fast.decoder_busy_ns
+    assert event.decoder_rounds == fast.decoder_rounds
+    for te, tf in zip(event.tiles, fast.tiles):
+        assert dataclasses.asdict(te) == dataclasses.asdict(tf)
+
+
+class TestMachineFastPath:
+    @given(st.integers(0, 2**20))
+    @settings(max_examples=15, deadline=None)
+    def test_randomized_fleets(self, seed):
+        """Mixed shapes: cohorts, evictions, stalls, divergence."""
+        r = np.random.default_rng(seed)
+        n_tiles = int(r.integers(1, 8))
+        shared_ng = int(r.integers(1, 80))
+        shared_tp = tuple(
+            sorted(set(r.integers(0, shared_ng, size=4).tolist()))
+        )
+        tiles = []
+        for i in range(n_tiles):
+            if r.random() < 0.5:  # cohort members share a program shape
+                ng, tp = shared_ng, shared_tp
+            else:
+                ng = int(r.integers(0, 90))
+                tp = tuple(
+                    sorted(set(
+                        r.integers(0, max(ng, 1),
+                                   size=int(r.random() * 6)).tolist()
+                    ))
+                ) if ng else ()
+            lat = None if r.random() < 0.6 else ConstantLatency(
+                "c", float(r.choice([0.0, 200.0, 500.0, 900.0]))
+            )
+            tiles.append(
+                TileSpec(f"t{i}", int(r.choice([3, 5, 7, 9])), ng, tp,
+                         float(r.choice([400.0, 100.0])), lat)
+            )
+        _assert_machines_equal(dict(
+            tiles=tiles,
+            n_decoders=n_tiles + int(r.integers(0, 3)),
+            policy="dedicated",
+            seed=int(r.integers(0, 2**31)),
+            queue_limit=int(r.choice([0, 5, 100, 200_000])),
+        ))
+
+    def test_benchmark_fleet(self):
+        fleet = make_tile_fleet(16, n_gates=120, t_period=10)
+        _assert_machines_equal(dict(
+            tiles=fleet, n_decoders=16, policy="dedicated", seed=2020,
+        ))
+
+    def test_auto_selects_fast_when_eligible(self):
+        fleet = make_tile_fleet(2, n_gates=40)
+        eligible = MachineRuntime(fleet, n_decoders=2, policy="dedicated")
+        assert eligible._fast_path_eligible()
+        for ineligible in (
+            MachineRuntime(fleet, n_decoders=2, policy="pooled"),
+            MachineRuntime(fleet, n_decoders=1, policy="dedicated"),
+            MachineRuntime(fleet, n_decoders=2, policy="dedicated",
+                           failure_prob=0.1),
+        ):
+            assert not ineligible._fast_path_eligible()
+
+    def test_fast_engine_rejects_ineligible(self):
+        fleet = make_tile_fleet(2, n_gates=40)
+        with pytest.raises(ValueError):
+            MachineRuntime(
+                fleet, n_decoders=2, policy="pooled", engine="fast"
+            ).run()
+        with pytest.raises(ValueError):
+            MachineRuntime(fleet, n_decoders=2, engine="warp").run()
+
+    def test_event_loop_unchanged_for_pooled(self):
+        """Auto never reroutes pooled/batched configurations."""
+        fleet = make_tile_fleet(4, n_gates=60)
+        for policy in ("pooled", "batched"):
+            auto = MachineRuntime(
+                fleet, n_decoders=2, policy=policy, seed=11
+            ).run()
+            event = MachineRuntime(
+                fleet, n_decoders=2, policy=policy, seed=11, engine="event"
+            ).run()
+            for ta, tb in zip(auto.tiles, event.tiles):
+                assert dataclasses.asdict(ta) == dataclasses.asdict(tb)
