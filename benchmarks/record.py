@@ -13,7 +13,13 @@ Three suites, each writing one committed JSON baseline:
   pooled-vs-dedicated-vs-batched sweep (simulated makespan/stall plus
   host-side simulated-rounds/s), plus the dedicated-wiring Lindley
   fast path vs the event loop ->
-  ``benchmarks/BENCH_machine_runtime.json``.
+  ``benchmarks/BENCH_machine_runtime.json``;
+* ``adaptive`` — the weight-stratified adaptive Monte-Carlo engine vs
+  the fixed-trials Fig. 10 grid: decoded shots to target RSE, wall
+  clock both ways, per-cell Wilson-CI overlap ->
+  ``benchmarks/BENCH_adaptive_sampling.json``.  ``--regress-check``
+  gates on ``ci_overlap_fraction`` — scale-invariant (~1.0 at any trial
+  budget), unlike wall clock or the budget-dependent shot counts.
 
 Future PRs rerun this script and compare against the committed baselines
 to track the perf trajectory::
@@ -49,6 +55,7 @@ BENCH_DIR = Path(__file__).resolve().parent
 DEFAULT_OUT = BENCH_DIR / "BENCH_mesh_throughput.json"
 DECODER_OUT = BENCH_DIR / "BENCH_decoder_throughput.json"
 MACHINE_OUT = BENCH_DIR / "BENCH_machine_runtime.json"
+ADAPTIVE_OUT = BENCH_DIR / "BENCH_adaptive_sampling.json"
 DISTANCES = (7, 9, 11)
 #: (decoder name, distance) cells of the decoder suite; lookup only
 #: exists at d = 3
@@ -317,12 +324,113 @@ def run_machine_benchmark(
     }
 
 
+def run_adaptive_benchmark(
+    trials: int = 2048,
+    seed: int = 2020,
+    target_rse: float = 0.1,
+) -> dict:
+    """Fixed-trials Fig. 10 grid vs the adaptive rare-event engine.
+
+    Both sweeps use the default rate grid and the final mesh design; the
+    adaptive run is hard-capped at a fifth of the fixed per-distance
+    decode budget, so ``shots_reduction_factor`` is >= 5 by construction
+    and the interesting questions are (a) does every cell still overlap
+    the fixed sweep's Wilson CI and (b) how many shots did the target
+    RSE actually need.  Decoded-shot counts are seed-deterministic, so
+    they are comparable across machines; the wall clocks are not.
+    """
+    from repro.decoders.sfq_mesh import MeshDecoderFactory
+    from repro.montecarlo import (
+        AdaptiveConfig,
+        default_rate_grid,
+        run_threshold_sweep,
+        run_threshold_sweep_adaptive,
+    )
+    from repro.montecarlo.stats import intervals_overlap
+    from repro.noise.models import DephasingChannel
+
+    distances = (3, 5) if SMOKE else (3, 5, 7, 9)
+    rates = default_rate_grid()
+    factory = MeshDecoderFactory()
+    model = DephasingChannel()
+    start = time.perf_counter()
+    fixed = run_threshold_sweep(
+        factory, model, distances, rates, trials, seed=seed
+    )
+    fixed_wall = time.perf_counter() - start
+    cap = trials * len(rates) // 5
+    start = time.perf_counter()
+    adaptive = run_threshold_sweep_adaptive(
+        factory, model, distances, rates, target_rse=target_rse, seed=seed,
+        config=AdaptiveConfig(max_total_shots=cap),
+    )
+    adaptive_wall = time.perf_counter() - start
+    entries = {}
+    for d in distances:
+        result = adaptive.adaptive_results[d]
+        overlap = sum(
+            int(
+                intervals_overlap(
+                    fixed.results[d][i].estimate.interval,
+                    adaptive.results[d][i].estimate.interval,
+                )
+            )
+            for i in range(len(rates))
+        )
+        shots_to_target = next(
+            (
+                h["shots_total"]
+                for h in result.history
+                if h["worst_rse"] <= target_rse
+            ),
+            None,
+        )
+        fixed_shots = trials * len(rates)
+        entries[f"d{d}"] = {
+            "fixed_shots": fixed_shots,
+            "adaptive_shots": result.shots_total,
+            "shots_reduction_factor": round(
+                fixed_shots / result.shots_total, 2
+            ),
+            "shots_to_target_rse": shots_to_target,
+            "worst_rse": round(result.worst_rse, 4),
+            "converged": result.converged,
+            "rounds": result.rounds,
+            "ci_overlap_cells": overlap,
+            "cells": len(rates),
+            # scale-invariant health metric: the smoke budget differs
+            # from the committed full-run baseline, but overlap should
+            # be ~1.0 at any budget — so --regress-check gates on this
+            "ci_overlap_fraction": round(overlap / len(rates), 3),
+        }
+    return {
+        "benchmark": "adaptive_vs_fixed_threshold_sweep",
+        "workload": {
+            "trials_per_cell_fixed": trials,
+            "rate_grid": "default_rate_grid (1-12%, 10 points)",
+            "distances": list(distances),
+            "seed": seed,
+            "target_rse": target_rse,
+            "adaptive_cap": "fixed per-distance budget // 5",
+            "model": "dephasing",
+            "timing": "single-pass wall clock (shots are the portable "
+            "metric; they are seed-deterministic)",
+        },
+        "recorded": date.today().isoformat(),
+        "machine": platform.machine(),
+        "fixed_wall_s": round(fixed_wall, 2),
+        "adaptive_wall_s": round(adaptive_wall, 2),
+        "wall_speedup": round(fixed_wall / adaptive_wall, 2),
+        "entries": entries,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Record perf baselines (mesh throughput, machine runtime)."
     )
     parser.add_argument(
-        "--suite", choices=("mesh", "decoders", "machine", "all"),
+        "--suite", choices=("mesh", "decoders", "machine", "adaptive", "all"),
         default="all",
     )
     parser.add_argument("--shots", type=int, default=256 if SMOKE else 2048)
@@ -334,6 +442,11 @@ def main(argv=None) -> int:
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
     parser.add_argument("--decoder-out", type=Path, default=DECODER_OUT)
     parser.add_argument("--machine-out", type=Path, default=MACHINE_OUT)
+    parser.add_argument("--adaptive-out", type=Path, default=ADAPTIVE_OUT)
+    parser.add_argument(
+        "--target-rse", type=float, default=0.1,
+        help="stopping precision for the adaptive suite (default 0.1)",
+    )
     parser.add_argument(
         "--check", type=float, metavar="MIN_SPEEDUP",
         help="exit nonzero unless every d >= 9 mesh speedup meets this "
@@ -415,6 +528,32 @@ def main(argv=None) -> int:
                 )
         args.machine_out.write_text(json.dumps(record, indent=2) + "\n")
         print(f"wrote {args.machine_out}")
+
+    if args.suite in ("adaptive", "all") and args.check is None:
+        record = run_adaptive_benchmark(
+            args.shots, args.seed, target_rse=args.target_rse
+        )
+        for name, entry in record["entries"].items():
+            to_target = entry["shots_to_target_rse"]
+            print(
+                f"{name:>4}: fixed {entry['fixed_shots']:>7d} shots -> "
+                f"adaptive {entry['adaptive_shots']:>7d} "
+                f"({entry['shots_reduction_factor']:.1f}x fewer), "
+                f"CI overlap {entry['ci_overlap_cells']}/{entry['cells']}, "
+                f"to-target {to_target if to_target else 'n/a (capped)'}"
+            )
+        print(
+            f"wall: fixed {record['fixed_wall_s']:.2f} s vs adaptive "
+            f"{record['adaptive_wall_s']:.2f} s "
+            f"({record['wall_speedup']:.1f}x)"
+        )
+        if args.regress_check:
+            regression_report(
+                record, args.adaptive_out, key="ci_overlap_fraction"
+            )
+        else:
+            args.adaptive_out.write_text(json.dumps(record, indent=2) + "\n")
+            print(f"wrote {args.adaptive_out}")
     return 0
 
 

@@ -44,6 +44,17 @@ def main(argv=None) -> int:
         "results are identical for any worker count)",
     )
     parser.add_argument(
+        "--adaptive", action="store_true",
+        help="use the weight-stratified adaptive Monte-Carlo engine for "
+        "threshold-style sweeps (one estimation pass per distance serves "
+        "the whole rate axis; see repro.montecarlo.adaptive)",
+    )
+    parser.add_argument(
+        "--target-rse", type=float, default=0.1,
+        help="relative std error at which the adaptive engine stops "
+        "(default 0.1; only meaningful with --adaptive)",
+    )
+    parser.add_argument(
         "--save", metavar="PATH",
         help="also write the result to PATH (.json or .csv; single --id only)",
     )
@@ -55,7 +66,8 @@ def main(argv=None) -> int:
         return 0
 
     config = ExperimentConfig(
-        trials=args.trials, seed=args.seed, workers=args.workers
+        trials=args.trials, seed=args.seed, workers=args.workers,
+        adaptive=args.adaptive, target_rse=args.target_rse,
     )
     if args.all:
         ids = all_experiment_ids()

@@ -21,12 +21,22 @@ class ExperimentConfig:
     (see :mod:`repro.perf.parallel`); results are bit-identical for any
     worker count because every grid cell draws from its own spawned
     ``np.random.SeedSequence`` child regardless of scheduling.
+
+    ``adaptive`` switches the threshold-style sweeps from the fixed
+    ``trials``-per-cell grid to the weight-stratified adaptive engine
+    (:mod:`repro.montecarlo.adaptive`): one weight-resolved estimation
+    pass per distance serves the whole rate axis, stopping at
+    ``target_rse`` relative precision, with the total decoded-shot
+    budget capped at the fixed grid's budget so adaptive runs are never
+    more expensive.
     """
 
     trials: int = 2000
     seed: int = 2020  # ISCA 2020
     distances: tuple = (3, 5, 7, 9)
     workers: int = 1
+    adaptive: bool = False
+    target_rse: float = 0.1
 
     def scaled(self, factor: float) -> "ExperimentConfig":
         return ExperimentConfig(
@@ -34,6 +44,8 @@ class ExperimentConfig:
             seed=self.seed,
             distances=self.distances,
             workers=self.workers,
+            adaptive=self.adaptive,
+            target_rse=self.target_rse,
         )
 
 

@@ -24,10 +24,10 @@ from ..decoders import (
 )
 from ..decoders.sfq_mesh import MeshConfig, MeshDecoderFactory
 from ..decoders.temporal import run_windowed_trials
-from ..montecarlo.thresholds import default_rate_grid, run_threshold_sweep
 from ..noise.models import DephasingChannel, DepolarizingChannel
 from ..surface.lattice import SurfaceLattice
 from .base import ExperimentConfig, ExperimentResult, register
+from .runners import config_sweep
 
 
 @register("accuracy")
@@ -125,16 +125,11 @@ def run_depolarizing(config: ExperimentConfig) -> ExperimentResult:
     at p/3) and presents headline numbers for pure dephasing; this sweep
     covers the other channel, decoding both orientations symmetrically
     ("the decoder will be operated symmetrically for both X and Z").
+    With ``config.adaptive`` the grid is served by one weight-stratified
+    pass per distance (weight = count of non-identity Paulis, each
+    drawing a uniform X/Y/Z type).
     """
-    sweep = run_threshold_sweep(
-        decoder_factory=MeshDecoderFactory(),
-        model=DepolarizingChannel(),
-        distances=config.distances,
-        physical_rates=default_rate_grid(),
-        trials=config.trials,
-        seed=config.seed,
-        workers=config.workers,
-    )
+    sweep = config_sweep(config, MeshDecoderFactory(), DepolarizingChannel())
     lines = [
         f"{'p':>8} " + "".join(f"{'d=' + str(d):>10}" for d in sweep.distances)
     ]

@@ -1,12 +1,32 @@
 """Monte-Carlo benchmarking: trials, lifetimes, thresholds, statistics."""
 
 from ..perf.parallel import run_trials_chunked
+from .adaptive import (
+    AdaptiveConfig,
+    AdaptiveResult,
+    AdaptiveSweep,
+    StratifiedCell,
+    run_threshold_sweep_adaptive,
+    run_trials_adaptive,
+)
+from .importance import (
+    StratifiedRateEstimate,
+    WeightProfile,
+    WeightStratum,
+    estimate_weight_profile,
+    exhaustive_stratum,
+    sample_weight_configurations,
+    weight_pmf,
+    weight_tail,
+)
 from .lifetime import LifetimeResult, run_lifetime
 from .stats import (
     RateEstimate,
+    intervals_overlap,
     loglog_crossing,
     pseudo_threshold,
     summarize_times,
+    target_rse_met,
     wilson_interval,
 )
 from .thresholds import (
@@ -14,20 +34,37 @@ from .thresholds import (
     default_rate_grid,
     run_threshold_sweep,
 )
-from .trial import TrialResult, run_trials
+from .trial import SampleDecoder, TrialResult, run_trials
 
 __all__ = [
+    "AdaptiveConfig",
+    "AdaptiveResult",
+    "AdaptiveSweep",
     "LifetimeResult",
     "run_lifetime",
     "RateEstimate",
+    "SampleDecoder",
+    "StratifiedCell",
+    "StratifiedRateEstimate",
+    "WeightProfile",
+    "WeightStratum",
+    "estimate_weight_profile",
+    "exhaustive_stratum",
+    "intervals_overlap",
     "loglog_crossing",
     "pseudo_threshold",
+    "run_threshold_sweep_adaptive",
+    "run_trials_adaptive",
+    "sample_weight_configurations",
     "summarize_times",
+    "target_rse_met",
+    "weight_pmf",
+    "weight_tail",
     "wilson_interval",
-    "ThresholdSweep",
-    "default_rate_grid",
-    "run_threshold_sweep",
     "TrialResult",
     "run_trials",
     "run_trials_chunked",
+    "default_rate_grid",
+    "run_threshold_sweep",
+    "ThresholdSweep",
 ]

@@ -1,0 +1,549 @@
+"""Weight-stratified importance sampling of logical failure rates.
+
+Every error model in :mod:`repro.noise.models` is i.i.d. over the data
+qubits, so the physical rate ``p`` only enters through the Hamming weight
+``w`` of the drawn configuration.  Conditioned on ``w``, the
+configuration is uniform over the weight-``w`` configurations of the
+channel, and the per-round logical failure rate factorizes as
+
+    P_L(p) = sum_w Binom(n, w; p) * f_w
+
+where ``f_w`` — the probability that a uniformly random weight-``w``
+configuration defeats the decoder — does **not** depend on ``p``.
+Estimating the weight-resolved profile ``{f_w}`` once per
+``(lattice, decoder, model)`` therefore serves the *entire* physical-rate
+axis at once: the Fig. 10 sweep's 10 columns collapse into a single
+estimation pass, and ``P_L`` extrapolates to rates so deep that direct
+sampling would never observe a failure.
+
+Three estimator classes coexist per stratum:
+
+* **analytic/exhaustive** — all weight-``w`` configurations are
+  enumerated and decoded, pinning ``f_w`` exactly (weights 0 and 1 by
+  default; tests pin weight <= 2 at d = 3);
+* **sampled** — exact-weight configurations drawn in vectorized batches
+  (no per-shot Python) and decoded through the shared
+  :class:`~repro.montecarlo.trial.SampleDecoder` path;
+* **truncated** — weights above ``max_weight`` carry no estimate; their
+  total probability mass (:meth:`WeightProfile.tail_mass`) bounds the
+  truncation error since ``0 <= f_w <= 1``, and is added to the upper
+  confidence limit.
+
+The sequential-stopping controller that decides *how many* shots each
+stratum deserves lives in :mod:`repro.montecarlo.adaptive`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..decoders.base import Decoder
+from ..noise.models import (
+    BitFlipChannel,
+    DephasingChannel,
+    DepolarizingChannel,
+    ErrorModel,
+    PauliErrorSample,
+)
+from ..surface.lattice import SurfaceLattice
+from .stats import RateEstimate, wilson_interval
+from .trial import SampleDecoder
+
+#: Channel kinds by model name: which symplectic halves carry support.
+_CHANNEL_KINDS = {
+    DephasingChannel.name: "z",
+    BitFlipChannel.name: "x",
+    DepolarizingChannel.name: "xz",
+}
+
+
+def channel_kind(model: ErrorModel) -> str:
+    """``"z"``/``"x"``/``"xz"``: which Pauli components the model draws."""
+    try:
+        return _CHANNEL_KINDS[model.name]
+    except KeyError:
+        known = ", ".join(sorted(_CHANNEL_KINDS))
+        raise ValueError(
+            f"no weight decomposition for error model {model.name!r}; "
+            f"known: {known}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Weight distribution of the channel
+# ----------------------------------------------------------------------
+def weight_pmf(n: int, weights: Sequence[int], p: float) -> np.ndarray:
+    """``P(weight = w)`` for each ``w`` — ``Binom(n, w) p^w (1-p)^(n-w)``.
+
+    Every model in the registry errs each qubit independently with total
+    probability ``p`` (the depolarizing channel splits it over X/Y/Z, but
+    the *weight* is still ``Binom(n, p)``), so one pmf serves them all.
+    Computed in log space so deep extrapolation (``p`` down to 1e-8 and
+    beyond) stays exact to float precision.
+    """
+    w = np.asarray(weights, dtype=int)
+    if np.any((w < 0) | (w > n)):
+        raise ValueError(f"weights must lie in [0, {n}]")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    if p == 0.0:
+        return (w == 0).astype(float)
+    if p == 1.0:
+        return (w == n).astype(float)
+    log_comb = np.array(
+        [
+            math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+            for k in w
+        ]
+    )
+    return np.exp(log_comb + w * math.log(p) + (n - w) * math.log1p(-p))
+
+
+def weight_tail(n: int, max_weight: int, p: float) -> float:
+    """``P(weight > max_weight)`` — the mass a truncated profile ignores."""
+    if max_weight >= n:
+        return 0.0
+    upper = np.arange(max_weight + 1, n + 1)
+    return float(np.sum(weight_pmf(n, upper, p)))
+
+
+def default_max_weight(n: int, p_max: float, tail_epsilon: float = 1e-3) -> int:
+    """Smallest ``W`` with ``P(weight > W) <= tail_epsilon`` at ``p_max``.
+
+    ``p_max`` should be the largest physical rate the profile will be
+    evaluated at; the tail shrinks monotonically for every smaller ``p``.
+    """
+    for cap in range(n + 1):
+        if weight_tail(n, cap, p_max) <= tail_epsilon:
+            return cap
+    return n
+
+
+# ----------------------------------------------------------------------
+# Exact-weight configuration sampling (vectorized, no per-shot Python)
+# ----------------------------------------------------------------------
+def _random_supports(
+    n: int, w: int, batch: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``(batch, w)`` uniformly random distinct qubit indices per row."""
+    if w == 0:
+        return np.empty((batch, 0), dtype=np.intp)
+    # The w smallest of n i.i.d. uniforms index a uniform w-subset.
+    u = rng.random((batch, n))
+    return np.argpartition(u, w - 1, axis=1)[:, :w]
+
+
+def sample_weight_configurations(
+    model: ErrorModel,
+    lattice: SurfaceLattice,
+    w: int,
+    batch: int,
+    rng: np.random.Generator,
+) -> PauliErrorSample:
+    """Draw ``batch`` exact-weight-``w`` configurations of the channel.
+
+    The support is a uniform ``w``-subset of the data qubits; for the
+    depolarizing channel each supported qubit additionally draws a
+    uniform Pauli type (X/Y/Z), matching the channel's conditional
+    distribution given its weight.
+    """
+    n = lattice.n_data
+    if not 0 <= w <= n:
+        raise ValueError(f"weight must be in [0, {n}], got {w}")
+    kind = channel_kind(model)
+    x = np.zeros((batch, n), dtype=np.uint8)
+    z = np.zeros((batch, n), dtype=np.uint8)
+    if w == 0:
+        return PauliErrorSample(x=x, z=z)
+    supports = _random_supports(n, w, batch, rng)
+    rows = np.arange(batch)[:, None]
+    if kind == "z":
+        z[rows, supports] = 1
+    elif kind == "x":
+        x[rows, supports] = 1
+    else:  # depolarizing: 0 = X, 1 = Y, 2 = Z, uniform per supported qubit
+        kinds = rng.integers(0, 3, size=(batch, w))
+        x[rows, supports] = (kinds <= 1).astype(np.uint8)
+        z[rows, supports] = (kinds >= 1).astype(np.uint8)
+    return PauliErrorSample(x=x, z=z)
+
+
+def count_weight_configurations(model: ErrorModel, n: int, w: int) -> int:
+    """Number of distinct weight-``w`` configurations of the channel."""
+    base = math.comb(n, w)
+    if channel_kind(model) == "xz":
+        return base * 3**w
+    return base
+
+
+def iter_weight_configurations(
+    model: ErrorModel,
+    lattice: SurfaceLattice,
+    w: int,
+    batch_size: int = 4096,
+) -> Iterator[PauliErrorSample]:
+    """Enumerate *all* weight-``w`` configurations in decode-ready batches.
+
+    Deterministic lexicographic order (supports by
+    :func:`itertools.combinations`, then Pauli-type assignments for the
+    depolarizing channel).  Used by the exhaustive strata and by the
+    d = 3 pin-down tests.
+    """
+    n = lattice.n_data
+    kind = channel_kind(model)
+    rows_x: List[np.ndarray] = []
+    rows_z: List[np.ndarray] = []
+
+    def flush() -> Optional[PauliErrorSample]:
+        if not rows_x:
+            return None
+        sample = PauliErrorSample(x=np.array(rows_x), z=np.array(rows_z))
+        rows_x.clear()
+        rows_z.clear()
+        return sample
+
+    for support in itertools.combinations(range(n), w):
+        idx = np.array(support, dtype=int)
+        if kind == "xz":
+            type_iter = itertools.product(range(3), repeat=w)
+        else:
+            type_iter = [None]
+        for kinds in type_iter:
+            x_row = np.zeros(n, dtype=np.uint8)
+            z_row = np.zeros(n, dtype=np.uint8)
+            if w:
+                if kind == "z":
+                    z_row[idx] = 1
+                elif kind == "x":
+                    x_row[idx] = 1
+                else:
+                    t = np.array(kinds, dtype=int)
+                    x_row[idx] = (t <= 1).astype(np.uint8)
+                    z_row[idx] = (t >= 1).astype(np.uint8)
+            rows_x.append(x_row)
+            rows_z.append(z_row)
+            if len(rows_x) >= batch_size:
+                yield flush()
+    tail = flush()
+    if tail is not None:
+        yield tail
+
+
+# ----------------------------------------------------------------------
+# Strata and the combined profile
+# ----------------------------------------------------------------------
+@dataclass
+class WeightStratum:
+    """Failure statistics of one Hamming-weight stratum."""
+
+    weight: int
+    trials: int
+    failures: int
+    #: True when the stratum is an exhaustive enumeration (f is exact).
+    exact: bool = False
+
+    @property
+    def f(self) -> float:
+        """Estimated (or exact) failure fraction of the stratum."""
+        return self.failures / self.trials if self.trials else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Plug-in variance of the ``f`` estimator (0 for exact strata)."""
+        if self.exact or self.trials <= 0:
+            return 0.0
+        fh = self.f
+        return fh * (1.0 - fh) / self.trials
+
+    @property
+    def variance_smoothed(self) -> float:
+        """Jeffreys-smoothed variance: strictly positive for sampled strata.
+
+        The plug-in variance is 0 when a stratum has seen 0 (or only)
+        failures, which would let a barely-sampled profile masquerade as
+        converged; the sequential-stopping controller therefore uses
+        ``f ~ (failures + 1/2) / (trials + 1)`` for its stopping rule.
+        """
+        if self.exact:
+            return 0.0
+        if self.trials <= 0:
+            return 0.25  # sigma = 1/2: the binomial worst case
+        fh = (self.failures + 0.5) / (self.trials + 1.0)
+        return fh * (1.0 - fh) / self.trials
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        if self.exact:
+            return (self.f, self.f)
+        return wilson_interval(self.failures, self.trials)
+
+    @property
+    def estimate(self) -> RateEstimate:
+        return RateEstimate(self.failures, self.trials)
+
+    def merge_counts(self, trials: int, failures: int) -> None:
+        if self.exact:
+            raise ValueError("cannot add sampled counts to an exact stratum")
+        self.trials += trials
+        self.failures += failures
+
+
+@dataclass(frozen=True)
+class StratifiedRateEstimate:
+    """``P_L(p)`` recombined from a weight profile at one physical rate.
+
+    Duck-types :class:`~repro.montecarlo.stats.RateEstimate` where the
+    sweep machinery needs it (``rate``, ``interval``,
+    ``relative_std_error``); the interval is the conservative sum of
+    per-stratum Wilson intervals with the truncated tail mass added to
+    the upper limit.
+    """
+
+    rate: float
+    std_error: float
+    interval: Tuple[float, float]
+    tail_mass: float
+    trials: int
+    failures: int
+    #: True when every stratum behind the estimate is exhaustive
+    exact: bool = False
+
+    @property
+    def relative_std_error(self) -> float:
+        """RSE under the :class:`RateEstimate` conventions.
+
+        Fully exact profiles have zero error by construction; otherwise
+        a zero rate means nothing was observed (``inf``, never "met"),
+        and a zero plug-in std error with a nonzero rate is the
+        all-failures edge (0.0), matching ``RateEstimate``.
+        """
+        if self.exact:
+            return 0.0
+        if self.trials == 0:
+            return float("nan")
+        if self.rate == 0.0:
+            return float("inf")
+        return self.std_error / self.rate
+
+
+@dataclass
+class WeightProfile:
+    """Weight-resolved failure profile of one (lattice, decoder, model).
+
+    ``strata[w]`` holds the weight-``w`` estimate for every ``w`` up to
+    :attr:`max_weight`; :meth:`logical_rate` recombines them at any
+    physical rate, so one profile serves a whole rate axis.
+    """
+
+    d: int
+    n: int
+    error_model: str
+    decoder: str
+    strata: Dict[int, WeightStratum] = field(default_factory=dict)
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def weights(self) -> List[int]:
+        return sorted(self.strata)
+
+    @property
+    def max_weight(self) -> int:
+        return max(self.strata) if self.strata else -1
+
+    @property
+    def total_trials(self) -> int:
+        """Decoded configurations behind the profile (exhaustive included)."""
+        return sum(s.trials for s in self.strata.values())
+
+    @property
+    def total_failures(self) -> int:
+        return sum(s.failures for s in self.strata.values())
+
+    # ------------------------------------------------------------------
+    def _vectors(
+        self, p: float, smoothed: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        weights = self.weights
+        pmf = weight_pmf(self.n, weights, p)
+        f = np.array([self.strata[w].f for w in weights])
+        var = np.array(
+            [
+                self.strata[w].variance_smoothed
+                if smoothed
+                else self.strata[w].variance
+                for w in weights
+            ]
+        )
+        return pmf, f, var
+
+    def logical_rate(self, p: float) -> float:
+        """``P_L(p) = sum_w Binom(n, w; p) f_w`` over the kept strata."""
+        pmf, f, _ = self._vectors(p)
+        return float(pmf @ f)
+
+    def std_error(self, p: float, smoothed: bool = False) -> float:
+        """Sampling std error of :meth:`logical_rate` (strata independent).
+
+        ``smoothed=True`` substitutes the Jeffreys-smoothed per-stratum
+        variances (strictly positive for sampled strata) — the form the
+        sequential-stopping rule uses so zero-failure strata cannot fake
+        convergence.
+        """
+        pmf, _, var = self._vectors(p, smoothed)
+        return float(math.sqrt(np.sum(pmf * pmf * var)))
+
+    def tail_mass(self, p: float) -> float:
+        """Truncation bound: probability of weights above the profile."""
+        return weight_tail(self.n, self.max_weight, p)
+
+    def interval(self, p: float) -> Tuple[float, float]:
+        """Conservative CI: summed per-stratum Wilson bounds + tail."""
+        weights = self.weights
+        pmf = weight_pmf(self.n, weights, p)
+        bounds = np.array([self.strata[w].interval for w in weights])
+        lo = float(pmf @ bounds[:, 0])
+        hi = float(pmf @ bounds[:, 1]) + self.tail_mass(p)
+        return (lo, min(hi, 1.0))
+
+    @property
+    def is_exact(self) -> bool:
+        """True when every stratum is an exhaustive enumeration."""
+        return bool(self.strata) and all(
+            s.exact for s in self.strata.values()
+        )
+
+    def rate_estimate(self, p: float) -> StratifiedRateEstimate:
+        return StratifiedRateEstimate(
+            rate=self.logical_rate(p),
+            std_error=self.std_error(p),
+            interval=self.interval(p),
+            tail_mass=self.tail_mass(p),
+            trials=self.total_trials,
+            failures=self.total_failures,
+            exact=self.is_exact,
+        )
+
+    def relative_std_error(self, p: float, smoothed: bool = False) -> float:
+        """RSE of the combined estimate at ``p``.
+
+        A zero rate on a profile with sampled strata maps to ``inf`` —
+        "we have not seen anything yet" never counts as converged —
+        under either variance form; only a fully exact (enumerated)
+        profile reports 0.0 there.
+        """
+        if self.is_exact:
+            return 0.0
+        rate = self.logical_rate(p)
+        if rate == 0.0:
+            return float("inf")
+        return self.std_error(p, smoothed) / rate
+
+    def curve(self, ps: Sequence[float]) -> np.ndarray:
+        """``P_L`` over a whole rate axis from the one shared profile."""
+        return np.array([self.logical_rate(p) for p in ps])
+
+    def as_rows(self) -> List[dict]:
+        """Flat per-stratum records for serialization."""
+        rows = []
+        for w in self.weights:
+            s = self.strata[w]
+            rows.append(
+                {
+                    "d": self.d,
+                    "weight": w,
+                    "trials": s.trials,
+                    "failures": s.failures,
+                    "f": s.f,
+                    "exact": s.exact,
+                }
+            )
+        return rows
+
+
+# ----------------------------------------------------------------------
+# Stratum estimation through the shared decode path
+# ----------------------------------------------------------------------
+def decode_weight_batch(
+    lattice: SurfaceLattice,
+    decoder: Decoder,
+    model: ErrorModel,
+    w: int,
+    trials: int,
+    rng: np.random.Generator,
+    batch_size: int = 2048,
+) -> int:
+    """Failures among ``trials`` random weight-``w`` configurations."""
+    runner = SampleDecoder(lattice, decoder)
+    failures = 0
+    done = 0
+    while done < trials:
+        batch = min(batch_size, trials - done)
+        sample = sample_weight_configurations(model, lattice, w, batch, rng)
+        failures += int(runner.failures(sample).sum())
+        done += batch
+    return failures
+
+
+def exhaustive_stratum(
+    lattice: SurfaceLattice,
+    decoder: Decoder,
+    model: ErrorModel,
+    w: int,
+    batch_size: int = 4096,
+) -> WeightStratum:
+    """Decode *every* weight-``w`` configuration; ``f_w`` comes out exact."""
+    runner = SampleDecoder(lattice, decoder)
+    trials = 0
+    failures = 0
+    for sample in iter_weight_configurations(model, lattice, w, batch_size):
+        trials += sample.batch
+        failures += int(runner.failures(sample).sum())
+    return WeightStratum(weight=w, trials=trials, failures=failures, exact=True)
+
+
+def estimate_weight_profile(
+    lattice: SurfaceLattice,
+    decoder: Decoder,
+    model: ErrorModel,
+    max_weight: int,
+    trials_per_weight: int,
+    seed: Optional[int] = None,
+    exhaustive_up_to: int = 1,
+    batch_size: int = 2048,
+) -> WeightProfile:
+    """Fixed-budget weight profile (serial; one decoder instance).
+
+    Weights up to ``exhaustive_up_to`` are enumerated exactly; every
+    other stratum up to ``max_weight`` draws ``trials_per_weight``
+    random configurations.  Each stratum consumes its own child of
+    ``np.random.SeedSequence(seed)`` (spawned in weight order), matching
+    the adaptive controller's per-``(d, w)`` seeding discipline.  For
+    variance-aware budgets and sequential stopping use
+    :func:`repro.montecarlo.adaptive.run_trials_adaptive` instead.
+    """
+    n = lattice.n_data
+    if max_weight > n:
+        raise ValueError(f"max_weight {max_weight} exceeds n_data {n}")
+    profile = WeightProfile(
+        d=lattice.d, n=n, error_model=model.name, decoder=decoder.name
+    )
+    seeds = np.random.SeedSequence(seed).spawn(max_weight + 1)
+    for w in range(max_weight + 1):
+        if w <= exhaustive_up_to:
+            profile.strata[w] = exhaustive_stratum(
+                lattice, decoder, model, w, batch_size
+            )
+            continue
+        rng = np.random.default_rng(seeds[w])
+        failures = decode_weight_batch(
+            lattice, decoder, model, w, trials_per_weight, rng, batch_size
+        )
+        profile.strata[w] = WeightStratum(
+            weight=w, trials=trials_per_weight, failures=failures
+        )
+    return profile

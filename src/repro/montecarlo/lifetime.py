@@ -64,6 +64,10 @@ def run_lifetime(
     frame = round_runner.new_frame(shots)
     x_decoder: Optional[Decoder] = None
     failures = 0
+    # Shared all-zero (shots, n_data) block for one-sided injections;
+    # inject_data_errors only reads its inputs, so one buffer serves
+    # every cycle and orientation instead of a fresh allocation each.
+    zero_block = np.zeros((shots, lattice.n_data), dtype=np.uint8)
     for _ in range(cycles):
         sample = model.sample(lattice, p, shots, rng)
         round_runner.inject_data_errors(frame, sample.x, sample.z)
@@ -71,7 +75,7 @@ def run_lifetime(
             frame, rng=rng, measurement_flip_rate=measurement_flip_rate
         )
         corrections_z = _corrections(decoder, x_syn)
-        _apply_data_pauli(round_runner, frame, z_bits=corrections_z)
+        round_runner.inject_data_errors(frame, zero_block, corrections_z)
         if sample.x.any():
             if x_decoder is None:
                 extra = (
@@ -81,8 +85,10 @@ def run_lifetime(
                 )
                 x_decoder = type(decoder)(lattice, error_type="x", **extra)
             corrections_x = _corrections(x_decoder, z_syn)
-            _apply_data_pauli(round_runner, frame, x_bits=corrections_x)
-        failures += _count_and_clear_logical_flips(lattice, round_runner, frame)
+            round_runner.inject_data_errors(frame, corrections_x, zero_block)
+        failures += _count_and_clear_logical_flips(
+            lattice, round_runner, frame, zero_block
+        )
     return LifetimeResult(
         d=lattice.d,
         p=p,
@@ -96,18 +102,9 @@ def _corrections(decoder: Decoder, syndromes: np.ndarray) -> np.ndarray:
     return decoder.decode_batch(syndromes).corrections
 
 
-def _apply_data_pauli(round_runner, frame, x_bits=None, z_bits=None):
-    shots = frame.batch
-    n = round_runner.lattice.n_data
-    zeros = np.zeros((shots, n), dtype=np.uint8)
-    round_runner.inject_data_errors(
-        frame,
-        zeros if x_bits is None else x_bits,
-        zeros if z_bits is None else z_bits,
-    )
-
-
-def _count_and_clear_logical_flips(lattice, round_runner, frame) -> int:
+def _count_and_clear_logical_flips(
+    lattice, round_runner, frame, zero_block
+) -> int:
     """Count residual logical flips and remove them from the frame.
 
     With perfect measurement the residual after correction is either
@@ -121,13 +118,13 @@ def _count_and_clear_logical_flips(lattice, round_runner, frame) -> int:
     if z_flip.any():
         round_runner.inject_data_errors(
             frame,
-            np.zeros_like(z_res),
+            zero_block,
             np.outer(z_flip.astype(np.uint8), lattice.logical_z_mask),
         )
     if x_flip.any():
         round_runner.inject_data_errors(
             frame,
             np.outer(x_flip.astype(np.uint8), lattice.logical_x_mask),
-            np.zeros_like(x_res),
+            zero_block,
         )
     return count

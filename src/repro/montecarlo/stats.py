@@ -27,9 +27,40 @@ class RateEstimate:
     def interval(self) -> Tuple[float, float]:
         return wilson_interval(self.successes, self.trials, self.z)
 
+    @property
+    def relative_std_error(self) -> float:
+        """Std error of the rate estimate divided by the rate.
+
+        Conventions at the edges: ``trials == 0`` -> ``nan`` (no data at
+        all); ``successes == 0`` -> ``inf`` (nothing observed, so no
+        relative precision can be claimed); ``successes == trials`` ->
+        ``0.0`` (the plug-in variance estimate vanishes).
+        """
+        if self.trials == 0:
+            return float("nan")
+        if self.successes == 0:
+            return float("inf")
+        return math.sqrt(
+            (self.trials - self.successes) / (self.successes * self.trials)
+        )
+
     def __str__(self) -> str:  # pragma: no cover - display helper
         lo, hi = self.interval
         return f"{self.rate:.4g} [{lo:.4g}, {hi:.4g}]"
+
+
+def target_rse_met(estimate, target_rse: float) -> bool:
+    """True when ``estimate`` has reached the requested relative precision.
+
+    ``estimate`` is anything exposing ``relative_std_error`` (a
+    :class:`RateEstimate` or a stratified estimate from
+    :mod:`repro.montecarlo.importance`).  ``nan`` (no trials) and ``inf``
+    (no failures observed) never meet a finite target.
+    """
+    if target_rse < 0:
+        raise ValueError(f"target_rse must be >= 0, got {target_rse}")
+    rse = estimate.relative_std_error
+    return not math.isnan(rse) and rse <= target_rse
 
 
 def wilson_interval(
@@ -52,6 +83,17 @@ def wilson_interval(
     hi = min(1.0, center + half)
     # guard against float rounding excluding the point estimate itself
     return (min(lo, phat), max(hi, phat))
+
+
+def intervals_overlap(
+    a: Tuple[float, float], b: Tuple[float, float]
+) -> bool:
+    """True when two ``(low, high)`` confidence intervals intersect.
+
+    The cross-check predicate shared by the adaptive-vs-fixed sweep
+    comparisons (``fig10_adaptive`` and ``record.py --suite adaptive``).
+    """
+    return a[0] <= b[1] and b[0] <= a[1]
 
 
 def loglog_crossing(

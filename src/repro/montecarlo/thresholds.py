@@ -36,6 +36,16 @@ class ThresholdSweep:
     def logical_rates(self, d: int) -> np.ndarray:
         return np.array([r.logical_error_rate for r in self.results[d]])
 
+    @property
+    def total_trials(self) -> int:
+        """Decoded shots behind the sweep (sum over independent cells).
+
+        :class:`repro.montecarlo.adaptive.AdaptiveSweep` overrides this:
+        its cells share one weight-resolved profile per distance, so the
+        per-cell trial numbers must not be summed per column.
+        """
+        return sum(r.trials for row in self.results.values() for r in row)
+
     # ------------------------------------------------------------------
     def pseudo_thresholds(self) -> Dict[int, Optional[float]]:
         """Per-distance PL = p crossing points."""

@@ -49,6 +49,57 @@ class TrialResult:
         return RateEstimate(self.failures, self.trials)
 
 
+class SampleDecoder:
+    """Decodes :class:`~repro.noise.models.PauliErrorSample` batches.
+
+    Wraps a Z-orientation decoder, lazily constructs the matching
+    X-orientation decoder the first time a sample carries X errors (the
+    paper's "operated symmetrically" protocol), and accumulates decode
+    statistics across calls.  Both :func:`run_trials` and the
+    weight-stratified importance sampler
+    (:mod:`repro.montecarlo.importance`) count failures through this
+    class, so their estimates share identical decode semantics.
+    """
+
+    def __init__(self, lattice: SurfaceLattice, decoder: Decoder) -> None:
+        self.lattice = lattice
+        self.decoder = decoder
+        self.x_decoder: Optional[Decoder] = None
+        self.inconsistent = 0
+        self.nonconverged = 0
+        self.cycles_chunks: list = []
+        self.both_orientations = False
+
+    def failures(self, sample) -> np.ndarray:
+        """Boolean failure mask for one sample batch (either orientation)."""
+        fail, stats = _decode_orientation(
+            self.lattice, self.decoder, sample.z, "z"
+        )
+        self.inconsistent += stats["inconsistent"]
+        self.nonconverged += stats["nonconverged"]
+        if stats["cycles"] is not None:
+            self.cycles_chunks.append(stats["cycles"])
+        if sample.x.any():
+            self.both_orientations = True
+            if self.x_decoder is None:
+                self.x_decoder = type(self.decoder)(
+                    self.lattice, error_type="x", **_extra_kwargs(self.decoder)
+                )
+            x_fail, x_stats = _decode_orientation(
+                self.lattice, self.x_decoder, sample.x, "x"
+            )
+            self.inconsistent += x_stats["inconsistent"]
+            self.nonconverged += x_stats["nonconverged"]
+            fail = fail | x_fail
+        return fail
+
+    @property
+    def cycles(self) -> Optional[np.ndarray]:
+        if not self.cycles_chunks:
+            return None
+        return np.concatenate(self.cycles_chunks)
+
+
 def run_trials(
     lattice: SurfaceLattice,
     decoder: Decoder,
@@ -67,34 +118,14 @@ def run_trials(
     operator flips.
     """
     rng = rng or np.random.default_rng()
-    needs_x = False
-    x_decoder: Optional[Decoder] = None
+    runner = SampleDecoder(lattice, decoder)
     failures = 0
-    inconsistent = 0
-    nonconverged = 0
-    cycles_chunks = []
     done = 0
     while done < trials:
         batch = min(batch_size, trials - done)
         sample = model.sample(lattice, p, batch, rng)
-        fail, stats = _decode_orientation(lattice, decoder, sample.z, "z")
-        inconsistent += stats["inconsistent"]
-        nonconverged += stats["nonconverged"]
-        if stats["cycles"] is not None:
-            cycles_chunks.append(stats["cycles"])
-        if sample.x.any():
-            needs_x = True
-            if x_decoder is None:
-                x_decoder = type(decoder)(
-                    lattice, error_type="x", **_extra_kwargs(decoder)
-                )
-            x_fail, x_stats = _decode_orientation(lattice, x_decoder, sample.x, "x")
-            inconsistent += x_stats["inconsistent"]
-            nonconverged += x_stats["nonconverged"]
-            fail = fail | x_fail
-        failures += int(fail.sum())
+        failures += int(runner.failures(sample).sum())
         done += batch
-    cycles = np.concatenate(cycles_chunks) if cycles_chunks else None
     return TrialResult(
         d=lattice.d,
         p=p,
@@ -102,10 +133,10 @@ def run_trials(
         failures=failures,
         error_model=model.name,
         decoder=decoder.name,
-        cycles=cycles,
-        inconsistent=inconsistent,
-        nonconverged=nonconverged,
-        metadata={"both_orientations": needs_x},
+        cycles=runner.cycles,
+        inconsistent=runner.inconsistent,
+        nonconverged=runner.nonconverged,
+        metadata={"both_orientations": runner.both_orientations},
     )
 
 

@@ -221,6 +221,46 @@ def _merge_trial_results(chunks):
 
 
 # ----------------------------------------------------------------------
+# Weight-stratum batches: one exact-weight sampling slice each
+# (fan-out unit of repro.montecarlo.adaptive)
+# ----------------------------------------------------------------------
+def _run_weight_batch(payload) -> Tuple[int, int]:
+    """Worker entry point: decode one weight-stratum sampling batch."""
+    from ..montecarlo.importance import decode_weight_batch
+
+    (index, factory, model, d, w, trials, seedseq, batch_size) = payload
+    lattice = SurfaceLattice(d)
+    decoder = factory(lattice)
+    rng = np.random.default_rng(seedseq)
+    failures = decode_weight_batch(
+        lattice, decoder, model, w, trials, rng, batch_size
+    )
+    return index, failures
+
+
+def run_weight_batches(payloads: Sequence, workers: int = 1) -> List[int]:
+    """Run weight-stratum batches; failure counts in payload order.
+
+    Each payload carries its own pre-spawned ``SeedSequence``, so the
+    counts depend only on the payload list, never on scheduling — the
+    adaptive controller's decisions (which feed on these counts) are
+    therefore bit-identical for any ``workers`` value.
+    """
+    payloads = list(payloads)
+    flat: List[int] = [0] * len(payloads)
+    workers = _resolve_workers(workers, payloads[0] if payloads else None)
+    if workers <= 1 or len(payloads) <= 1:
+        for payload in payloads:
+            i, failures = _run_weight_batch(payload)
+            flat[i] = failures
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for i, failures in pool.map(_run_weight_batch, payloads):
+                flat[i] = failures
+    return flat
+
+
+# ----------------------------------------------------------------------
 # Generic deterministic fan-out (used by experiment runners)
 # ----------------------------------------------------------------------
 def parallel_map(

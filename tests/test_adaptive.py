@@ -1,0 +1,283 @@
+"""Sequential-stopping controller: convergence, determinism, sweep API."""
+
+import numpy as np
+import pytest
+
+from repro.decoders import SFQMeshDecoder
+from repro.decoders.sfq_mesh import MeshDecoderFactory
+from repro.montecarlo import (
+    AdaptiveConfig,
+    run_threshold_sweep_adaptive,
+    run_trials,
+    run_trials_adaptive,
+)
+from repro.montecarlo.adaptive import StratifiedCell, _neyman_allocation
+from repro.noise.models import DephasingChannel, DepolarizingChannel
+from repro.surface.lattice import SurfaceLattice
+
+RATES = [0.03, 0.06, 0.1]
+
+
+def _counts(profile):
+    return {
+        w: (s.trials, s.failures, s.exact) for w, s in profile.strata.items()
+    }
+
+
+class TestController:
+    def test_converges_at_d3(self):
+        lattice = SurfaceLattice(3)
+        result = run_trials_adaptive(
+            lattice,
+            MeshDecoderFactory(),
+            DephasingChannel(),
+            RATES,
+            target_rse=0.15,
+            seed=7,
+        )
+        assert result.converged
+        assert result.worst_rse <= 0.15
+        assert result.rounds == len(result.history)
+        shots = [h["shots_total"] for h in result.history]
+        assert shots == sorted(shots)
+        assert result.shots_total == shots[-1]
+        assert result.worst_rse == result.history[-1]["worst_rse"]
+
+    def test_exact_low_weight_strata(self):
+        lattice = SurfaceLattice(3)
+        result = run_trials_adaptive(
+            lattice,
+            MeshDecoderFactory(),
+            DephasingChannel(),
+            RATES,
+            target_rse=0.2,
+            seed=7,
+        )
+        strata = result.profile.strata
+        assert strata[0].exact and strata[0].trials == 1
+        assert strata[1].exact and strata[1].trials == 13
+        assert strata[0].failures == 0 and strata[1].failures == 0
+
+    def test_accepts_decoder_instance(self):
+        lattice = SurfaceLattice(3)
+        decoder = SFQMeshDecoder(lattice)
+        result = run_trials_adaptive(
+            lattice,
+            decoder,
+            DephasingChannel(),
+            [0.05],
+            target_rse=0.2,
+            seed=3,
+        )
+        assert result.profile.decoder == decoder.name
+        assert result.shots_total > 0
+
+    def test_seed_determinism(self):
+        lattice = SurfaceLattice(3)
+        kwargs = dict(target_rse=0.2, seed=11)
+        a = run_trials_adaptive(
+            lattice, MeshDecoderFactory(), DephasingChannel(), RATES, **kwargs
+        )
+        b = run_trials_adaptive(
+            lattice, MeshDecoderFactory(), DephasingChannel(), RATES, **kwargs
+        )
+        assert _counts(a.profile) == _counts(b.profile)
+        assert a.history == b.history
+
+    def test_worker_count_invariance(self):
+        lattice = SurfaceLattice(3)
+        config = AdaptiveConfig(max_total_shots=1500)
+        serial = run_trials_adaptive(
+            lattice, MeshDecoderFactory(), DephasingChannel(), RATES,
+            target_rse=0.1, seed=13, workers=1, config=config,
+        )
+        parallel = run_trials_adaptive(
+            lattice, MeshDecoderFactory(), DephasingChannel(), RATES,
+            target_rse=0.1, seed=13, workers=2, config=config,
+        )
+        assert _counts(serial.profile) == _counts(parallel.profile)
+        assert serial.shots_total == parallel.shots_total
+
+    def test_budget_cap_binds(self):
+        lattice = SurfaceLattice(5)
+        cap = 800
+        result = run_trials_adaptive(
+            lattice,
+            MeshDecoderFactory(),
+            DephasingChannel(),
+            [0.01, 0.05],
+            target_rse=0.01,  # unreachable under the cap
+            seed=5,
+            config=AdaptiveConfig(max_total_shots=cap),
+        )
+        assert not result.converged
+        assert result.shots_total <= cap
+
+    def test_tiny_cap_is_a_hard_bound(self):
+        # Exhaustive strata also count: d=9's weight<=1 enumeration is
+        # 146 shots, so a 20-shot cap must skip it and stay under 20.
+        lattice = SurfaceLattice(9)
+        result = run_trials_adaptive(
+            lattice,
+            MeshDecoderFactory(),
+            DephasingChannel(),
+            [0.05],
+            target_rse=0.01,
+            seed=1,
+            config=AdaptiveConfig(max_total_shots=20),
+        )
+        assert result.shots_total <= 20
+        # w=0 (one configuration) fits the cap and stays exact; w=1's
+        # 145-shot enumeration does not and falls back to sampling.
+        assert result.profile.strata[0].exact
+        assert not result.profile.strata[1].exact
+
+    def test_stopping_rates_subset(self):
+        lattice = SurfaceLattice(5)
+        full = run_trials_adaptive(
+            lattice, MeshDecoderFactory(), DephasingChannel(),
+            [0.01, 0.06, 0.1], target_rse=0.15, seed=9,
+            config=AdaptiveConfig(max_total_shots=4000),
+        )
+        subset = run_trials_adaptive(
+            lattice, MeshDecoderFactory(), DephasingChannel(),
+            [0.01, 0.06, 0.1], target_rse=0.15, seed=9,
+            config=AdaptiveConfig(max_total_shots=4000),
+            stopping_rates=[0.06, 0.1],
+        )
+        # Stopping only on the resolvable rates converges within budget;
+        # the p = 0.01 column still gets an extrapolated estimate.
+        assert subset.converged
+        assert subset.shots_total <= full.shots_total
+        assert subset.profile.logical_rate(0.01) >= 0.0
+
+    def test_depolarizing_channel(self):
+        lattice = SurfaceLattice(3)
+        result = run_trials_adaptive(
+            lattice,
+            MeshDecoderFactory(),
+            DepolarizingChannel(),
+            [0.06],
+            target_rse=0.25,
+            seed=17,
+            config=AdaptiveConfig(max_total_shots=3000),
+        )
+        assert result.profile.error_model == "depolarizing"
+        # weight-1 stratum enumerates 13 * 3 Pauli choices
+        assert result.profile.strata[1].trials == 39
+
+    def test_validation(self):
+        lattice = SurfaceLattice(3)
+        with pytest.raises(ValueError):
+            run_trials_adaptive(
+                lattice, MeshDecoderFactory(), DephasingChannel(), [],
+            )
+        other = SFQMeshDecoder(SurfaceLattice(5))
+        with pytest.raises(ValueError):
+            run_trials_adaptive(
+                lattice, other, DephasingChannel(), [0.05],
+            )
+
+
+class TestNeymanAllocation:
+    def test_allocates_toward_high_variance_strata(self):
+        from repro.montecarlo.importance import WeightProfile, WeightStratum
+
+        profile = WeightProfile(d=3, n=13, error_model="m", decoder="t")
+        profile.strata[2] = WeightStratum(2, 100, 50)  # high pmf, high var
+        profile.strata[9] = WeightStratum(9, 100, 50)  # negligible pmf
+        alloc = _neyman_allocation(profile, [2, 9], [0.05], 1000, 32)
+        assert alloc.get(2, 0) > alloc.get(9, 0)
+
+    def test_empty_budget(self):
+        from repro.montecarlo.importance import WeightProfile, WeightStratum
+
+        profile = WeightProfile(d=3, n=13, error_model="m", decoder="t")
+        profile.strata[2] = WeightStratum(2, 10, 5)
+        assert _neyman_allocation(profile, [2], [0.05], 0, 32) == {}
+
+    def test_small_budget_goes_to_top_score(self):
+        from repro.montecarlo.importance import WeightProfile, WeightStratum
+
+        profile = WeightProfile(d=3, n=13, error_model="m", decoder="t")
+        profile.strata[2] = WeightStratum(2, 10, 5)
+        profile.strata[3] = WeightStratum(3, 10, 5)
+        alloc = _neyman_allocation(profile, [2, 3], [0.05], 10, 32)
+        assert sum(alloc.values()) == 10 and len(alloc) == 1
+
+
+class TestCIOverlapAcceptance:
+    """Adaptive intervals must overlap direct estimates at moderate p."""
+
+    def test_overlaps_direct_run_trials(self):
+        lattice = SurfaceLattice(3)
+        model = DephasingChannel()
+        result = run_trials_adaptive(
+            lattice, MeshDecoderFactory(), model, [0.05, 0.08],
+            target_rse=0.1, seed=21,
+        )
+        rng = np.random.default_rng(2024)
+        for p in (0.05, 0.08):
+            direct = run_trials(
+                lattice, SFQMeshDecoder(lattice), model, p, 4000, rng
+            )
+            alo, ahi = result.estimate(p).interval
+            dlo, dhi = direct.estimate.interval
+            assert alo <= dhi and dlo <= ahi, (
+                f"p={p}: adaptive [{alo}, {ahi}] vs direct [{dlo}, {dhi}]"
+            )
+
+
+class TestAdaptiveSweep:
+    def _sweep(self, **kwargs):
+        defaults = dict(
+            target_rse=0.2,
+            seed=31,
+            config=AdaptiveConfig(max_total_shots=2500),
+        )
+        defaults.update(kwargs)
+        return run_threshold_sweep_adaptive(
+            MeshDecoderFactory(),
+            DephasingChannel(),
+            (3, 5),
+            [0.02, 0.05, 0.08, 0.12],
+            **defaults,
+        )
+
+    def test_threshold_sweep_api(self):
+        sweep = self._sweep()
+        assert sorted(sweep.profiles) == [3, 5]
+        rates3 = sweep.logical_rates(3)
+        assert rates3.shape == (4,)
+        assert (np.diff(rates3) > 0).all()
+        pseudo = sweep.pseudo_thresholds()
+        assert set(pseudo) == {3, 5}
+        rows = sweep.as_rows()
+        assert len(rows) == 8
+        assert {"d", "p", "logical_error_rate", "ci_low", "ci_high"} <= set(
+            rows[0]
+        )
+
+    def test_cells_share_profile_trials(self):
+        sweep = self._sweep()
+        for d in (3, 5):
+            cells = sweep.results[d]
+            assert all(isinstance(c, StratifiedCell) for c in cells)
+            assert len({c.trials for c in cells}) == 1
+            assert cells[0].trials == sweep.adaptive_results[d].shots_total
+        assert sweep.total_trials == sum(
+            r.shots_total for r in sweep.adaptive_results.values()
+        )
+
+    def test_sweep_determinism_and_worker_invariance(self):
+        a = self._sweep()
+        b = self._sweep(workers=2)
+        for d in (3, 5):
+            assert _counts(a.profiles[d]) == _counts(b.profiles[d])
+        assert a.total_trials == b.total_trials
+
+    def test_accuracy_threshold_machinery_runs(self):
+        sweep = self._sweep()
+        # Enough failures behind each profile for the min_failures gate.
+        threshold = sweep.accuracy_threshold(min_failures=1)
+        assert threshold is None or 0.0 < threshold < 0.2

@@ -15,7 +15,7 @@ EXPECTED_IDS = {
     "mesh_budget",
     # extensions
     "accuracy", "temporal", "mesh_ablation", "depolarizing",
-    "machine",
+    "machine", "fig10_adaptive",
 }
 
 FAST_IDS = ["table1", "table2", "table3", "fig1", "fig5", "fig6", "fig11",

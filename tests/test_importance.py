@@ -1,0 +1,326 @@
+"""Weight-stratified importance sampling: samplers, enumeration, algebra.
+
+The exhaustive d = 3 cases pin ``f_w`` for every weight <= 2
+configuration *exactly* against an independent per-shot decode loop, and
+the unbiasedness test checks the stratified estimator against a fully
+enumerated ground truth (all 2^13 dephasing patterns, partitioned by
+weight).
+"""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.decoders import SFQMeshDecoder, make_decoder
+from repro.montecarlo.importance import (
+    WeightProfile,
+    WeightStratum,
+    count_weight_configurations,
+    decode_weight_batch,
+    default_max_weight,
+    estimate_weight_profile,
+    exhaustive_stratum,
+    iter_weight_configurations,
+    sample_weight_configurations,
+    weight_pmf,
+    weight_tail,
+)
+from repro.noise.models import (
+    BitFlipChannel,
+    DephasingChannel,
+    DepolarizingChannel,
+)
+from repro.surface.lattice import SurfaceLattice
+
+
+class TestWeightPmf:
+    def test_sums_to_one(self):
+        for n, p in ((13, 0.05), (41, 0.12), (7, 0.5)):
+            pmf = weight_pmf(n, range(n + 1), p)
+            assert pmf.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_matches_direct_formula(self):
+        n, p = 13, 0.07
+        for w in (0, 1, 5, 13):
+            direct = math.comb(n, w) * p**w * (1 - p) ** (n - w)
+            assert weight_pmf(n, [w], p)[0] == pytest.approx(direct, rel=1e-12)
+
+    def test_edge_probabilities(self):
+        assert weight_pmf(10, [0, 1], 0.0).tolist() == [1.0, 0.0]
+        assert weight_pmf(10, [9, 10], 1.0).tolist() == [0.0, 1.0]
+
+    def test_deep_extrapolation_is_finite(self):
+        pmf = weight_pmf(145, [5], 1e-8)
+        assert 0.0 < pmf[0] < 1e-30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weight_pmf(10, [11], 0.1)
+        with pytest.raises(ValueError):
+            weight_pmf(10, [0], 1.5)
+
+    def test_tail_complements_pmf(self):
+        n, p, cap = 41, 0.1, 6
+        head = weight_pmf(n, range(cap + 1), p).sum()
+        assert weight_tail(n, cap, p) == pytest.approx(1 - head, abs=1e-12)
+        assert weight_tail(n, n, p) == 0.0
+
+    def test_default_max_weight(self):
+        n, p = 41, 0.12
+        cap = default_max_weight(n, p, tail_epsilon=1e-3)
+        assert weight_tail(n, cap, p) <= 1e-3
+        assert cap == 0 or weight_tail(n, cap - 1, p) > 1e-3
+
+
+class TestSamplers:
+    def setup_method(self):
+        self.lattice = SurfaceLattice(3)
+        self.rng = np.random.default_rng(11)
+
+    @pytest.mark.parametrize("w", [0, 1, 4, 13])
+    def test_dephasing_exact_weight(self, w):
+        sample = sample_weight_configurations(
+            DephasingChannel(), self.lattice, w, 50, self.rng
+        )
+        assert sample.x.sum() == 0
+        assert (sample.z.sum(axis=1) == w).all()
+        assert sample.z.dtype == np.uint8
+
+    def test_bitflip_exact_weight(self):
+        sample = sample_weight_configurations(
+            BitFlipChannel(), self.lattice, 3, 50, self.rng
+        )
+        assert sample.z.sum() == 0
+        assert (sample.x.sum(axis=1) == 3).all()
+
+    def test_depolarizing_exact_weight_and_types(self):
+        sample = sample_weight_configurations(
+            DepolarizingChannel(), self.lattice, 4, 200, self.rng
+        )
+        support = (sample.x | sample.z).sum(axis=1)
+        assert (support == 4).all()
+        # All three Pauli types must appear across 800 supported qubits.
+        x_only = (sample.x & ~sample.z).sum()
+        y_both = (sample.x & sample.z).sum()
+        z_only = (~sample.x & sample.z).sum()
+        assert x_only > 0 and y_both > 0 and z_only > 0
+        assert x_only + y_both + z_only == 800
+
+    def test_supports_are_uniformish(self):
+        sample = sample_weight_configurations(
+            DephasingChannel(), self.lattice, 2, 4000, self.rng
+        )
+        counts = sample.z.sum(axis=0)
+        # Each of the 13 qubits expects 4000 * 2/13 ~ 615 hits.
+        assert counts.min() > 400 and counts.max() < 850
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            sample_weight_configurations(
+                DephasingChannel(), self.lattice, 14, 5, self.rng
+            )
+
+
+class TestEnumeration:
+    def test_counts(self):
+        lattice = SurfaceLattice(3)
+        n = lattice.n_data
+        for model, mult in ((DephasingChannel(), 1), (DepolarizingChannel(), 3)):
+            for w in (0, 1, 2):
+                expected = math.comb(n, w) * mult**w
+                assert count_weight_configurations(model, n, w) == expected
+                total = sum(
+                    s.batch
+                    for s in iter_weight_configurations(model, lattice, w)
+                )
+                assert total == expected
+
+    def test_dephasing_rows_unique_and_weighted(self):
+        lattice = SurfaceLattice(3)
+        rows = np.concatenate(
+            [
+                s.z
+                for s in iter_weight_configurations(
+                    DephasingChannel(), lattice, 2, batch_size=17
+                )
+            ]
+        )
+        assert rows.shape == (78, 13)
+        assert (rows.sum(axis=1) == 2).all()
+        assert len({tuple(r) for r in rows}) == 78
+
+
+class TestExhaustiveD3:
+    """The acceptance pin: exact f_w for every weight <= 2 configuration."""
+
+    def _brute_force(self, lattice, decoder, w):
+        """Independent per-shot decode loop over all weight-w Z patterns."""
+        n = lattice.n_data
+        failures = 0
+        trials = 0
+        for support in itertools.combinations(range(n), w):
+            z = np.zeros(n, dtype=np.uint8)
+            z[list(support)] = 1
+            syndrome = decoder.geometry.syndrome_of_errors(z)
+            correction = decoder.decode(syndrome).correction
+            failures += int(lattice.logical_z_failure(z ^ correction))
+            trials += 1
+        return trials, failures
+
+    @pytest.mark.parametrize("w", [0, 1, 2])
+    def test_mesh_decoder_weight_le_2_exact(self, w):
+        lattice = SurfaceLattice(3)
+        decoder = SFQMeshDecoder(lattice)
+        stratum = exhaustive_stratum(lattice, decoder, DephasingChannel(), w)
+        trials, failures = self._brute_force(
+            lattice, SFQMeshDecoder(lattice), w
+        )
+        assert stratum.exact
+        assert stratum.trials == trials == math.comb(13, w)
+        assert stratum.failures == failures
+
+    def test_single_errors_always_corrected(self):
+        lattice = SurfaceLattice(3)
+        decoder = SFQMeshDecoder(lattice)
+        for w in (0, 1):
+            stratum = exhaustive_stratum(
+                lattice, decoder, DephasingChannel(), w
+            )
+            assert stratum.failures == 0
+            assert stratum.f == 0.0
+
+
+class TestProfileAlgebra:
+    def _toy_profile(self):
+        profile = WeightProfile(d=3, n=13, error_model="dephasing", decoder="t")
+        profile.strata[0] = WeightStratum(0, 1, 0, exact=True)
+        profile.strata[1] = WeightStratum(1, 13, 0, exact=True)
+        profile.strata[2] = WeightStratum(2, 200, 50)
+        profile.strata[3] = WeightStratum(3, 100, 60)
+        return profile
+
+    def test_logical_rate_hand_computation(self):
+        profile = self._toy_profile()
+        p = 0.05
+        pmf = weight_pmf(13, [0, 1, 2, 3], p)
+        expected = pmf[2] * 0.25 + pmf[3] * 0.6
+        assert profile.logical_rate(p) == pytest.approx(expected, rel=1e-12)
+
+    def test_std_error_hand_computation(self):
+        profile = self._toy_profile()
+        p = 0.05
+        pmf = weight_pmf(13, [0, 1, 2, 3], p)
+        var = pmf[2] ** 2 * (0.25 * 0.75 / 200) + pmf[3] ** 2 * (
+            0.6 * 0.4 / 100
+        )
+        assert profile.std_error(p) == pytest.approx(math.sqrt(var), rel=1e-12)
+
+    def test_interval_contains_rate_and_adds_tail(self):
+        profile = self._toy_profile()
+        p = 0.08
+        lo, hi = profile.interval(p)
+        assert lo <= profile.logical_rate(p) <= hi
+        assert hi >= profile.logical_rate(p) + profile.tail_mass(p) - 1e-12
+        assert profile.tail_mass(p) > 0  # weights 4..13 truncated
+
+    def test_exact_profile_has_zero_rse(self):
+        profile = WeightProfile(d=3, n=2, error_model="m", decoder="t")
+        profile.strata[0] = WeightStratum(0, 1, 0, exact=True)
+        profile.strata[1] = WeightStratum(1, 2, 1, exact=True)
+        profile.strata[2] = WeightStratum(2, 1, 1, exact=True)
+        assert profile.std_error(0.1) == 0.0
+        assert profile.relative_std_error(0.1, smoothed=True) == 0.0
+        est = profile.rate_estimate(0.1)
+        assert est.relative_std_error == 0.0
+        assert est.tail_mass == 0.0
+
+    def test_rse_never_converges_on_nothing(self):
+        from repro.montecarlo.stats import target_rse_met
+
+        profile = WeightProfile(d=3, n=13, error_model="m", decoder="t")
+        profile.strata[0] = WeightStratum(0, 1, 0, exact=True)
+        profile.strata[2] = WeightStratum(2, 50, 0)  # sampled, no failures
+        # Zero observed rate on a sampled profile is inf under both
+        # variance forms: target_rse_met must not report convergence.
+        assert profile.relative_std_error(0.05, smoothed=True) == float("inf")
+        assert profile.relative_std_error(0.05) == float("inf")
+        est = profile.rate_estimate(0.05)
+        assert est.relative_std_error == float("inf")
+        assert not target_rse_met(est, 0.5)
+
+    def test_curve_and_rows(self):
+        profile = self._toy_profile()
+        ps = [0.01, 0.05, 0.1]
+        curve = profile.curve(ps)
+        assert curve.shape == (3,)
+        assert (np.diff(curve) > 0).all()  # monotone on this toy profile
+        rows = profile.as_rows()
+        assert [r["weight"] for r in rows] == [0, 1, 2, 3]
+        assert rows[1]["exact"] and not rows[2]["exact"]
+
+    def test_merge_counts_guards_exact(self):
+        stratum = WeightStratum(1, 13, 0, exact=True)
+        with pytest.raises(ValueError):
+            stratum.merge_counts(5, 1)
+
+
+class TestUnbiasedness:
+    """Stratified estimator vs fully enumerated ground truth at d = 3.
+
+    All 2^13 dephasing patterns partition by weight, so a profile whose
+    every stratum is exhaustive computes the exact P_L(p).  Repeating
+    the *sampled* estimator over a fixed schedule of seeds must average
+    to that truth within Monte-Carlo tolerance.
+    """
+
+    def test_stratified_estimator_is_unbiased(self):
+        lattice = SurfaceLattice(3)
+        decoder = make_decoder("lookup", lattice)
+        model = DephasingChannel()
+        n = lattice.n_data
+        exact = WeightProfile(
+            d=3, n=n, error_model=model.name, decoder=decoder.name
+        )
+        for w in range(n + 1):
+            exact.strata[w] = exhaustive_stratum(lattice, decoder, model, w)
+        p = 0.05
+        truth = exact.logical_rate(p)
+        assert truth > 0
+        reps = 120
+        estimates = np.empty(reps)
+        for k in range(reps):
+            profile = estimate_weight_profile(
+                lattice,
+                decoder,
+                model,
+                max_weight=n,
+                trials_per_weight=24,
+                seed=1000 + k,
+                exhaustive_up_to=1,
+            )
+            estimates[k] = profile.logical_rate(p)
+        mean = estimates.mean()
+        sem = estimates.std(ddof=1) / math.sqrt(reps)
+        assert abs(mean - truth) < 4 * sem + 1e-9
+
+    def test_decode_weight_batch_matches_sampled_configs(self):
+        lattice = SurfaceLattice(3)
+        decoder = make_decoder("lookup", lattice)
+        model = DephasingChannel()
+        rng = np.random.default_rng(3)
+        failures = decode_weight_batch(
+            lattice, decoder, model, 2, 300, rng, batch_size=64
+        )
+        # Independent recount on the same stream.
+        rng = np.random.default_rng(3)
+        count = 0
+        for start in range(0, 300, 64):
+            b = min(64, 300 - start)
+            sample = sample_weight_configurations(model, lattice, 2, b, rng)
+            corr = decoder.decode_batch(
+                decoder.geometry.syndrome_of_errors(sample.z)
+            ).corrections
+            count += int(lattice.logical_z_failure(sample.z ^ corr).sum())
+        assert failures == count

@@ -11,6 +11,7 @@ from repro.montecarlo.stats import (
     loglog_crossing,
     pseudo_threshold,
     summarize_times,
+    target_rse_met,
     wilson_interval,
 )
 from repro.montecarlo.thresholds import default_rate_grid, run_threshold_sweep
@@ -49,6 +50,43 @@ class TestWilson:
         assert lo < 0.1 < hi
 
 
+class TestRelativeStdError:
+    def test_typical_value(self):
+        est = RateEstimate(25, 400)
+        phat = 25 / 400
+        expected = np.sqrt(phat * (1 - phat) / 400) / phat
+        assert est.relative_std_error == pytest.approx(expected, rel=1e-12)
+
+    def test_zero_failures_is_inf(self):
+        assert RateEstimate(0, 100).relative_std_error == float("inf")
+
+    def test_zero_trials_is_nan(self):
+        assert np.isnan(RateEstimate(0, 0).relative_std_error)
+
+    def test_single_trial(self):
+        assert RateEstimate(0, 1).relative_std_error == float("inf")
+        assert RateEstimate(1, 1).relative_std_error == 0.0
+
+    def test_all_failures_is_zero(self):
+        assert RateEstimate(50, 50).relative_std_error == 0.0
+
+    def test_shrinks_with_trials(self):
+        small = RateEstimate(5, 100).relative_std_error
+        large = RateEstimate(500, 10000).relative_std_error
+        assert large < small
+
+    def test_target_rse_met(self):
+        assert target_rse_met(RateEstimate(400, 4000), 0.1)
+        assert not target_rse_met(RateEstimate(4, 40), 0.1)
+        # nothing observed / no data never meets a finite target
+        assert not target_rse_met(RateEstimate(0, 1000), 0.5)
+        assert not target_rse_met(RateEstimate(0, 0), 0.5)
+        # all-failures has zero plug-in variance: any target is met
+        assert target_rse_met(RateEstimate(10, 10), 0.0)
+        with pytest.raises(ValueError):
+            target_rse_met(RateEstimate(1, 10), -0.1)
+
+
 class TestCrossings:
     def test_loglog_crossing(self):
         x = [0.01, 0.02, 0.04, 0.08]
@@ -71,6 +109,51 @@ class TestCrossings:
         mx, mean, std = summarize_times(np.array([1.0, 2.0, 3.0]))
         assert mx == 3.0 and mean == 2.0
         assert summarize_times(np.array([])) == (0.0, 0.0, 0.0)
+
+
+class TestCrossingsDegenerate:
+    """Degenerate grids and curves the Monte-Carlo sweeps can produce."""
+
+    def test_both_curves_all_zero(self):
+        # Empty Monte-Carlo bins clip to the same floor: the curves are
+        # equal everywhere, and the first grid point reports the tie.
+        x = [0.01, 0.02, 0.04]
+        assert loglog_crossing(x, [0, 0, 0], [0, 0, 0]) == 0.01
+
+    def test_one_curve_all_zero_never_crosses(self):
+        x = [0.01, 0.02, 0.04]
+        assert loglog_crossing(x, [0, 0, 0], [1e-3, 1e-3, 1e-3]) is None
+
+    def test_single_point_grid(self):
+        # One sample leaves no interval to interpolate: never a crossing,
+        # even when the values are exactly equal at that point.
+        assert loglog_crossing([0.05], [0.1], [0.2]) is None
+        assert loglog_crossing([0.05], [0.1], [0.1]) is None
+
+    def test_empty_grid(self):
+        assert loglog_crossing([], [], []) is None
+
+    def test_touch_without_sign_change_reports_touch_point(self):
+        # y1 dips to exactly y2 at x = 0.02 and rises again; the touch
+        # point is reported as the crossing (equality counts).
+        x = [0.01, 0.02, 0.04]
+        y1 = [2e-3, 1e-3, 2e-3]
+        y2 = [1e-3, 1e-3, 1e-3]
+        assert loglog_crossing(x, y1, y2) == pytest.approx(0.02)
+
+    def test_touch_at_last_point_is_not_found(self):
+        # The scan interpolates between consecutive points, so a tie at
+        # the final grid point only is outside every interval.
+        x = [0.01, 0.02, 0.04]
+        y1 = [4e-3, 2e-3, 1e-3]
+        y2 = [1e-3, 1e-3, 1e-3]
+        assert loglog_crossing(x, y1, y2) is None
+
+    def test_pseudo_threshold_degenerate(self):
+        # All-zero logical rates clip to the 1e-12 floor, below every
+        # physical rate in range: no PL = p crossing exists.
+        assert pseudo_threshold([0.01, 0.02], [0.0, 0.0]) is None
+        assert pseudo_threshold([0.05], [0.05]) is None
 
 
 class TestRunTrials:
