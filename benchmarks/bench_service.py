@@ -1,0 +1,192 @@
+"""Decode-service throughput/latency scenarios (``record.py --suite service``).
+
+Each scenario replays a deterministic open-loop arrival trace against an
+in-process :class:`repro.service.DecodeService` and reports sustained
+shots/s plus client-observed p50/p95/p99 latency.  Offered rates are
+expressed relative to the shard's *measured* direct ``decode_batch``
+capacity (``rho``), so the scenario shapes are machine-portable even
+though absolute rates are not.  The saturating scenario throttles the
+shard to a known per-batch service time and offers ~3x that capacity,
+which must produce rejected-request accounting and a bounded queue —
+the backpressure acceptance case.
+
+Standalone run::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.noise.models import DephasingChannel
+from repro.service import (
+    BatchPolicy,
+    DecoderPool,
+    DecodeService,
+    ShardKey,
+    ThrottledFactory,
+    bursty_trace,
+    poisson_trace,
+    run_load,
+)
+from repro.service.pool import default_decoder_factory
+from repro.surface.lattice import SurfaceLattice
+
+
+def measure_capacity_shots_per_s(shard: ShardKey, shots: int = 2048,
+                                 p: float = 0.04, seed: int = 2020,
+                                 reps: int = 3) -> float:
+    """Direct *cold* ``decode_batch`` throughput of one shard.
+
+    Cross-shot component memos are cleared before every timed pass:
+    the service decodes each arriving shot exactly once, so the warm
+    (memo-hit) rate would overstate the capacity rho is anchored to by
+    ~2x (see the warm/cold split in ``BENCH_decoder_throughput.json``).
+    """
+    decoder = default_decoder_factory(shard)
+    lattice = SurfaceLattice(shard.distance)
+    rng = np.random.default_rng(seed)
+    sample = DephasingChannel().sample(lattice, p, shots, rng)
+    errors = sample.z if shard.error_type == "z" else sample.x
+    syndromes = decoder.geometry.syndrome_of_errors(errors)
+    decoder.decode_batch(syndromes[:64])  # warm geometry caches
+    best = float("inf")
+    for _ in range(reps):
+        for attr in ("_match_memo", "_peel_memo", "_decode_cache"):
+            memo = getattr(decoder, attr, None)
+            if memo is not None:
+                memo.clear()
+        start = time.perf_counter()
+        decoder.decode_batch(syndromes)
+        best = min(best, time.perf_counter() - start)
+    return shots / best
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One (shard, arrival process) benchmark cell."""
+
+    name: str
+    shard: ShardKey
+    pattern: str               # "poisson" | "bursty"
+    rho: float                 # offered load / capacity
+    requests: int
+    #: large enough that decode work dominates per-request JSON framing
+    #: overhead, so rho is measured against the thing it scales with
+    shots_per_request: int = 64
+    n_clients: int = 4
+    p: float = 0.04
+    seed: int = 2020
+    policy: Optional[BatchPolicy] = None
+    throttle_s: Optional[float] = None   # None = real shard capacity
+    throttle_batch: int = 64
+
+
+def _scenario_trace(scenario: Scenario, capacity_shots_per_s: float):
+    rate_rps = (
+        scenario.rho * capacity_shots_per_s / scenario.shots_per_request
+    )
+    if scenario.pattern == "poisson":
+        return poisson_trace(
+            rate_rps, scenario.requests, seed=scenario.seed,
+            shots_per_request=scenario.shots_per_request,
+        )
+    n_bursts = max(4, scenario.requests // 32)
+    burst_size = max(1, scenario.requests // n_bursts)
+    span_s = scenario.requests / rate_rps
+    return bursty_trace(
+        n_bursts, burst_size, burst_gap_s=span_s / n_bursts,
+        seed=scenario.seed,
+        shots_per_request=scenario.shots_per_request,
+    )
+
+
+def run_scenario(scenario: Scenario) -> dict:
+    """Measure one scenario; returns a flat JSON-able record."""
+    if scenario.throttle_s is not None:
+        batch = scenario.throttle_batch
+        capacity = batch / scenario.throttle_s
+        pool = DecoderPool(factory=ThrottledFactory(scenario.throttle_s))
+    else:
+        capacity = measure_capacity_shots_per_s(
+            scenario.shard, p=scenario.p, seed=scenario.seed
+        )
+        pool = DecoderPool()
+    policy = scenario.policy or BatchPolicy()
+    trace = _scenario_trace(scenario, capacity)
+
+    async def replay():
+        service = DecodeService(pool=pool, policy=policy)
+        try:
+            return await run_load(
+                service, scenario.shard, trace, p=scenario.p,
+                seed=scenario.seed, n_clients=scenario.n_clients,
+            )
+        finally:
+            await service.close()
+
+    report = asyncio.run(replay())
+    record = report.as_dict()
+    record.update({
+        "rho": scenario.rho,
+        "capacity_shots_per_s": round(capacity, 1),
+        "shots_per_request": scenario.shots_per_request,
+        "clients": scenario.n_clients,
+        "queue_bound_shots": policy.max_queue_shots,
+        # bounded = admission cap plus at most one in-flight batch
+        "backpressure_bounded": bool(
+            report.max_queue_depth <= policy.max_queue_shots
+            + policy.max_batch
+        ),
+    })
+    return record
+
+
+def default_scenarios(requests: int = 600) -> list:
+    """The committed suite: 3 serving shapes + 1 saturating run."""
+    return [
+        Scenario(
+            name="mwpm_d5_poisson_rho05",
+            shard=ShardKey("mwpm", 5, "z"),
+            pattern="poisson", rho=0.5, requests=requests,
+        ),
+        Scenario(
+            name="unionfind_d7_poisson_rho08",
+            shard=ShardKey("unionfind", 7, "z"),
+            pattern="poisson", rho=0.8, requests=requests,
+        ),
+        Scenario(
+            name="unionfind_d5_bursty_rho06",
+            shard=ShardKey("unionfind", 5, "z"),
+            pattern="bursty", rho=0.6, requests=requests,
+        ),
+        # ~3x a throttled 2 ms/batch shard: must reject, queue bounded
+        Scenario(
+            name="greedy_d3_saturating_rho30",
+            shard=ShardKey("greedy", 3, "z"),
+            pattern="poisson", rho=3.0,
+            requests=max(150, requests // 2),
+            shots_per_request=1, n_clients=8,
+            policy=BatchPolicy(
+                max_batch=64, max_wait_us=200.0, max_queue_shots=128
+            ),
+            throttle_s=2e-3,
+        ),
+    ]
+
+
+def main() -> int:
+    records = {s.name: run_scenario(s) for s in default_scenarios()}
+    print(json.dumps(records, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

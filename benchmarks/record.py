@@ -19,7 +19,13 @@ Three suites, each writing one committed JSON baseline:
   clock both ways, per-cell Wilson-CI overlap ->
   ``benchmarks/BENCH_adaptive_sampling.json``.  ``--regress-check``
   gates on ``ci_overlap_fraction`` — scale-invariant (~1.0 at any trial
-  budget), unlike wall clock or the budget-dependent shot counts.
+  budget), unlike wall clock or the budget-dependent shot counts;
+* ``service`` — the decode-as-a-service layer under open-loop load
+  (``bench_service.py``): sustained shots/s and client p50/p99 latency
+  for 3 serving scenarios plus one saturating run that must show
+  bounded queue depth and rejected-request accounting ->
+  ``benchmarks/BENCH_service_throughput.json``.  ``--regress-check``
+  warns on ``achieved_shots_per_s`` like the decoder suite.
 
 Future PRs rerun this script and compare against the committed baselines
 to track the perf trajectory::
@@ -56,6 +62,7 @@ DEFAULT_OUT = BENCH_DIR / "BENCH_mesh_throughput.json"
 DECODER_OUT = BENCH_DIR / "BENCH_decoder_throughput.json"
 MACHINE_OUT = BENCH_DIR / "BENCH_machine_runtime.json"
 ADAPTIVE_OUT = BENCH_DIR / "BENCH_adaptive_sampling.json"
+SERVICE_OUT = BENCH_DIR / "BENCH_service_throughput.json"
 DISTANCES = (7, 9, 11)
 #: (decoder name, distance) cells of the decoder suite; lookup only
 #: exists at d = 3
@@ -425,12 +432,44 @@ def run_adaptive_benchmark(
     }
 
 
+def run_service_benchmark(requests: int = 600, seed: int = 2020) -> dict:
+    """Open-loop serving scenarios (see ``bench_service.py``)."""
+    import dataclasses
+
+    from bench_service import default_scenarios, run_scenario
+
+    entries = {}
+    for scenario in default_scenarios(requests):
+        scenario = dataclasses.replace(scenario, seed=seed)
+        entries[scenario.name] = run_scenario(scenario)
+    saturating = [
+        name for name, e in entries.items() if e["rho"] > 1.0
+    ]
+    return {
+        "benchmark": "decode_service_open_loop",
+        "workload": {
+            "requests": requests,
+            "seed": seed,
+            "model": "dephasing",
+            "arrival": "open-loop Poisson / bursty traces, rates "
+            "expressed as rho x measured shard capacity",
+            "saturating_scenarios": saturating,
+            "timing": "single-pass wall clock (latency quantiles are "
+            "client-observed; rho shapes are the portable numbers)",
+        },
+        "recorded": date.today().isoformat(),
+        "machine": platform.machine(),
+        "entries": entries,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Record perf baselines (mesh throughput, machine runtime)."
     )
     parser.add_argument(
-        "--suite", choices=("mesh", "decoders", "machine", "adaptive", "all"),
+        "--suite",
+        choices=("mesh", "decoders", "machine", "adaptive", "service", "all"),
         default="all",
     )
     parser.add_argument("--shots", type=int, default=256 if SMOKE else 2048)
@@ -443,6 +482,11 @@ def main(argv=None) -> int:
     parser.add_argument("--decoder-out", type=Path, default=DECODER_OUT)
     parser.add_argument("--machine-out", type=Path, default=MACHINE_OUT)
     parser.add_argument("--adaptive-out", type=Path, default=ADAPTIVE_OUT)
+    parser.add_argument("--service-out", type=Path, default=SERVICE_OUT)
+    parser.add_argument(
+        "--requests", type=int, default=150 if SMOKE else 600,
+        help="requests per serving scenario (service suite)",
+    )
     parser.add_argument(
         "--target-rse", type=float, default=0.1,
         help="stopping precision for the adaptive suite (default 0.1)",
@@ -554,6 +598,34 @@ def main(argv=None) -> int:
         else:
             args.adaptive_out.write_text(json.dumps(record, indent=2) + "\n")
             print(f"wrote {args.adaptive_out}")
+
+    if args.suite in ("service", "all") and args.check is None:
+        record = run_service_benchmark(args.requests, seed=args.seed)
+        for name, entry in record["entries"].items():
+            print(
+                f"{name:>28}: rho {entry['rho']:>4.1f}  sustained "
+                f"{entry['achieved_shots_per_s']:>9.1f} shots/s  "
+                f"p50 {entry['latency_p50_us'] / 1e3:>7.2f} ms  "
+                f"p99 {entry['latency_p99_us'] / 1e3:>7.2f} ms  "
+                f"rejected {entry['rejected']:>4d} "
+                f"(bounded={entry['backpressure_bounded']})"
+            )
+        saturating = [
+            e for e in record["entries"].values() if e["rho"] > 1.0
+        ]
+        for entry in saturating:
+            if entry["rejected"] == 0 or not entry["backpressure_bounded"]:
+                print(
+                    "WARNING: saturating scenario did not demonstrate "
+                    "backpressure (expected rejections + bounded queue)"
+                )
+        if args.regress_check:
+            regression_report(
+                record, args.service_out, key="achieved_shots_per_s"
+            )
+        else:
+            args.service_out.write_text(json.dumps(record, indent=2) + "\n")
+            print(f"wrote {args.service_out}")
     return 0
 
 

@@ -10,6 +10,7 @@ Run:  python examples/decoder_shootout.py --distance 5 --error-rate 0.03
 """
 
 import argparse
+import os
 import time
 
 import numpy as np
@@ -24,12 +25,16 @@ from repro import (
 from repro.decoders import LookupDecoder
 from repro.noise import DephasingChannel
 
+#: REPRO_EXAMPLES_FAST=1 shrinks every demo to smoke-test size
+#: (tests/test_examples.py runs all of them in that mode per PR)
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") not in ("", "0")
+
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--distance", type=int, default=5)
+    parser.add_argument("--distance", type=int, default=3 if FAST else 5)
     parser.add_argument("--error-rate", type=float, default=0.03)
-    parser.add_argument("--trials", type=int, default=1000)
+    parser.add_argument("--trials", type=int, default=120 if FAST else 1000)
     parser.add_argument("--seed", type=int, default=3)
     args = parser.parse_args()
 

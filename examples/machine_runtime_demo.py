@@ -14,6 +14,7 @@ Run:  python examples/machine_runtime_demo.py [--tiles 64] [--gates 240]
 """
 
 import argparse
+import os
 
 from repro.runtime import (
     ConstantLatency,
@@ -39,10 +40,14 @@ def show(result, label):
     )
 
 
+#: REPRO_EXAMPLES_FAST=1 shrinks every demo to smoke-test size
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") not in ("", "0")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--tiles", type=int, default=64)
-    parser.add_argument("--gates", type=int, default=240)
+    parser.add_argument("--tiles", type=int, default=12 if FAST else 64)
+    parser.add_argument("--gates", type=int, default=60 if FAST else 240)
     parser.add_argument("--seed", type=int, default=2020)
     args = parser.parse_args()
 

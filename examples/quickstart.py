@@ -9,6 +9,7 @@ Run:  python examples/quickstart.py [--distance 5] [--error-rate 0.04]
 """
 
 import argparse
+import os
 
 import numpy as np
 
@@ -16,10 +17,13 @@ from repro import MWPMDecoder, SFQMeshDecoder, SurfaceLattice
 from repro.noise import DephasingChannel
 from repro.surface import describe_decode, render_lattice
 
+#: REPRO_EXAMPLES_FAST=1 shrinks every demo to smoke-test size
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") not in ("", "0")
+
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--distance", type=int, default=5)
+    parser.add_argument("--distance", type=int, default=3 if FAST else 5)
     parser.add_argument("--error-rate", type=float, default=0.04)
     parser.add_argument("--seed", type=int, default=7)
     args = parser.parse_args()

@@ -12,6 +12,7 @@ Run:  python examples/sqv_planner.py --qubits 1024 --error-rate 1e-5
 """
 
 import argparse
+import os
 
 from repro import SFQMeshDecoder
 from repro.montecarlo import default_rate_grid, run_threshold_sweep
@@ -25,18 +26,23 @@ from repro.sqv import (
     paper_scaling_law,
 )
 
+#: REPRO_EXAMPLES_FAST=1 shrinks every demo to smoke-test size
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") not in ("", "0")
+
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--qubits", type=int, default=1024)
     parser.add_argument("--error-rate", type=float, default=1e-5)
-    parser.add_argument("--distances", type=int, nargs="+", default=[3, 5])
+    parser.add_argument("--distances", type=int, nargs="+",
+                        default=[3] if FAST else [3, 5])
     parser.add_argument(
         "--fit", action="store_true",
         help="fit scaling laws from a fresh Monte-Carlo run instead of "
         "using the paper-calibrated constants",
     )
-    parser.add_argument("--trials", type=int, default=1500)
+    parser.add_argument("--trials", type=int,
+                        default=120 if FAST else 1500)
     args = parser.parse_args()
 
     machine = MachineConfig(n_physical=args.qubits, p_physical=args.error_rate)

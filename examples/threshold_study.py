@@ -16,6 +16,7 @@ for any worker count.
 """
 
 import argparse
+import os
 
 from repro import MeshConfig
 from repro.decoders.sfq_mesh import MeshDecoderFactory
@@ -34,10 +35,15 @@ VARIANTS = {
 }
 
 
+#: REPRO_EXAMPLES_FAST=1 shrinks every demo to smoke-test size
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") not in ("", "0")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--trials", type=int, default=2000)
-    parser.add_argument("--distances", type=int, nargs="+", default=[3, 5, 7, 9])
+    parser.add_argument("--trials", type=int, default=80 if FAST else 2000)
+    parser.add_argument("--distances", type=int, nargs="+",
+                        default=[3, 5] if FAST else [3, 5, 7, 9])
     parser.add_argument("--variant", choices=sorted(VARIANTS), default="final")
     parser.add_argument("--seed", type=int, default=2020)
     parser.add_argument("--workers", type=int, default=1)

@@ -57,6 +57,124 @@ def rows_to_csv(result: ExperimentResult) -> str:
     return buffer.getvalue()
 
 
+def _from_jsonable(value: Any) -> Any:
+    """Inverse of :func:`_jsonable` on the wire representation.
+
+    ``"inf"``/``"-inf"`` strings come back as float infinities; ``None``
+    stays ``None`` (NaN -> ``None`` is one-way, so a loaded result
+    re-serializes to the identical document — the round-trip fixpoint
+    tested in ``tests/test_serialization.py``).
+    """
+    if value == "inf":
+        return float("inf")
+    if value == "-inf":
+        return float("-inf")
+    if isinstance(value, list):
+        return [_from_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _from_jsonable(v) for k, v in value.items()}
+    return value
+
+
+def result_from_json(text: str) -> ExperimentResult:
+    """Load a :func:`result_to_json` document back into a result."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"not a result document: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ValueError("result document must be a JSON object")
+    missing = {"experiment_id", "title", "paper_reference", "rows"} - set(
+        payload
+    )
+    if missing:
+        raise ValueError(f"result document missing keys: {sorted(missing)}")
+    rows = payload["rows"]
+    if not isinstance(rows, list) or any(
+        not isinstance(r, dict) for r in rows
+    ):
+        raise ValueError("result rows must be a list of objects")
+    return ExperimentResult(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        paper_reference=payload["paper_reference"],
+        text=payload.get("text", ""),
+        rows=[_from_jsonable(row) for row in rows],
+        notes=payload.get("notes", ""),
+    )
+
+
+def _from_csv_cell(cell: str) -> Any:
+    """Best-effort scalar coercion of one CSV cell."""
+    if cell == "inf":
+        return float("inf")
+    if cell == "-inf":
+        return float("-inf")
+    if cell in ("True", "False"):
+        return cell == "True"
+    try:
+        return int(cell)
+    except ValueError:
+        pass
+    try:
+        return float(cell)
+    except ValueError:
+        return cell
+
+
+def result_from_csv(text: str, experiment_id: str = "csv",
+                    title: str = "", paper_reference: str = "",
+                    ) -> ExperimentResult:
+    """Load a :func:`rows_to_csv` document back into structured rows.
+
+    CSV only carries the rows, so identity fields default to
+    placeholders unless supplied.  Cells are coerced scalar-by-scalar
+    (int, then float, ``"inf"``/``"-inf"``, booleans); empty cells —
+    the ``restval`` of ragged rows — are dropped from their row.
+
+    Caveat: CSV is untyped, so string values that *look* like another
+    scalar come back retyped (``"007"`` -> ``7``, ``"Infinity"`` ->
+    ``inf``) and an empty string is indistinguishable from a missing
+    cell.  The ``rows_to_csv(result_from_csv(text)) == text`` fixpoint
+    therefore holds for documents whose string cells are stable under
+    that coercion (every numeric/bool cell is; use JSON when string
+    values must survive with their exact type and spelling).
+    """
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        paper_reference=paper_reference,
+        text="",
+    )
+    if not text.strip():
+        return result
+    reader = csv.DictReader(io.StringIO(text))
+    for raw in reader:
+        # rows wider than the header land under DictReader's None
+        # restkey as a *list*; surface that as the loader's ValueError
+        if raw.get(None):
+            raise ValueError(
+                f"CSV row has more cells than the header: {raw[None]!r}"
+            )
+        result.rows.append({
+            k: _from_csv_cell(v)
+            for k, v in raw.items()
+            if k is not None and v not in ("", None)
+        })
+    return result
+
+
+def load_result(path: str) -> ExperimentResult:
+    """Read a result from ``path`` (.json or .csv by extension)."""
+    with open(path) as handle:
+        content = handle.read()
+    if path.endswith(".json"):
+        return result_from_json(content)
+    if path.endswith(".csv"):
+        return result_from_csv(content)
+    raise ValueError(f"unsupported extension for {path!r} (use .json/.csv)")
+
+
 def save_result(result: ExperimentResult, path: str) -> None:
     """Write a result to ``path`` (.json or .csv by extension)."""
     if path.endswith(".json"):

@@ -261,6 +261,23 @@ def run_weight_batches(payloads: Sequence, workers: int = 1) -> List[int]:
 
 
 # ----------------------------------------------------------------------
+# Persistent worker pool (used by the decode service's sharded pool)
+# ----------------------------------------------------------------------
+def make_worker_executor(workers: int) -> ProcessPoolExecutor:
+    """A long-lived process pool for online (non-batch) fan-out.
+
+    The sweep helpers above create one pool per call because a sweep is
+    a closed batch; the decode service instead keeps a pool alive across
+    requests so worker-side decoder caches amortize (see
+    :mod:`repro.service.pool`).  Callers own shutdown.
+    """
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError("workers must be >= 1 for a process pool")
+    return ProcessPoolExecutor(max_workers=workers)
+
+
+# ----------------------------------------------------------------------
 # Generic deterministic fan-out (used by experiment runners)
 # ----------------------------------------------------------------------
 def parallel_map(

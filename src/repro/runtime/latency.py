@@ -117,6 +117,9 @@ class ServiceDrawBuffer:
         """
         if not self._empirical:
             return np.full(n, self._latency.decode_time_ns)
+        if n == 0:
+            # nothing requested: don't force a refill on an empty buffer
+            return np.empty(0, dtype=float)
         rng = self._rng
         if rng is None:
             rng = self._rng = np.random.default_rng()

@@ -1,0 +1,65 @@
+"""Decode-as-a-service: the online face of the batch decode stack.
+
+PRs 1-4 built the compute side of the paper's throughput race — the
+fast mesh engine, vectorized ``decode_batch`` for every software
+decoder, the multi-tile machine runtime.  This package turns that stack
+into an *online system*: concurrent clients stream syndrome bitmaps at
+a server over a length-prefixed JSON protocol (TCP, or an in-process
+transport for tests), a dynamic micro-batcher coalesces in-flight
+requests per geometry shard into ``decode_batch`` calls, a sharded
+decoder pool LRU-caches ``MatchingGeometry``/engine state (optionally
+fanning CPU-bound shards over worker processes), and backpressure
+rejects work with a retry-after hint instead of growing an unbounded
+backlog — the serving-layer analogue of the paper's section III
+divergence condition ``f = r_gen / r_proc > 1``.
+
+Service-path corrections are golden-tested bit-identical to direct
+``Decoder.decode_batch`` calls (``tests/test_service.py``), including
+under concurrent multi-client load with batching enabled.
+"""
+
+from .batcher import BatchPolicy, MicroBatcher
+from .client import DecodeClient, DecodeOutcome
+from .loadgen import (
+    ArrivalTrace,
+    LoadReport,
+    bursty_trace,
+    poisson_trace,
+    rate_for_utilization,
+    run_load,
+)
+from .pool import DecoderPool, ThrottledFactory, default_decoder_factory
+from .protocol import (
+    MemoryTransport,
+    ShardKey,
+    StreamTransport,
+    pack_bitmap,
+    unpack_bitmap,
+)
+from .server import DecodeService
+from .telemetry import LatencyHistogram, ServiceTelemetry, ShardTelemetry
+
+__all__ = [
+    "ArrivalTrace",
+    "BatchPolicy",
+    "DecodeClient",
+    "DecodeOutcome",
+    "DecodeService",
+    "DecoderPool",
+    "LatencyHistogram",
+    "LoadReport",
+    "MemoryTransport",
+    "MicroBatcher",
+    "ServiceTelemetry",
+    "ShardKey",
+    "ShardTelemetry",
+    "StreamTransport",
+    "ThrottledFactory",
+    "bursty_trace",
+    "default_decoder_factory",
+    "pack_bitmap",
+    "poisson_trace",
+    "rate_for_utilization",
+    "run_load",
+    "unpack_bitmap",
+]

@@ -1,0 +1,172 @@
+"""CLI of the decode service.
+
+Serve::
+
+    python -m repro.service serve --port 7901 --workers 2
+
+Drive load (against a TCP endpoint, or fully in-process)::
+
+    python -m repro.service load --shard mwpm:d5:z --pattern poisson \
+        --rho 0.5 --requests 2000
+    python -m repro.service load --target 127.0.0.1:7901 --shard \
+        unionfind:d7:z --rate 5000 --requests 1000
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from ..runtime.latency import paper_table4_latency
+from .batcher import BatchPolicy
+from .client import DecodeClient
+from .loadgen import bursty_trace, poisson_trace, rate_for_utilization, run_load
+from .pool import DecoderPool
+from .protocol import ShardKey
+from .server import DecodeService
+
+
+def _add_policy_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--max-batch", type=int, default=512,
+                        help="shots per decode_batch dispatch (default 512)")
+    parser.add_argument("--max-wait-us", type=float, default=500.0,
+                        help="batching window after first request")
+    parser.add_argument("--max-queue-shots", type=int, default=8192,
+                        help="per-shard queue bound before backpressure")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="decode worker processes (0 = in-process)")
+
+
+def _make_service(args) -> DecodeService:
+    return DecodeService(
+        pool=DecoderPool(workers=args.workers),
+        policy=BatchPolicy(
+            max_batch=args.max_batch,
+            max_wait_us=args.max_wait_us,
+            max_queue_shots=args.max_queue_shots,
+        ),
+    )
+
+
+async def _serve(args) -> int:
+    service = _make_service(args)
+    host, port = await service.start_tcp(args.host, args.port)
+    print(f"decode service listening on {host}:{port} "
+          f"(workers={args.workers}, max_batch={args.max_batch})")
+    try:
+        while True:
+            await asyncio.sleep(args.stats_interval)
+            stats = service.stats()
+            totals = stats["totals"]
+            print(
+                f"[stats] conns={stats['connections']} "
+                f"decoded={totals['shots_decoded']} "
+                f"rejected={totals['shots_rejected']} "
+                f"shards={list(stats['shards'])}"
+            )
+    except asyncio.CancelledError:
+        return 0
+    finally:
+        await service.close()
+
+
+async def _load(args) -> int:
+    shard = ShardKey.parse(args.shard)
+    if args.rate is not None:
+        rate = args.rate
+    else:
+        latency = paper_table4_latency(min(max(args.ground_truth_d, 3), 9))
+        rate = rate_for_utilization(latency, args.rho, args.shots)
+        rate *= args.rate_scale
+    if args.pattern == "poisson":
+        trace = poisson_trace(rate, args.requests, seed=args.seed,
+                              shots_per_request=args.shots)
+    else:
+        burst_gap = args.requests / rate / max(args.bursts, 1)
+        trace = bursty_trace(
+            args.bursts, max(1, args.requests // args.bursts),
+            burst_gap_s=max(burst_gap, 1e-6), seed=args.seed,
+            shots_per_request=args.shots,
+        )
+    service = None
+    clients = None
+    if args.target:
+        host, port_text = args.target.rsplit(":", 1)
+        clients = [
+            await DecodeClient.connect_tcp(host, int(port_text))
+            for _ in range(args.clients)
+        ]
+    else:
+        service = _make_service(args)
+    try:
+        report = await run_load(
+            service, shard, trace, p=args.p, seed=args.seed,
+            n_clients=args.clients, deadline_us=args.deadline_us,
+            clients=clients,
+        )
+    finally:
+        if clients:
+            for client in clients:
+                await client.close()
+        if service is not None:
+            await service.close()
+    print(json.dumps(report.as_dict(), indent=2))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Decode-as-a-service: serve decoders or generate load.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run a TCP decode server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7901)
+    serve.add_argument("--stats-interval", type=float, default=5.0)
+    _add_policy_args(serve)
+
+    load = sub.add_parser("load", help="replay an arrival trace")
+    load.add_argument("--target", default=None,
+                      help="host:port of a running server (default: "
+                      "spin an in-process service)")
+    load.add_argument("--shard", default="mwpm:d5:z",
+                      help="geometry shard key, e.g. unionfind:d7:z")
+    load.add_argument("--pattern", choices=("poisson", "bursty"),
+                      default="poisson")
+    load.add_argument("--rate", type=float, default=None,
+                      help="offered requests/s (overrides --rho)")
+    load.add_argument("--rho", type=float, default=0.5,
+                      help="offered load as a fraction of the Table-IV "
+                      "ground-truth decoder capacity")
+    load.add_argument("--rate-scale", type=float, default=1e-3,
+                      help="scale applied to the rho-derived rate (the "
+                      "Table-IV capacity is ns-scale hardware; default "
+                      "1e-3 keeps software shards in range)")
+    load.add_argument("--ground-truth-d", type=int, default=9,
+                      help="Table-IV distance anchoring the rho rate")
+    load.add_argument("--requests", type=int, default=1000)
+    load.add_argument("--shots", type=int, default=1,
+                      help="shots per request")
+    load.add_argument("--bursts", type=int, default=10)
+    load.add_argument("--clients", type=int, default=4)
+    load.add_argument("--p", type=float, default=0.02)
+    load.add_argument("--seed", type=int, default=2020)
+    load.add_argument("--deadline-us", type=float, default=None)
+    _add_policy_args(load)
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "serve":
+            return asyncio.run(_serve(args))
+        return asyncio.run(_load(args))
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

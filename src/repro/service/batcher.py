@@ -1,0 +1,286 @@
+"""Dynamic micro-batching of in-flight decode requests per shard.
+
+Each geometry shard owns a queue and a worker task.  The worker waits
+for the first pending request, then keeps the batching window open for
+up to ``max_wait_us`` or until ``max_batch`` shots have accumulated,
+concatenates the queued syndromes into one ``decode_batch`` call, and
+fans the corrections back per request.  Because every decoder's
+``decode_batch`` is per-shot deterministic and composition-independent
+(golden-tested in ``tests/test_batch_decode.py``), the reply a client
+sees is bit-identical to calling ``decode_batch`` directly no matter
+which requests shared its batch — ``tests/test_service.py`` pins this.
+
+Backpressure follows the paper's section III divergence semantics
+(:mod:`repro.runtime.backlog`): a queue admitting more than
+``max_queue_shots`` would be the serving-layer version of ``f > 1``
+compounding without bound, so instead of queueing, `submit` rejects
+with a ``retry_after_us`` hint — the estimated Lindley drain time of
+the current backlog at the shard's observed service rate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Union
+
+import numpy as np
+
+from .pool import DecoderPool, PoolResult
+from .protocol import ShardKey
+from .telemetry import ServiceTelemetry, ShardTelemetry
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Knobs of the per-shard batching window and queue bound.
+
+    ``max_batch`` caps shots per ``decode_batch`` dispatch (a single
+    request larger than the cap still dispatches whole — requests are
+    never split); ``max_wait_us`` is how long the window stays open
+    after the first pending request; ``max_queue_shots`` bounds the
+    per-shard queue, beyond which submissions are rejected with a
+    retry-after hint.
+    """
+
+    max_batch: int = 512
+    max_wait_us: float = 500.0
+    max_queue_shots: int = 8192
+    #: retry hint before any service-rate observation exists
+    default_retry_after_us: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_us < 0:
+            raise ValueError("max_wait_us must be >= 0")
+        if self.max_queue_shots < 1:
+            raise ValueError("max_queue_shots must be >= 1")
+
+
+@dataclass
+class BatchedResult:
+    """Per-request slice of a dispatched batch (future payload)."""
+
+    corrections: np.ndarray
+    converged: np.ndarray
+    cycles: Optional[np.ndarray]
+    queued_us: float
+    decode_us: float
+    batch_shots: int
+
+
+@dataclass
+class Rejection:
+    """Backpressure (or deadline/size) outcome of a submission.
+
+    ``backpressure`` and ``deadline`` are transient — retrying can
+    succeed; ``too_large`` is permanent (the request alone exceeds the
+    shard's admission cap) and carries ``retry_after_us = 0``.
+    """
+
+    reason: str                  # "backpressure" | "deadline" | "too_large"
+    retry_after_us: float
+    queue_depth: int
+
+
+class _Pending:
+    __slots__ = ("syndromes", "n", "future", "enqueued", "deadline")
+
+    def __init__(self, syndromes: np.ndarray, future: asyncio.Future,
+                 deadline: Optional[float]) -> None:
+        self.syndromes = syndromes
+        self.n = int(syndromes.shape[0])
+        self.future = future
+        self.enqueued = time.monotonic()
+        self.deadline = deadline     # absolute monotonic seconds, or None
+
+
+class _ShardWorker:
+    """Queue + batching loop of one shard."""
+
+    def __init__(self, shard: ShardKey, pool: DecoderPool,
+                 policy: BatchPolicy, stats: ShardTelemetry) -> None:
+        self.shard = shard
+        self.pool = pool
+        self.policy = policy
+        self.stats = stats
+        self.queue: Deque[_Pending] = deque()
+        self.queued_shots = 0
+        self.wake = asyncio.Event()
+        self.task = asyncio.get_running_loop().create_task(
+            self._run(), name=f"shard-{shard.wire()}"
+        )
+
+    # -- submission (called from connection handlers) ------------------
+    def submit(self, syndromes: np.ndarray,
+               deadline_us: Optional[float]) -> Union[asyncio.Future, Rejection]:
+        n = int(syndromes.shape[0])
+        if n > self.policy.max_queue_shots:
+            # could never be admitted no matter how empty the queue is:
+            # a finite retry hint would livelock an honest retry loop
+            self.stats.on_reject(n)
+            return Rejection(
+                reason="too_large",
+                retry_after_us=0.0,
+                queue_depth=self.queued_shots,
+            )
+        if self.queued_shots + n > self.policy.max_queue_shots:
+            self.stats.on_reject(n)
+            return Rejection(
+                reason="backpressure",
+                retry_after_us=self._drain_time_us(),
+                queue_depth=self.queued_shots,
+            )
+        deadline = (
+            time.monotonic() + deadline_us / 1e6
+            if deadline_us is not None else None
+        )
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self.queue.append(_Pending(syndromes, future, deadline))
+        self.queued_shots += n
+        self.stats.on_enqueue(n)
+        self.wake.set()
+        return future
+
+    def _drain_time_us(self) -> float:
+        """Lindley drain estimate of the current backlog (retry hint)."""
+        rate = self.stats.service_rate.rate_per_s
+        if not rate:
+            return self.policy.default_retry_after_us
+        return max(self.queued_shots / rate * 1e6,
+                   self.policy.default_retry_after_us)
+
+    # -- batching loop -------------------------------------------------
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            while not self.queue:
+                self.wake.clear()
+                await self.wake.wait()
+            # batching window: stay open until full or max_wait elapses
+            window_ends = loop.time() + self.policy.max_wait_us / 1e6
+            while self.queued_shots < self.policy.max_batch:
+                remaining = window_ends - loop.time()
+                if remaining <= 0:
+                    break
+                self.wake.clear()
+                try:
+                    await asyncio.wait_for(self.wake.wait(), remaining)
+                except asyncio.TimeoutError:
+                    break
+            batch = self._take_batch()
+            if batch:
+                await self._dispatch(batch)
+
+    def _take_batch(self) -> list:
+        """Pop whole requests up to ``max_batch`` shots, drop expired."""
+        now = time.monotonic()
+        taken: list = []
+        shots = 0
+        while self.queue:
+            head = self.queue[0]
+            if head.deadline is not None and now > head.deadline:
+                self.queue.popleft()
+                self.queued_shots -= head.n
+                self.stats.on_expire(head.n)
+                if not head.future.done():
+                    head.future.set_result(Rejection(
+                        reason="deadline",
+                        retry_after_us=0.0,
+                        queue_depth=self.queued_shots,
+                    ))
+                continue
+            if taken and shots + head.n > self.policy.max_batch:
+                break
+            taken.append(self.queue.popleft())
+            shots += head.n
+            self.queued_shots -= head.n
+        return taken
+
+    async def _dispatch(self, batch: list) -> None:
+        syndromes = (
+            batch[0].syndromes if len(batch) == 1
+            else np.concatenate([p.syndromes for p in batch], axis=0)
+        )
+        started = time.monotonic()
+        try:
+            result = await self.pool.decode_async(self.shard, syndromes)
+        except Exception as exc:  # decoder bug / worker death: fail batch
+            for pending in batch:
+                if not pending.future.done():
+                    pending.future.set_exception(
+                        RuntimeError(f"decode failed: {exc}")
+                    )
+            self.stats.on_error(int(syndromes.shape[0]))
+            return
+        decode_s = time.monotonic() - started
+        total = int(syndromes.shape[0])
+        self.stats.on_batch(total, decode_s)
+        self._fan_out(batch, result, started, decode_s, total)
+
+    def _fan_out(self, batch: list, result: PoolResult, started: float,
+                 decode_s: float, total: int) -> None:
+        done = time.monotonic()
+        offset = 0
+        for pending in batch:
+            rows = slice(offset, offset + pending.n)
+            offset += pending.n
+            if pending.future.done():    # client gone / cancelled
+                continue
+            pending.future.set_result(BatchedResult(
+                corrections=result.corrections[rows],
+                converged=result.converged[rows],
+                cycles=None if result.cycles is None else result.cycles[rows],
+                queued_us=(started - pending.enqueued) * 1e6,
+                decode_us=decode_s * 1e6,
+                batch_shots=total,
+            ))
+            self.stats.on_reply(done - pending.enqueued)
+
+    async def close(self) -> None:
+        self.task.cancel()
+        try:
+            await self.task
+        except asyncio.CancelledError:
+            pass
+        for pending in self.queue:
+            if not pending.future.done():
+                pending.future.cancel()
+        self.queue.clear()
+        self.queued_shots = 0
+
+
+class MicroBatcher:
+    """Routes submissions to per-shard batching workers."""
+
+    def __init__(self, pool: DecoderPool, policy: BatchPolicy,
+                 telemetry: ServiceTelemetry) -> None:
+        self.pool = pool
+        self.policy = policy
+        self.telemetry = telemetry
+        self._workers: Dict[ShardKey, _ShardWorker] = {}
+
+    def worker(self, shard: ShardKey) -> _ShardWorker:
+        worker = self._workers.get(shard)
+        if worker is None:
+            worker = self._workers[shard] = _ShardWorker(
+                shard, self.pool, self.policy,
+                self.telemetry.shard(shard.wire()),
+            )
+        return worker
+
+    async def submit(self, shard: ShardKey, syndromes: np.ndarray,
+                     deadline_us: Optional[float] = None
+                     ) -> Union[BatchedResult, Rejection]:
+        outcome = self.worker(shard).submit(syndromes, deadline_us)
+        if isinstance(outcome, Rejection):
+            return outcome
+        return await outcome
+
+    async def close(self) -> None:
+        for worker in self._workers.values():
+            await worker.close()
+        self._workers.clear()

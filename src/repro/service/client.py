@@ -1,0 +1,185 @@
+"""Async client of the decode service (TCP or in-process).
+
+A :class:`DecodeClient` multiplexes any number of concurrent
+:meth:`~DecodeClient.decode` calls over one connection: requests carry
+monotonically increasing ids, a background reader task resolves the
+matching future when a reply lands, so out-of-order completions (the
+normal case under micro-batching) are handled transparently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .protocol import (
+    ShardKey,
+    StreamTransport,
+    decode_request,
+    stats_request,
+    unpack_bitmap,
+)
+
+
+@dataclass
+class DecodeOutcome:
+    """Client-side view of one decode request's fate."""
+
+    ok: bool
+    corrections: Optional[np.ndarray] = None
+    converged: Optional[np.ndarray] = None
+    cycles: Optional[np.ndarray] = None
+    #: "" on success, else "backpressure" | "deadline" (transient,
+    #: retryable) | "too_large" (permanent) | "error"
+    reason: str = ""
+    error: str = ""
+    retry_after_us: float = 0.0
+    queue_depth: int = 0
+    #: client-measured round trip (send -> reply parsed)
+    latency_us: float = 0.0
+    #: server-reported timings
+    queued_us: float = 0.0
+    decode_us: float = 0.0
+    batch_shots: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def rejected(self) -> bool:
+        """Transiently shed — retrying (after ``retry_after_us``) can
+        succeed.  ``too_large`` rejections are permanent and excluded."""
+        return not self.ok and self.reason in ("backpressure", "deadline")
+
+
+class ServiceClosedError(ConnectionError):
+    """The connection dropped while requests were in flight."""
+
+
+class DecodeClient:
+    """One connection to a :class:`~repro.service.server.DecodeService`."""
+
+    def __init__(self, transport) -> None:
+        self._transport = transport
+        self._next_id = 0
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._reader = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+
+    # -- constructors --------------------------------------------------
+    @classmethod
+    async def connect_tcp(cls, host: str, port: int) -> "DecodeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(StreamTransport(reader, writer))
+
+    @classmethod
+    def connect_inprocess(cls, service) -> "DecodeClient":
+        """Connect through the in-process transport (same wire format)."""
+        return cls(service.connect())
+
+    # -- reply demultiplexing ------------------------------------------
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                message = await self._transport.recv()
+                if message is None:
+                    break
+                future = self._pending.pop(message.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._fail_pending(ServiceClosedError(str(exc)))
+            return
+        self._fail_pending(ServiceClosedError("connection closed"))
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+
+    async def _roundtrip(self, message: dict) -> dict:
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[message["id"]] = future
+        try:
+            await self._transport.send(message)
+        except BaseException:
+            # the send never reached the wire: drop the registration so
+            # _fail_pending can't later set a never-retrieved exception
+            self._pending.pop(message["id"], None)
+            raise
+        return await future
+
+    def _fresh_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    # -- API -----------------------------------------------------------
+    async def decode(self, shard: ShardKey, syndromes: np.ndarray,
+                     deadline_us: Optional[float] = None) -> DecodeOutcome:
+        """Decode a ``(shots, n_syndromes)`` bitmap on the server."""
+        syndromes = np.asarray(syndromes, dtype=np.uint8)
+        if syndromes.ndim == 1:
+            syndromes = syndromes[None, :]
+        message = decode_request(
+            self._fresh_id(), shard, syndromes, deadline_us
+        )
+        started = time.monotonic()
+        reply = await self._roundtrip(message)
+        latency_us = (time.monotonic() - started) * 1e6
+        kind = reply.get("type")
+        if kind == "result":
+            return DecodeOutcome(
+                ok=True,
+                corrections=unpack_bitmap(reply["corrections"]),
+                converged=unpack_bitmap(reply["converged"]).astype(bool),
+                cycles=(
+                    np.asarray(reply["cycles"], dtype=np.int64)
+                    if "cycles" in reply else None
+                ),
+                latency_us=latency_us,
+                queued_us=reply.get("queued_us", 0.0),
+                decode_us=reply.get("decode_us", 0.0),
+                batch_shots=reply.get("batch_shots", 0),
+            )
+        if kind == "reject":
+            return DecodeOutcome(
+                ok=False,
+                reason=reply.get("reason", "backpressure"),
+                retry_after_us=reply.get("retry_after_us", 0.0),
+                queue_depth=reply.get("queue_depth", 0),
+                latency_us=latency_us,
+            )
+        if kind == "error":
+            return DecodeOutcome(
+                ok=False, reason="error",
+                error=reply.get("message", "unknown error"),
+                latency_us=latency_us,
+            )
+        return DecodeOutcome(
+            ok=False, reason="error",
+            error=f"unexpected reply type {kind!r}", latency_us=latency_us,
+        )
+
+    async def stats(self) -> dict:
+        """The server's live telemetry snapshot."""
+        reply = await self._roundtrip(stats_request(self._fresh_id()))
+        if reply.get("type") != "stats_reply":
+            raise ServiceClosedError(
+                f"unexpected stats reply type {reply.get('type')!r}"
+            )
+        return reply["stats"]
+
+    async def close(self) -> None:
+        self._reader.cancel()
+        try:
+            await self._reader
+        except asyncio.CancelledError:
+            pass
+        self._fail_pending(ServiceClosedError("client closed"))
+        await self._transport.close()

@@ -1,0 +1,309 @@
+"""Open-loop load generation against the decode service.
+
+Arrival processes are generated as deterministic *traces* (relative
+arrival times from a seeded RNG) and then replayed open-loop: every
+request is sent at its trace time whether or not earlier replies have
+arrived, which is the arrival discipline that actually exposes
+saturation — a closed loop self-throttles and can never drive a shard
+past capacity.  Rates are anchored to the
+:mod:`repro.runtime.latency` service-time models
+(:func:`rate_for_utilization`): the Table-IV calibrated per-round
+decode times are the paper's ground truth for what a shard's hardware
+could sustain, so a scenario expressed as ``rho = 0.8`` of a distance-9
+mesh decoder is reproducible across machines even though the software
+decoder backing the shard has a different absolute capacity.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..decoders.geometry import MatchingGeometry
+from ..noise.models import DephasingChannel, ErrorModel
+from ..surface.lattice import SurfaceLattice
+from .client import DecodeClient, DecodeOutcome
+from .protocol import ShardKey
+
+
+# ----------------------------------------------------------------------
+# Arrival traces
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ArrivalTrace:
+    """Relative request arrival times plus the per-request shot count."""
+
+    pattern: str
+    times_s: np.ndarray
+    shots_per_request: int = 1
+
+    def __post_init__(self) -> None:
+        if self.shots_per_request < 1:
+            raise ValueError("shots_per_request must be >= 1")
+        times = np.asarray(self.times_s, dtype=np.float64)
+        if times.ndim != 1 or len(times) == 0:
+            raise ValueError("trace needs at least one arrival")
+        if np.any(np.diff(times) < 0) or times[0] < 0:
+            raise ValueError("arrival times must be sorted and >= 0")
+        object.__setattr__(self, "times_s", times)
+
+    @property
+    def n_requests(self) -> int:
+        return int(len(self.times_s))
+
+    @property
+    def total_shots(self) -> int:
+        return self.n_requests * self.shots_per_request
+
+    @property
+    def duration_s(self) -> float:
+        return float(self.times_s[-1])
+
+    @property
+    def offered_rps(self) -> float:
+        """Mean offered request rate over the trace span."""
+        span = max(self.duration_s, 1e-12)
+        return self.n_requests / span
+
+    @property
+    def offered_shots_per_s(self) -> float:
+        return self.offered_rps * self.shots_per_request
+
+    def scaled(self, time_scale: float) -> "ArrivalTrace":
+        """Same arrival pattern compressed/stretched in time."""
+        if time_scale <= 0:
+            raise ValueError("time_scale must be > 0")
+        return ArrivalTrace(
+            pattern=self.pattern,
+            times_s=self.times_s * time_scale,
+            shots_per_request=self.shots_per_request,
+        )
+
+
+def poisson_trace(rate_rps: float, n_requests: int,
+                  seed: Optional[int] = None,
+                  shots_per_request: int = 1) -> ArrivalTrace:
+    """Open-loop Poisson arrivals: i.i.d. exponential gaps at ``rate_rps``."""
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be > 0")
+    if n_requests < 1:
+        raise ValueError("n_requests must be >= 1")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_rps, size=n_requests)
+    times = np.cumsum(gaps)
+    times -= times[0]        # first arrival at t = 0
+    return ArrivalTrace("poisson", times, shots_per_request)
+
+
+def bursty_trace(n_bursts: int, burst_size: int, burst_gap_s: float,
+                 seed: Optional[int] = None,
+                 shots_per_request: int = 1,
+                 within_burst_gap_s: float = 0.0) -> ArrivalTrace:
+    """Clustered arrivals: ``n_bursts`` back-to-back runs separated by
+    ``burst_gap_s`` (the T-gate synchronization worst case of
+    :func:`repro.runtime.machine.bursty_t_positions`, seen from the
+    serving side).  ``seed`` jitters burst starts by up to half a gap."""
+    if n_bursts < 1 or burst_size < 1:
+        raise ValueError("need at least one burst of size >= 1")
+    if burst_gap_s <= 0:
+        raise ValueError("burst_gap_s must be > 0")
+    rng = np.random.default_rng(seed)
+    times: List[float] = []
+    for b in range(n_bursts):
+        start = b * burst_gap_s
+        if seed is not None:
+            start += float(rng.uniform(0, burst_gap_s / 2))
+        for k in range(burst_size):
+            times.append(start + k * within_burst_gap_s)
+    return ArrivalTrace("bursty", np.sort(np.asarray(times)),
+                        shots_per_request)
+
+
+def rate_for_utilization(latency, rho: float,
+                         shots_per_request: int = 1) -> float:
+    """Requests/s offering ``rho`` x one decoder's model capacity.
+
+    ``latency`` is any :mod:`repro.runtime.latency` model; its mean
+    per-round service time is the ground-truth capacity of one hardware
+    decoder, so ``rho > 1`` is an offered load the paper's section III
+    analysis says must diverge without backpressure.
+    """
+    if rho <= 0:
+        raise ValueError("rho must be > 0")
+    mean_ns = float(latency.mean_ns())
+    if mean_ns <= 0:
+        raise ValueError("latency model has zero mean service time")
+    capacity_shots_per_s = 1e9 / mean_ns
+    return rho * capacity_shots_per_s / shots_per_request
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one open-loop replay."""
+
+    shard: str
+    pattern: str
+    offered_rps: float
+    offered_shots_per_s: float
+    n_requests: int
+    ok: int
+    rejected: int
+    expired: int
+    errors: int
+    duration_s: float
+    achieved_shots_per_s: float
+    latency_p50_us: float
+    latency_p95_us: float
+    latency_p99_us: float
+    max_queue_depth: int
+    mean_batch_shots: float
+    shard_stats: dict = field(default_factory=dict)
+
+    @property
+    def rejected_fraction(self) -> float:
+        return self.rejected / self.n_requests if self.n_requests else 0.0
+
+    def as_dict(self) -> dict:
+        def us(value: float):
+            # NaN (no completed requests) -> None so the JSON record
+            # reads as "unknown", never as a perfect 0
+            return None if not np.isfinite(value) else round(value, 1)
+
+        return {
+            "shard": self.shard,
+            "pattern": self.pattern,
+            "offered_rps": round(self.offered_rps, 1),
+            "offered_shots_per_s": round(self.offered_shots_per_s, 1),
+            "requests": self.n_requests,
+            "ok": self.ok,
+            "rejected": self.rejected,
+            "expired": self.expired,
+            "errors": self.errors,
+            "rejected_fraction": round(self.rejected_fraction, 4),
+            "duration_s": round(self.duration_s, 4),
+            "achieved_shots_per_s": round(self.achieved_shots_per_s, 1),
+            "latency_p50_us": us(self.latency_p50_us),
+            "latency_p95_us": us(self.latency_p95_us),
+            "latency_p99_us": us(self.latency_p99_us),
+            "max_queue_depth": self.max_queue_depth,
+            "mean_batch_shots": round(self.mean_batch_shots, 2),
+        }
+
+
+def make_request_syndromes(shard: ShardKey, trace: ArrivalTrace,
+                           model: Optional[ErrorModel] = None,
+                           p: float = 0.02,
+                           seed: Optional[int] = 7) -> List[np.ndarray]:
+    """Deterministic per-request syndrome bitmaps for a trace replay."""
+    model = model or DephasingChannel()
+    lattice = SurfaceLattice(shard.distance)
+    geometry = MatchingGeometry(lattice, shard.error_type)
+    rng = np.random.default_rng(seed)
+    sample = model.sample(lattice, p, trace.total_shots, rng)
+    errors = sample.z if shard.error_type == "z" else sample.x
+    syndromes = geometry.syndrome_of_errors(errors)
+    k = trace.shots_per_request
+    return [
+        syndromes[i * k:(i + 1) * k] for i in range(trace.n_requests)
+    ]
+
+
+async def run_load(
+    service,
+    shard: ShardKey,
+    trace: ArrivalTrace,
+    model: Optional[ErrorModel] = None,
+    p: float = 0.02,
+    seed: Optional[int] = 7,
+    n_clients: int = 1,
+    deadline_us: Optional[float] = None,
+    clients: Optional[List[DecodeClient]] = None,
+) -> LoadReport:
+    """Replay a trace open-loop against a service; aggregate the fates.
+
+    ``service`` is a :class:`~repro.service.server.DecodeService` (the
+    default in-process path); pass pre-connected ``clients`` instead to
+    drive a TCP endpoint.  Requests round-robin over ``n_clients``
+    connections so multi-client interleaving exercises the batcher the
+    way production traffic would.
+    """
+    if n_clients < 1:
+        raise ValueError("n_clients must be >= 1")
+    payloads = make_request_syndromes(shard, trace, model, p, seed)
+    own_clients = clients is None
+    if clients is None:
+        clients = [
+            DecodeClient.connect_inprocess(service) for _ in range(n_clients)
+        ]
+    loop = asyncio.get_running_loop()
+    base = loop.time()
+
+    async def fire(i: int) -> DecodeOutcome:
+        delay = base + float(trace.times_s[i]) - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        client = clients[i % len(clients)]
+        return await client.decode(shard, payloads[i], deadline_us)
+
+    started = loop.time()
+    outcomes = await asyncio.gather(
+        *(fire(i) for i in range(trace.n_requests))
+    )
+    duration_s = max(loop.time() - started, 1e-9)
+    stats = await clients[0].stats()
+    if own_clients:
+        for client in clients:
+            await client.close()
+    return _build_report(shard, trace, outcomes, duration_s, stats)
+
+
+def _build_report(shard: ShardKey, trace: ArrivalTrace,
+                  outcomes: List[DecodeOutcome], duration_s: float,
+                  stats: dict) -> LoadReport:
+    ok = [o for o in outcomes if o.ok]
+    rejected = sum(1 for o in outcomes if o.reason == "backpressure")
+    expired = sum(1 for o in outcomes if o.reason == "deadline")
+    errors = sum(
+        1 for o in outcomes if o.reason in ("error", "too_large")
+    )
+    # no completions -> quantiles are undefined (NaN), not a perfect 0
+    latencies = np.array([o.latency_us for o in ok]) if ok \
+        else np.full(1, np.nan)
+    shard_stats = stats.get("shards", {}).get(shard.wire(), {})
+    decoded_shots = len(ok) * trace.shots_per_request
+    return LoadReport(
+        shard=shard.wire(),
+        pattern=trace.pattern,
+        offered_rps=trace.offered_rps,
+        offered_shots_per_s=trace.offered_shots_per_s,
+        n_requests=trace.n_requests,
+        ok=len(ok),
+        rejected=rejected,
+        expired=expired,
+        errors=errors,
+        duration_s=duration_s,
+        achieved_shots_per_s=decoded_shots / duration_s,
+        latency_p50_us=float(np.percentile(latencies, 50)),
+        latency_p95_us=float(np.percentile(latencies, 95)),
+        latency_p99_us=float(np.percentile(latencies, 99)),
+        max_queue_depth=shard_stats.get("max_queue_depth", 0),
+        mean_batch_shots=shard_stats.get("mean_batch_shots", 0.0),
+        shard_stats=shard_stats,
+    )
+
+
+__all__ = [
+    "ArrivalTrace",
+    "LoadReport",
+    "bursty_trace",
+    "make_request_syndromes",
+    "poisson_trace",
+    "rate_for_utilization",
+    "run_load",
+]

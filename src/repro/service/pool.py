@@ -1,0 +1,203 @@
+"""Sharded decoder pool: LRU-cached geometry state, optional processes.
+
+Building a decoder is the expensive part of serving a shard — the
+:class:`~repro.decoders.geometry.MatchingGeometry` distance matrices and
+the engine caches grow as ``O(d^4)`` — so the pool keeps at most
+``max_shards`` live decoders per process in LRU order and rebuilds on a
+miss.  With ``workers > 0`` CPU-bound shards fan out over a persistent
+:class:`concurrent.futures.ProcessPoolExecutor`
+(:func:`repro.perf.parallel.make_worker_executor`); each worker process
+keeps its own LRU so geometry state amortizes across batches exactly as
+in the inline path.  Decoding is deterministic, so inline and worker
+results are bit-identical.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from typing import Callable, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from ..decoders import Decoder, make_decoder
+from ..perf.parallel import make_worker_executor
+from ..surface.lattice import SurfaceLattice
+from .protocol import ShardKey
+
+#: per-process cap on live decoders (service pools see few geometries)
+DEFAULT_MAX_SHARDS = 16
+
+
+def default_decoder_factory(shard: ShardKey) -> Decoder:
+    """Registry-backed decoder construction for one geometry shard."""
+    lattice = SurfaceLattice(shard.distance)
+    return make_decoder(shard.decoder, lattice, shard.error_type)
+
+
+class ThrottledFactory:
+    """Default factory plus a fixed per-batch decode delay.
+
+    Gives a shard a *known* service-time floor, which is how the
+    saturation benchmark, the demo and the backpressure tests drive a
+    shard past capacity deterministically on any machine.  Inline-only
+    (``workers=0``), like every custom factory.
+    """
+
+    def __init__(self, delay_s: float) -> None:
+        if delay_s < 0:
+            raise ValueError("delay_s must be >= 0")
+        self.delay_s = delay_s
+
+    def __call__(self, shard: ShardKey) -> Decoder:
+        decoder = default_decoder_factory(shard)
+        inner = decoder.decode_batch
+
+        def slowed(batch):
+            time.sleep(self.delay_s)
+            return inner(batch)
+
+        decoder.decode_batch = slowed
+        return decoder
+
+
+class PoolResult(NamedTuple):
+    """Structure-of-arrays decode outcome crossing the executor boundary."""
+
+    corrections: np.ndarray
+    converged: np.ndarray
+    cycles: Optional[np.ndarray]
+
+
+class _ShardLRU:
+    """Insertion-ordered shard -> decoder map with LRU eviction."""
+
+    def __init__(self, factory: Callable[[ShardKey], Decoder],
+                 max_shards: int) -> None:
+        if max_shards < 1:
+            raise ValueError("max_shards must be >= 1")
+        self._factory = factory
+        self._max = max_shards
+        self._live: "OrderedDict[ShardKey, Decoder]" = OrderedDict()
+        self.builds = 0
+        self.evictions = 0
+
+    def get(self, shard: ShardKey) -> Decoder:
+        decoder = self._live.get(shard)
+        if decoder is None:
+            decoder = self._factory(shard)
+            self.builds += 1
+            self._live[shard] = decoder
+            while len(self._live) > self._max:
+                self._live.popitem(last=False)
+                self.evictions += 1
+        else:
+            self._live.move_to_end(shard)
+        return decoder
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+
+# one LRU per worker process, created lazily on first decode
+_WORKER_LRU: Optional[_ShardLRU] = None
+
+
+def _decode_in_worker(payload: Tuple[Tuple[str, int, str], np.ndarray]) -> PoolResult:
+    """Worker entry point: decode one batch on a cached shard decoder."""
+    global _WORKER_LRU
+    if _WORKER_LRU is None:
+        _WORKER_LRU = _ShardLRU(default_decoder_factory, DEFAULT_MAX_SHARDS)
+    shard_tuple, syndromes = payload
+    decoder = _WORKER_LRU.get(ShardKey(*shard_tuple))
+    result = decoder.decode_batch(syndromes)
+    return PoolResult(result.corrections, result.converged, result.cycles)
+
+
+class DecoderPool:
+    """Routes shard decode batches to cached decoders, inline or fanned.
+
+    ``workers = 0`` decodes on the event loop's default thread pool (the
+    numpy-heavy batch kernels release the GIL for their hot stretches,
+    and tests get single-process determinism); ``workers > 0`` ships
+    batches to a persistent process pool.  The micro-batcher guarantees
+    one in-flight batch per shard, so per-decoder state (component
+    memos) is never shared across concurrent calls.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        max_shards: int = DEFAULT_MAX_SHARDS,
+        factory: Callable[[ShardKey], Decoder] = default_decoder_factory,
+    ) -> None:
+        self.workers = int(workers)
+        self._lru = _ShardLRU(factory, max_shards)
+        self._factory = factory
+        self._lattices: dict = {}
+        self._executor = None
+        if self.workers > 0 and factory is not default_decoder_factory:
+            raise ValueError(
+                "custom decoder factories require workers=0 (worker "
+                "processes rebuild shards via the default registry factory)"
+            )
+
+    # -- shape metadata (cheap, no MatchingGeometry build) -------------
+    def _lattice(self, distance: int) -> SurfaceLattice:
+        lattice = self._lattices.get(distance)
+        if lattice is None:
+            lattice = self._lattices[distance] = SurfaceLattice(distance)
+        return lattice
+
+    def n_syndromes(self, shard: ShardKey) -> int:
+        lattice = self._lattice(shard.distance)
+        if shard.error_type == "z":
+            return lattice.n_x_ancillas
+        return lattice.n_z_ancillas
+
+    def n_data(self, shard: ShardKey) -> int:
+        return self._lattice(shard.distance).n_data
+
+    # -- decode dispatch ----------------------------------------------
+    def decode(self, shard: ShardKey, syndromes: np.ndarray) -> PoolResult:
+        """Synchronous in-process decode (the inline/test path)."""
+        result = self._lru.get(shard).decode_batch(syndromes)
+        return PoolResult(result.corrections, result.converged, result.cycles)
+
+    async def decode_async(self, shard: ShardKey,
+                           syndromes: np.ndarray) -> PoolResult:
+        """Decode off the event loop (thread for ``workers=0``, else
+        a worker process)."""
+        loop = asyncio.get_running_loop()
+        if self.workers <= 0:
+            return await loop.run_in_executor(
+                None, self.decode, shard, syndromes
+            )
+        if self._executor is None:
+            self._executor = make_worker_executor(self.workers)
+        payload = (
+            (shard.decoder, shard.distance, shard.error_type),
+            np.ascontiguousarray(syndromes, dtype=np.uint8),
+        )
+        return await loop.run_in_executor(
+            self._executor, _decode_in_worker, payload
+        )
+
+    # -- stats / lifecycle --------------------------------------------
+    @property
+    def live_shards(self) -> int:
+        return len(self._lru)
+
+    @property
+    def builds(self) -> int:
+        return self._lru.builds
+
+    @property
+    def evictions(self) -> int:
+        return self._lru.evictions
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None

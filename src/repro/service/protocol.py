@@ -1,0 +1,273 @@
+"""Wire protocol of the decode service.
+
+Messages are JSON documents framed with a 4-byte big-endian length
+prefix, so the same codec drives both the TCP transport and the
+in-process :class:`MemoryTransport` used by tests — every test byte
+travels through the exact encode/frame/decode path a socket would see.
+
+Syndrome and correction bitmaps are ``numpy.packbits``-packed and
+base64-encoded (a distance-9 syndrome round is 5 bytes on the wire
+instead of 40 JSON numbers); :func:`pack_bitmap` / :func:`unpack_bitmap`
+round-trip exactly for any 0/1 uint8 array.
+
+A decode request addresses a *geometry shard* — the
+``(decoder kind, distance, error type)`` triple that picks one decoder
+instance on the server (:class:`ShardKey`, wire form ``"mwpm:d5:z"``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: frame length prefix: 4-byte big-endian unsigned
+_LEN = struct.Struct(">I")
+
+#: refuse frames beyond this size (64 MiB ~ a million d=9 shots)
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """Malformed frame or message."""
+
+
+# ----------------------------------------------------------------------
+# Shard addressing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardKey:
+    """Geometry shard a request is routed to.
+
+    ``decoder`` is a :data:`repro.decoders.DECODER_REGISTRY` name,
+    ``error_type`` the matching orientation (``"z"`` decodes Z errors
+    from X-ancilla syndromes, ``"x"`` the transpose).
+    """
+
+    decoder: str
+    distance: int
+    error_type: str = "z"
+
+    def __post_init__(self) -> None:
+        if self.distance < 3 or self.distance % 2 == 0:
+            raise ValueError(f"distance must be odd >= 3, got {self.distance}")
+        if self.error_type not in ("z", "x"):
+            raise ValueError(f"error_type must be 'z' or 'x', got {self.error_type!r}")
+
+    def wire(self) -> str:
+        return f"{self.decoder}:d{self.distance}:{self.error_type}"
+
+    @classmethod
+    def parse(cls, text: str) -> "ShardKey":
+        parts = text.split(":")
+        if len(parts) != 3 or not parts[1].startswith("d"):
+            raise ProtocolError(f"bad shard key {text!r} (want 'kind:dN:z')")
+        try:
+            distance = int(parts[1][1:])
+        except ValueError:
+            raise ProtocolError(f"bad distance in shard key {text!r}") from None
+        try:
+            return cls(decoder=parts[0], distance=distance, error_type=parts[2])
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from None
+
+
+# ----------------------------------------------------------------------
+# Bitmap codec
+# ----------------------------------------------------------------------
+def pack_bitmap(arr: np.ndarray) -> dict:
+    """A 0/1 uint8 array as ``{"b64": ..., "shape": [...]}``."""
+    arr = np.ascontiguousarray(arr, dtype=np.uint8)
+    packed = np.packbits(arr.reshape(-1))
+    return {
+        "b64": base64.b64encode(packed.tobytes()).decode("ascii"),
+        "shape": list(arr.shape),
+    }
+
+
+def unpack_bitmap(obj: dict) -> np.ndarray:
+    """Inverse of :func:`pack_bitmap`."""
+    try:
+        raw = base64.b64decode(obj["b64"])
+        shape = tuple(int(s) for s in obj["shape"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad bitmap object: {exc}") from None
+    n = int(np.prod(shape)) if shape else 0
+    bits = np.unpackbits(np.frombuffer(raw, dtype=np.uint8), count=None)
+    if len(bits) < n or len(bits) - n >= 8:
+        raise ProtocolError(
+            f"bitmap payload has {len(bits)} bits, shape wants {n}"
+        )
+    return bits[:n].reshape(shape)
+
+
+# ----------------------------------------------------------------------
+# Frame codec (shared by every transport)
+# ----------------------------------------------------------------------
+def encode_frame(message: dict) -> bytes:
+    """One message as a length-prefixed JSON frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds cap")
+    return _LEN.pack(len(payload)) + payload
+
+
+def decode_frame(frame: bytes) -> dict:
+    """Inverse of :func:`encode_frame` (prefix included)."""
+    if len(frame) < _LEN.size:
+        raise ProtocolError("truncated frame")
+    (length,) = _LEN.unpack_from(frame)
+    body = frame[_LEN.size:]
+    if len(body) != length:
+        raise ProtocolError(f"frame body {len(body)} != prefix {length}")
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad JSON frame: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("frame is not a JSON object")
+    return message
+
+
+# ----------------------------------------------------------------------
+# Transports
+# ----------------------------------------------------------------------
+class StreamTransport:
+    """Framed messages over an asyncio stream pair (the TCP transport)."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._write_lock = asyncio.Lock()
+
+    async def send(self, message: dict) -> None:
+        frame = encode_frame(message)
+        async with self._write_lock:
+            self._writer.write(frame)
+            await self._writer.drain()
+
+    async def recv(self) -> Optional[dict]:
+        """Next message, or ``None`` on clean EOF."""
+        try:
+            prefix = await self._reader.readexactly(_LEN.size)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+        (length,) = _LEN.unpack(prefix)
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(f"incoming frame of {length} bytes exceeds cap")
+        try:
+            body = await self._reader.readexactly(length)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+        return decode_frame(prefix + body)
+
+    async def close(self) -> None:
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class MemoryTransport:
+    """In-process duplex transport for tests and the loadgen fast path.
+
+    Both directions carry *encoded frames* through
+    :func:`encode_frame` / :func:`decode_frame`, so protocol coverage is
+    identical to TCP minus the socket.
+    """
+
+    _EOF = object()
+
+    def __init__(self, outbox: asyncio.Queue, inbox: asyncio.Queue) -> None:
+        self._outbox = outbox
+        self._inbox = inbox
+        self._closed = False
+
+    @classmethod
+    def pair(cls) -> Tuple["MemoryTransport", "MemoryTransport"]:
+        """Connected (client end, server end)."""
+        a_to_b: asyncio.Queue = asyncio.Queue()
+        b_to_a: asyncio.Queue = asyncio.Queue()
+        return cls(a_to_b, b_to_a), cls(b_to_a, a_to_b)
+
+    async def send(self, message: dict) -> None:
+        if self._closed:
+            raise ConnectionError("transport closed")
+        await self._outbox.put(encode_frame(message))
+
+    async def recv(self) -> Optional[dict]:
+        frame = await self._inbox.get()
+        if frame is self._EOF:
+            return None
+        return decode_frame(frame)
+
+    async def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            await self._outbox.put(self._EOF)
+
+
+# ----------------------------------------------------------------------
+# Message builders (thin, schema in one place)
+# ----------------------------------------------------------------------
+def decode_request(request_id: int, shard: ShardKey, syndromes: np.ndarray,
+                   deadline_us: Optional[float] = None) -> dict:
+    msg = {
+        "type": "decode",
+        "id": int(request_id),
+        "shard": shard.wire(),
+        "syndromes": pack_bitmap(syndromes),
+    }
+    if deadline_us is not None:
+        msg["deadline_us"] = float(deadline_us)
+    return msg
+
+
+def result_reply(request_id: int, corrections: np.ndarray,
+                 converged: np.ndarray, cycles: Optional[np.ndarray],
+                 queued_us: float, decode_us: float,
+                 batch_shots: int) -> dict:
+    msg = {
+        "type": "result",
+        "id": int(request_id),
+        "corrections": pack_bitmap(corrections),
+        "converged": pack_bitmap(np.asarray(converged, dtype=np.uint8)),
+        "queued_us": round(float(queued_us), 3),
+        "decode_us": round(float(decode_us), 3),
+        "batch_shots": int(batch_shots),
+    }
+    if cycles is not None:
+        msg["cycles"] = [int(c) for c in cycles]
+    return msg
+
+
+def reject_reply(request_id: int, reason: str, retry_after_us: float,
+                 queue_depth: int) -> dict:
+    return {
+        "type": "reject",
+        "id": int(request_id),
+        "reason": reason,
+        "retry_after_us": round(float(retry_after_us), 3),
+        "queue_depth": int(queue_depth),
+    }
+
+
+def error_reply(request_id: Optional[int], message: str) -> dict:
+    return {"type": "error", "id": request_id, "message": message}
+
+
+def stats_request(request_id: int) -> dict:
+    return {"type": "stats", "id": int(request_id)}
+
+
+def stats_reply(request_id: Optional[int], stats: dict) -> dict:
+    """Stats payload; ``id`` is echoed verbatim (a bare
+    ``{"type": "stats"}`` probe carries none)."""
+    return {"type": "stats_reply", "id": request_id, "stats": stats}

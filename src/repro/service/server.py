@@ -1,0 +1,230 @@
+"""The asyncio decode server: transports in, micro-batched decodes out.
+
+One :class:`DecodeService` owns a :class:`~repro.service.pool.DecoderPool`,
+a :class:`~repro.service.batcher.MicroBatcher` and a
+:class:`~repro.service.telemetry.ServiceTelemetry`.  Connections arrive
+either over TCP (:meth:`DecodeService.start_tcp`) or in-process
+(:meth:`DecodeService.connect`, used by tests and the loadgen fast
+path); both speak the same framed protocol.  Each decode request runs
+as its own task, so replies pipeline out of order and a connection with
+many requests in flight feeds the micro-batcher exactly like many
+single-request connections would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Optional, Set, Union
+
+from ..decoders import DECODER_REGISTRY
+from .batcher import BatchedResult, BatchPolicy, MicroBatcher, Rejection
+from .pool import DecoderPool
+from .protocol import (
+    MemoryTransport,
+    ProtocolError,
+    ShardKey,
+    StreamTransport,
+    error_reply,
+    reject_reply,
+    result_reply,
+    stats_reply,
+    unpack_bitmap,
+)
+from .telemetry import ServiceTelemetry
+
+Transport = Union[StreamTransport, MemoryTransport]
+
+#: admission cap on client-supplied distances: every shard key creates
+#: server-side state (lattice cache, shard worker, telemetry), so the
+#: key space must be bounded against misbehaving clients
+MAX_DISTANCE = 51
+
+
+class DecodeService:
+    """Decode-as-a-service endpoint over any framed transport."""
+
+    def __init__(
+        self,
+        pool: Optional[DecoderPool] = None,
+        policy: Optional[BatchPolicy] = None,
+    ) -> None:
+        self.pool = pool or DecoderPool()
+        self.policy = policy or BatchPolicy()
+        self.telemetry = ServiceTelemetry()
+        self.batcher: Optional[MicroBatcher] = None
+        self._tasks: Set[asyncio.Task] = set()
+        self._tcp_server: Optional[asyncio.AbstractServer] = None
+        self._closed = False
+
+    def _ensure_batcher(self) -> MicroBatcher:
+        # created lazily so the service can be built outside a loop
+        if self._closed:
+            raise ConnectionError("service is closed")
+        if self.batcher is None:
+            self.batcher = MicroBatcher(self.pool, self.policy, self.telemetry)
+        return self.batcher
+
+    # -- transports ----------------------------------------------------
+    async def start_tcp(self, host: str = "127.0.0.1",
+                        port: int = 0) -> tuple:
+        """Listen on TCP; returns the bound ``(host, port)``."""
+        self._ensure_batcher()
+
+        async def handle(reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+            await self.serve_transport(StreamTransport(reader, writer))
+
+        self._tcp_server = await asyncio.start_server(handle, host, port)
+        sockname = self._tcp_server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    def connect(self) -> MemoryTransport:
+        """A connected in-process client transport (server side served
+        by a background task)."""
+        self._ensure_batcher()
+        client_end, server_end = MemoryTransport.pair()
+        task = asyncio.get_running_loop().create_task(
+            self.serve_transport(server_end)
+        )
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return client_end
+
+    # -- connection loop ----------------------------------------------
+    async def serve_transport(self, transport: Transport) -> None:
+        """Serve one connection until EOF."""
+        self._ensure_batcher()
+        self.telemetry.connections += 1
+        # track the connection so close() is final for TCP handlers too
+        current = asyncio.current_task()
+        if current is not None:
+            self._tasks.add(current)
+            current.add_done_callback(self._tasks.discard)
+        request_tasks: Set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    message = await transport.recv()
+                except ProtocolError as exc:
+                    self.telemetry.protocol_errors += 1
+                    # the peer may already be gone (e.g. it sent a
+                    # garbage frame and hung up): a failed error reply
+                    # must not escape as an unretrieved task exception
+                    with contextlib.suppress(ConnectionError, OSError):
+                        await transport.send(error_reply(None, str(exc)))
+                    break
+                if message is None:
+                    break
+                task = asyncio.get_running_loop().create_task(
+                    self._handle_message(transport, message)
+                )
+                request_tasks.add(task)
+                task.add_done_callback(request_tasks.discard)
+        finally:
+            if request_tasks:
+                await asyncio.gather(*request_tasks, return_exceptions=True)
+            await transport.close()
+
+    async def _handle_message(self, transport: Transport,
+                              message: dict) -> None:
+        request_id = message.get("id")
+        try:
+            reply = await self._dispatch(message)
+        except ProtocolError as exc:
+            self.telemetry.protocol_errors += 1
+            reply = error_reply(request_id, str(exc))
+        except Exception as exc:
+            reply = error_reply(request_id, f"internal error: {exc}")
+        with contextlib.suppress(ConnectionError, OSError):
+            await transport.send(reply)
+
+    async def _dispatch(self, message: dict) -> dict:
+        kind = message.get("type")
+        request_id = message.get("id")
+        if kind == "stats":
+            return stats_reply(request_id, self.stats())
+        if kind == "ping":
+            return {"type": "pong", "id": request_id}
+        if kind != "decode":
+            raise ProtocolError(f"unknown message type {kind!r}")
+        if not isinstance(request_id, int):
+            raise ProtocolError("decode request needs an integer 'id'")
+        shard = ShardKey.parse(message.get("shard", ""))
+        # validate at admission: every unique shard key creates state
+        # (lattice cache, worker task, telemetry), so bogus kinds must
+        # fail here, not as an opaque decode error after the leak
+        if shard.decoder not in DECODER_REGISTRY:
+            known = ", ".join(sorted(DECODER_REGISTRY))
+            raise ProtocolError(
+                f"unknown decoder kind {shard.decoder!r}; known: {known}"
+            )
+        if shard.distance > MAX_DISTANCE:
+            raise ProtocolError(
+                f"distance {shard.distance} exceeds the service cap "
+                f"{MAX_DISTANCE}"
+            )
+        syndromes = unpack_bitmap(message.get("syndromes", {}))
+        if syndromes.ndim != 2:
+            raise ProtocolError(
+                f"syndromes must be 2-D (shots, bits), got {syndromes.shape}"
+            )
+        expected = self.pool.n_syndromes(shard)
+        if syndromes.shape[1] != expected:
+            raise ProtocolError(
+                f"shard {shard.wire()} wants {expected} syndrome bits per "
+                f"shot, got {syndromes.shape[1]}"
+            )
+        if syndromes.shape[0] == 0:
+            raise ProtocolError("empty decode request (0 shots)")
+        outcome = await self._ensure_batcher().submit(
+            shard, syndromes, message.get("deadline_us")
+        )
+        if isinstance(outcome, Rejection):
+            return reject_reply(
+                request_id, outcome.reason, outcome.retry_after_us,
+                outcome.queue_depth,
+            )
+        assert isinstance(outcome, BatchedResult)
+        return result_reply(
+            request_id, outcome.corrections, outcome.converged,
+            outcome.cycles, outcome.queued_us, outcome.decode_us,
+            outcome.batch_shots,
+        )
+
+    # -- stats / lifecycle --------------------------------------------
+    def stats(self) -> dict:
+        payload = self.telemetry.snapshot()
+        payload["pool"] = {
+            "workers": self.pool.workers,
+            "live_shards": self.pool.live_shards,
+            "builds": self.pool.builds,
+            "evictions": self.pool.evictions,
+        }
+        payload["policy"] = {
+            "max_batch": self.policy.max_batch,
+            "max_wait_us": self.policy.max_wait_us,
+            "max_queue_shots": self.policy.max_queue_shots,
+        }
+        return payload
+
+    async def close(self) -> None:
+        """Shut down transports, workers and the pool; final.
+
+        Connections that survive the cancellation sweep (or stray
+        references) cannot resurrect the service: further requests fail
+        with ``service is closed``.
+        """
+        self._closed = True
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+            self._tcp_server = None
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        if self.batcher is not None:
+            await self.batcher.close()
+            self.batcher = None
+        self.pool.close()

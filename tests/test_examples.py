@@ -1,0 +1,52 @@
+"""Tier-1 smoke test: every demo in ``examples/`` must run clean.
+
+Each example is executed as a subprocess with ``REPRO_EXAMPLES_FAST=1``
+(the env gate that shrinks its default workload to seconds) so API
+drift in the library breaks the build instead of silently rotting the
+demos.  Output is captured and shown on failure.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: generous per-example ceiling; fast mode keeps real runs in seconds
+TIMEOUT_S = 180
+
+
+def test_every_example_is_covered():
+    """New demos are picked up automatically; the dir must not be empty."""
+    assert len(EXAMPLES) >= 8
+    assert EXAMPLES_DIR / "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize(
+    "example", EXAMPLES, ids=[e.stem for e in EXAMPLES]
+)
+def test_example_runs_clean_in_fast_mode(example):
+    env = dict(os.environ)
+    env["REPRO_EXAMPLES_FAST"] = "1"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=TIMEOUT_S,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+    assert proc.returncode == 0, (
+        f"{example.name} exited {proc.returncode}\n"
+        f"--- stdout ---\n{proc.stdout[-3000:]}\n"
+        f"--- stderr ---\n{proc.stderr[-3000:]}"
+    )
+    assert proc.stdout.strip(), f"{example.name} produced no output"

@@ -1,0 +1,146 @@
+"""Edge cases of ``ServiceDrawBuffer`` / ``sample_service_ns``.
+
+The decode service's load generator anchors its scenario rates to these
+latency models (``repro.service.loadgen.rate_for_utilization``), and
+the machine runtime's Lindley fast path replays their draw streams —
+so the refill boundaries must be exactly stream-preserving and the
+degenerate models (zero latency, empty-start buffers) must not trap.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime.latency import (
+    ConstantLatency,
+    EmpiricalLatency,
+    ServiceDrawBuffer,
+    paper_table4_latency,
+    sample_service_ns,
+)
+
+
+def scalar_stream(latency, seed, n):
+    rng = np.random.default_rng(seed)
+    return np.array([sample_service_ns(latency, rng) for _ in range(n)])
+
+
+class TestRefillBoundaries:
+    """Draws landing exactly on chunk/refill edges keep the stream."""
+
+    def test_first_draw_exactly_chunk(self):
+        lat = paper_table4_latency(5)
+        buf = ServiceDrawBuffer(lat, np.random.default_rng(7), chunk=32)
+        got = buf.draw(32)
+        assert np.array_equal(got, scalar_stream(lat, 7, 32))
+
+    def test_first_draw_larger_than_chunk(self):
+        # empty buffer, n > chunk: the refill must cover n, not chunk
+        lat = paper_table4_latency(5)
+        buf = ServiceDrawBuffer(lat, np.random.default_rng(8), chunk=16)
+        got = buf.draw(100)
+        assert np.array_equal(got, scalar_stream(lat, 8, 100))
+
+    def test_exhaustion_mid_batch(self):
+        # second draw spans the leftover suffix plus a fresh refill
+        lat = paper_table4_latency(7)
+        buf = ServiceDrawBuffer(lat, np.random.default_rng(9), chunk=64)
+        first = buf.draw(50)          # leaves 14 buffered
+        second = buf.draw(40)         # 14 leftover + 26 from the refill
+        got = np.concatenate([first, second])
+        assert np.array_equal(got, scalar_stream(lat, 9, 90))
+
+    def test_exact_exhaustion_then_next(self):
+        # drain to exactly empty, then the scalar path must refill
+        lat = paper_table4_latency(3)
+        buf = ServiceDrawBuffer(lat, np.random.default_rng(10), chunk=8)
+        first = buf.draw(8)
+        tail = np.array([buf.next() for _ in range(8)])
+        got = np.concatenate([first, tail])
+        assert np.array_equal(got, scalar_stream(lat, 10, 16))
+
+    def test_zero_length_draw(self):
+        lat = paper_table4_latency(3)
+        buf = ServiceDrawBuffer(lat, np.random.default_rng(11), chunk=8)
+        empty = buf.draw(0)
+        assert len(empty) == 0
+        # and the stream is unperturbed
+        assert np.array_equal(buf.draw(5), scalar_stream(lat, 11, 5))
+
+    def test_lazy_default_rng(self):
+        # rng=None must be created on first use, not trap
+        lat = paper_table4_latency(3)
+        buf = ServiceDrawBuffer(lat, None, chunk=4)
+        assert len(buf.draw(6)) == 6
+        assert buf.next() > 0.0
+
+
+class TestZeroLatencyModels:
+    def test_constant_zero(self):
+        lat = ConstantLatency("free", 0.0)
+        buf = ServiceDrawBuffer(lat, None)
+        assert np.array_equal(buf.draw(4), np.zeros(4))
+        assert buf.next() == 0.0
+        assert sample_service_ns(lat) == 0.0
+        assert lat.ratio(400.0) == 0.0
+
+    def test_empirical_all_zero_samples(self):
+        lat = EmpiricalLatency("zeros", np.zeros(16))
+        buf = ServiceDrawBuffer(lat, np.random.default_rng(1), chunk=4)
+        assert np.array_equal(buf.draw(10), np.zeros(10))
+        assert lat.mean_ns() == 0.0 and lat.max_ns() == 0.0
+
+    def test_empirical_single_sample(self):
+        # a one-point distribution is a valid (constant) stream
+        lat = EmpiricalLatency("point", np.array([13.5]))
+        buf = ServiceDrawBuffer(lat, np.random.default_rng(2), chunk=4)
+        assert np.array_equal(buf.draw(9), np.full(9, 13.5))
+
+
+class TestRewindEdges:
+    def test_rewind_zero_is_noop(self):
+        lat = paper_table4_latency(5)
+        buf = ServiceDrawBuffer(lat, np.random.default_rng(3), chunk=16)
+        first = buf.draw(10)
+        buf.rewind(0)
+        rest = buf.draw(6)
+        assert np.array_equal(
+            np.concatenate([first, rest]), scalar_stream(lat, 3, 16)
+        )
+
+    def test_rewind_constant_latency_is_noop(self):
+        buf = ServiceDrawBuffer(ConstantLatency("c", 5.0), None)
+        buf.draw(3)
+        buf.rewind(100)      # constants have no stream position
+        assert buf.next() == 5.0
+
+    def test_rewind_past_refill_boundary_rejected(self):
+        # after a refill the consumed prefix is gone; rewinding into it
+        # must raise instead of replaying wrong values
+        lat = paper_table4_latency(5)
+        buf = ServiceDrawBuffer(lat, np.random.default_rng(4), chunk=8)
+        buf.draw(8)
+        buf.draw(8)          # fresh refill, _pos == 8
+        with pytest.raises(ValueError):
+            buf.rewind(9)
+
+
+class TestSampleServiceNs:
+    def test_constant_ignores_rng(self):
+        assert sample_service_ns(ConstantLatency("c", 7.0), None) == 7.0
+
+    def test_empirical_draws_from_samples(self):
+        lat = EmpiricalLatency("e", np.array([1.0, 2.0, 3.0]))
+        rng = np.random.default_rng(5)
+        draws = {sample_service_ns(lat, rng) for _ in range(50)}
+        assert draws <= {1.0, 2.0, 3.0}
+        assert len(draws) > 1
+
+    def test_empirical_default_rng(self):
+        lat = EmpiricalLatency("e", np.array([4.0]))
+        assert sample_service_ns(lat) == 4.0
+
+    def test_deterministic_for_seed(self):
+        lat = paper_table4_latency(9)
+        a = scalar_stream(lat, 6, 20)
+        b = scalar_stream(lat, 6, 20)
+        assert np.array_equal(a, b)

@@ -5,10 +5,15 @@ import io
 import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.experiments import ExperimentConfig, run_experiment
 from repro.experiments.base import ExperimentResult
 from repro.experiments.serialization import (
+    load_result,
+    result_from_csv,
+    result_from_json,
     result_to_json,
     rows_to_csv,
     save_result,
@@ -83,3 +88,143 @@ class TestCli:
         assert main(["--list"]) == 0
         out = capsys.readouterr().out
         assert "fig10a" in out
+
+
+# ----------------------------------------------------------------------
+# Inverse loaders (result_from_json / result_from_csv)
+# ----------------------------------------------------------------------
+from repro.experiments.serialization import _from_csv_cell  # noqa: E402
+
+#: row values that survive the _jsonable coercion (NaN is one-way).
+#: Strings are restricted to ones stable under CSV cell coercion: an
+#: empty cell is indistinguishable from a missing one, and number-like
+#: text ("007", "Infinity") comes back retyped — both outside the
+#: documented CSV round-trip guarantee.
+_scalar = st.one_of(
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=True),
+    st.booleans(),
+    st.text(
+        alphabet=st.characters(
+            whitelist_categories=("L", "N"), whitelist_characters=" _-."
+        ),
+        max_size=12,
+    ).filter(lambda s: s != "" and _from_csv_cell(s) == s),
+)
+_row = st.dictionaries(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=6), _scalar,
+    min_size=1, max_size=5,
+)
+
+
+class TestFromJson:
+    def test_loads_fig1(self, fig1_result):
+        loaded = result_from_json(result_to_json(fig1_result))
+        assert loaded.experiment_id == fig1_result.experiment_id
+        assert loaded.title == fig1_result.title
+        # wire fixpoint: load -> dump reproduces the document exactly
+        assert result_to_json(loaded) == result_to_json(fig1_result)
+
+    def test_infinities_round_trip(self):
+        result = ExperimentResult(
+            "x", "t", "ref", "text",
+            rows=[{"v": float("inf")}, {"v": float("-inf")}],
+        )
+        loaded = result_from_json(result_to_json(result))
+        assert loaded.rows[0]["v"] == float("inf")
+        assert loaded.rows[1]["v"] == float("-inf")
+
+    def test_nan_is_one_way_but_fixpoint(self):
+        result = ExperimentResult(
+            "x", "t", "ref", "text", rows=[{"v": float("nan")}]
+        )
+        wire = result_to_json(result)
+        loaded = result_from_json(wire)
+        assert loaded.rows[0]["v"] is None
+        assert result_to_json(loaded) == wire
+
+    def test_nested_values(self):
+        result = ExperimentResult(
+            "x", "t", "ref", "text",
+            rows=[{"deep": {"list": [1.0, float("inf")], "flag": True}}],
+        )
+        loaded = result_from_json(result_to_json(result))
+        assert loaded.rows[0]["deep"]["list"][1] == float("inf")
+
+    @pytest.mark.parametrize("bad", [
+        "not json", "[1, 2]", '{"experiment_id": "x"}',
+        '{"experiment_id": "x", "title": "t", "paper_reference": "r", '
+        '"rows": [1]}',
+    ])
+    def test_malformed_documents_raise(self, bad):
+        with pytest.raises(ValueError):
+            result_from_json(bad)
+
+    @settings(max_examples=60, deadline=None)
+    @given(rows=st.lists(_row, min_size=0, max_size=6))
+    def test_property_object_round_trip(self, rows):
+        result = ExperimentResult("prop", "t", "ref", "text", rows=rows)
+        loaded = result_from_json(result_to_json(result))
+        assert loaded.rows == rows
+        assert result_to_json(loaded) == result_to_json(result)
+
+
+class TestFromCsv:
+    def test_loads_fig1_rows(self, fig1_result):
+        wire = rows_to_csv(fig1_result)
+        loaded = result_from_csv(wire, experiment_id="fig1")
+        assert loaded.experiment_id == "fig1"
+        assert len(loaded.rows) == len(fig1_result.rows)
+        assert rows_to_csv(loaded) == wire
+
+    def test_empty_document(self):
+        loaded = result_from_csv("")
+        assert loaded.rows == []
+
+    def test_infinity_and_bool_cells(self):
+        result = ExperimentResult(
+            "x", "t", "ref", "text",
+            rows=[{"a": float("inf"), "b": True}, {"a": -1.5, "b": False}],
+        )
+        loaded = result_from_csv(rows_to_csv(result))
+        assert loaded.rows == result.rows
+
+    def test_ragged_rows_drop_missing(self):
+        result = ExperimentResult(
+            "x", "t", "ref", "text", rows=[{"a": 1}, {"a": 2, "b": 3}]
+        )
+        wire = rows_to_csv(result)
+        loaded = result_from_csv(wire)
+        assert loaded.rows == result.rows
+        assert rows_to_csv(loaded) == wire
+
+    def test_overflow_cells_raise_value_error(self):
+        # a data row wider than the header is a ValueError, not an
+        # uncaught TypeError from int() on DictReader's restkey list
+        with pytest.raises(ValueError, match="more cells"):
+            result_from_csv("a\n1,2\n")
+
+    @settings(max_examples=60, deadline=None)
+    @given(rows=st.lists(_row, min_size=1, max_size=6))
+    def test_property_csv_wire_fixpoint(self, rows):
+        # floats go through repr; values must survive str() faithfully,
+        # so compare the *wire* fixpoint (the documented guarantee)
+        result = ExperimentResult("prop", "t", "ref", "text", rows=rows)
+        wire = rows_to_csv(result)
+        loaded = result_from_csv(wire)
+        assert rows_to_csv(loaded) == wire
+
+
+class TestLoadResult:
+    def test_load_json_and_csv(self, fig1_result, tmp_path):
+        for name in ("r.json", "r.csv"):
+            path = tmp_path / name
+            save_result(fig1_result, str(path))
+            loaded = load_result(str(path))
+            assert len(loaded.rows) == len(fig1_result.rows)
+
+    def test_bad_extension(self, tmp_path):
+        path = tmp_path / "r.xml"
+        path.write_text("<x/>")
+        with pytest.raises(ValueError):
+            load_result(str(path))

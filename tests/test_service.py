@@ -1,0 +1,389 @@
+"""Decode-service behaviour: golden bit-identity, batching, backpressure.
+
+The load-bearing guarantee is that serving adds *nothing* to the math:
+whatever ``Decoder.decode_batch`` returns for a syndrome batch, the
+service returns for the same shots — regardless of transport, batching
+window, request interleaving or client count.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.decoders import make_decoder
+from repro.noise.models import DephasingChannel
+from repro.service import (
+    BatchPolicy,
+    DecodeClient,
+    DecoderPool,
+    DecodeService,
+    ShardKey,
+    ThrottledFactory,
+)
+from repro.surface.lattice import SurfaceLattice
+
+
+def make_syndromes(d: int, error_type: str, shots: int, seed: int,
+                   p: float = 0.04) -> np.ndarray:
+    lattice = SurfaceLattice(d)
+    rng = np.random.default_rng(seed)
+    sample = DephasingChannel().sample(lattice, p, shots, rng)
+    decoder = make_decoder("greedy", lattice, error_type)
+    errors = sample.z if error_type == "z" else sample.x
+    return decoder.geometry.syndrome_of_errors(errors)
+
+
+def direct_batch(kind: str, d: int, error_type: str,
+                 syndromes: np.ndarray):
+    return make_decoder(kind, SurfaceLattice(d), error_type).decode_batch(
+        syndromes
+    )
+
+
+class TestGoldenBitIdentity:
+    """Service path == direct decode_batch, d in {3,5,7}, 2+ kinds."""
+
+    @pytest.mark.parametrize("kind", ["mwpm", "unionfind"])
+    @pytest.mark.parametrize("d", [3, 5, 7])
+    def test_single_client(self, kind, d):
+        syndromes = make_syndromes(d, "z", 24, seed=100 + d)
+        expected = direct_batch(kind, d, "z", syndromes)
+
+        async def scenario():
+            service = DecodeService()
+            client = DecodeClient.connect_inprocess(service)
+            outcome = await client.decode(ShardKey(kind, d, "z"), syndromes)
+            await client.close()
+            await service.close()
+            return outcome
+
+        outcome = asyncio.run(scenario())
+        assert outcome.ok
+        assert np.array_equal(outcome.corrections, expected.corrections)
+        assert np.array_equal(outcome.converged, expected.converged)
+
+    @pytest.mark.parametrize("kind", ["mwpm", "unionfind", "greedy"])
+    @pytest.mark.parametrize("d", [3, 5, 7])
+    def test_concurrent_multi_client_with_batching(self, kind, d):
+        """Many interleaved single-shot clients, coalescing enabled."""
+        shots = 40
+        syndromes = make_syndromes(d, "z", shots, seed=200 + d)
+        expected = direct_batch(kind, d, "z", syndromes)
+
+        async def scenario():
+            service = DecodeService(
+                policy=BatchPolicy(max_batch=16, max_wait_us=2000.0)
+            )
+            clients = [
+                DecodeClient.connect_inprocess(service) for _ in range(5)
+            ]
+            shard = ShardKey(kind, d, "z")
+            outcomes = await asyncio.gather(*(
+                clients[i % 5].decode(shard, syndromes[i:i + 1])
+                for i in range(shots)
+            ))
+            stats = await clients[0].stats()
+            for client in clients:
+                await client.close()
+            await service.close()
+            return outcomes, stats
+
+        outcomes, stats = asyncio.run(scenario())
+        assert all(o.ok for o in outcomes)
+        for i, outcome in enumerate(outcomes):
+            assert np.array_equal(
+                outcome.corrections[0], expected.corrections[i]
+            ), f"shot {i} diverged from direct decode_batch"
+        # batching must actually have happened for the test to mean much
+        shard_stats = stats["shards"][f"{kind}:d{d}:z"]
+        assert shard_stats["batches"] < shots
+        assert max(o.batch_shots for o in outcomes) > 1
+
+    def test_x_orientation(self):
+        syndromes = make_syndromes(5, "x", 16, seed=9)
+        expected = direct_batch("unionfind", 5, "x", syndromes)
+
+        async def scenario():
+            service = DecodeService()
+            client = DecodeClient.connect_inprocess(service)
+            outcome = await client.decode(
+                ShardKey("unionfind", 5, "x"), syndromes
+            )
+            await client.close()
+            await service.close()
+            return outcome
+
+        outcome = asyncio.run(scenario())
+        assert outcome.ok
+        assert np.array_equal(outcome.corrections, expected.corrections)
+
+    def test_mesh_decoder_reports_cycles(self):
+        syndromes = make_syndromes(5, "z", 8, seed=3)
+        expected = direct_batch("sfq_mesh", 5, "z", syndromes)
+
+        async def scenario():
+            service = DecodeService()
+            client = DecodeClient.connect_inprocess(service)
+            outcome = await client.decode(
+                ShardKey("sfq_mesh", 5, "z"), syndromes
+            )
+            await client.close()
+            await service.close()
+            return outcome
+
+        outcome = asyncio.run(scenario())
+        assert outcome.ok
+        assert np.array_equal(outcome.corrections, expected.corrections)
+        assert outcome.cycles is not None
+        assert np.array_equal(outcome.cycles, expected.cycles)
+
+
+class TestTcpTransport:
+    def test_golden_over_tcp(self):
+        syndromes = make_syndromes(5, "z", 12, seed=11)
+        expected = direct_batch("mwpm", 5, "z", syndromes)
+
+        async def scenario():
+            service = DecodeService()
+            host, port = await service.start_tcp()
+            client = await DecodeClient.connect_tcp(host, port)
+            outcome = await client.decode(ShardKey("mwpm", 5, "z"), syndromes)
+            stats = await client.stats()
+            await client.close()
+            await service.close()
+            return outcome, stats
+
+        outcome, stats = asyncio.run(scenario())
+        assert outcome.ok
+        assert np.array_equal(outcome.corrections, expected.corrections)
+        assert stats["connections"] == 1
+
+
+class TestBackpressure:
+    def test_rejects_with_retry_after_and_bounded_queue(self):
+        syndromes = make_syndromes(3, "z", 64, seed=21)
+
+        async def scenario():
+            service = DecodeService(
+                pool=DecoderPool(factory=ThrottledFactory(0.01)),
+                policy=BatchPolicy(
+                    max_batch=8, max_wait_us=100.0, max_queue_shots=16
+                ),
+            )
+            client = DecodeClient.connect_inprocess(service)
+            shard = ShardKey("greedy", 3, "z")
+            outcomes = await asyncio.gather(*(
+                client.decode(shard, syndromes[i:i + 1]) for i in range(64)
+            ))
+            stats = await client.stats()
+            await client.close()
+            await service.close()
+            return outcomes, stats
+
+        outcomes, stats = asyncio.run(scenario())
+        rejected = [o for o in outcomes if o.reason == "backpressure"]
+        served = [o for o in outcomes if o.ok]
+        assert rejected, "64 instant arrivals must exceed a 16-shot queue"
+        assert served, "backpressure must not starve the queue"
+        assert all(o.retry_after_us > 0 for o in rejected)
+        assert all(o.rejected for o in rejected)
+        shard_stats = stats["shards"]["greedy:d3:z"]
+        assert shard_stats["shots_rejected"] == len(rejected)
+        assert shard_stats["shots_decoded"] == len(served)
+        # bounded: admission cap + at most one in-flight batch
+        assert shard_stats["max_queue_depth"] <= 16 + 8
+
+    def test_oversized_request_rejected_permanently(self):
+        """n > max_queue_shots can never be admitted: no retry hint."""
+        syndromes = make_syndromes(3, "z", 32, seed=23)
+
+        async def scenario():
+            service = DecodeService(
+                policy=BatchPolicy(max_queue_shots=16)
+            )
+            client = DecodeClient.connect_inprocess(service)
+            outcome = await client.decode(
+                ShardKey("greedy", 3, "z"), syndromes
+            )
+            await client.close()
+            await service.close()
+            return outcome
+
+        outcome = asyncio.run(scenario())
+        assert not outcome.ok
+        assert outcome.reason == "too_large"
+        assert outcome.retry_after_us == 0.0
+        assert not outcome.rejected    # permanent, not a transient shed
+
+    def test_deadline_expiry(self):
+        syndromes = make_syndromes(3, "z", 8, seed=22)
+
+        async def scenario():
+            service = DecodeService(
+                pool=DecoderPool(factory=ThrottledFactory(0.02)),
+                policy=BatchPolicy(max_batch=1, max_wait_us=0.0),
+            )
+            client = DecodeClient.connect_inprocess(service)
+            shard = ShardKey("greedy", 3, "z")
+            # first request hogs the decoder; the rest carry a deadline
+            # far shorter than the wait they are in for
+            first = asyncio.create_task(
+                client.decode(shard, syndromes[0:1])
+            )
+            await asyncio.sleep(0.005)
+            rest = await asyncio.gather(*(
+                client.decode(shard, syndromes[i:i + 1], deadline_us=1.0)
+                for i in range(1, 8)
+            ))
+            head = await first
+            await client.close()
+            await service.close()
+            return head, rest
+
+        head, rest = asyncio.run(scenario())
+        assert head.ok
+        assert any(o.reason == "deadline" for o in rest)
+
+
+class TestProtocolErrors:
+    def test_unknown_shard_and_bad_shape(self):
+        async def scenario():
+            service = DecodeService()
+            client = DecodeClient.connect_inprocess(service)
+            bad_kind = await client.decode(
+                ShardKey("nosuch", 5, "z"), np.zeros((1, 12), dtype=np.uint8)
+            )
+            wrong_shape = await client.decode(
+                ShardKey("mwpm", 5, "z"), np.zeros((1, 3), dtype=np.uint8)
+            )
+            await client.close()
+            await service.close()
+            return bad_kind, wrong_shape
+
+        bad_kind, wrong_shape = asyncio.run(scenario())
+        assert not bad_kind.ok and bad_kind.reason == "error"
+        assert "unknown decoder kind" in bad_kind.error
+        assert not wrong_shape.ok
+        assert "syndrome bits" in wrong_shape.error
+
+    def test_distance_cap_rejected_at_admission(self):
+        """Huge client-supplied distances must not build server state."""
+        async def scenario():
+            service = DecodeService()
+            client = DecodeClient.connect_inprocess(service)
+            outcome = await client.decode(
+                ShardKey("mwpm", 2001, "z"),
+                np.zeros((1, 8), dtype=np.uint8),
+            )
+            stats = await client.stats()
+            await client.close()
+            await service.close()
+            return outcome, stats
+
+        outcome, stats = asyncio.run(scenario())
+        assert not outcome.ok
+        assert "exceeds the service cap" in outcome.error
+        assert stats["shards"] == {}       # no worker/telemetry leaked
+        assert stats["pool"]["builds"] == 0
+
+
+class TestPool:
+    def test_lru_eviction_keeps_serving(self):
+        async def scenario():
+            service = DecodeService(pool=DecoderPool(max_shards=1))
+            client = DecodeClient.connect_inprocess(service)
+            s3 = make_syndromes(3, "z", 4, seed=31)
+            s5 = make_syndromes(5, "z", 4, seed=32)
+            out = []
+            for shard, syndromes in [
+                (ShardKey("greedy", 3, "z"), s3),
+                (ShardKey("greedy", 5, "z"), s5),
+                (ShardKey("greedy", 3, "z"), s3),
+            ]:
+                out.append(await client.decode(shard, syndromes))
+            stats = await client.stats()
+            await client.close()
+            await service.close()
+            return out, stats
+
+        out, stats = asyncio.run(scenario())
+        assert all(o.ok for o in out)
+        assert stats["pool"]["live_shards"] == 1
+        assert stats["pool"]["evictions"] >= 2
+        assert np.array_equal(out[0].corrections, out[2].corrections)
+
+    def test_worker_processes_bit_identical(self):
+        syndromes = make_syndromes(5, "z", 16, seed=41)
+        expected = direct_batch("mwpm", 5, "z", syndromes)
+
+        async def scenario():
+            service = DecodeService(pool=DecoderPool(workers=1))
+            client = DecodeClient.connect_inprocess(service)
+            outcome = await client.decode(ShardKey("mwpm", 5, "z"), syndromes)
+            await client.close()
+            await service.close()
+            return outcome
+
+        outcome = asyncio.run(scenario())
+        assert outcome.ok
+        assert np.array_equal(outcome.corrections, expected.corrections)
+
+    def test_custom_factory_requires_inline(self):
+        with pytest.raises(ValueError):
+            DecoderPool(workers=2, factory=ThrottledFactory(0.0))
+
+
+class TestBareProtocolMessages:
+    def test_stats_without_id(self):
+        """The documented bare ``{"type": "stats"}`` probe must work."""
+        async def scenario():
+            service = DecodeService()
+            transport = None
+
+            async def talk():
+                nonlocal transport
+                transport = service.connect()
+                await transport.send({"type": "stats"})
+                reply = await transport.recv()
+                await transport.close()
+                return reply
+
+            reply = await talk()
+            await service.close()
+            return reply
+
+        reply = asyncio.run(scenario())
+        assert reply["type"] == "stats_reply"
+        assert reply["id"] is None
+        assert "shards" in reply["stats"]
+
+
+class TestTelemetry:
+    def test_stats_accounting_consistent(self):
+        syndromes = make_syndromes(3, "z", 20, seed=51)
+
+        async def scenario():
+            service = DecodeService(
+                policy=BatchPolicy(max_batch=64, max_wait_us=500.0)
+            )
+            client = DecodeClient.connect_inprocess(service)
+            shard = ShardKey("unionfind", 3, "z")
+            await asyncio.gather(*(
+                client.decode(shard, syndromes[i:i + 1]) for i in range(20)
+            ))
+            stats = await client.stats()
+            await client.close()
+            await service.close()
+            return stats
+
+        stats = asyncio.run(scenario())
+        shard_stats = stats["shards"]["unionfind:d3:z"]
+        assert shard_stats["shots_received"] == 20
+        assert shard_stats["shots_decoded"] == 20
+        assert shard_stats["shots_rejected"] == 0
+        assert shard_stats["queue_depth"] == 0
+        assert shard_stats["latency"]["count"] == 20
+        assert shard_stats["latency"]["p99_us"] >= \
+            shard_stats["latency"]["p50_us"]
+        assert stats["totals"]["shots_decoded"] == 20

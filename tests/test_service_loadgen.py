@@ -1,0 +1,160 @@
+"""Load-generator tests: trace determinism, rate anchoring, replay."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.runtime.latency import ConstantLatency, paper_table4_latency
+from repro.service import (
+    BatchPolicy,
+    DecoderPool,
+    DecodeService,
+    ShardKey,
+    bursty_trace,
+    poisson_trace,
+    rate_for_utilization,
+    run_load,
+)
+from repro.service.loadgen import ArrivalTrace, make_request_syndromes
+
+
+class TestTraces:
+    def test_poisson_deterministic(self):
+        a = poisson_trace(1000.0, 50, seed=7)
+        b = poisson_trace(1000.0, 50, seed=7)
+        assert np.array_equal(a.times_s, b.times_s)
+        c = poisson_trace(1000.0, 50, seed=8)
+        assert not np.array_equal(a.times_s, c.times_s)
+
+    def test_poisson_rate_roughly_matches(self):
+        trace = poisson_trace(2000.0, 4000, seed=1)
+        assert trace.offered_rps == pytest.approx(2000.0, rel=0.1)
+        assert trace.times_s[0] == 0.0
+
+    def test_bursty_shape(self):
+        trace = bursty_trace(4, 10, burst_gap_s=0.1, seed=None)
+        assert trace.n_requests == 40
+        # back-to-back within bursts: 9 zero gaps per burst
+        gaps = np.diff(trace.times_s)
+        assert np.sum(gaps == 0.0) == 4 * 9
+
+    def test_trace_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalTrace("x", np.array([0.2, 0.1]))
+        with pytest.raises(ValueError):
+            ArrivalTrace("x", np.array([]))
+        with pytest.raises(ValueError):
+            poisson_trace(0.0, 10)
+        with pytest.raises(ValueError):
+            bursty_trace(0, 5, 0.1)
+
+    def test_scaled_compresses_time(self):
+        trace = poisson_trace(100.0, 20, seed=2)
+        fast = trace.scaled(0.5)
+        assert np.allclose(fast.times_s, trace.times_s * 0.5)
+        assert fast.offered_rps == pytest.approx(trace.offered_rps * 2)
+
+
+class TestRateAnchoring:
+    def test_constant_latency_capacity(self):
+        # 400 ns per round -> 2.5e6 shots/s capacity; rho=0.5 halves it
+        rate = rate_for_utilization(ConstantLatency("x", 400.0), 0.5)
+        assert rate == pytest.approx(1.25e6)
+
+    def test_table4_ground_truth(self):
+        # Table IV d=9 mean is 3.81 ns -> capacity ~262 Mshots/s
+        rate = rate_for_utilization(paper_table4_latency(9), 1.0)
+        assert 1e8 < rate < 1e9
+
+    def test_shots_per_request_divides(self):
+        lat = ConstantLatency("x", 1000.0)
+        assert rate_for_utilization(lat, 1.0, shots_per_request=10) == \
+            pytest.approx(rate_for_utilization(lat, 1.0) / 10)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            rate_for_utilization(ConstantLatency("x", 400.0), 0.0)
+        with pytest.raises(ValueError):
+            rate_for_utilization(ConstantLatency("x", 0.0), 0.5)
+
+
+class TestRequestSyndromes:
+    def test_deterministic_and_shaped(self):
+        shard = ShardKey("greedy", 3, "z")
+        trace = poisson_trace(1000.0, 10, seed=3, shots_per_request=4)
+        a = make_request_syndromes(shard, trace, seed=5)
+        b = make_request_syndromes(shard, trace, seed=5)
+        assert len(a) == 10
+        assert all(x.shape == (4, a[0].shape[1]) for x in a)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+class TestReplay:
+    def test_smoke_replay_all_served(self):
+        async def scenario():
+            service = DecodeService(
+                policy=BatchPolicy(max_batch=32, max_wait_us=200.0)
+            )
+            trace = poisson_trace(5000.0, 60, seed=4)
+            report = await run_load(
+                service, ShardKey("unionfind", 3, "z"), trace,
+                n_clients=3, seed=4,
+            )
+            await service.close()
+            return report
+
+        report = asyncio.run(scenario())
+        assert report.n_requests == 60
+        assert report.ok == 60
+        assert report.rejected == 0
+        assert report.achieved_shots_per_s > 0
+        assert report.latency_p99_us >= report.latency_p50_us
+        as_dict = report.as_dict()
+        assert as_dict["ok"] == 60 and as_dict["rejected_fraction"] == 0.0
+
+    def test_fully_failed_run_reports_unknown_latency(self):
+        """All-rejected runs must not report a perfect 0 latency."""
+        async def scenario():
+            # every request exceeds the admission cap -> nothing served
+            service = DecodeService(
+                policy=BatchPolicy(max_queue_shots=2)
+            )
+            trace = poisson_trace(1000.0, 10, seed=6, shots_per_request=8)
+            report = await run_load(
+                service, ShardKey("greedy", 3, "z"), trace, seed=6
+            )
+            await service.close()
+            return report
+
+        report = asyncio.run(scenario())
+        assert report.ok == 0
+        assert report.errors == 10      # too_large is a permanent error
+        assert np.isnan(report.latency_p50_us)
+        as_dict = report.as_dict()
+        assert as_dict["latency_p50_us"] is None
+        assert as_dict["latency_p99_us"] is None
+
+    def test_saturating_replay_backpressure(self):
+        from repro.service import ThrottledFactory
+
+        async def scenario():
+            service = DecodeService(
+                pool=DecoderPool(factory=ThrottledFactory(0.005)),
+                policy=BatchPolicy(
+                    max_batch=8, max_wait_us=100.0, max_queue_shots=16
+                ),
+            )
+            trace = poisson_trace(3000.0, 150, seed=5)
+            report = await run_load(
+                service, ShardKey("greedy", 3, "z"), trace,
+                n_clients=4, seed=5,
+            )
+            await service.close()
+            return report
+
+        report = asyncio.run(scenario())
+        assert report.rejected > 0, "3000 req/s at ~1600 shots/s must shed"
+        assert report.ok > 0
+        assert report.max_queue_depth <= 16 + 8
+        assert 0.0 < report.rejected_fraction < 1.0

@@ -1,0 +1,137 @@
+"""Wire-protocol tests: shard keys, bitmap codec, framing, transports."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.service.protocol import (
+    MemoryTransport,
+    ProtocolError,
+    ShardKey,
+    decode_frame,
+    decode_request,
+    encode_frame,
+    pack_bitmap,
+    reject_reply,
+    result_reply,
+    unpack_bitmap,
+)
+
+
+class TestShardKey:
+    def test_wire_round_trip(self):
+        for key in (
+            ShardKey("mwpm", 5, "z"),
+            ShardKey("unionfind", 9, "x"),
+            ShardKey("sfq_mesh", 3, "z"),
+        ):
+            assert ShardKey.parse(key.wire()) == key
+
+    def test_wire_format(self):
+        assert ShardKey("mwpm", 5, "z").wire() == "mwpm:d5:z"
+
+    @pytest.mark.parametrize("bad", [
+        "mwpm", "mwpm:5:z", "mwpm:dx:z", "mwpm:d5", "mwpm:d5:z:extra",
+        "mwpm:d4:z", "mwpm:d5:y",
+    ])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ProtocolError):
+            ShardKey.parse(bad)
+
+    def test_constructor_validates(self):
+        with pytest.raises(ValueError):
+            ShardKey("mwpm", 2, "z")
+        with pytest.raises(ValueError):
+            ShardKey("mwpm", 5, "q")
+
+
+class TestBitmapCodec:
+    @pytest.mark.parametrize("shape", [(1, 1), (3, 7), (16, 41), (5, 8),
+                                       (2, 9), (128, 13)])
+    def test_round_trip(self, shape, rng):
+        arr = (rng.random(shape) < 0.3).astype(np.uint8)
+        assert np.array_equal(unpack_bitmap(pack_bitmap(arr)), arr)
+
+    def test_one_dimensional(self, rng):
+        arr = (rng.random(17) < 0.5).astype(np.uint8)
+        assert np.array_equal(unpack_bitmap(pack_bitmap(arr)), arr)
+
+    def test_all_zeros_and_ones(self):
+        for fill in (0, 1):
+            arr = np.full((4, 11), fill, dtype=np.uint8)
+            assert np.array_equal(unpack_bitmap(pack_bitmap(arr)), arr)
+
+    def test_bad_payload_raises(self):
+        with pytest.raises(ProtocolError):
+            unpack_bitmap({"b64": "!!!", "shape": [2, 2]})
+        with pytest.raises(ProtocolError):
+            unpack_bitmap({"shape": [2, 2]})
+        # payload too short for the claimed shape
+        good = pack_bitmap(np.ones((2, 2), dtype=np.uint8))
+        with pytest.raises(ProtocolError):
+            unpack_bitmap({"b64": good["b64"], "shape": [100, 100]})
+
+
+class TestFraming:
+    def test_round_trip(self):
+        msg = {"type": "ping", "id": 7, "nested": {"a": [1, 2, 3]}}
+        assert decode_frame(encode_frame(msg)) == msg
+
+    def test_truncated_frame(self):
+        frame = encode_frame({"type": "ping", "id": 1})
+        with pytest.raises(ProtocolError):
+            decode_frame(frame[:-2])
+        with pytest.raises(ProtocolError):
+            decode_frame(b"\x00")
+
+    def test_non_object_payload(self):
+        import json
+        import struct
+        body = json.dumps([1, 2]).encode()
+        with pytest.raises(ProtocolError):
+            decode_frame(struct.pack(">I", len(body)) + body)
+
+    def test_decode_request_schema(self, rng):
+        synd = (rng.random((4, 12)) < 0.2).astype(np.uint8)
+        msg = decode_request(3, ShardKey("greedy", 5, "z"), synd,
+                             deadline_us=500.0)
+        assert msg["type"] == "decode"
+        assert msg["shard"] == "greedy:d5:z"
+        assert msg["deadline_us"] == 500.0
+        assert np.array_equal(unpack_bitmap(msg["syndromes"]), synd)
+
+    def test_result_and_reject_replies(self, rng):
+        corrections = (rng.random((2, 13)) < 0.1).astype(np.uint8)
+        converged = np.array([1, 0], dtype=np.uint8)
+        msg = result_reply(5, corrections, converged,
+                           np.array([3, 4]), 10.0, 20.0, 2)
+        assert msg["type"] == "result" and msg["cycles"] == [3, 4]
+        assert np.array_equal(unpack_bitmap(msg["corrections"]), corrections)
+        rej = reject_reply(6, "backpressure", 123.4, 17)
+        assert rej["type"] == "reject" and rej["queue_depth"] == 17
+
+
+class TestMemoryTransport:
+    def test_send_recv_eof(self):
+        async def scenario():
+            a, b = MemoryTransport.pair()
+            await a.send({"type": "ping", "id": 1})
+            assert (await b.recv())["id"] == 1
+            await b.send({"type": "pong", "id": 1})
+            assert (await a.recv())["type"] == "pong"
+            await a.close()
+            assert await b.recv() is None
+            with pytest.raises(ConnectionError):
+                await a.send({"type": "ping", "id": 2})
+        asyncio.run(scenario())
+
+    def test_frames_travel_encoded(self):
+        # the queue carries encoded frames, not dict references
+        async def scenario():
+            a, b = MemoryTransport.pair()
+            await a.send({"type": "ping", "id": 1})
+            frame = await b._inbox.get()
+            assert isinstance(frame, bytes)
+            assert decode_frame(frame) == {"type": "ping", "id": 1}
+        asyncio.run(scenario())
