@@ -1,0 +1,136 @@
+"""Cluster resilience scenarios (``record.py --suite cluster``).
+
+Each scenario replays a deterministic open-loop trace against a
+multi-replica :class:`repro.service.cluster.DecodeCluster` and audits
+the tier's resilience contract: **zero lost corrections, zero
+duplicate corrections, bit-identity with a direct single-process
+``decode_batch``**, and a bounded p99 tail — while a scripted fault
+(nothing, or a hard kill of the shard's primary at 50% of the trace)
+fires mid-run.
+
+Offered rates are expressed relative to the shard's measured direct
+``decode_batch`` capacity (``rho``, per replica), like
+``bench_service.py``, so the scenario shapes are machine-portable.
+The gate metrics (``ok_fraction``, ``golden_match``, ``lost``) are
+fully portable; the latency quantiles are indicative only.
+
+Standalone run::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from bench_service import measure_capacity_shots_per_s
+from repro.service import RetryPolicy, ShardKey, poisson_trace
+from repro.service.cluster import (
+    ChaosEvent,
+    ClusterPolicy,
+    DecodeCluster,
+    run_chaos_load,
+)
+
+
+@dataclass(frozen=True)
+class ClusterScenario:
+    """One (fault script, load shape) resilience cell."""
+
+    name: str
+    shard: ShardKey
+    rho: float                 # offered load / per-replica capacity
+    requests: int
+    events: Tuple[ChaosEvent, ...] = ()
+    n_replicas: int = 3
+    replication: int = 2
+    #: large enough that decode work dominates per-request framing
+    #: overhead (same reasoning as ``bench_service.Scenario``)
+    shots_per_request: int = 64
+    #: generous, machine-portable tail bound — the drill asserts the
+    #: fault does not snowball, not an absolute latency target
+    p99_bound_ms: Optional[float] = 2000.0
+    p: float = 0.04
+    seed: int = 2020
+
+
+def cluster_policy(scenario: ClusterScenario) -> ClusterPolicy:
+    return ClusterPolicy(
+        replication=scenario.replication,
+        heartbeat_interval_s=0.05,
+        heartbeat_timeout_s=0.15,
+        request_timeout_s=1.0,
+        retry=RetryPolicy(max_attempts=5, base_us=500.0),
+    )
+
+
+def run_cluster_scenario(scenario: ClusterScenario) -> dict:
+    """Measure one scenario; returns a flat JSON-able record."""
+    capacity = measure_capacity_shots_per_s(
+        scenario.shard, p=scenario.p, seed=scenario.seed
+    )
+    rate_rps = scenario.rho * capacity / scenario.shots_per_request
+    trace = poisson_trace(
+        rate_rps, scenario.requests, seed=scenario.seed,
+        shots_per_request=scenario.shots_per_request,
+    )
+
+    async def replay():
+        cluster = DecodeCluster(
+            n_replicas=scenario.n_replicas,
+            policy=cluster_policy(scenario),
+            seed=scenario.seed,
+        )
+        try:
+            return await run_chaos_load(
+                cluster, scenario.shard, trace,
+                events=scenario.events, p=scenario.p, seed=scenario.seed,
+                p99_bound_ms=scenario.p99_bound_ms,
+            )
+        finally:
+            await cluster.close()
+
+    report = asyncio.run(replay())
+    record = report.as_dict()
+    record.update({
+        "rho": scenario.rho,
+        "capacity_shots_per_s": round(capacity, 1),
+        "shots_per_request": scenario.shots_per_request,
+        "replicas_started": scenario.n_replicas,
+        "replication": scenario.replication,
+        # scale-invariant gate metric: 1.0 means every request produced
+        # exactly one correction — --regress-check warns on any drop,
+        # at any request budget or machine speed
+        "ok_fraction": round(report.ok / max(report.n_requests, 1), 4),
+    })
+    return record
+
+
+def default_scenarios(requests: int = 400) -> list:
+    """The committed suite: a steady-state run + the acceptance drill
+    (the shard's primary hard-killed at 50% of the trace)."""
+    shard = ShardKey("unionfind", 5, "z")
+    return [
+        ClusterScenario(
+            name="steady_state_3x_rho06",
+            shard=shard, rho=0.6, requests=requests,
+        ),
+        ClusterScenario(
+            name="replica_kill_at_50pct_rho06",
+            shard=shard, rho=0.6, requests=requests,
+            events=(ChaosEvent(0.5, "kill"),),
+        ),
+    ]
+
+
+def main() -> int:
+    records = {s.name: run_cluster_scenario(s) for s in default_scenarios()}
+    print(json.dumps(records, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,7 +25,15 @@ Three suites, each writing one committed JSON baseline:
   for 3 serving scenarios plus one saturating run that must show
   bounded queue depth and rejected-request accounting ->
   ``benchmarks/BENCH_service_throughput.json``.  ``--regress-check``
-  warns on ``achieved_shots_per_s`` like the decoder suite.
+  warns on ``achieved_shots_per_s`` like the decoder suite;
+* ``cluster`` — the replicated cluster tier's resilience drills
+  (``bench_cluster.py``): a steady-state run and the acceptance drill
+  (the shard's primary hard-killed at 50% of the trace), each audited
+  for zero lost / zero duplicate corrections, bit-identity against a
+  direct ``decode_batch`` golden run, and a bounded p99 tail ->
+  ``benchmarks/BENCH_cluster_resilience.json``.  ``--regress-check``
+  gates on ``ok_fraction`` — scale-invariant (1.0 at any request
+  budget), unlike the machine-dependent latency quantiles.
 
 Future PRs rerun this script and compare against the committed baselines
 to track the perf trajectory::
@@ -63,6 +71,7 @@ DECODER_OUT = BENCH_DIR / "BENCH_decoder_throughput.json"
 MACHINE_OUT = BENCH_DIR / "BENCH_machine_runtime.json"
 ADAPTIVE_OUT = BENCH_DIR / "BENCH_adaptive_sampling.json"
 SERVICE_OUT = BENCH_DIR / "BENCH_service_throughput.json"
+CLUSTER_OUT = BENCH_DIR / "BENCH_cluster_resilience.json"
 DISTANCES = (7, 9, 11)
 #: (decoder name, distance) cells of the decoder suite; lookup only
 #: exists at d = 3
@@ -463,13 +472,43 @@ def run_service_benchmark(requests: int = 600, seed: int = 2020) -> dict:
     }
 
 
+def run_cluster_benchmark(requests: int = 400, seed: int = 2020) -> dict:
+    """Cluster resilience drills (see ``bench_cluster.py``)."""
+    import dataclasses
+
+    from bench_cluster import default_scenarios, run_cluster_scenario
+
+    entries = {}
+    for scenario in default_scenarios(requests):
+        scenario = dataclasses.replace(scenario, seed=seed)
+        entries[scenario.name] = run_cluster_scenario(scenario)
+    return {
+        "benchmark": "cluster_resilience_drills",
+        "workload": {
+            "requests": requests,
+            "seed": seed,
+            "model": "dephasing",
+            "arrival": "open-loop Poisson trace, rho x measured "
+            "per-replica shard capacity",
+            "invariants": "zero lost + zero duplicate corrections, "
+            "bit-identity vs direct decode_batch, bounded p99",
+            "timing": "single-pass wall clock (ok_fraction / golden / "
+            "lost are the portable numbers; latencies are indicative)",
+        },
+        "recorded": date.today().isoformat(),
+        "machine": platform.machine(),
+        "entries": entries,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Record perf baselines (mesh throughput, machine runtime)."
     )
     parser.add_argument(
         "--suite",
-        choices=("mesh", "decoders", "machine", "adaptive", "service", "all"),
+        choices=("mesh", "decoders", "machine", "adaptive", "service",
+                 "cluster", "all"),
         default="all",
     )
     parser.add_argument("--shots", type=int, default=256 if SMOKE else 2048)
@@ -483,9 +522,14 @@ def main(argv=None) -> int:
     parser.add_argument("--machine-out", type=Path, default=MACHINE_OUT)
     parser.add_argument("--adaptive-out", type=Path, default=ADAPTIVE_OUT)
     parser.add_argument("--service-out", type=Path, default=SERVICE_OUT)
+    parser.add_argument("--cluster-out", type=Path, default=CLUSTER_OUT)
     parser.add_argument(
         "--requests", type=int, default=150 if SMOKE else 600,
         help="requests per serving scenario (service suite)",
+    )
+    parser.add_argument(
+        "--cluster-requests", type=int, default=120 if SMOKE else 400,
+        help="requests per resilience drill (cluster suite)",
     )
     parser.add_argument(
         "--target-rse", type=float, default=0.1,
@@ -626,6 +670,33 @@ def main(argv=None) -> int:
         else:
             args.service_out.write_text(json.dumps(record, indent=2) + "\n")
             print(f"wrote {args.service_out}")
+
+    if args.suite in ("cluster", "all") and args.check is None:
+        record = run_cluster_benchmark(args.cluster_requests, seed=args.seed)
+        for name, entry in record["entries"].items():
+            events = ", ".join(e[1] for e in entry["events"]) or "none"
+            print(
+                f"{name:>28}: ok {entry['ok']}/{entry['n_requests']}  "
+                f"lost {entry['lost']}  dup {entry['duplicate_frames']}  "
+                f"failovers {entry['failovers']}  "
+                f"p99 {entry['latency_p99_us'] / 1e3:>7.2f} ms  "
+                f"golden={entry['golden_match']}  faults: {events}"
+            )
+            if entry["lost"] > 0 or entry["golden_match"] is False:
+                print(
+                    f"WARNING: {name} violated the resilience contract "
+                    "(lost corrections or golden mismatch)"
+                )
+            if entry["p99_within_bound"] is False:
+                print(
+                    f"WARNING: {name} p99 exceeded its "
+                    f"{entry['p99_bound_ms']:.0f} ms bound"
+                )
+        if args.regress_check:
+            regression_report(record, args.cluster_out, key="ok_fraction")
+        else:
+            args.cluster_out.write_text(json.dumps(record, indent=2) + "\n")
+            print(f"wrote {args.cluster_out}")
     return 0
 
 

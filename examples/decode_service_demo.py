@@ -27,6 +27,7 @@ from repro.service import (
     DecodeClient,
     DecoderPool,
     DecodeService,
+    RetryPolicy,
     ShardKey,
     ThrottledFactory,
     poisson_trace,
@@ -86,6 +87,25 @@ async def demo(args) -> None:
           f"p99 {report.latency_p99_us / 1e3:.1f} ms  "
           f"sustained {report.achieved_shots_per_s:.0f} shots/s")
     await slow_service.close()
+
+    # -- 5. same overload, but clients retry per RetryPolicy -----------
+    # capped exponential backoff honoring the server's retry_after_us
+    # hints: most shed requests eventually land, at the cost of extra
+    # sends (mean_attempts) and a longer tail
+    retry_service = DecodeService(
+        pool=DecoderPool(factory=ThrottledFactory(args.throttle_ms / 1e3)),
+        policy=BatchPolicy(max_batch=16, max_wait_us=200.0,
+                           max_queue_shots=args.queue_shots),
+    )
+    retry_report = await run_load(
+        retry_service, shard, trace, p=args.error_rate, seed=args.seed,
+        n_clients=4, retry=RetryPolicy(max_attempts=4),
+    )
+    print("\nsame trace with RetryPolicy(max_attempts=4):")
+    print(f"  ok {retry_report.ok} (was {report.ok}) / still rejected "
+          f"{retry_report.rejected} (was {report.rejected})")
+    print(f"  mean sends per request {retry_report.mean_attempts:.2f}")
+    await retry_service.close()
     await service.close()
 
 

@@ -16,10 +16,27 @@ divergence condition ``f = r_gen / r_proc > 1``.
 Service-path corrections are golden-tested bit-identical to direct
 ``Decoder.decode_batch`` calls (``tests/test_service.py``), including
 under concurrent multi-client load with batching enabled.
+
+The :mod:`.cluster` subpackage layers replication on top: shard keys
+consistent-hash onto a fleet of health-tracked replicas with
+load-balanced dispatch, heartbeat-driven failover, retry policies,
+fault injection and a local decode fallback — chaos-tested to lose and
+duplicate zero corrections while a replica dies mid-run.
 """
 
 from .batcher import BatchPolicy, MicroBatcher
-from .client import DecodeClient, DecodeOutcome
+from .client import DecodeClient, DecodeOutcome, RetryPolicy, ServiceClosedError
+from .cluster import (
+    AutoscalePolicy,
+    ChaosEvent,
+    ChaosReport,
+    ClusterFrontend,
+    ClusterPolicy,
+    DecodeCluster,
+    FaultInjector,
+    HashRing,
+    run_chaos_load,
+)
 from .loadgen import (
     ArrivalTrace,
     LoadReport,
@@ -31,6 +48,7 @@ from .loadgen import (
 from .pool import DecoderPool, ThrottledFactory, default_decoder_factory
 from .protocol import (
     MemoryTransport,
+    ProtocolError,
     ShardKey,
     StreamTransport,
     pack_bitmap,
@@ -41,15 +59,26 @@ from .telemetry import LatencyHistogram, ServiceTelemetry, ShardTelemetry
 
 __all__ = [
     "ArrivalTrace",
+    "AutoscalePolicy",
     "BatchPolicy",
+    "ChaosEvent",
+    "ChaosReport",
+    "ClusterFrontend",
+    "ClusterPolicy",
     "DecodeClient",
+    "DecodeCluster",
     "DecodeOutcome",
     "DecodeService",
     "DecoderPool",
+    "FaultInjector",
+    "HashRing",
     "LatencyHistogram",
     "LoadReport",
     "MemoryTransport",
     "MicroBatcher",
+    "ProtocolError",
+    "RetryPolicy",
+    "ServiceClosedError",
     "ServiceTelemetry",
     "ShardKey",
     "ShardTelemetry",
@@ -60,6 +89,7 @@ __all__ = [
     "pack_bitmap",
     "poisson_trace",
     "rate_for_utilization",
+    "run_chaos_load",
     "run_load",
     "unpack_bitmap",
 ]

@@ -10,6 +10,13 @@ Drive load (against a TCP endpoint, or fully in-process)::
         --rho 0.5 --requests 2000
     python -m repro.service load --target 127.0.0.1:7901 --shard \
         unionfind:d7:z --rate 5000 --requests 1000
+
+Run a replicated cluster chaos drill (kill the shard's primary at half
+the trace, audit zero lost / zero duplicate corrections and golden
+bit-identity)::
+
+    python -m repro.service cluster --replicas 3 --shard unionfind:d5:z \
+        --requests 400 --kill-at 0.5 --p99-bound-ms 250
 """
 
 from __future__ import annotations
@@ -21,7 +28,14 @@ import sys
 
 from ..runtime.latency import paper_table4_latency
 from .batcher import BatchPolicy
-from .client import DecodeClient
+from .client import DecodeClient, RetryPolicy
+from .cluster import (
+    AutoscalePolicy,
+    ChaosEvent,
+    ClusterPolicy,
+    DecodeCluster,
+    run_chaos_load,
+)
 from .loadgen import bursty_trace, poisson_trace, rate_for_utilization, run_load
 from .pool import DecoderPool
 from .protocol import ShardKey
@@ -100,11 +114,14 @@ async def _load(args) -> int:
         ]
     else:
         service = _make_service(args)
+    retry = None
+    if args.retry_attempts > 1:
+        retry = RetryPolicy(max_attempts=args.retry_attempts)
     try:
         report = await run_load(
             service, shard, trace, p=args.p, seed=args.seed,
             n_clients=args.clients, deadline_us=args.deadline_us,
-            clients=clients,
+            clients=clients, retry=retry,
         )
     finally:
         if clients:
@@ -114,6 +131,55 @@ async def _load(args) -> int:
             await service.close()
     print(json.dumps(report.as_dict(), indent=2))
     return 0
+
+
+async def _cluster(args) -> int:
+    shard = ShardKey.parse(args.shard)
+    if args.rate is not None:
+        rate = args.rate
+    else:
+        latency = paper_table4_latency(min(max(args.ground_truth_d, 3), 9))
+        rate = rate_for_utilization(latency, args.rho, args.shots)
+        rate *= args.rate_scale
+    trace = poisson_trace(rate, args.requests, seed=args.seed,
+                          shots_per_request=args.shots)
+    policy = ClusterPolicy(
+        replication=args.replication,
+        request_timeout_s=args.request_timeout_s,
+        retry=RetryPolicy(max_attempts=max(args.retry_attempts, 1)),
+        fallback=not args.no_fallback,
+        autoscale=AutoscalePolicy() if args.autoscale else None,
+    )
+
+    def service_factory() -> DecodeService:
+        return _make_service(args)
+
+    cluster = DecodeCluster(
+        n_replicas=args.replicas, policy=policy,
+        service_factory=service_factory, seed=args.seed,
+    )
+    events = []
+    if args.kill_at is not None:
+        events.append(ChaosEvent(args.kill_at, "kill"))
+    if args.hang_at is not None:
+        events.append(ChaosEvent(args.hang_at, "hang"))
+    if args.slow_at is not None:
+        events.append(ChaosEvent(args.slow_at, "slow", value=args.slow_us))
+    try:
+        report = await run_chaos_load(
+            cluster, shard, trace, events=events, p=args.p, seed=args.seed,
+            deadline_us=args.deadline_us, golden=not args.no_golden,
+            p99_bound_ms=args.p99_bound_ms,
+        )
+    finally:
+        await cluster.close()
+    print(json.dumps(report.as_dict(), indent=2))
+    failed = (
+        report.lost > 0
+        or report.golden_match is False
+        or report.p99_within_bound is False
+    )
+    return 1 if failed else 0
 
 
 def main(argv=None) -> int:
@@ -156,12 +222,58 @@ def main(argv=None) -> int:
     load.add_argument("--p", type=float, default=0.02)
     load.add_argument("--seed", type=int, default=2020)
     load.add_argument("--deadline-us", type=float, default=None)
+    load.add_argument("--retry-attempts", type=int, default=1,
+                      help="client retry budget for transient rejections "
+                      "(1 = no retries)")
     _add_policy_args(load)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="replay a trace against a replicated cluster under chaos",
+    )
+    cluster.add_argument("--replicas", type=int, default=3)
+    cluster.add_argument("--replication", type=int, default=2,
+                         help="preference-list length per shard")
+    cluster.add_argument("--shard", default="unionfind:d5:z")
+    cluster.add_argument("--rate", type=float, default=None,
+                         help="offered requests/s (overrides --rho)")
+    cluster.add_argument("--rho", type=float, default=0.5)
+    cluster.add_argument("--rate-scale", type=float, default=1e-3)
+    cluster.add_argument("--ground-truth-d", type=int, default=9)
+    cluster.add_argument("--requests", type=int, default=400)
+    cluster.add_argument("--shots", type=int, default=1)
+    cluster.add_argument("--p", type=float, default=0.02)
+    cluster.add_argument("--seed", type=int, default=2020)
+    cluster.add_argument("--deadline-us", type=float, default=None)
+    cluster.add_argument("--retry-attempts", type=int, default=5)
+    cluster.add_argument("--request-timeout-s", type=float, default=2.0)
+    cluster.add_argument("--no-fallback", action="store_true",
+                         help="disable the local decode fallback "
+                         "(lost corrections become possible)")
+    cluster.add_argument("--autoscale", action="store_true",
+                         help="enable f_ratio/backpressure-driven "
+                         "replica scaling")
+    cluster.add_argument("--kill-at", type=float, default=None,
+                         help="kill the shard's primary at this fraction "
+                         "of the trace")
+    cluster.add_argument("--hang-at", type=float, default=None,
+                         help="hang the shard's primary at this fraction")
+    cluster.add_argument("--slow-at", type=float, default=None,
+                         help="slow the shard's primary at this fraction")
+    cluster.add_argument("--slow-us", type=float, default=5000.0,
+                         help="per-reply delay for --slow-at")
+    cluster.add_argument("--p99-bound-ms", type=float, default=None,
+                         help="assert end-to-end p99 stays under this")
+    cluster.add_argument("--no-golden", action="store_true",
+                         help="skip the decode_batch bit-identity audit")
+    _add_policy_args(cluster)
 
     args = parser.parse_args(argv)
     try:
         if args.command == "serve":
             return asyncio.run(_serve(args))
+        if args.command == "cluster":
+            return asyncio.run(_cluster(args))
         return asyncio.run(_load(args))
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)

@@ -74,14 +74,16 @@ class BatchedResult:
 
 @dataclass
 class Rejection:
-    """Backpressure (or deadline/size) outcome of a submission.
+    """Backpressure (or deadline/size/drain) outcome of a submission.
 
-    ``backpressure`` and ``deadline`` are transient — retrying can
-    succeed; ``too_large`` is permanent (the request alone exceeds the
-    shard's admission cap) and carries ``retry_after_us = 0``.
+    ``backpressure``, ``deadline`` and ``draining`` are transient —
+    retrying (on this server once it recovers, or on another replica)
+    can succeed; ``too_large`` is permanent (the request alone exceeds
+    the shard's admission cap) and carries ``retry_after_us = 0``.
     """
 
-    reason: str                  # "backpressure" | "deadline" | "too_large"
+    #: "backpressure" | "deadline" | "too_large" | "draining"
+    reason: str
     retry_after_us: float
     queue_depth: int
 
@@ -109,10 +111,16 @@ class _ShardWorker:
         self.stats = stats
         self.queue: Deque[_Pending] = deque()
         self.queued_shots = 0
+        self.inflight_shots = 0      # shots inside a decode_batch call
         self.wake = asyncio.Event()
         self.task = asyncio.get_running_loop().create_task(
             self._run(), name=f"shard-{shard.wire()}"
         )
+
+    @property
+    def idle(self) -> bool:
+        """No queued work and no batch inside ``decode_batch``."""
+        return not self.queue and self.inflight_shots == 0
 
     # -- submission (called from connection handlers) ------------------
     def submit(self, syndromes: np.ndarray,
@@ -205,6 +213,7 @@ class _ShardWorker:
             batch[0].syndromes if len(batch) == 1
             else np.concatenate([p.syndromes for p in batch], axis=0)
         )
+        self.inflight_shots = int(syndromes.shape[0])
         started = time.monotonic()
         try:
             result = await self.pool.decode_async(self.shard, syndromes)
@@ -216,6 +225,8 @@ class _ShardWorker:
                     )
             self.stats.on_error(int(syndromes.shape[0]))
             return
+        finally:
+            self.inflight_shots = 0
         decode_s = time.monotonic() - started
         total = int(syndromes.shape[0])
         self.stats.on_batch(total, decode_s)
@@ -254,13 +265,21 @@ class _ShardWorker:
 
 
 class MicroBatcher:
-    """Routes submissions to per-shard batching workers."""
+    """Routes submissions to per-shard batching workers.
+
+    :meth:`drain` puts the batcher into its terminal draining state:
+    new submissions are rejected with reason ``"draining"`` (transient —
+    a retrying client or the cluster router sends them elsewhere) while
+    every already-queued request is flushed through ``decode_batch``
+    and replied to normally.
+    """
 
     def __init__(self, pool: DecoderPool, policy: BatchPolicy,
                  telemetry: ServiceTelemetry) -> None:
         self.pool = pool
         self.policy = policy
         self.telemetry = telemetry
+        self.draining = False
         self._workers: Dict[ShardKey, _ShardWorker] = {}
 
     def worker(self, shard: ShardKey) -> _ShardWorker:
@@ -275,10 +294,37 @@ class MicroBatcher:
     async def submit(self, shard: ShardKey, syndromes: np.ndarray,
                      deadline_us: Optional[float] = None
                      ) -> Union[BatchedResult, Rejection]:
+        if self.draining:
+            self.telemetry.shard(shard.wire()).on_reject(
+                int(syndromes.shape[0])
+            )
+            return Rejection(
+                reason="draining",
+                retry_after_us=self.policy.default_retry_after_us,
+                queue_depth=sum(
+                    w.queued_shots for w in self._workers.values()
+                ),
+            )
         outcome = self.worker(shard).submit(syndromes, deadline_us)
         if isinstance(outcome, Rejection):
             return outcome
         return await outcome
+
+    async def drain(self, timeout_s: Optional[float] = None) -> bool:
+        """Stop admitting, flush queued batches; True when fully idle.
+
+        Returns ``False`` when ``timeout_s`` elapsed with work still in
+        flight (e.g. a wedged decoder) — the caller then hard-closes.
+        """
+        self.draining = True
+        deadline = (
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
+        while any(not w.idle for w in self._workers.values()):
+            if deadline is not None and time.monotonic() > deadline:
+                return False
+            await asyncio.sleep(0.001)
+        return True
 
     async def close(self) -> None:
         for worker in self._workers.values():

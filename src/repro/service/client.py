@@ -4,7 +4,16 @@ A :class:`DecodeClient` multiplexes any number of concurrent
 :meth:`~DecodeClient.decode` calls over one connection: requests carry
 monotonically increasing ids, a background reader task resolves the
 matching future when a reply lands, so out-of-order completions (the
-normal case under micro-batching) are handled transparently.
+normal case under micro-batching) are handled transparently.  A reply
+whose id has already been resolved (a duplicated frame, or a late
+reply racing a timed-out caller) is counted and dropped — request-id
+idempotence is what lets the cluster tier retry across replicas
+without ever delivering two corrections for one request.
+
+:class:`RetryPolicy` is the client-side answer to the server's
+``retry_after_us`` hint: capped exponential backoff with upward jitter
+and a max-attempts budget, used by :meth:`DecodeClient.decode_with_retry`,
+the load generator and the cluster router.
 """
 
 from __future__ import annotations
@@ -25,6 +34,49 @@ from .protocol import (
 )
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with jitter for transient rejections.
+
+    Attempt ``k`` (0-based) backs off ``base_us * multiplier**k`` capped
+    at ``cap_us``; when the server supplied a ``retry_after_us`` hint
+    (its Lindley drain estimate of the backlog) the larger of the two
+    wins — the server knows how long the queue actually needs.  Jitter
+    is *upward only* (multiply by ``1 + U[0, jitter)``) so the wait
+    never undercuts the server's hint, and an honest retry storm
+    decorrelates instead of re-synchronizing.
+    """
+
+    max_attempts: int = 5
+    base_us: float = 500.0
+    multiplier: float = 2.0
+    cap_us: float = 100_000.0
+    jitter: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_us < 0 or self.cap_us < 0:
+            raise ValueError("backoff times must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def backoff_us(self, attempt: int, retry_after_us: float = 0.0,
+                   rng: Optional[np.random.Generator] = None) -> float:
+        """Wait before retry number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError("attempt must be >= 0")
+        backoff = min(self.base_us * self.multiplier ** attempt, self.cap_us)
+        wait = max(backoff, float(retry_after_us))
+        if self.jitter > 0.0:
+            u = rng.random() if rng is not None else np.random.default_rng(
+            ).random()
+            wait *= 1.0 + self.jitter * u
+        return wait
+
+
 @dataclass
 class DecodeOutcome:
     """Client-side view of one decode request's fate."""
@@ -33,8 +85,8 @@ class DecodeOutcome:
     corrections: Optional[np.ndarray] = None
     converged: Optional[np.ndarray] = None
     cycles: Optional[np.ndarray] = None
-    #: "" on success, else "backpressure" | "deadline" (transient,
-    #: retryable) | "too_large" (permanent) | "error"
+    #: "" on success, else "backpressure" | "deadline" | "draining"
+    #: (transient, retryable) | "too_large" (permanent) | "error"
     reason: str = ""
     error: str = ""
     retry_after_us: float = 0.0
@@ -51,7 +103,9 @@ class DecodeOutcome:
     def rejected(self) -> bool:
         """Transiently shed — retrying (after ``retry_after_us``) can
         succeed.  ``too_large`` rejections are permanent and excluded."""
-        return not self.ok and self.reason in ("backpressure", "deadline")
+        return not self.ok and self.reason in (
+            "backpressure", "deadline", "draining"
+        )
 
 
 class ServiceClosedError(ConnectionError):
@@ -65,6 +119,10 @@ class DecodeClient:
         self._transport = transport
         self._next_id = 0
         self._pending: Dict[int, asyncio.Future] = {}
+        #: reply frames whose id had already been resolved (duplicated
+        #: frames, or late replies racing a timed-out caller) — dropped,
+        #: never delivered twice
+        self.duplicate_replies = 0
         self._reader = asyncio.get_running_loop().create_task(
             self._read_loop()
         )
@@ -90,6 +148,8 @@ class DecodeClient:
                 future = self._pending.pop(message.get("id"), None)
                 if future is not None and not future.done():
                     future.set_result(message)
+                elif message.get("id") is not None:
+                    self.duplicate_replies += 1
         except asyncio.CancelledError:
             raise
         except Exception as exc:
@@ -165,6 +225,61 @@ class DecodeClient:
             ok=False, reason="error",
             error=f"unexpected reply type {kind!r}", latency_us=latency_us,
         )
+
+    async def decode_with_retry(
+        self,
+        shard: ShardKey,
+        syndromes: np.ndarray,
+        deadline_us: Optional[float] = None,
+        policy: Optional[RetryPolicy] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> DecodeOutcome:
+        """:meth:`decode`, retrying transient rejections per ``policy``.
+
+        Backpressure / deadline / draining rejections are retried after
+        the policy's backoff (which honors the server's
+        ``retry_after_us``); permanent outcomes (``too_large``, errors)
+        and successes return immediately.  The returned outcome carries
+        ``metadata["attempts"]`` — how many sends the request took.
+        """
+        policy = policy or RetryPolicy()
+        outcome = await self.decode(shard, syndromes, deadline_us)
+        attempt = 0
+        while outcome.rejected and attempt + 1 < policy.max_attempts:
+            wait_us = policy.backoff_us(
+                attempt, outcome.retry_after_us, rng
+            )
+            if wait_us > 0:
+                await asyncio.sleep(wait_us / 1e6)
+            outcome = await self.decode(shard, syndromes, deadline_us)
+            attempt += 1
+        outcome.metadata["attempts"] = attempt + 1
+        return outcome
+
+    async def ping(self, timeout_s: Optional[float] = None) -> float:
+        """Round-trip a ping; returns the latency in seconds.
+
+        Raises :class:`asyncio.TimeoutError` when the server does not
+        answer within ``timeout_s`` (the heartbeat failure signal) and
+        :class:`ServiceClosedError` when the connection is gone.
+        """
+        message = {"type": "ping", "id": self._fresh_id()}
+        started = time.monotonic()
+        try:
+            reply = await asyncio.wait_for(
+                self._roundtrip(message), timeout_s
+            )
+        except asyncio.TimeoutError:
+            # the reply may still arrive later; drop the registration so
+            # it is counted as a duplicate instead of resolving a future
+            # nobody awaits
+            self._pending.pop(message["id"], None)
+            raise
+        if reply.get("type") != "pong":
+            raise ServiceClosedError(
+                f"unexpected ping reply type {reply.get('type')!r}"
+            )
+        return time.monotonic() - started
 
     async def stats(self) -> dict:
         """The server's live telemetry snapshot."""

@@ -1,0 +1,45 @@
+"""Replicated decode-service cluster: routing, failover, chaos.
+
+The tier above :mod:`repro.service`'s single server: shard keys are
+consistent-hashed onto a fleet of replicas (:mod:`.hashring`), each
+replica is a health-tracked decode server behind a fault-injectable
+transport (:mod:`.replica`, :mod:`.faults`), and the router
+(:mod:`.router`) dispatches with load balancing, heartbeat-driven
+failover, telemetry-driven autoscaling and a local decode fallback
+that makes lost corrections impossible.  :mod:`.chaos` breaks it on
+purpose and audits the invariants.
+"""
+
+from .chaos import ACTIONS, ChaosEvent, ChaosReport, run_chaos_load
+from .faults import FaultInjector, FaultSpec, FaultyTransport
+from .hashring import HashRing, stable_hash
+from .replica import DOWN, DRAINING, SUSPECT, UP, Replica
+from .router import (
+    AutoscalePolicy,
+    ClusterFrontend,
+    ClusterPolicy,
+    DecodeCluster,
+)
+from .telemetry import ClusterTelemetry
+
+__all__ = [
+    "ACTIONS",
+    "AutoscalePolicy",
+    "ChaosEvent",
+    "ChaosReport",
+    "ClusterFrontend",
+    "ClusterPolicy",
+    "ClusterTelemetry",
+    "DecodeCluster",
+    "DOWN",
+    "DRAINING",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultyTransport",
+    "HashRing",
+    "Replica",
+    "run_chaos_load",
+    "stable_hash",
+    "SUSPECT",
+    "UP",
+]

@@ -1,0 +1,267 @@
+"""Chaos harness: replay an open-loop trace while breaking replicas.
+
+:func:`run_chaos_load` replays an arrival trace against a
+:class:`~repro.service.cluster.router.DecodeCluster` while a script of
+:class:`ChaosEvent`\\ s fires mid-run — kill the shard's primary at 50%
+of the trace, hang a replica, slow one down, start duplicating reply
+frames — and then audits the outcome against the two invariants the
+cluster tier promises:
+
+* **zero lost corrections** — every request ends with correction bits
+  (failover + the local-fallback path make this unconditional while
+  the fallback is enabled), and
+* **zero duplicate corrections** — no caller ever observes two
+  answers for one request id (duplicated frames are absorbed by
+  client-side idempotence; the report still counts how many frames
+  had to be suppressed).
+
+Because decoding is deterministic, the audit goes one step further
+than counting: the surviving corrections are compared **bit-for-bit**
+against a fresh single-process :meth:`decode_batch` golden run of the
+same syndromes — a failover or fallback must be invisible in the
+output, not just non-fatal.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..loadgen import ArrivalTrace, make_request_syndromes
+from ..pool import default_decoder_factory
+from ..protocol import ShardKey
+from .router import DecodeCluster
+
+#: chaos actions; ``value`` is delay_us for ``slow`` and a probability
+#: for ``drop`` / ``duplicate``
+ACTIONS = ("kill", "hang", "slow", "restore", "drop", "duplicate")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scripted fault, fired at a fraction of the trace duration.
+
+    ``replica=None`` targets whichever replica is the shard's primary
+    when the event fires — the worst case, since that is where the
+    traffic is.
+    """
+
+    at_fraction: float
+    action: str
+    replica: Optional[str] = None
+    value: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.at_fraction <= 1.0:
+            raise ValueError("at_fraction must be in [0, 1]")
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown action {self.action!r}; known: {', '.join(ACTIONS)}"
+            )
+        if self.action in ("drop", "duplicate") and not 0 <= self.value <= 1:
+            raise ValueError(f"{self.action} needs a probability value")
+        if self.action == "slow" and self.value < 0:
+            raise ValueError("slow needs a delay_us value >= 0")
+
+
+@dataclass
+class ChaosReport:
+    """What the run did, what broke, and whether the invariants held."""
+
+    shard: str
+    pattern: str
+    n_requests: int
+    ok: int
+    #: requests that ended without a correction — acceptance: 0
+    lost: int
+    #: reply frames suppressed by request-id idempotence (the injector
+    #: duplicated them; no caller saw a second answer) — delivered
+    #: duplicates are structurally impossible, this counts absorbed ones
+    duplicate_frames: int
+    failovers: int
+    timeouts: int
+    retries: int
+    fallback_decodes: int
+    events: List[Tuple[float, str, str]]   # (fraction, action, replica)
+    duration_s: float
+    latency_p50_us: float
+    latency_p99_us: float
+    latency_max_us: float
+    #: None when the golden audit was skipped, else bit-identity verdict
+    golden_match: Optional[bool] = None
+    p99_bound_ms: Optional[float] = None
+    replicas: dict = field(default_factory=dict)
+
+    @property
+    def p99_within_bound(self) -> Optional[bool]:
+        if self.p99_bound_ms is None:
+            return None
+        return self.latency_p99_us <= self.p99_bound_ms * 1e3
+
+    def as_dict(self) -> dict:
+        return {
+            "shard": self.shard,
+            "pattern": self.pattern,
+            "n_requests": self.n_requests,
+            "ok": self.ok,
+            "lost": self.lost,
+            "duplicate_frames": self.duplicate_frames,
+            "failovers": self.failovers,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "fallback_decodes": self.fallback_decodes,
+            "events": [list(e) for e in self.events],
+            "duration_s": round(self.duration_s, 4),
+            "latency_p50_us": round(self.latency_p50_us, 1),
+            "latency_p99_us": round(self.latency_p99_us, 1),
+            "latency_max_us": round(self.latency_max_us, 1),
+            "golden_match": self.golden_match,
+            "p99_bound_ms": self.p99_bound_ms,
+            "p99_within_bound": self.p99_within_bound,
+            "replicas": self.replicas,
+        }
+
+
+async def _apply_event(cluster: DecodeCluster, shard: ShardKey,
+                       event: ChaosEvent) -> str:
+    """Fire one event; returns the name of the replica it hit."""
+    if event.replica is not None:
+        replica = cluster.replica(event.replica)
+    else:
+        replica = cluster.primary_for(shard)
+    injector = replica.injector
+    if event.action == "kill":
+        await replica.kill()
+    elif event.action == "hang":
+        injector.hang()
+    elif event.action == "slow":
+        injector.slow(event.value)
+    elif event.action == "restore":
+        injector.restore()
+        injector.slow(0.0)
+        injector.corrupt(drop_prob=0.0, duplicate_prob=0.0)
+        cluster.revive(replica.name)
+    elif event.action == "drop":
+        injector.corrupt(drop_prob=event.value)
+    elif event.action == "duplicate":
+        injector.corrupt(duplicate_prob=event.value)
+    return replica.name
+
+
+async def run_chaos_load(
+    cluster: DecodeCluster,
+    shard: ShardKey,
+    trace: ArrivalTrace,
+    events: Sequence[ChaosEvent] = (),
+    model=None,
+    p: float = 0.02,
+    seed: Optional[int] = 7,
+    deadline_us: Optional[float] = None,
+    golden: bool = True,
+    p99_bound_ms: Optional[float] = None,
+    warm: bool = True,
+) -> ChaosReport:
+    """Replay ``trace`` against ``cluster`` under a chaos script.
+
+    The replay is open-loop (arrivals fire on schedule regardless of
+    completions, like the hardware's syndrome stream) and every request
+    goes through :meth:`DecodeCluster.decode` — retries, failovers and
+    fallbacks included — so the latency quantiles are true end-to-end
+    caller experience across the fault.
+
+    ``warm`` decodes one shot on every replica before the clock starts
+    (shard registration, as a production fleet would have done long
+    ago), so the reported tail measures the cost of the *fault*, not of
+    a cold decoder build on the failover target.
+    """
+    payloads = make_request_syndromes(shard, trace, model, p, seed)
+    await cluster.start()
+    if warm:
+        # a NONZERO syndrome: the decoders lazy-load their matching
+        # machinery on the first non-trivial shot, and an all-zero
+        # warm-up would leave that cost inside the measured window
+        warm_shot = None
+        for payload in payloads:
+            rows = payload[np.any(payload, axis=1)]
+            if len(rows):
+                warm_shot = rows[:1]
+                break
+        if warm_shot is None:
+            warm_shot = payloads[0][:1]
+        for replica in cluster.replicas:
+            if replica.available:
+                client = await replica.ensure_client()
+                await client.decode(shard, warm_shot)
+    loop = asyncio.get_running_loop()
+    base = loop.time()
+    span = max(trace.duration_s, 1e-9)
+
+    fired: List[Tuple[float, str, str]] = []
+
+    async def fire_event(event: ChaosEvent) -> None:
+        delay = base + event.at_fraction * span - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        name = await _apply_event(cluster, shard, event)
+        fired.append((event.at_fraction, event.action, name))
+
+    async def fire_request(i: int) -> Tuple[object, float]:
+        delay = base + float(trace.times_s[i]) - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        started = time.monotonic()
+        outcome = await cluster.decode(shard, payloads[i], deadline_us)
+        return outcome, (time.monotonic() - started) * 1e6
+
+    event_tasks = [loop.create_task(fire_event(e)) for e in events]
+    results = await asyncio.gather(
+        *(fire_request(i) for i in range(trace.n_requests))
+    )
+    await asyncio.gather(*event_tasks)
+    duration_s = loop.time() - base
+
+    outcomes = [o for o, _ in results]
+    latencies = np.array([lat for _, lat in results])
+    ok = [o for o in outcomes if o.ok]
+    lost = len(outcomes) - len(ok)
+    stats = cluster.stats()
+
+    golden_match: Optional[bool] = None
+    if golden and lost == 0:
+        # deterministic decoding: a fresh single-process decoder over
+        # the same syndromes must reproduce every correction bit, no
+        # matter which replica (or the fallback) served each request
+        decoder = default_decoder_factory(shard)
+        expected = decoder.decode_batch(
+            np.concatenate(payloads, axis=0)
+        ).corrections
+        got = np.concatenate([o.corrections for o in outcomes], axis=0)
+        golden_match = bool(np.array_equal(expected, got))
+
+    return ChaosReport(
+        shard=shard.wire(),
+        pattern=trace.pattern,
+        n_requests=trace.n_requests,
+        ok=len(ok),
+        lost=lost,
+        duplicate_frames=stats["duplicate_replies"],
+        failovers=stats["failovers"],
+        timeouts=stats["timeouts"],
+        retries=stats["retries"],
+        fallback_decodes=stats["fallback_decodes"],
+        events=fired,
+        duration_s=duration_s,
+        latency_p50_us=float(np.percentile(latencies, 50)),
+        latency_p99_us=float(np.percentile(latencies, 99)),
+        latency_max_us=float(latencies.max()),
+        golden_match=golden_match,
+        p99_bound_ms=p99_bound_ms,
+        replicas=stats["replicas"],
+    )
+
+
+__all__ = ["ACTIONS", "ChaosEvent", "ChaosReport", "run_chaos_load"]

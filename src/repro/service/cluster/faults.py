@@ -1,0 +1,169 @@
+"""Fault injection for decode-service transports.
+
+A :class:`FaultInjector` owns the live failure state of one replica —
+killed, hung, slowed, or probabilistically corrupting frames — and
+:meth:`FaultInjector.wrap` decorates any framed transport
+(:class:`~repro.service.protocol.MemoryTransport` or
+:class:`~repro.service.protocol.StreamTransport`, they share the
+send/recv/close surface) with that state.  Wrapping happens on the
+*server* side of a connection (``DecodeService.connect(transport_wrap=
+injector.wrap)`` in-process, ``start_tcp(transport_wrap=...)`` over
+TCP), so the failure modes look exactly like a sick server process
+would from the client:
+
+* ``kill``   — the process died: reads end, writes raise, the
+  connection drops (clients see EOF and fail their in-flight futures);
+* ``hang``   — the process wedged: requests are swallowed unprocessed
+  and replies stop, but the connection stays up (no EOF — only a
+  client-side timeout or a missed heartbeat exposes it);
+* ``slow``   — every reply is delayed (the tail-amplification case);
+* ``drop`` / ``duplicate`` — reply frames vanish or arrive twice
+  (seeded RNG, deterministic per run), the wire-level faults that
+  request-id idempotence must absorb.
+
+All switches are live: the chaos harness flips them mid-run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class FaultSpec:
+    """Initial (and mutable) frame-level fault probabilities."""
+
+    delay_us: float = 0.0        # added latency per outgoing frame
+    drop_prob: float = 0.0       # outgoing frame vanishes
+    duplicate_prob: float = 0.0  # outgoing frame is sent twice
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.delay_us < 0:
+            raise ValueError("delay_us must be >= 0")
+        for name in ("drop_prob", "duplicate_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+
+
+class FaultInjector:
+    """Live failure state of one replica, shared by all its transports."""
+
+    def __init__(self, spec: Optional[FaultSpec] = None) -> None:
+        self.spec = spec or FaultSpec()
+        self._rng = np.random.default_rng(self.spec.seed)
+        self._killed = asyncio.Event()
+        self._resumed = asyncio.Event()
+        self._resumed.set()
+        # counters (observability for tests and chaos reports)
+        self.frames_swallowed = 0
+        self.frames_dropped = 0
+        self.frames_duplicated = 0
+
+    # -- state ----------------------------------------------------------
+    @property
+    def killed(self) -> bool:
+        return self._killed.is_set()
+
+    @property
+    def hung(self) -> bool:
+        return not self._resumed.is_set()
+
+    def kill(self) -> None:
+        """Permanent process death; also releases hung waiters."""
+        self._killed.set()
+        self._resumed.set()
+
+    def hang(self) -> None:
+        """Wedge: swallow requests, stop replying, keep the connection."""
+        self._resumed.clear()
+
+    def restore(self) -> None:
+        """Un-hang (kills are permanent — a dead process stays dead)."""
+        self._resumed.set()
+
+    def slow(self, delay_us: float) -> None:
+        if delay_us < 0:
+            raise ValueError("delay_us must be >= 0")
+        self.spec.delay_us = delay_us
+
+    def corrupt(self, drop_prob: Optional[float] = None,
+                duplicate_prob: Optional[float] = None) -> None:
+        if drop_prob is not None:
+            if not 0.0 <= drop_prob <= 1.0:
+                raise ValueError("drop_prob must be in [0, 1]")
+            self.spec.drop_prob = drop_prob
+        if duplicate_prob is not None:
+            if not 0.0 <= duplicate_prob <= 1.0:
+                raise ValueError("duplicate_prob must be in [0, 1]")
+            self.spec.duplicate_prob = duplicate_prob
+
+    # -- wrapping -------------------------------------------------------
+    def wrap(self, transport) -> "FaultyTransport":
+        """Decorate a framed transport with this injector's state."""
+        return FaultyTransport(transport, self)
+
+
+class FaultyTransport:
+    """A framed transport filtered through a :class:`FaultInjector`."""
+
+    def __init__(self, inner, injector: FaultInjector) -> None:
+        self._inner = inner
+        self._injector = injector
+
+    async def recv(self) -> Optional[dict]:
+        inj = self._injector
+        while True:
+            if inj.killed:
+                return None
+            recv_task = asyncio.ensure_future(self._inner.recv())
+            kill_task = asyncio.ensure_future(inj._killed.wait())
+            done, pending = await asyncio.wait(
+                {recv_task, kill_task},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            for task in pending:
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError, Exception):
+                    await task
+            if recv_task not in done:
+                # the kill landed while waiting: the process is gone
+                return None
+            message = recv_task.result()   # ProtocolError propagates
+            if message is None:
+                return None
+            if inj.hung:
+                # a wedged process never sees the request; loop back to
+                # waiting (for more doomed frames, a restore, or a kill)
+                inj.frames_swallowed += 1
+                continue
+            return message
+
+    async def send(self, message: dict) -> None:
+        inj = self._injector
+        if inj.killed:
+            raise ConnectionError("replica killed")
+        if inj.hung:
+            inj.frames_swallowed += 1
+            return                       # a wedged process never replies
+        if inj.spec.delay_us > 0:
+            await asyncio.sleep(inj.spec.delay_us / 1e6)
+            if inj.killed:               # died mid-delay
+                raise ConnectionError("replica killed")
+        if inj.spec.drop_prob > 0 and inj._rng.random() < inj.spec.drop_prob:
+            inj.frames_dropped += 1
+            return
+        await self._inner.send(message)
+        if (inj.spec.duplicate_prob > 0
+                and inj._rng.random() < inj.spec.duplicate_prob):
+            inj.frames_duplicated += 1
+            await self._inner.send(message)
+
+    async def close(self) -> None:
+        await self._inner.close()

@@ -1,0 +1,98 @@
+"""Consistent hashing of shard keys onto decode servers.
+
+Each server owns ``vnodes`` points on a 64-bit ring (blake2b of
+``"name#k"`` — stable across processes and Python runs, unlike
+``hash()``), and a shard key routes to the first point clockwise from
+its own hash.  Adding or removing one server therefore only remaps the
+key ranges adjacent to that server's points (~1/N of the space),
+which is what lets the autoscaler grow and shrink the fleet without a
+cluster-wide reshuffle.
+
+:meth:`HashRing.nodes_for` walks clockwise collecting *distinct*
+servers — the replica preference list: the first entry is the shard's
+primary, the rest are where its replicas (and its failovers) live.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import List, Sequence
+
+
+def stable_hash(text: str) -> int:
+    """64-bit digest of ``text``, identical across processes and runs."""
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Sorted ring of virtual nodes with clockwise key lookup."""
+
+    def __init__(self, nodes: Sequence[str] = (), vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: List[int] = []      # sorted vnode hashes
+        self._owners: List[str] = []      # _owners[i] owns _points[i]
+        self._nodes: set = set()
+        for node in nodes:
+            self.add(node)
+
+    # -- membership -----------------------------------------------------
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already on the ring")
+        self._nodes.add(node)
+        for k in range(self.vnodes):
+            point = stable_hash(f"{node}#{k}")
+            idx = bisect.bisect_left(self._points, point)
+            self._points.insert(idx, point)
+            self._owners.insert(idx, node)
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            raise ValueError(f"node {node!r} not on the ring")
+        self._nodes.discard(node)
+        keep = [
+            (p, o) for p, o in zip(self._points, self._owners) if o != node
+        ]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -- lookup ---------------------------------------------------------
+    def node_for(self, key: str) -> str:
+        """The server owning ``key`` (its primary)."""
+        nodes = self.nodes_for(key, 1)
+        return nodes[0]
+
+    def nodes_for(self, key: str, n: int) -> List[str]:
+        """Up to ``n`` distinct servers clockwise from ``key``'s point.
+
+        The replica preference list: deterministic for a given ring
+        membership, and stable under the addition/removal of unrelated
+        servers (only ranges adjacent to the changed server move).
+        """
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if not self._points:
+            raise ValueError("ring has no nodes")
+        start = bisect.bisect_right(self._points, stable_hash(key))
+        found: List[str] = []
+        for i in range(len(self._points)):
+            owner = self._owners[(start + i) % len(self._points)]
+            if owner not in found:
+                found.append(owner)
+                if len(found) == n:
+                    break
+        return found

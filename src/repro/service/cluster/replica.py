@@ -1,0 +1,145 @@
+"""One decode server behind the cluster router.
+
+A :class:`Replica` bundles a backend — an in-process
+:class:`~repro.service.server.DecodeService` (the default; same framed
+protocol bytes as TCP) or a remote ``host:port`` — with the router's
+view of it: a multiplexing :class:`~repro.service.client.DecodeClient`,
+a health state machine (``up -> suspect -> down`` on missed
+heartbeats, ``draining`` on scale-down), an in-flight counter for
+least-loaded dispatch, and an optional
+:class:`~repro.service.cluster.faults.FaultInjector` standing between
+the service and every connection so the chaos harness can kill, hang
+or degrade the replica mid-run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Optional
+
+from ..client import DecodeClient
+from ..server import DecodeService
+from .faults import FaultInjector
+
+#: replica health states
+UP = "up"
+SUSPECT = "suspect"
+DRAINING = "draining"
+DOWN = "down"
+
+
+class Replica:
+    """Router-side handle of one decode server."""
+
+    def __init__(
+        self,
+        name: str,
+        service: Optional[DecodeService] = None,
+        address: Optional[tuple] = None,
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
+        if (service is None) == (address is None):
+            raise ValueError("pass exactly one of service / address")
+        self.name = name
+        self.service = service
+        self.address = address
+        self.injector = injector if service is not None else None
+        self.state = UP
+        self.inflight = 0
+        self.heartbeat_misses = 0
+        self.last_heartbeat_s: Optional[float] = None
+        self.served = 0
+        self.failed = 0
+        self._client: Optional[DecodeClient] = None
+
+    # -- connection -----------------------------------------------------
+    async def ensure_client(self) -> DecodeClient:
+        """The (lazily created) client connection to this replica."""
+        if self._client is None:
+            if self.service is not None:
+                wrap = self.injector.wrap if self.injector else None
+                self._client = DecodeClient(self.service.connect(wrap))
+            else:
+                host, port = self.address
+                self._client = await DecodeClient.connect_tcp(host, port)
+        return self._client
+
+    def drop_client(self) -> None:
+        """Forget the connection (it died); the next use reconnects.
+
+        A killed in-process replica never reconnects — its service is
+        closed, so ``ensure_client`` fails and the router keeps it down.
+        """
+        client, self._client = self._client, None
+        if client is not None:
+            task = asyncio.get_running_loop().create_task(client.close())
+            task.add_done_callback(lambda t: t.exception())
+
+    # -- health ---------------------------------------------------------
+    @property
+    def available(self) -> bool:
+        """Eligible for dispatch (suspects still serve until confirmed
+        down — a slow replica is better than a lost request)."""
+        return self.state in (UP, SUSPECT)
+
+    def mark_up(self) -> None:
+        if self.state in (UP, SUSPECT):
+            self.state = UP
+            self.heartbeat_misses = 0
+
+    def mark_suspect(self) -> None:
+        if self.state == UP:
+            self.state = SUSPECT
+
+    def mark_down(self) -> None:
+        if self.state != DRAINING:
+            self.state = DOWN
+
+    async def heartbeat(self, timeout_s: float) -> float:
+        """Ping the replica; returns latency.  Raises on miss."""
+        client = await self.ensure_client()
+        latency = await client.ping(timeout_s)
+        self.last_heartbeat_s = latency
+        return latency
+
+    # -- lifecycle ------------------------------------------------------
+    async def drain_and_stop(self) -> None:
+        """Graceful scale-down: flush in-flight work, then stop."""
+        self.state = DRAINING
+        if self._client is not None:
+            await self._client.close()
+            self._client = None
+        if self.service is not None:
+            await self.service.close(drain=True)
+        self.state = DOWN
+
+    async def kill(self) -> None:
+        """Chaos hard-kill: the process dies mid-flight, no drain."""
+        self.state = DOWN
+        if self.injector is not None:
+            self.injector.kill()
+        if self._client is not None:
+            await self._client.close()
+            self._client = None
+        if self.service is not None:
+            await self.service.close(drain=False)
+
+    async def close(self) -> None:
+        """Cluster shutdown: graceful close of a still-live backend."""
+        if self._client is not None:
+            with contextlib.suppress(ConnectionError, OSError):
+                await self._client.close()
+            self._client = None
+        if self.service is not None and self.state != DOWN:
+            await self.service.close(drain=True)
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "state": self.state,
+            "inflight": self.inflight,
+            "served": self.served,
+            "failed": self.failed,
+            "heartbeat_misses": self.heartbeat_misses,
+        }

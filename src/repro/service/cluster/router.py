@@ -1,0 +1,594 @@
+"""The cluster routing tier: replicated sharding with failover.
+
+A :class:`DecodeCluster` consistent-hashes every geometry shard key
+``(kind, distance, orientation)`` onto a preference list of
+``replication`` servers (:mod:`.hashring`) and dispatches each request
+to the least-loaded available one.  Liveness is heartbeat-driven
+(``ping`` every ``heartbeat_interval_s``; misses demote ``up ->
+suspect -> down`` and drop the server from the ring, which *is* the
+failover at routing level — the shard's keys slide to the next server
+clockwise).  A request that hits a dead or wedged replica fails over
+to the next candidate under one attempt budget, transient rejections
+(backpressure / draining) back off per
+:class:`~repro.service.client.RetryPolicy`, and when every replica is
+gone the router decodes locally — the cluster-level version of the
+decoder-failure -> software-fallback semantics of
+:class:`repro.runtime.machine.MachineRuntime` (``failure_prob`` /
+``fallback_latency``): a failed decoder never loses a round, it just
+pays a slower path.  Corrections are deterministic, so every path
+returns bit-identical bits; request-id idempotence at the client layer
+guarantees no caller ever sees two.
+
+Scaling is driven by the serving telemetry the paper's section III
+analysis singles out — the offered/served ``f_ratio`` and the
+``retry_after_us`` backpressure the shards emit — not by raw queue
+depth: :meth:`AutoscalePolicy.decide` adds a server when any shard
+sustains ``f >= f_high`` or rejections appear, and drains one out when
+the fleet is cold.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ...decoders import DECODER_REGISTRY
+from ..client import DecodeClient, DecodeOutcome, RetryPolicy, ServiceClosedError
+from ..pool import DecoderPool
+from ..protocol import (
+    MemoryTransport,
+    ProtocolError,
+    ShardKey,
+    StreamTransport,
+    error_reply,
+    reject_reply,
+    result_reply,
+    stats_reply,
+    unpack_bitmap,
+)
+from ..server import MAX_DISTANCE, DecodeService
+from .faults import FaultInjector
+from .hashring import HashRing
+from .replica import DOWN, DRAINING, SUSPECT, UP, Replica
+from .telemetry import ClusterTelemetry
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Telemetry-driven replica scale-up/down thresholds.
+
+    Decisions read the Lindley/backlog signals the shards already
+    compute — the max per-shard ``f_ratio`` (offered/served) and the
+    count of recent backpressure rejections (the ``retry_after_us``
+    emissions) — never raw queue depth, which saturates at the
+    admission bound and goes blind exactly when scaling matters.
+    """
+
+    f_high: float = 0.9          # any shard sustained above: add a server
+    f_low: float = 0.3           # whole fleet below (and quiet): remove one
+    min_replicas: int = 1
+    max_replicas: int = 8
+    cooldown_s: float = 1.0      # between scaling actions
+    interval_s: float = 0.5      # metric poll period
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.f_low < self.f_high:
+            raise ValueError("need 0 < f_low < f_high")
+        if not 1 <= self.min_replicas <= self.max_replicas:
+            raise ValueError("need 1 <= min_replicas <= max_replicas")
+
+    def decide(self, max_f_ratio: Optional[float], recent_rejects: int,
+               n_up: int) -> Optional[str]:
+        """``"up"`` / ``"down"`` / ``None`` from one metric snapshot."""
+        hot = (
+            (max_f_ratio is not None and max_f_ratio >= self.f_high)
+            or recent_rejects > 0
+        )
+        if hot and n_up < self.max_replicas:
+            return "up"
+        cold = (
+            recent_rejects == 0
+            and (max_f_ratio is None or max_f_ratio <= self.f_low)
+        )
+        if cold and n_up > self.min_replicas:
+            return "down"
+        return None
+
+
+@dataclass(frozen=True)
+class ClusterPolicy:
+    """Knobs of the routing tier."""
+
+    replication: int = 2         # preference-list length per shard
+    vnodes: int = 32
+    heartbeat_interval_s: float = 0.25
+    heartbeat_timeout_s: float = 0.5
+    heartbeat_misses_down: int = 2
+    #: per-attempt client-side budget; a hung replica costs this long
+    request_timeout_s: float = 2.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: decode locally when every replica has failed (zero-lost mode)
+    fallback: bool = True
+    autoscale: Optional[AutoscalePolicy] = None
+
+    def __post_init__(self) -> None:
+        if self.replication < 1:
+            raise ValueError("replication must be >= 1")
+        if self.heartbeat_interval_s <= 0 or self.heartbeat_timeout_s <= 0:
+            raise ValueError("heartbeat periods must be > 0")
+        if self.request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be > 0")
+
+
+def default_service_factory() -> DecodeService:
+    return DecodeService()
+
+
+class DecodeCluster:
+    """Routes decode requests across replicated decode servers."""
+
+    def __init__(
+        self,
+        n_replicas: int = 2,
+        policy: Optional[ClusterPolicy] = None,
+        service_factory: Callable[[], DecodeService] = default_service_factory,
+        seed: Optional[int] = None,
+    ) -> None:
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        self.policy = policy or ClusterPolicy()
+        self.telemetry = ClusterTelemetry()
+        self._service_factory = service_factory
+        self._rng = np.random.default_rng(seed)
+        self._replicas: Dict[str, Replica] = {}
+        self._ring = HashRing(vnodes=self.policy.vnodes)
+        self._next_index = 0
+        for _ in range(n_replicas):
+            self._spawn_replica()
+        # metadata + local-fallback decoding (one pool, lazily warmed)
+        self._local_pool = DecoderPool()
+        self._tasks: List[asyncio.Task] = []
+        self._started = False
+        self._closed = False
+        self._last_scale_at = 0.0
+        self._rejects_last_tick = 0
+
+    # -- replica management --------------------------------------------
+    def _spawn_replica(self) -> Replica:
+        name = f"r{self._next_index}"
+        self._next_index += 1
+        replica = Replica(
+            name,
+            service=self._service_factory(),
+            injector=FaultInjector(),
+        )
+        self._replicas[name] = replica
+        self._ring.add(name)
+        return replica
+
+    def _retire_from_ring(self, name: str) -> None:
+        if name in self._ring:
+            self._ring.remove(name)
+
+    def replica(self, name: str) -> Replica:
+        return self._replicas[name]
+
+    @property
+    def replicas(self) -> List[Replica]:
+        return list(self._replicas.values())
+
+    def up_replicas(self) -> List[Replica]:
+        return [r for r in self._replicas.values() if r.state == UP]
+
+    def revive(self, name: str) -> None:
+        """Bring a demoted replica back into rotation (chaos ``restore``:
+        the process un-wedged and its backend is still alive)."""
+        replica = self._replicas[name]
+        if replica.injector is not None and replica.injector.killed:
+            raise ValueError(f"replica {name!r} was killed; dead stays dead")
+        replica.state = UP
+        replica.heartbeat_misses = 0
+        if name not in self._ring:
+            self._ring.add(name)
+
+    def primary_for(self, shard: ShardKey) -> Replica:
+        """The first preference-list replica of ``shard`` (chaos target)."""
+        return self._replicas[self._ring.node_for(shard.wire())]
+
+    def preference_list(self, shard: ShardKey) -> List[Replica]:
+        if len(self._ring) == 0:      # whole fleet down: fallback's turn
+            return []
+        names = self._ring.nodes_for(
+            shard.wire(), min(self.policy.replication, len(self._ring))
+        )
+        return [self._replicas[n] for n in names]
+
+    # -- metadata -------------------------------------------------------
+    def n_syndromes(self, shard: ShardKey) -> int:
+        return self._local_pool.n_syndromes(shard)
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        """Launch the heartbeat (and autoscale) background loops."""
+        if self._started:
+            return
+        self._started = True
+        loop = asyncio.get_running_loop()
+        self._tasks.append(loop.create_task(self._heartbeat_loop()))
+        if self.policy.autoscale is not None:
+            self._tasks.append(loop.create_task(self._autoscale_loop()))
+
+    async def close(self) -> None:
+        self._closed = True
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        self._tasks.clear()
+        for replica in self._replicas.values():
+            await replica.close()
+        self._local_pool.close()
+
+    # -- dispatch -------------------------------------------------------
+    def _pick(self, shard: ShardKey,
+              avoid: Optional[str] = None) -> Optional[Replica]:
+        """Least-loaded available replica from the preference list,
+        extending clockwise past it when the whole list is sick.
+
+        ``avoid`` skips the replica a failed attempt just used, so an
+        immediate failover lands elsewhere even before the heartbeat
+        confirms the death (it remains a last resort if it is the only
+        candidate left)."""
+        preferred = self.preference_list(shard)
+        for candidates in (preferred, self.replicas):
+            live = [r for r in candidates if r.available]
+            if avoid is not None and len(live) > 1:
+                live = [r for r in live if r.name != avoid]
+            if live:
+                # ties on inflight resolve in preference order, so an
+                # idle fleet serves each shard from its ring primary
+                return min(
+                    enumerate(live), key=lambda ir: (ir[1].inflight, ir[0])
+                )[1]
+        return None
+
+    async def decode(self, shard: ShardKey, syndromes: np.ndarray,
+                     deadline_us: Optional[float] = None) -> DecodeOutcome:
+        """Decode with load-balanced dispatch, failover and fallback.
+
+        Returns exactly once per call, with ``metadata`` recording the
+        serving replica, the attempt count and whether the local
+        fallback fired.  With the fallback enabled the request cannot
+        be lost: decoding is deterministic, so every path yields the
+        same correction bits.
+        """
+        if not self._started:
+            await self.start()
+        self.telemetry.requests += 1
+        policy = self.policy
+        started = time.monotonic()
+        attempts = 0
+        failovers = 0
+        last_outcome: Optional[DecodeOutcome] = None
+        avoid: Optional[str] = None
+        while attempts < policy.retry.max_attempts:
+            replica = self._pick(shard, avoid=avoid)
+            if replica is None:
+                break
+            attempts += 1
+            replica.inflight += 1
+            try:
+                client = await replica.ensure_client()
+                outcome = await asyncio.wait_for(
+                    client.decode(shard, syndromes, deadline_us),
+                    policy.request_timeout_s,
+                )
+            except asyncio.TimeoutError:
+                # hung or overwhelmed: suspect now, down after repeats
+                self.telemetry.timeouts += 1
+                self.telemetry.failovers += 1
+                failovers += 1
+                replica.failed += 1
+                replica.heartbeat_misses += 1
+                if replica.heartbeat_misses >= policy.heartbeat_misses_down:
+                    replica.mark_down()
+                    self._retire_from_ring(replica.name)
+                else:
+                    replica.mark_suspect()
+                avoid = replica.name
+                continue
+            except (ServiceClosedError, ConnectionError, OSError):
+                # the replica died under the request: fail over
+                self.telemetry.failovers += 1
+                failovers += 1
+                replica.failed += 1
+                replica.drop_client()
+                replica.mark_down()
+                self._retire_from_ring(replica.name)
+                avoid = replica.name
+                continue
+            finally:
+                replica.inflight -= 1
+            if outcome.ok:
+                replica.served += 1
+                outcome.metadata.update(
+                    replica=replica.name, attempts=attempts,
+                    failovers=failovers, fallback=False,
+                )
+                self.telemetry.on_outcome(True, time.monotonic() - started)
+                return outcome
+            if outcome.rejected:
+                self.telemetry.retries += 1
+                self._rejects_last_tick += 1
+                last_outcome = outcome
+                wait_us = policy.retry.backoff_us(
+                    attempts - 1, outcome.retry_after_us, self._rng
+                )
+                if wait_us > 0:
+                    await asyncio.sleep(wait_us / 1e6)
+                avoid = replica.name
+                continue
+            # permanent (too_large / error): no point retrying
+            outcome.metadata.update(
+                replica=replica.name, attempts=attempts,
+                failovers=failovers, fallback=False,
+            )
+            self.telemetry.on_outcome(False, time.monotonic() - started)
+            return outcome
+        # replicas exhausted -> the machine-runtime fallback semantics
+        if policy.fallback:
+            result = await self._local_pool.decode_async(shard, syndromes)
+            self.telemetry.fallback_decodes += 1
+            outcome = DecodeOutcome(
+                ok=True,
+                corrections=result.corrections,
+                converged=np.asarray(result.converged, dtype=bool),
+                cycles=result.cycles,
+                latency_us=(time.monotonic() - started) * 1e6,
+                metadata={
+                    "replica": None, "attempts": attempts,
+                    "failovers": failovers, "fallback": True,
+                },
+            )
+            self.telemetry.on_outcome(True, time.monotonic() - started)
+            return outcome
+        outcome = last_outcome or DecodeOutcome(
+            ok=False, reason="unavailable",
+            error="no replica available and fallback disabled",
+        )
+        outcome.metadata.update(attempts=attempts, failovers=failovers)
+        self.telemetry.on_outcome(False, time.monotonic() - started)
+        return outcome
+
+    # -- background loops ----------------------------------------------
+    async def _heartbeat_loop(self) -> None:
+        policy = self.policy
+        while True:
+            await asyncio.sleep(policy.heartbeat_interval_s)
+            for replica in list(self._replicas.values()):
+                if replica.state in (DOWN, DRAINING):
+                    continue
+                try:
+                    await replica.heartbeat(policy.heartbeat_timeout_s)
+                except asyncio.CancelledError:
+                    raise
+                except Exception:
+                    replica.heartbeat_misses += 1
+                    if (replica.heartbeat_misses
+                            >= policy.heartbeat_misses_down):
+                        replica.mark_down()
+                        self._retire_from_ring(replica.name)
+                        replica.drop_client()
+                    else:
+                        replica.mark_suspect()
+                else:
+                    if replica.state == SUSPECT:
+                        # recovered (e.g. un-hung): restore routing
+                        replica.mark_up()
+                        if replica.name not in self._ring:
+                            self._ring.add(replica.name)
+                    else:
+                        replica.mark_up()
+
+    async def _autoscale_loop(self) -> None:
+        autoscale = self.policy.autoscale
+        assert autoscale is not None
+        while True:
+            await asyncio.sleep(autoscale.interval_s)
+            await self.autoscale_tick()
+
+    async def autoscale_tick(self) -> Optional[str]:
+        """One telemetry-driven scaling decision (also called by tests)."""
+        autoscale = self.policy.autoscale
+        if autoscale is None:
+            return None
+        now = time.monotonic()
+        if now - self._last_scale_at < autoscale.cooldown_s:
+            self._rejects_last_tick = 0
+            return None
+        max_f = self._max_f_ratio()
+        rejects = self._rejects_last_tick
+        self._rejects_last_tick = 0
+        decision = autoscale.decide(max_f, rejects, len(self.up_replicas()))
+        if decision == "up":
+            self._spawn_replica()
+            self.telemetry.scale_ups += 1
+            self._last_scale_at = now
+        elif decision == "down":
+            await self._scale_down_one()
+            self._last_scale_at = now
+        return decision
+
+    def _max_f_ratio(self) -> Optional[float]:
+        """Worst offered/served ratio across every up replica's shards."""
+        worst: Optional[float] = None
+        for replica in self.up_replicas():
+            if replica.service is None:
+                continue            # remote replicas: polled via stats()
+            for shard_stats in replica.service.telemetry._shards.values():
+                f = shard_stats.f_ratio
+                if f is not None and (worst is None or f > worst):
+                    worst = f
+        return worst
+
+    async def _scale_down_one(self) -> None:
+        candidates = self.up_replicas()
+        if len(candidates) <= (self.policy.autoscale.min_replicas
+                               if self.policy.autoscale else 1):
+            return
+        victim = min(candidates, key=lambda r: (r.inflight, r.name))
+        self._retire_from_ring(victim.name)   # no new work routes to it
+        self.telemetry.scale_downs += 1
+        await victim.drain_and_stop()         # flush, then stop
+
+    # -- stats ----------------------------------------------------------
+    def stats(self) -> dict:
+        payload = self.telemetry.snapshot()
+        payload["duplicate_replies"] = sum(
+            r._client.duplicate_replies
+            for r in self._replicas.values() if r._client is not None
+        )
+        payload["replicas"] = {
+            name: r.snapshot() for name, r in sorted(self._replicas.items())
+        }
+        payload["ring_nodes"] = self._ring.nodes
+        return payload
+
+
+class ClusterFrontend:
+    """Wire-protocol facade of a cluster: clients cannot tell it from a
+    single :class:`~repro.service.server.DecodeService`.
+
+    Accepts the same framed messages over TCP or in-process transports,
+    validates admission exactly like a server would, and answers from
+    ``cluster.decode`` — so existing clients, the load generator and
+    the CLI all work against a replicated fleet unchanged.
+    """
+
+    def __init__(self, cluster: DecodeCluster) -> None:
+        self.cluster = cluster
+        self._tasks: set = set()
+        self._tcp_server: Optional[asyncio.AbstractServer] = None
+
+    async def start_tcp(self, host: str = "127.0.0.1",
+                        port: int = 0) -> tuple:
+        async def handle(reader, writer):
+            await self.serve_transport(StreamTransport(reader, writer))
+
+        self._tcp_server = await asyncio.start_server(handle, host, port)
+        sockname = self._tcp_server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    def connect(self) -> MemoryTransport:
+        client_end, server_end = MemoryTransport.pair()
+        task = asyncio.get_running_loop().create_task(
+            self.serve_transport(server_end)
+        )
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return client_end
+
+    def connect_client(self) -> DecodeClient:
+        return DecodeClient(self.connect())
+
+    async def serve_transport(self, transport) -> None:
+        request_tasks: set = set()
+        try:
+            while True:
+                try:
+                    message = await transport.recv()
+                except ProtocolError as exc:
+                    with contextlib.suppress(ConnectionError, OSError):
+                        await transport.send(error_reply(None, str(exc)))
+                    break
+                if message is None:
+                    break
+                task = asyncio.get_running_loop().create_task(
+                    self._handle(transport, message)
+                )
+                request_tasks.add(task)
+                task.add_done_callback(request_tasks.discard)
+        finally:
+            if request_tasks:
+                await asyncio.gather(*request_tasks, return_exceptions=True)
+            await transport.close()
+
+    async def _handle(self, transport, message: dict) -> None:
+        request_id = message.get("id")
+        try:
+            reply = await self._dispatch(message)
+        except ProtocolError as exc:
+            reply = error_reply(request_id, str(exc))
+        except Exception as exc:
+            reply = error_reply(request_id, f"internal error: {exc}")
+        with contextlib.suppress(ConnectionError, OSError):
+            await transport.send(reply)
+
+    async def _dispatch(self, message: dict) -> dict:
+        kind = message.get("type")
+        request_id = message.get("id")
+        if kind == "stats":
+            return stats_reply(request_id, self.cluster.stats())
+        if kind == "ping":
+            return {"type": "pong", "id": request_id}
+        if kind != "decode":
+            raise ProtocolError(f"unknown message type {kind!r}")
+        if not isinstance(request_id, int):
+            raise ProtocolError("decode request needs an integer 'id'")
+        shard = ShardKey.parse(message.get("shard", ""))
+        if shard.decoder not in DECODER_REGISTRY:
+            known = ", ".join(sorted(DECODER_REGISTRY))
+            raise ProtocolError(
+                f"unknown decoder kind {shard.decoder!r}; known: {known}"
+            )
+        if shard.distance > MAX_DISTANCE:
+            raise ProtocolError(
+                f"distance {shard.distance} exceeds the service cap "
+                f"{MAX_DISTANCE}"
+            )
+        syndromes = unpack_bitmap(message.get("syndromes", {}))
+        if syndromes.ndim != 2:
+            raise ProtocolError(
+                f"syndromes must be 2-D (shots, bits), got {syndromes.shape}"
+            )
+        expected = self.cluster.n_syndromes(shard)
+        if syndromes.shape[1] != expected:
+            raise ProtocolError(
+                f"shard {shard.wire()} wants {expected} syndrome bits per "
+                f"shot, got {syndromes.shape[1]}"
+            )
+        if syndromes.shape[0] == 0:
+            raise ProtocolError("empty decode request (0 shots)")
+        outcome = await self.cluster.decode(
+            shard, syndromes, message.get("deadline_us")
+        )
+        if outcome.ok:
+            return result_reply(
+                request_id, outcome.corrections,
+                np.asarray(outcome.converged, dtype=np.uint8),
+                outcome.cycles, outcome.queued_us, outcome.decode_us,
+                outcome.batch_shots,
+            )
+        if outcome.reason in ("backpressure", "deadline", "draining",
+                              "too_large", "unavailable"):
+            return reject_reply(
+                request_id, outcome.reason, outcome.retry_after_us,
+                outcome.queue_depth,
+            )
+        return error_reply(request_id, outcome.error or "decode failed")
+
+    async def close(self) -> None:
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+            self._tcp_server = None
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)

@@ -1,0 +1,64 @@
+"""Router-side telemetry: failovers, retries, fallbacks, end-to-end tail.
+
+The cluster's latency histogram measures what a caller actually
+experiences — send through every retry, failover and fallback until a
+correction lands — which is the number the chaos acceptance bound
+(`p99 stays bounded while a replica dies mid-run`) is asserted
+against.  Reuses the O(1) log-bucketed
+:class:`~repro.service.telemetry.LatencyHistogram`.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..telemetry import LatencyHistogram
+
+
+class ClusterTelemetry:
+    """Counters and end-to-end latency of the routing tier."""
+
+    def __init__(self) -> None:
+        self.started_at = time.monotonic()
+        self.requests = 0
+        self.served = 0
+        #: replica died / connection dropped mid-request -> re-dispatched
+        self.failovers = 0
+        #: request timed out on a (hung/slow) replica -> re-dispatched
+        self.timeouts = 0
+        #: transient rejections retried per RetryPolicy
+        self.retries = 0
+        #: requests decoded locally after every replica failed — the
+        #: runtime/machine.py decoder-failure -> software-fallback
+        #: semantics at the cluster level
+        self.fallback_decodes = 0
+        #: requests that ended without a correction (must stay 0 while
+        #: the fallback is enabled)
+        self.lost = 0
+        #: reply frames suppressed by request-id idempotence, summed
+        #: over replica clients on snapshot
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.latency = LatencyHistogram()
+
+    def on_outcome(self, ok: bool, latency_s: float) -> None:
+        if ok:
+            self.served += 1
+        else:
+            self.lost += 1
+        self.latency.observe(latency_s * 1e9)
+
+    def snapshot(self) -> dict:
+        return {
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "requests": self.requests,
+            "served": self.served,
+            "lost": self.lost,
+            "failovers": self.failovers,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "fallback_decodes": self.fallback_decodes,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "latency": self.latency.snapshot(),
+        }

@@ -25,7 +25,7 @@ import numpy as np
 from ..decoders.geometry import MatchingGeometry
 from ..noise.models import DephasingChannel, ErrorModel
 from ..surface.lattice import SurfaceLattice
-from .client import DecodeClient, DecodeOutcome
+from .client import DecodeClient, DecodeOutcome, RetryPolicy
 from .protocol import ShardKey
 
 
@@ -163,6 +163,8 @@ class LoadReport:
     latency_p99_us: float
     max_queue_depth: int
     mean_batch_shots: float
+    #: mean sends per request (1.0 unless a RetryPolicy was active)
+    mean_attempts: float = 1.0
     shard_stats: dict = field(default_factory=dict)
 
     @property
@@ -193,6 +195,7 @@ class LoadReport:
             "latency_p99_us": us(self.latency_p99_us),
             "max_queue_depth": self.max_queue_depth,
             "mean_batch_shots": round(self.mean_batch_shots, 2),
+            "mean_attempts": round(self.mean_attempts, 3),
         }
 
 
@@ -224,6 +227,7 @@ async def run_load(
     n_clients: int = 1,
     deadline_us: Optional[float] = None,
     clients: Optional[List[DecodeClient]] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> LoadReport:
     """Replay a trace open-loop against a service; aggregate the fates.
 
@@ -231,7 +235,11 @@ async def run_load(
     default in-process path); pass pre-connected ``clients`` instead to
     drive a TCP endpoint.  Requests round-robin over ``n_clients``
     connections so multi-client interleaving exercises the batcher the
-    way production traffic would.
+    way production traffic would.  With ``retry`` set, transient
+    rejections are retried per the policy (honoring the server's
+    ``retry_after_us`` hints); the report's ``rejected`` then counts
+    only requests still shed after the whole retry budget, and
+    ``mean_attempts`` shows the amplification the retries cost.
     """
     if n_clients < 1:
         raise ValueError("n_clients must be >= 1")
@@ -243,12 +251,17 @@ async def run_load(
         ]
     loop = asyncio.get_running_loop()
     base = loop.time()
+    jitter_rng = np.random.default_rng(seed)
 
     async def fire(i: int) -> DecodeOutcome:
         delay = base + float(trace.times_s[i]) - loop.time()
         if delay > 0:
             await asyncio.sleep(delay)
         client = clients[i % len(clients)]
+        if retry is not None:
+            return await client.decode_with_retry(
+                shard, payloads[i], deadline_us, retry, jitter_rng
+            )
         return await client.decode(shard, payloads[i], deadline_us)
 
     started = loop.time()
@@ -294,6 +307,9 @@ def _build_report(shard: ShardKey, trace: ArrivalTrace,
         latency_p99_us=float(np.percentile(latencies, 99)),
         max_queue_depth=shard_stats.get("max_queue_depth", 0),
         mean_batch_shots=shard_stats.get("mean_batch_shots", 0.0),
+        mean_attempts=float(np.mean(
+            [o.metadata.get("attempts", 1) for o in outcomes]
+        )) if outcomes else 1.0,
         shard_stats=shard_stats,
     )
 

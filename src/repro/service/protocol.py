@@ -138,13 +138,23 @@ def decode_frame(frame: bytes) -> dict:
 # Transports
 # ----------------------------------------------------------------------
 class StreamTransport:
-    """Framed messages over an asyncio stream pair (the TCP transport)."""
+    """Framed messages over an asyncio stream pair (the TCP transport).
+
+    ``read_timeout_s`` bounds *mid-frame* reads only: waiting for the
+    next frame on an idle connection blocks indefinitely, but once a
+    length prefix has arrived the body must follow within the timeout
+    or the peer is treated as wedged and the read fails with a clean
+    :class:`ProtocolError` (never a hang, never a raw ``struct.error``
+    or partial buffer).
+    """
 
     def __init__(self, reader: asyncio.StreamReader,
-                 writer: asyncio.StreamWriter) -> None:
+                 writer: asyncio.StreamWriter,
+                 read_timeout_s: Optional[float] = None) -> None:
         self._reader = reader
         self._writer = writer
         self._write_lock = asyncio.Lock()
+        self._read_timeout_s = read_timeout_s
 
     async def send(self, message: dict) -> None:
         frame = encode_frame(message)
@@ -153,18 +163,44 @@ class StreamTransport:
             await self._writer.drain()
 
     async def recv(self) -> Optional[dict]:
-        """Next message, or ``None`` on clean EOF."""
+        """Next message, ``None`` on clean EOF, else :class:`ProtocolError`.
+
+        A disconnect *between* frames is a clean EOF; a disconnect
+        mid-prefix or mid-body is a protocol error — the peer vanished
+        holding half a frame, and silently treating that as EOF would
+        hide truncation from the serving layer.
+        """
         try:
             prefix = await self._reader.readexactly(_LEN.size)
-        except (asyncio.IncompleteReadError, ConnectionError):
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None          # clean EOF between frames
+            raise ProtocolError(
+                f"peer closed mid-prefix ({len(exc.partial)}/{_LEN.size} "
+                "bytes)"
+            ) from None
+        except ConnectionError:
             return None
         (length,) = _LEN.unpack(prefix)
         if length > MAX_FRAME_BYTES:
             raise ProtocolError(f"incoming frame of {length} bytes exceeds cap")
+        read = self._reader.readexactly(length)
         try:
-            body = await self._reader.readexactly(length)
-        except (asyncio.IncompleteReadError, ConnectionError):
-            return None
+            if self._read_timeout_s is not None:
+                body = await asyncio.wait_for(read, self._read_timeout_s)
+            else:
+                body = await read
+        except asyncio.IncompleteReadError as exc:
+            raise ProtocolError(
+                f"peer closed mid-frame ({len(exc.partial)}/{length} body "
+                "bytes)"
+            ) from None
+        except ConnectionError as exc:
+            raise ProtocolError(f"connection lost mid-frame: {exc}") from None
+        except asyncio.TimeoutError:
+            raise ProtocolError(
+                f"mid-frame read timed out after {self._read_timeout_s}s"
+            ) from None
         return decode_frame(prefix + body)
 
     async def close(self) -> None:

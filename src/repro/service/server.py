@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
-from typing import Optional, Set, Union
+from typing import Callable, Optional, Set, Union
 
 from ..decoders import DECODER_REGISTRY
 from .batcher import BatchedResult, BatchPolicy, MicroBatcher, Rejection
@@ -48,14 +48,25 @@ class DecodeService:
         self,
         pool: Optional[DecoderPool] = None,
         policy: Optional[BatchPolicy] = None,
+        read_timeout_s: Optional[float] = None,
+        drain_timeout_s: float = 5.0,
     ) -> None:
         self.pool = pool or DecoderPool()
         self.policy = policy or BatchPolicy()
         self.telemetry = ServiceTelemetry()
         self.batcher: Optional[MicroBatcher] = None
+        #: mid-frame socket read timeout for TCP connections (None =
+        #: wait forever; idle waits between frames are always unbounded)
+        self.read_timeout_s = read_timeout_s
+        #: how long close() waits for in-flight batches to flush before
+        #: hard-cancelling (a wedged decoder must not block shutdown)
+        self.drain_timeout_s = drain_timeout_s
         self._tasks: Set[asyncio.Task] = set()
         self._tcp_server: Optional[asyncio.AbstractServer] = None
         self._closed = False
+        self._draining = False
+        self._inflight_requests = 0
+        self._idle = asyncio.Event()
 
     def _ensure_batcher(self) -> MicroBatcher:
         # created lazily so the service can be built outside a loop
@@ -66,26 +77,43 @@ class DecodeService:
         return self.batcher
 
     # -- transports ----------------------------------------------------
-    async def start_tcp(self, host: str = "127.0.0.1",
-                        port: int = 0) -> tuple:
-        """Listen on TCP; returns the bound ``(host, port)``."""
+    async def start_tcp(self, host: str = "127.0.0.1", port: int = 0,
+                        transport_wrap: Optional[Callable] = None) -> tuple:
+        """Listen on TCP; returns the bound ``(host, port)``.
+
+        ``transport_wrap`` decorates each accepted connection's
+        transport (e.g. a :class:`~repro.service.cluster.faults
+        .FaultInjector`'s ``wrap``) — the hook that makes TCP replicas
+        chaos-injectable exactly like in-process ones.
+        """
         self._ensure_batcher()
 
         async def handle(reader: asyncio.StreamReader,
                          writer: asyncio.StreamWriter) -> None:
-            await self.serve_transport(StreamTransport(reader, writer))
+            transport: object = StreamTransport(
+                reader, writer, read_timeout_s=self.read_timeout_s
+            )
+            if transport_wrap is not None:
+                transport = transport_wrap(transport)
+            await self.serve_transport(transport)
 
         self._tcp_server = await asyncio.start_server(handle, host, port)
         sockname = self._tcp_server.sockets[0].getsockname()
         return sockname[0], sockname[1]
 
-    def connect(self) -> MemoryTransport:
+    def connect(self, transport_wrap: Optional[Callable] = None
+                ) -> MemoryTransport:
         """A connected in-process client transport (server side served
-        by a background task)."""
+        by a background task).  ``transport_wrap`` decorates the server
+        end — the in-process fault-injection hook."""
         self._ensure_batcher()
         client_end, server_end = MemoryTransport.pair()
+        transport = (
+            transport_wrap(server_end) if transport_wrap is not None
+            else server_end
+        )
         task = asyncio.get_running_loop().create_task(
-            self.serve_transport(server_end)
+            self.serve_transport(transport)
         )
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
@@ -129,15 +157,25 @@ class DecodeService:
     async def _handle_message(self, transport: Transport,
                               message: dict) -> None:
         request_id = message.get("id")
+        self._inflight_requests += 1
+        self._idle.clear()
         try:
-            reply = await self._dispatch(message)
-        except ProtocolError as exc:
-            self.telemetry.protocol_errors += 1
-            reply = error_reply(request_id, str(exc))
-        except Exception as exc:
-            reply = error_reply(request_id, f"internal error: {exc}")
-        with contextlib.suppress(ConnectionError, OSError):
-            await transport.send(reply)
+            try:
+                reply = await self._dispatch(message)
+            except ProtocolError as exc:
+                self.telemetry.protocol_errors += 1
+                reply = error_reply(request_id, str(exc))
+            except Exception as exc:
+                reply = error_reply(request_id, f"internal error: {exc}")
+            with contextlib.suppress(ConnectionError, OSError):
+                await transport.send(reply)
+        finally:
+            # the reply is on the wire (or the peer is gone) before the
+            # request stops counting as in flight — drain() waits for
+            # sends, not just decodes
+            self._inflight_requests -= 1
+            if self._inflight_requests == 0:
+                self._idle.set()
 
     async def _dispatch(self, message: dict) -> dict:
         kind = message.get("type")
@@ -150,6 +188,14 @@ class DecodeService:
             raise ProtocolError(f"unknown message type {kind!r}")
         if not isinstance(request_id, int):
             raise ProtocolError("decode request needs an integer 'id'")
+        if self._draining:
+            # stats/ping above still answer during a drain; only new
+            # decode work is turned away (transiently — a retrying
+            # client or the cluster router goes elsewhere)
+            return reject_reply(
+                request_id, "draining",
+                self.policy.default_retry_after_us, 0,
+            )
         shard = ShardKey.parse(message.get("shard", ""))
         # validate at admission: every unique shard key creates state
         # (lattice cache, worker task, telemetry), so bogus kinds must
@@ -195,6 +241,7 @@ class DecodeService:
     # -- stats / lifecycle --------------------------------------------
     def stats(self) -> dict:
         payload = self.telemetry.snapshot()
+        payload["draining"] = self._draining
         payload["pool"] = {
             "workers": self.pool.workers,
             "live_shards": self.pool.live_shards,
@@ -208,13 +255,42 @@ class DecodeService:
         }
         return payload
 
-    async def close(self) -> None:
+    async def drain(self, timeout_s: Optional[float] = None) -> bool:
+        """Graceful quiesce: reject new decodes, flush in-flight work.
+
+        Queued micro-batches run to completion and their replies are
+        sent; new decode requests are rejected with reason
+        ``"draining"``; stats/ping keep answering.  Returns ``True``
+        when the service went fully idle within ``timeout_s`` (default:
+        ``drain_timeout_s``), ``False`` if work was still wedged —
+        either way the service stays up until :meth:`close`.
+        """
+        self._draining = True
+        timeout = self.drain_timeout_s if timeout_s is None else timeout_s
+        flushed = True
+        if self.batcher is not None:
+            flushed = await self.batcher.drain(timeout)
+        if self._inflight_requests > 0:
+            try:
+                await asyncio.wait_for(self._idle.wait(), timeout)
+            except asyncio.TimeoutError:
+                flushed = False
+        return flushed
+
+    async def close(self, drain: bool = True) -> None:
         """Shut down transports, workers and the pool; final.
 
-        Connections that survive the cancellation sweep (or stray
-        references) cannot resurrect the service: further requests fail
-        with ``service is closed``.
+        With ``drain=True`` (the default) in-flight micro-batches are
+        flushed and their replies delivered before connections come
+        down — a ``close()`` racing live traffic loses no accepted
+        work.  ``drain=False`` is the hard-kill path (what the chaos
+        harness uses to model a dead process).  Connections that
+        survive the cancellation sweep (or stray references) cannot
+        resurrect the service: further requests fail with ``service is
+        closed``.
         """
+        if drain and not self._closed and self.batcher is not None:
+            await self.drain()
         self._closed = True
         if self._tcp_server is not None:
             self._tcp_server.close()

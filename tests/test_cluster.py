@@ -1,0 +1,622 @@
+"""Cluster tier: hashing, retry policy, fault injection, routing.
+
+The load-bearing guarantees under test: shard keys route
+deterministically with minimal remap on membership change; a replica
+failure never loses a correction (failover, then the local-fallback
+path) and never duplicates one (request-id idempotence); and every
+served correction stays bit-identical to a direct ``decode_batch``
+golden run no matter which path produced it.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    DecodeService,
+    RetryPolicy,
+    ShardKey,
+)
+from repro.service.cluster import (
+    AutoscalePolicy,
+    ClusterFrontend,
+    ClusterPolicy,
+    DecodeCluster,
+    FaultInjector,
+    FaultSpec,
+    HashRing,
+    Replica,
+    stable_hash,
+)
+from repro.service.protocol import MemoryTransport
+
+from test_service import direct_batch, make_syndromes
+
+SHARD = ShardKey("unionfind", 3, "z")
+
+
+def fast_policy(**overrides) -> ClusterPolicy:
+    defaults = dict(
+        heartbeat_interval_s=0.03,
+        heartbeat_timeout_s=0.1,
+        request_timeout_s=0.5,
+        retry=RetryPolicy(max_attempts=4, base_us=200.0, jitter=0.0),
+    )
+    defaults.update(overrides)
+    return ClusterPolicy(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Consistent hashing
+# ----------------------------------------------------------------------
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("mwpm:d5:z") == stable_hash("mwpm:d5:z")
+
+    def test_spreads(self):
+        values = {stable_hash(f"key{i}") for i in range(100)}
+        assert len(values) == 100
+
+
+class TestHashRing:
+    def test_membership(self):
+        ring = HashRing(["a", "b"])
+        assert "a" in ring and len(ring) == 2
+        ring.add("c")
+        assert ring.nodes == ["a", "b", "c"]
+        ring.remove("b")
+        assert "b" not in ring
+        with pytest.raises(ValueError):
+            ring.add("a")
+        with pytest.raises(ValueError):
+            ring.remove("b")
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(ValueError):
+            HashRing().node_for("k")
+
+    def test_lookup_deterministic(self):
+        ring1 = HashRing(["a", "b", "c"])
+        ring2 = HashRing(["c", "a", "b"])   # insertion order irrelevant
+        for i in range(50):
+            assert ring1.node_for(f"k{i}") == ring2.node_for(f"k{i}")
+
+    def test_nodes_for_distinct_prefix(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        for i in range(20):
+            prefs = ring.nodes_for(f"k{i}", 3)
+            assert len(prefs) == len(set(prefs)) == 3
+            # nodes_for(n) extends nodes_for(n-1)
+            assert ring.nodes_for(f"k{i}", 2) == prefs[:2]
+            assert ring.node_for(f"k{i}") == prefs[0]
+
+    def test_n_larger_than_membership(self):
+        ring = HashRing(["a", "b"])
+        assert sorted(ring.nodes_for("k", 5)) == ["a", "b"]
+
+    def test_minimal_remap_on_add(self):
+        keys = [f"shard{i}" for i in range(400)]
+        ring = HashRing(["a", "b", "c", "d"])
+        before = {k: ring.node_for(k) for k in keys}
+        ring.add("e")
+        moved = sum(1 for k in keys if ring.node_for(k) != before[k])
+        # ideal is 1/5 of keys; allow generous slack over vnode variance
+        assert moved / len(keys) < 0.4
+        # every moved key landed on the new node
+        for k in keys:
+            if ring.node_for(k) != before[k]:
+                assert ring.node_for(k) == "e"
+
+    def test_remove_restores_prior_owner(self):
+        keys = [f"shard{i}" for i in range(200)]
+        ring = HashRing(["a", "b", "c"])
+        before = {k: ring.node_for(k) for k in keys}
+        ring.add("x")
+        ring.remove("x")
+        assert {k: ring.node_for(k) for k in keys} == before
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_exponential_and_capped(self):
+        policy = RetryPolicy(base_us=100.0, multiplier=2.0, cap_us=500.0,
+                             jitter=0.0)
+        assert policy.backoff_us(0) == 100.0
+        assert policy.backoff_us(1) == 200.0
+        assert policy.backoff_us(2) == 400.0
+        assert policy.backoff_us(3) == 500.0   # capped
+        assert policy.backoff_us(10) == 500.0
+
+    def test_server_hint_wins_when_larger(self):
+        policy = RetryPolicy(base_us=100.0, jitter=0.0)
+        assert policy.backoff_us(0, retry_after_us=5000.0) == 5000.0
+        assert policy.backoff_us(0, retry_after_us=10.0) == 100.0
+
+    def test_jitter_is_upward_only(self):
+        policy = RetryPolicy(base_us=1000.0, jitter=0.5)
+        rng = np.random.default_rng(3)
+        waits = [policy.backoff_us(0, rng=rng) for _ in range(100)]
+        assert all(1000.0 <= w <= 1500.0 for w in waits)
+        assert len(set(waits)) > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_us(-1)
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+# ----------------------------------------------------------------------
+class TestFaultInjector:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(delay_us=-1)
+        with pytest.raises(ValueError):
+            FaultSpec(drop_prob=1.5)
+        inj = FaultInjector()
+        with pytest.raises(ValueError):
+            inj.slow(-1)
+        with pytest.raises(ValueError):
+            inj.corrupt(drop_prob=2.0)
+
+    def test_kill_is_permanent(self):
+        inj = FaultInjector()
+        inj.kill()
+        inj.restore()
+        assert inj.killed
+
+    def test_killed_transport_eof_and_send_error(self):
+        async def scenario():
+            a, b = MemoryTransport.pair()
+            inj = FaultInjector()
+            faulty = inj.wrap(b)
+            inj.kill()
+            assert await faulty.recv() is None
+            with pytest.raises(ConnectionError):
+                await faulty.send({"type": "pong", "id": 1})
+        asyncio.run(scenario())
+
+    def test_kill_releases_blocked_recv(self):
+        async def scenario():
+            a, b = MemoryTransport.pair()
+            inj = FaultInjector()
+            faulty = inj.wrap(b)
+            recv = asyncio.ensure_future(faulty.recv())
+            await asyncio.sleep(0.01)
+            assert not recv.done()
+            inj.kill()
+            assert await asyncio.wait_for(recv, 1.0) is None
+        asyncio.run(scenario())
+
+    def test_hang_swallows_until_restore(self):
+        async def scenario():
+            a, b = MemoryTransport.pair()
+            inj = FaultInjector()
+            faulty = inj.wrap(b)
+            inj.hang()
+            await faulty.send({"type": "pong", "id": 1})   # swallowed
+            assert inj.frames_swallowed == 1
+            recv = asyncio.ensure_future(faulty.recv())
+            await a.send({"type": "ping", "id": 2})        # swallowed
+            await asyncio.sleep(0.02)
+            assert not recv.done()
+            inj.restore()
+            await a.send({"type": "ping", "id": 3})
+            message = await asyncio.wait_for(recv, 1.0)
+            assert message["id"] == 3
+        asyncio.run(scenario())
+
+    def test_slow_delays_sends(self):
+        async def scenario():
+            a, b = MemoryTransport.pair()
+            inj = FaultInjector()
+            inj.slow(30_000.0)
+            faulty = inj.wrap(b)
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            await faulty.send({"type": "pong", "id": 1})
+            assert loop.time() - t0 >= 0.025
+            assert (await a.recv())["id"] == 1
+        asyncio.run(scenario())
+
+    def test_drop_and_duplicate_deterministic(self):
+        async def scenario():
+            a, b = MemoryTransport.pair()
+            inj = FaultInjector(FaultSpec(duplicate_prob=1.0, seed=5))
+            faulty = inj.wrap(b)
+            await faulty.send({"type": "pong", "id": 1})
+            assert (await a.recv())["id"] == 1
+            assert (await a.recv())["id"] == 1        # the duplicate
+            assert inj.frames_duplicated == 1
+            inj.corrupt(drop_prob=1.0, duplicate_prob=0.0)
+            await faulty.send({"type": "pong", "id": 2})
+            assert inj.frames_dropped == 1
+        asyncio.run(scenario())
+
+
+class TestReplica:
+    def test_needs_exactly_one_backend(self):
+        with pytest.raises(ValueError):
+            Replica("r")
+        with pytest.raises(ValueError):
+            Replica("r", service=DecodeService(),
+                    address=("127.0.0.1", 1))
+
+    def test_health_transitions(self):
+        replica = Replica("r", service=DecodeService())
+        assert replica.state == "up" and replica.available
+        replica.mark_suspect()
+        assert replica.state == "suspect" and replica.available
+        replica.mark_up()
+        assert replica.state == "up"
+        replica.mark_down()
+        assert replica.state == "down" and not replica.available
+
+
+# ----------------------------------------------------------------------
+# Routing, failover, fallback
+# ----------------------------------------------------------------------
+class TestClusterRouting:
+    def test_decode_matches_direct_batch(self):
+        syndromes = make_syndromes(3, "z", 24, seed=31)
+        expected = direct_batch("unionfind", 3, "z", syndromes)
+
+        async def scenario():
+            cluster = DecodeCluster(n_replicas=3, policy=fast_policy(),
+                                    seed=0)
+            outcome = await cluster.decode(SHARD, syndromes)
+            await cluster.close()
+            return outcome
+
+        outcome = asyncio.run(scenario())
+        assert outcome.ok and outcome.metadata["fallback"] is False
+        assert np.array_equal(outcome.corrections, expected.corrections)
+
+    def test_idle_cluster_serves_from_ring_primary(self):
+        syndromes = make_syndromes(3, "z", 4, seed=32)
+
+        async def scenario():
+            cluster = DecodeCluster(n_replicas=3, policy=fast_policy(),
+                                    seed=0)
+            primary = cluster.primary_for(SHARD)
+            outcome = await cluster.decode(SHARD, syndromes)
+            await cluster.close()
+            return primary.name, outcome.metadata["replica"]
+
+        primary, served_by = asyncio.run(scenario())
+        assert served_by == primary
+
+    def test_failover_after_kill_is_bit_identical(self):
+        syndromes = make_syndromes(3, "z", 16, seed=33)
+        expected = direct_batch("unionfind", 3, "z", syndromes)
+
+        async def scenario():
+            cluster = DecodeCluster(n_replicas=3, policy=fast_policy(),
+                                    seed=0)
+            before = await cluster.decode(SHARD, syndromes)
+            primary = cluster.primary_for(SHARD)
+            await primary.kill()
+            after = await cluster.decode(SHARD, syndromes)
+            await cluster.close()
+            return before, after, primary.name
+
+        before, after, killed = asyncio.run(scenario())
+        assert before.ok and after.ok
+        assert before.metadata["replica"] == killed
+        assert after.metadata["replica"] != killed
+        assert np.array_equal(after.corrections, expected.corrections)
+
+    def test_kill_mid_request_fails_over(self):
+        """A replica dying *under* an in-flight request re-dispatches it."""
+        syndromes = make_syndromes(3, "z", 8, seed=34)
+        expected = direct_batch("unionfind", 3, "z", syndromes)
+
+        async def scenario():
+            cluster = DecodeCluster(n_replicas=2, policy=fast_policy(),
+                                    seed=0)
+            primary = cluster.primary_for(SHARD)
+            # wedge the primary so the request parks on it, then kill it
+            primary.injector.hang()
+            task = asyncio.ensure_future(cluster.decode(SHARD, syndromes))
+            await asyncio.sleep(0.05)
+            assert not task.done()
+            await primary.kill()
+            outcome = await asyncio.wait_for(task, 5.0)
+            stats = cluster.stats()
+            await cluster.close()
+            return outcome, stats
+
+        outcome, stats = asyncio.run(scenario())
+        assert outcome.ok
+        assert outcome.metadata["failovers"] >= 1
+        assert stats["failovers"] >= 1 and stats["lost"] == 0
+        assert np.array_equal(outcome.corrections, expected.corrections)
+
+    def test_fallback_when_all_replicas_dead(self):
+        syndromes = make_syndromes(3, "z", 12, seed=35)
+        expected = direct_batch("unionfind", 3, "z", syndromes)
+
+        async def scenario():
+            cluster = DecodeCluster(n_replicas=2, policy=fast_policy(),
+                                    seed=0)
+            for replica in cluster.replicas:
+                await replica.kill()
+            outcome = await cluster.decode(SHARD, syndromes)
+            stats = cluster.stats()
+            await cluster.close()
+            return outcome, stats
+
+        outcome, stats = asyncio.run(scenario())
+        assert outcome.ok and outcome.metadata["fallback"] is True
+        assert stats["fallback_decodes"] == 1 and stats["lost"] == 0
+        assert np.array_equal(outcome.corrections, expected.corrections)
+
+    def test_fallback_disabled_reports_unavailable(self):
+        syndromes = make_syndromes(3, "z", 4, seed=36)
+
+        async def scenario():
+            cluster = DecodeCluster(
+                n_replicas=1, policy=fast_policy(fallback=False), seed=0
+            )
+            await cluster.replicas[0].kill()
+            outcome = await cluster.decode(SHARD, syndromes)
+            stats = cluster.stats()
+            await cluster.close()
+            return outcome, stats
+
+        outcome, stats = asyncio.run(scenario())
+        assert not outcome.ok and outcome.reason == "unavailable"
+        assert stats["lost"] == 1
+
+    def test_heartbeat_demotes_hung_replica(self):
+        async def scenario():
+            cluster = DecodeCluster(n_replicas=2, policy=fast_policy(),
+                                    seed=0)
+            await cluster.start()
+            victim = cluster.primary_for(SHARD)
+            # establish the heartbeat connection, then wedge the replica
+            await victim.heartbeat(0.5)
+            victim.injector.hang()
+            for _ in range(200):
+                await asyncio.sleep(0.02)
+                if victim.state == "down":
+                    break
+            state = victim.state
+            routed = victim.name in cluster._ring
+            await cluster.close()
+            return state, routed
+
+        state, routed = asyncio.run(scenario())
+        assert state == "down" and not routed
+
+    def test_revive_restores_routing(self):
+        async def scenario():
+            cluster = DecodeCluster(n_replicas=2, policy=fast_policy(),
+                                    seed=0)
+            victim = cluster.replicas[0]
+            victim.mark_down()
+            cluster._retire_from_ring(victim.name)
+            cluster.revive(victim.name)
+            ok = victim.state == "up" and victim.name in cluster._ring
+            # a killed replica must stay dead
+            await cluster.replicas[1].kill()
+            try:
+                cluster.revive(cluster.replicas[1].name)
+                revived_dead = True
+            except ValueError:
+                revived_dead = False
+            await cluster.close()
+            return ok, revived_dead
+
+        ok, revived_dead = asyncio.run(scenario())
+        assert ok and not revived_dead
+
+    def test_duplicate_reply_frames_absorbed(self):
+        """Reply-frame duplication never delivers two corrections."""
+        syndromes = make_syndromes(3, "z", 6, seed=37)
+        expected = direct_batch("unionfind", 3, "z", syndromes)
+
+        async def scenario():
+            cluster = DecodeCluster(n_replicas=2, policy=fast_policy(),
+                                    seed=0)
+            primary = cluster.primary_for(SHARD)
+            primary.injector.corrupt(duplicate_prob=1.0)
+            outcomes = [await cluster.decode(SHARD, syndromes)
+                        for _ in range(5)]
+            # let the duplicated frames land and be counted
+            await asyncio.sleep(0.05)
+            stats = cluster.stats()
+            await cluster.close()
+            return outcomes, stats
+
+        outcomes, stats = asyncio.run(scenario())
+        assert all(o.ok for o in outcomes)
+        assert stats["duplicate_replies"] >= 4
+        for outcome in outcomes:
+            assert np.array_equal(outcome.corrections, expected.corrections)
+
+
+# ----------------------------------------------------------------------
+# Autoscaling (decision logic is pure; ticks driven by hand)
+# ----------------------------------------------------------------------
+class TestAutoscale:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            AutoscalePolicy(f_low=0.9, f_high=0.5)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(min_replicas=3, max_replicas=2)
+
+    def test_decide_up_on_hot_f_ratio(self):
+        policy = AutoscalePolicy(f_high=0.9, f_low=0.3, max_replicas=4)
+        assert policy.decide(0.95, 0, 2) == "up"
+        assert policy.decide(0.95, 0, 4) is None     # at max
+        assert policy.decide(0.5, 0, 2) is None      # warm, not hot
+
+    def test_decide_up_on_rejections(self):
+        policy = AutoscalePolicy()
+        assert policy.decide(None, 3, 1) == "up"
+
+    def test_decide_down_only_when_cold_and_quiet(self):
+        policy = AutoscalePolicy(f_high=0.9, f_low=0.3, min_replicas=1)
+        assert policy.decide(0.1, 0, 2) == "down"
+        assert policy.decide(None, 0, 2) == "down"
+        assert policy.decide(0.1, 1, 2) == "up"      # rejects -> grow
+        assert policy.decide(0.1, 0, 1) is None      # at min
+
+    def test_tick_scales_up_on_rejections(self):
+        async def scenario():
+            cluster = DecodeCluster(
+                n_replicas=1,
+                policy=fast_policy(
+                    autoscale=AutoscalePolicy(cooldown_s=0.0)
+                ),
+                seed=0,
+            )
+            cluster._rejects_last_tick = 5
+            decision = await cluster.autoscale_tick()
+            n_after = len(cluster.replicas)
+            stats = cluster.stats()
+            await cluster.close()
+            return decision, n_after, stats
+
+        decision, n_after, stats = asyncio.run(scenario())
+        assert decision == "up" and n_after == 2
+        assert stats["scale_ups"] == 1
+
+    def test_tick_scales_down_cold_fleet(self):
+        async def scenario():
+            cluster = DecodeCluster(
+                n_replicas=3,
+                policy=fast_policy(
+                    autoscale=AutoscalePolicy(cooldown_s=0.0,
+                                              min_replicas=1)
+                ),
+                seed=0,
+            )
+            decision = await cluster.autoscale_tick()
+            up = len(cluster.up_replicas())
+            ring = len(cluster._ring)
+            stats = cluster.stats()
+            await cluster.close()
+            return decision, up, ring, stats
+
+        decision, up, ring, stats = asyncio.run(scenario())
+        assert decision == "down" and up == 2 and ring == 2
+        assert stats["scale_downs"] == 1
+
+    def test_cooldown_suppresses_thrash(self):
+        async def scenario():
+            cluster = DecodeCluster(
+                n_replicas=1,
+                policy=fast_policy(
+                    autoscale=AutoscalePolicy(cooldown_s=60.0)
+                ),
+                seed=0,
+            )
+            cluster._rejects_last_tick = 5
+            first = await cluster.autoscale_tick()     # scales up
+            cluster._rejects_last_tick = 5
+            second = await cluster.autoscale_tick()    # inside cooldown
+            await cluster.close()
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert first == "up" and second is None
+
+    def test_scaled_up_replica_serves(self):
+        syndromes = make_syndromes(3, "z", 8, seed=38)
+        expected = direct_batch("unionfind", 3, "z", syndromes)
+
+        async def scenario():
+            cluster = DecodeCluster(
+                n_replicas=1,
+                policy=fast_policy(
+                    autoscale=AutoscalePolicy(cooldown_s=0.0)
+                ),
+                seed=0,
+            )
+            cluster._rejects_last_tick = 1
+            await cluster.autoscale_tick()
+            # kill the original; the scaled-up replica must carry alone
+            await cluster.replicas[0].kill()
+            outcome = await cluster.decode(SHARD, syndromes)
+            await cluster.close()
+            return outcome
+
+        outcome = asyncio.run(scenario())
+        assert outcome.ok and outcome.metadata["fallback"] is False
+        assert np.array_equal(outcome.corrections, expected.corrections)
+
+
+# ----------------------------------------------------------------------
+# Wire facade
+# ----------------------------------------------------------------------
+class TestClusterFrontend:
+    def test_decode_via_frontend_matches_direct(self):
+        syndromes = make_syndromes(3, "z", 10, seed=39)
+        expected = direct_batch("unionfind", 3, "z", syndromes)
+
+        async def scenario():
+            cluster = DecodeCluster(n_replicas=2, policy=fast_policy(),
+                                    seed=0)
+            frontend = ClusterFrontend(cluster)
+            client = frontend.connect_client()
+            outcome = await client.decode(SHARD, syndromes)
+            stats = await client.stats()
+            latency = await client.ping(1.0)
+            await client.close()
+            await frontend.close()
+            await cluster.close()
+            return outcome, stats, latency
+
+        outcome, stats, latency = asyncio.run(scenario())
+        assert outcome.ok
+        assert np.array_equal(outcome.corrections, expected.corrections)
+        assert stats["requests"] >= 1 and latency >= 0
+
+    def test_frontend_validates_like_a_server(self):
+        async def scenario():
+            cluster = DecodeCluster(n_replicas=1, policy=fast_policy(),
+                                    seed=0)
+            frontend = ClusterFrontend(cluster)
+            client = frontend.connect_client()
+            wrong_width = np.zeros((2, 3), dtype=np.uint8)
+            outcome = await client.decode(SHARD, wrong_width)
+            await client.close()
+            await frontend.close()
+            await cluster.close()
+            return outcome
+
+        outcome = asyncio.run(scenario())
+        assert not outcome.ok and outcome.reason == "error"
+        assert "syndrome bits" in outcome.error
+
+    def test_frontend_over_tcp(self):
+        syndromes = make_syndromes(3, "z", 6, seed=40)
+        expected = direct_batch("unionfind", 3, "z", syndromes)
+
+        async def scenario():
+            from repro.service import DecodeClient
+            cluster = DecodeCluster(n_replicas=2, policy=fast_policy(),
+                                    seed=0)
+            frontend = ClusterFrontend(cluster)
+            host, port = await frontend.start_tcp()
+            client = await DecodeClient.connect_tcp(host, port)
+            outcome = await client.decode(SHARD, syndromes)
+            await client.close()
+            await frontend.close()
+            await cluster.close()
+            return outcome
+
+        outcome = asyncio.run(scenario())
+        assert outcome.ok
+        assert np.array_equal(outcome.corrections, expected.corrections)

@@ -1,0 +1,166 @@
+"""Chaos drills: break replicas mid-run, audit the invariants.
+
+Each scenario replays an open-loop trace while a scripted fault fires
+(hard kill, hang, slowdown, reply duplication) and asserts the cluster
+tier's contract: zero lost corrections, zero duplicate corrections,
+and — decoding being deterministic — every served correction
+bit-identical to a direct single-process ``decode_batch`` golden run.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.service import RetryPolicy, ShardKey, poisson_trace
+from repro.service.cluster import (
+    ChaosEvent,
+    ClusterPolicy,
+    DecodeCluster,
+    run_chaos_load,
+)
+
+SHARD = ShardKey("unionfind", 3, "z")
+
+
+def chaos_policy(**overrides) -> ClusterPolicy:
+    defaults = dict(
+        heartbeat_interval_s=0.03,
+        heartbeat_timeout_s=0.1,
+        request_timeout_s=0.5,
+        retry=RetryPolicy(max_attempts=4, base_us=200.0, jitter=0.0),
+    )
+    defaults.update(overrides)
+    return ClusterPolicy(**defaults)
+
+
+def run_drill(events, n_replicas=3, requests=60, rate=400.0, seed=11,
+              **chaos_kwargs):
+    async def scenario():
+        cluster = DecodeCluster(n_replicas=n_replicas,
+                                policy=chaos_policy(), seed=seed)
+        trace = poisson_trace(rate, requests, seed=seed)
+        report = await run_chaos_load(
+            cluster, SHARD, trace, events=events, seed=seed,
+            **chaos_kwargs,
+        )
+        await cluster.close()
+        return report
+
+    return asyncio.run(scenario())
+
+
+class TestChaosEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChaosEvent(1.5, "kill")
+        with pytest.raises(ValueError):
+            ChaosEvent(0.5, "explode")
+        with pytest.raises(ValueError):
+            ChaosEvent(0.5, "drop", value=2.0)
+        with pytest.raises(ValueError):
+            ChaosEvent(0.5, "slow", value=-1.0)
+
+
+class TestKillMidRun:
+    def test_primary_killed_at_half_trace(self):
+        """The ISSUE acceptance drill: kill the shard's primary at 50%
+        of the trace; nothing lost, nothing duplicated, bits golden."""
+        report = run_drill([ChaosEvent(0.5, "kill")],
+                           p99_bound_ms=2000.0)
+        assert report.lost == 0
+        assert report.duplicate_frames == 0
+        assert report.ok == report.n_requests
+        assert report.golden_match is True
+        assert report.p99_within_bound is True
+        # the kill actually hit the serving replica
+        killed = report.events[0][2]
+        assert report.replicas[killed]["state"] == "down"
+
+    def test_kill_with_requests_in_flight(self):
+        """Wedge the primary so work parks on it, then kill it: the
+        parked requests must fail over, not vanish."""
+        report = run_drill(
+            [ChaosEvent(0.2, "hang"), ChaosEvent(0.5, "kill")],
+            requests=40,
+        )
+        assert report.lost == 0
+        assert report.golden_match is True
+        assert report.failovers + report.timeouts >= 1
+
+    def test_kill_entire_fleet_falls_back_locally(self):
+        """Even the whole fleet dying loses nothing: the router decodes
+        locally (the machine-runtime fallback semantics)."""
+        events = [
+            ChaosEvent(0.3, "kill", replica="r0"),
+            ChaosEvent(0.3, "kill", replica="r1"),
+        ]
+        report = run_drill(events, n_replicas=2, requests=40)
+        assert report.lost == 0
+        assert report.golden_match is True
+        assert report.fallback_decodes >= 1
+
+
+class TestHungReplica:
+    def test_hang_reroutes_without_loss(self):
+        report = run_drill([ChaosEvent(0.4, "hang")], requests=50)
+        assert report.lost == 0
+        assert report.golden_match is True
+        hung = report.events[0][2]
+        # heartbeats demoted the wedged replica out of rotation
+        assert report.replicas[hung]["state"] in ("suspect", "down")
+
+    def test_hang_then_restore_recovers(self):
+        report = run_drill(
+            [ChaosEvent(0.3, "hang"), ChaosEvent(0.6, "restore")],
+            requests=50,
+        )
+        assert report.lost == 0
+        assert report.golden_match is True
+
+
+class TestSlowReplica:
+    def test_tail_amplification_is_bounded(self):
+        """A degraded-but-alive replica stretches the tail; the request
+        timeout caps how far, and nothing is lost."""
+        slow = run_drill(
+            [ChaosEvent(0.0, "slow", value=20_000.0)], requests=50,
+        )
+        clean = run_drill([], requests=50)
+        assert slow.lost == 0
+        assert slow.golden_match is True
+        assert slow.latency_p99_us > clean.latency_p99_us
+        # bounded: a 20 ms per-reply delay cannot snowball past the
+        # per-attempt timeout budget (0.5 s) times the retry budget
+        assert slow.latency_p99_us < 4 * 0.5e6
+
+
+class TestDuplicatedReplies:
+    def test_duplicate_frames_absorbed_not_delivered(self):
+        report = run_drill(
+            [ChaosEvent(0.0, "duplicate", value=1.0)], requests=40,
+        )
+        assert report.lost == 0
+        assert report.golden_match is True
+        # the injector really did duplicate reply frames...
+        assert report.duplicate_frames >= 1
+        # ...and every request still produced exactly one outcome
+        # (golden_match concatenates one correction block per request —
+        # a double delivery would have broken the shape or the bits)
+        assert report.ok == report.n_requests
+
+
+class TestReportShape:
+    def test_as_dict_round_trips_json(self):
+        import json
+        report = run_drill([ChaosEvent(0.5, "kill")], requests=20,
+                           p99_bound_ms=5000.0)
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["lost"] == 0
+        assert payload["p99_bound_ms"] == 5000.0
+        assert payload["p99_within_bound"] in (True, False)
+        assert payload["events"][0][1] == "kill"
+
+    def test_golden_skippable(self):
+        report = run_drill([], requests=10, golden=False)
+        assert report.golden_match is None

@@ -387,3 +387,91 @@ class TestTelemetry:
         assert shard_stats["latency"]["p99_us"] >= \
             shard_stats["latency"]["p50_us"]
         assert stats["totals"]["shots_decoded"] == 20
+
+
+class TestGracefulDrain:
+    """close() during an in-flight micro-batch must flush queued
+    replies, while new work is rejected with a transient ``draining``
+    reason (clients with a RetryPolicy will find another server)."""
+
+    def test_drain_flushes_inflight_then_rejects_new(self):
+        syndromes = make_syndromes(3, "z", 12, seed=61)
+        expected = direct_batch("unionfind", 3, "z", syndromes)
+
+        async def scenario():
+            # a slow shard so requests are genuinely queued when the
+            # drain starts
+            service = DecodeService(
+                pool=DecoderPool(factory=ThrottledFactory(0.02)),
+                policy=BatchPolicy(max_batch=4, max_wait_us=200.0),
+            )
+            client = DecodeClient.connect_inprocess(service)
+            shard = ShardKey("unionfind", 3, "z")
+            inflight = [
+                asyncio.ensure_future(
+                    client.decode(shard, syndromes[i:i + 1])
+                )
+                for i in range(12)
+            ]
+            await asyncio.sleep(0.005)      # let them reach the queue
+            drain_task = asyncio.ensure_future(service.drain())
+            await asyncio.sleep(0.005)
+            late = await client.decode(shard, syndromes[:1])
+            drained = await drain_task
+            outcomes = await asyncio.gather(*inflight)
+            stats = service.stats()
+            await client.close()
+            await service.close()
+            return outcomes, late, drained, stats
+
+        outcomes, late, drained, stats = asyncio.run(scenario())
+        assert drained is True
+        assert stats["draining"] is True
+        # every queued request got its reply, bit-identical
+        assert all(o.ok for o in outcomes)
+        for i, outcome in enumerate(outcomes):
+            assert np.array_equal(
+                outcome.corrections[0], expected.corrections[i]
+            )
+        # work arriving during the drain is shed with a transient reason
+        assert not late.ok and late.reason == "draining"
+        assert late.retry_after_us >= 0
+
+    def test_close_defaults_to_drain(self):
+        syndromes = make_syndromes(3, "z", 8, seed=62)
+
+        async def scenario():
+            service = DecodeService(
+                pool=DecoderPool(factory=ThrottledFactory(0.01)),
+                policy=BatchPolicy(max_batch=4, max_wait_us=200.0),
+            )
+            client = DecodeClient.connect_inprocess(service)
+            shard = ShardKey("unionfind", 3, "z")
+            inflight = [
+                asyncio.ensure_future(
+                    client.decode(shard, syndromes[i:i + 1])
+                )
+                for i in range(8)
+            ]
+            await asyncio.sleep(0.005)
+            await service.close()           # drain=True by default
+            outcomes = await asyncio.gather(*inflight)
+            await client.close()
+            return outcomes
+
+        outcomes = asyncio.run(scenario())
+        assert all(o.ok for o in outcomes)
+
+    def test_stats_and_ping_survive_drain(self):
+        async def scenario():
+            service = DecodeService()
+            client = DecodeClient.connect_inprocess(service)
+            await service.drain()
+            stats = await client.stats()
+            latency = await client.ping(1.0)
+            await client.close()
+            await service.close()
+            return stats, latency
+
+        stats, latency = asyncio.run(scenario())
+        assert stats["draining"] is True and latency >= 0

@@ -1,14 +1,17 @@
 """Wire-protocol tests: shard keys, bitmap codec, framing, transports."""
 
 import asyncio
+import struct
 
 import numpy as np
 import pytest
 
 from repro.service.protocol import (
+    MAX_FRAME_BYTES,
     MemoryTransport,
     ProtocolError,
     ShardKey,
+    StreamTransport,
     decode_frame,
     decode_request,
     encode_frame,
@@ -134,4 +137,130 @@ class TestMemoryTransport:
             frame = await b._inbox.get()
             assert isinstance(frame, bytes)
             assert decode_frame(frame) == {"type": "ping", "id": 1}
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Stream-transport hardening: a malformed or vanishing peer must yield
+# a clean ProtocolError (or a clean EOF) — never a hang, never a raw
+# struct.error, never a half-parsed buffer.
+# ----------------------------------------------------------------------
+async def _raw_peer(read_timeout_s=None):
+    """A StreamTransport server end plus a raw-byte client writer."""
+    conns: asyncio.Queue = asyncio.Queue()
+
+    async def on_conn(reader, writer):
+        await conns.put(
+            StreamTransport(reader, writer, read_timeout_s=read_timeout_s)
+        )
+
+    server = await asyncio.start_server(on_conn, "127.0.0.1", 0)
+    host, port = server.sockets[0].getsockname()[:2]
+    _, writer = await asyncio.open_connection(host, port)
+    transport = await conns.get()
+    return server, transport, writer
+
+
+class TestStreamTransportHardening:
+    def test_valid_frame_round_trips(self):
+        async def scenario():
+            server, transport, writer = await _raw_peer()
+            writer.write(encode_frame({"type": "ping", "id": 9}))
+            await writer.drain()
+            message = await asyncio.wait_for(transport.recv(), 2.0)
+            writer.close()
+            server.close()
+            return message
+
+        assert asyncio.run(scenario()) == {"type": "ping", "id": 9}
+
+    def test_clean_eof_between_frames_is_none(self):
+        async def scenario():
+            server, transport, writer = await _raw_peer()
+            writer.write(encode_frame({"type": "ping", "id": 1}))
+            await writer.drain()
+            assert (await transport.recv())["id"] == 1
+            writer.close()
+            result = await asyncio.wait_for(transport.recv(), 2.0)
+            server.close()
+            return result
+
+        assert asyncio.run(scenario()) is None
+
+    def test_disconnect_mid_prefix_raises(self):
+        async def scenario():
+            server, transport, writer = await _raw_peer()
+            writer.write(b"\x00\x00")          # 2 of 4 prefix bytes
+            await writer.drain()
+            writer.close()
+            with pytest.raises(ProtocolError, match="mid-prefix"):
+                await asyncio.wait_for(transport.recv(), 2.0)
+            server.close()
+
+        asyncio.run(scenario())
+
+    def test_disconnect_mid_body_raises(self):
+        async def scenario():
+            server, transport, writer = await _raw_peer()
+            writer.write(struct.pack(">I", 100) + b"x" * 10)
+            await writer.drain()
+            writer.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                await asyncio.wait_for(transport.recv(), 2.0)
+            server.close()
+
+        asyncio.run(scenario())
+
+    def test_oversized_length_prefix_raises(self):
+        async def scenario():
+            server, transport, writer = await _raw_peer()
+            writer.write(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            await writer.drain()
+            with pytest.raises(ProtocolError, match="exceeds"):
+                await asyncio.wait_for(transport.recv(), 2.0)
+            writer.close()
+            server.close()
+
+        asyncio.run(scenario())
+
+    def test_stalled_body_times_out_cleanly(self):
+        async def scenario():
+            server, transport, writer = await _raw_peer(read_timeout_s=0.05)
+            writer.write(struct.pack(">I", 64))   # prefix, then silence
+            await writer.drain()
+            with pytest.raises(ProtocolError, match="timed out"):
+                await asyncio.wait_for(transport.recv(), 2.0)
+            writer.close()
+            server.close()
+
+        asyncio.run(scenario())
+
+    def test_idle_connection_never_times_out(self):
+        # the timeout bounds mid-frame reads only; waiting for the next
+        # frame on an idle connection must block, not error
+        async def scenario():
+            server, transport, writer = await _raw_peer(read_timeout_s=0.05)
+            recv = asyncio.ensure_future(transport.recv())
+            await asyncio.sleep(0.2)              # >> read_timeout_s
+            assert not recv.done()
+            writer.write(encode_frame({"type": "ping", "id": 4}))
+            await writer.drain()
+            message = await asyncio.wait_for(recv, 2.0)
+            writer.close()
+            server.close()
+            return message
+
+        assert asyncio.run(scenario())["id"] == 4
+
+    def test_garbage_body_raises_protocol_error(self):
+        async def scenario():
+            server, transport, writer = await _raw_peer()
+            body = b"\xff\xfenot json"
+            writer.write(struct.pack(">I", len(body)) + body)
+            await writer.drain()
+            with pytest.raises(ProtocolError):
+                await asyncio.wait_for(transport.recv(), 2.0)
+            writer.close()
+            server.close()
+
         asyncio.run(scenario())
