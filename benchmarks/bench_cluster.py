@@ -5,25 +5,36 @@ multi-replica :class:`repro.service.cluster.DecodeCluster` and audits
 the tier's resilience contract: **zero lost corrections, zero
 duplicate corrections, bit-identity with a direct single-process
 ``decode_batch``**, and a bounded p99 tail — while a scripted fault
-(nothing, or a hard kill of the shard's primary at 50% of the trace)
-fires mid-run.
+fires mid-run (nothing, a hard kill of the shard's primary, a live
+shard migration, or — with real supervised subprocesses — a SIGKILL).
+
+The migration drill additionally records the "no drain gap" acceptance
+numbers: the p99 of requests that arrived *during* the migration
+window against the same run's steady-state p99 (``migration_p99_ratio``,
+acceptance <= 2).  Journaled drills record the durable-WAL audit
+(zero lost / zero duplicate / golden digests).
 
 Offered rates are expressed relative to the shard's measured direct
 ``decode_batch`` capacity (``rho``, per replica), like
 ``bench_service.py``, so the scenario shapes are machine-portable.
-The gate metrics (``ok_fraction``, ``golden_match``, ``lost``) are
-fully portable; the latency quantiles are indicative only.
+The gate metrics (``ok_fraction``, ``golden_match``, ``lost``,
+``journal_audit.ok``) are fully portable; the latency quantiles are
+indicative only.
 
 Standalone run::
 
     PYTHONPATH=src python benchmarks/bench_cluster.py
+    PYTHONPATH=src python benchmarks/bench_cluster.py --soak --rounds 3
 """
 
 from __future__ import annotations
 
+import argparse
 import asyncio
 import json
+import tempfile
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Optional, Tuple
 
 from bench_service import measure_capacity_shots_per_s
@@ -32,6 +43,9 @@ from repro.service.cluster import (
     ChaosEvent,
     ClusterPolicy,
     DecodeCluster,
+    RequestJournal,
+    Supervisor,
+    SupervisorPolicy,
     run_chaos_load,
 )
 
@@ -53,6 +67,11 @@ class ClusterScenario:
     #: generous, machine-portable tail bound — the drill asserts the
     #: fault does not snowball, not an absolute latency target
     p99_bound_ms: Optional[float] = 2000.0
+    #: attach a durable request journal and record its audit
+    journal: bool = False
+    #: run the replicas as supervised OS subprocesses on real TCP
+    #: (sig* events then send real signals)
+    supervised: bool = False
     p: float = 0.04
     seed: int = 2020
 
@@ -78,22 +97,48 @@ def run_cluster_scenario(scenario: ClusterScenario) -> dict:
         shots_per_request=scenario.shots_per_request,
     )
 
-    async def replay():
+    async def replay(journal: Optional[RequestJournal]):
         cluster = DecodeCluster(
-            n_replicas=scenario.n_replicas,
+            n_replicas=0 if scenario.supervised else scenario.n_replicas,
             policy=cluster_policy(scenario),
             seed=scenario.seed,
+            journal=journal,
         )
+        supervisor = None
         try:
-            return await run_chaos_load(
+            if scenario.supervised:
+                supervisor = Supervisor(
+                    cluster, n_processes=scenario.n_replicas,
+                    policy=SupervisorPolicy(backoff_base_s=0.1,
+                                            poll_interval_s=0.05),
+                )
+                await supervisor.start()
+            report = await run_chaos_load(
                 cluster, scenario.shard, trace,
                 events=scenario.events, p=scenario.p, seed=scenario.seed,
                 p99_bound_ms=scenario.p99_bound_ms,
             )
+            if supervisor is not None and any(
+                e.action == "sigkill" for e in scenario.events
+            ):
+                # short traces can end mid-backoff: give the supervisor
+                # its restart so the record shows the rejoin, not just
+                # the survival
+                for _ in range(200):
+                    if supervisor.restarts >= 1:
+                        break
+                    await asyncio.sleep(0.05)
+                report.supervisor = supervisor.snapshot()
+            return report
         finally:
             await cluster.close()
 
-    report = asyncio.run(replay())
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = (
+            RequestJournal(Path(tmp) / f"{scenario.name}.wal")
+            if scenario.journal else None
+        )
+        report = asyncio.run(replay(journal))
     record = report.as_dict()
     record.update({
         "rho": scenario.rho,
@@ -101,6 +146,7 @@ def run_cluster_scenario(scenario: ClusterScenario) -> dict:
         "shots_per_request": scenario.shots_per_request,
         "replicas_started": scenario.n_replicas,
         "replication": scenario.replication,
+        "supervised": scenario.supervised,
         # scale-invariant gate metric: 1.0 means every request produced
         # exactly one correction — --regress-check warns on any drop,
         # at any request budget or machine speed
@@ -110,8 +156,10 @@ def run_cluster_scenario(scenario: ClusterScenario) -> dict:
 
 
 def default_scenarios(requests: int = 400) -> list:
-    """The committed suite: a steady-state run + the acceptance drill
-    (the shard's primary hard-killed at 50% of the trace)."""
+    """The committed suite: a steady-state run, the primary-kill drill,
+    the live-migration drill (journaled, with the migration-window p99
+    acceptance numbers), and the cross-process supervised SIGKILL
+    drill (real processes, real signals, journal audited)."""
     shard = ShardKey("unionfind", 5, "z")
     return [
         ClusterScenario(
@@ -123,13 +171,112 @@ def default_scenarios(requests: int = 400) -> list:
             shard=shard, rho=0.6, requests=requests,
             events=(ChaosEvent(0.5, "kill"),),
         ),
+        ClusterScenario(
+            name="live_migration_at_50pct_rho06",
+            shard=shard, rho=0.6, requests=requests,
+            events=(ChaosEvent(0.5, "migrate"),),
+            journal=True,
+        ),
+        ClusterScenario(
+            name="supervised_sigkill_at_50pct_rho04",
+            shard=shard, rho=0.4, requests=max(requests // 2, 40),
+            events=(ChaosEvent(0.5, "sigkill"),),
+            n_replicas=2, journal=True, supervised=True,
+        ),
     ]
 
 
-def main() -> int:
-    records = {s.name: run_cluster_scenario(s) for s in default_scenarios()}
-    print(json.dumps(records, indent=2))
+def soak_scenario(requests: int) -> ClusterScenario:
+    """The nightly chaos-soak cell: supervised cross-process fleet,
+    SIGKILL + SIGSTOP/SIGCONT inside one journaled trace."""
+    return ClusterScenario(
+        name="soak_supervised_sigkill_sigstop",
+        shard=ShardKey("unionfind", 5, "z"),
+        rho=0.4, requests=requests,
+        events=(
+            ChaosEvent(0.3, "sigkill"),
+            ChaosEvent(0.55, "sigstop"),
+            ChaosEvent(0.7, "sigcont"),
+        ),
+        n_replicas=2, journal=True, supervised=True,
+    )
+
+
+def _violations(record: dict) -> list:
+    """Resilience-contract violations in one scenario record."""
+    problems = []
+    if record["lost"] > 0:
+        problems.append(f"lost {record['lost']} corrections")
+    if record["golden_match"] is False:
+        problems.append("golden bit-identity mismatch")
+    if record.get("journal_audit") and not record["journal_audit"]["ok"]:
+        problems.append("journal audit failed")
+    ratio = record.get("migration_p99_ratio")
+    if ratio is not None and ratio > 2.0:
+        problems.append(f"migration-window p99 ratio {ratio:.2f} > 2")
+    return problems
+
+
+def run_soak(rounds: int, requests: int, out: Optional[Path]) -> int:
+    """Repeat the supervised SIGKILL/SIGSTOP drill ``rounds`` times;
+    exit nonzero if any round violates the resilience contract."""
+    records = {}
+    failures = 0
+    for i in range(rounds):
+        scenario = soak_scenario(requests)
+        import dataclasses
+        scenario = dataclasses.replace(
+            scenario, name=f"{scenario.name}_round{i}",
+            seed=scenario.seed + i,
+        )
+        record = run_cluster_scenario(scenario)
+        problems = _violations(record)
+        records[scenario.name] = record
+        status = "OK" if not problems else f"FAIL ({'; '.join(problems)})"
+        restarts = (record.get("supervisor") or {}).get("restarts", 0)
+        print(
+            f"round {i}: ok {record['ok']}/{record['n_requests']}  "
+            f"restarts {restarts}  "
+            f"journal {record['journal_audit']['ok']}  {status}"
+        )
+        failures += bool(problems)
+    if out is not None:
+        out.write_text(json.dumps(records, indent=2) + "\n")
+        print(f"wrote {out}")
+    if failures:
+        print(f"SOAK FAIL: {failures}/{rounds} rounds violated the contract")
+        return 1
+    print(f"SOAK OK: {rounds}/{rounds} rounds held the contract")
     return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Cluster resilience drills (standalone runner)."
+    )
+    parser.add_argument("--requests", type=int, default=400)
+    parser.add_argument(
+        "--soak", action="store_true",
+        help="run only the supervised cross-process SIGKILL/SIGSTOP "
+        "drill, repeatedly (the nightly chaos-soak job)",
+    )
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="soak rounds (default 5)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the records as JSON to this path")
+    args = parser.parse_args(argv)
+    if args.soak:
+        return run_soak(args.rounds, args.requests, args.out)
+    records = {
+        s.name: run_cluster_scenario(s)
+        for s in default_scenarios(args.requests)
+    }
+    if args.out is not None:
+        args.out.write_text(json.dumps(records, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(json.dumps(records, indent=2))
+    return int(any(_violations(r) for r in records.values()))
 
 
 if __name__ == "__main__":

@@ -27,10 +27,13 @@ Three suites, each writing one committed JSON baseline:
   ``benchmarks/BENCH_service_throughput.json``.  ``--regress-check``
   warns on ``achieved_shots_per_s`` like the decoder suite;
 * ``cluster`` — the replicated cluster tier's resilience drills
-  (``bench_cluster.py``): a steady-state run and the acceptance drill
-  (the shard's primary hard-killed at 50% of the trace), each audited
-  for zero lost / zero duplicate corrections, bit-identity against a
-  direct ``decode_batch`` golden run, and a bounded p99 tail ->
+  (``bench_cluster.py``): a steady-state run, the primary-kill drill,
+  the journaled live-migration drill (recording the migration-window
+  p99 vs steady-state ratio, acceptance <= 2) and the cross-process
+  supervised SIGKILL drill (real subprocesses, real signals), each
+  audited for zero lost / zero duplicate corrections, bit-identity
+  against a direct ``decode_batch`` golden run, a bounded p99 tail and
+  — where journaled — the durable-WAL audit ->
   ``benchmarks/BENCH_cluster_resilience.json``.  ``--regress-check``
   gates on ``ok_fraction`` — scale-invariant (1.0 at any request
   budget), unlike the machine-dependent latency quantiles.
@@ -491,7 +494,9 @@ def run_cluster_benchmark(requests: int = 400, seed: int = 2020) -> dict:
             "arrival": "open-loop Poisson trace, rho x measured "
             "per-replica shard capacity",
             "invariants": "zero lost + zero duplicate corrections, "
-            "bit-identity vs direct decode_batch, bounded p99",
+            "bit-identity vs direct decode_batch, bounded p99; "
+            "migration drills: window p99 <= 2x steady p99; journaled "
+            "drills: WAL audit ok",
             "timing": "single-pass wall clock (ok_fraction / golden / "
             "lost are the portable numbers; latencies are indicative)",
         },
@@ -692,6 +697,20 @@ def main(argv=None) -> int:
                     f"WARNING: {name} p99 exceeded its "
                     f"{entry['p99_bound_ms']:.0f} ms bound"
                 )
+            ratio = entry.get("migration_p99_ratio")
+            if ratio is not None:
+                print(
+                    f"{'':>30}migration window p99 ratio "
+                    f"{ratio:.2f} (acceptance <= 2)"
+                )
+                if ratio > 2.0:
+                    print(
+                        f"WARNING: {name} migration-window p99 is "
+                        f"{ratio:.2f}x steady state (> 2x acceptance)"
+                    )
+            audit = entry.get("journal_audit")
+            if audit is not None and not audit["ok"]:
+                print(f"WARNING: {name} journal audit failed: {audit}")
         if args.regress_check:
             regression_report(record, args.cluster_out, key="ok_fraction")
         else:

@@ -35,6 +35,10 @@ from .cluster import (
     DecodeCluster,
     FaultInjector,
     HashRing,
+    MigrationReport,
+    RequestJournal,
+    Supervisor,
+    SupervisorPolicy,
     run_chaos_load,
 )
 from .loadgen import (
@@ -76,13 +80,17 @@ __all__ = [
     "LoadReport",
     "MemoryTransport",
     "MicroBatcher",
+    "MigrationReport",
     "ProtocolError",
+    "RequestJournal",
     "RetryPolicy",
     "ServiceClosedError",
     "ServiceTelemetry",
     "ShardKey",
     "ShardTelemetry",
     "StreamTransport",
+    "Supervisor",
+    "SupervisorPolicy",
     "ThrottledFactory",
     "bursty_trace",
     "default_decoder_factory",

@@ -4,12 +4,15 @@ Serve::
 
     python -m repro.service serve --port 7901 --workers 2
 
-Drive load (against a TCP endpoint, or fully in-process)::
+Drive load (against a TCP endpoint, in-process, or through an
+in-process replicated cluster)::
 
     python -m repro.service load --shard mwpm:d5:z --pattern poisson \
         --rho 0.5 --requests 2000
     python -m repro.service load --target 127.0.0.1:7901 --shard \
         unionfind:d7:z --rate 5000 --requests 1000
+    python -m repro.service load --cluster 3 --replication 2 \
+        --shard unionfind:d5:z --requests 1000
 
 Run a replicated cluster chaos drill (kill the shard's primary at half
 the trace, audit zero lost / zero duplicate corrections and golden
@@ -17,6 +20,18 @@ bit-identity)::
 
     python -m repro.service cluster --replicas 3 --shard unionfind:d5:z \
         --requests 400 --kill-at 0.5 --p99-bound-ms 250
+
+Live-migrate the shard mid-trace, journal every request, or run the
+replicas as real supervised subprocesses and SIGKILL one::
+
+    python -m repro.service cluster --replicas 3 --migrate-at 0.5 \
+        --journal /tmp/decode.journal
+    python -m repro.service cluster --replicas 2 --supervised \
+        --sigkill-at 0.5 --journal /tmp/decode.journal
+
+``replica`` is the supervised-subprocess entrypoint (prints ``READY
+host port`` once its socket is bound; exits on SIGTERM) — normally
+launched by the supervisor, not by hand.
 """
 
 from __future__ import annotations
@@ -24,6 +39,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import signal
 import sys
 
 from ..runtime.latency import paper_table4_latency
@@ -32,8 +48,11 @@ from .client import DecodeClient, RetryPolicy
 from .cluster import (
     AutoscalePolicy,
     ChaosEvent,
+    ClusterFrontend,
     ClusterPolicy,
     DecodeCluster,
+    RequestJournal,
+    Supervisor,
     run_chaos_load,
 )
 from .loadgen import bursty_trace, poisson_trace, rate_for_utilization, run_load
@@ -105,6 +124,7 @@ async def _load(args) -> int:
             shots_per_request=args.shots,
         )
     service = None
+    cluster = None
     clients = None
     if args.target:
         host, port_text = args.target.rsplit(":", 1)
@@ -112,6 +132,17 @@ async def _load(args) -> int:
             await DecodeClient.connect_tcp(host, int(port_text))
             for _ in range(args.clients)
         ]
+    elif args.cluster:
+        # replicated in-process fleet behind the wire-identical
+        # frontend: the load path is byte-for-byte what a single
+        # server would see
+        cluster = DecodeCluster(
+            n_replicas=args.cluster,
+            policy=ClusterPolicy(replication=args.replication),
+            service_factory=lambda: _make_service(args),
+            seed=args.seed,
+        )
+        service = ClusterFrontend(cluster)
     else:
         service = _make_service(args)
     retry = None
@@ -129,7 +160,27 @@ async def _load(args) -> int:
                 await client.close()
         if service is not None:
             await service.close()
+        if cluster is not None:
+            await cluster.close()
     print(json.dumps(report.as_dict(), indent=2))
+    return 0
+
+
+async def _replica(args) -> int:
+    """Supervised-subprocess entrypoint: serve TCP until SIGTERM.
+
+    Prints ``READY <host> <port>`` (and nothing else) on stdout once
+    the socket is bound — the supervisor's startup handshake.
+    """
+    service = _make_service(args)
+    host, port = await service.start_tcp(args.host, args.port)
+    print(f"READY {host} {port}", flush=True)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(sig, stop.set)
+    await stop.wait()
+    await service.close()
     return 0
 
 
@@ -154,10 +205,25 @@ async def _cluster(args) -> int:
     def service_factory() -> DecodeService:
         return _make_service(args)
 
+    journal = RequestJournal(args.journal) if args.journal else None
     cluster = DecodeCluster(
-        n_replicas=args.replicas, policy=policy,
-        service_factory=service_factory, seed=args.seed,
+        n_replicas=0 if args.supervised else args.replicas, policy=policy,
+        service_factory=service_factory, seed=args.seed, journal=journal,
     )
+    supervisor = None
+    if args.supervised:
+        # real OS subprocesses on real TCP sockets, with the same
+        # batching policy the in-process replicas would have used
+        supervisor = Supervisor(
+            cluster, n_processes=args.replicas,
+            server_args=[
+                "--max-batch", str(args.max_batch),
+                "--max-wait-us", str(args.max_wait_us),
+                "--max-queue-shots", str(args.max_queue_shots),
+                "--workers", str(args.workers),
+            ],
+        )
+        await supervisor.start()
     events = []
     if args.kill_at is not None:
         events.append(ChaosEvent(args.kill_at, "kill"))
@@ -165,6 +231,14 @@ async def _cluster(args) -> int:
         events.append(ChaosEvent(args.hang_at, "hang"))
     if args.slow_at is not None:
         events.append(ChaosEvent(args.slow_at, "slow", value=args.slow_us))
+    if args.migrate_at is not None:
+        events.append(ChaosEvent(args.migrate_at, "migrate"))
+    if args.sigkill_at is not None:
+        events.append(ChaosEvent(args.sigkill_at, "sigkill"))
+    if args.sigstop_at is not None:
+        events.append(ChaosEvent(args.sigstop_at, "sigstop"))
+    if args.sigcont_at is not None:
+        events.append(ChaosEvent(args.sigcont_at, "sigcont"))
     try:
         report = await run_chaos_load(
             cluster, shard, trace, events=events, p=args.p, seed=args.seed,
@@ -174,10 +248,14 @@ async def _cluster(args) -> int:
     finally:
         await cluster.close()
     print(json.dumps(report.as_dict(), indent=2))
+    ratio = report.migration_p99_ratio
     failed = (
         report.lost > 0
         or report.golden_match is False
         or report.p99_within_bound is False
+        or (report.journal_audit is not None
+            and not report.journal_audit["ok"])
+        or (ratio is not None and ratio > args.migration_p99_ratio_max)
     )
     return 1 if failed else 0
 
@@ -225,7 +303,21 @@ def main(argv=None) -> int:
     load.add_argument("--retry-attempts", type=int, default=1,
                       help="client retry budget for transient rejections "
                       "(1 = no retries)")
+    load.add_argument("--cluster", type=int, default=0, metavar="N",
+                      help="route through an in-process replicated "
+                      "cluster of N servers instead of one service")
+    load.add_argument("--replication", type=int, default=2,
+                      help="preference-list length per shard (with "
+                      "--cluster)")
     _add_policy_args(load)
+
+    replica = sub.add_parser(
+        "replica",
+        help="supervised-subprocess server (prints READY host port)",
+    )
+    replica.add_argument("--host", default="127.0.0.1")
+    replica.add_argument("--port", type=int, default=0)
+    _add_policy_args(replica)
 
     cluster = sub.add_parser(
         "cluster",
@@ -266,12 +358,35 @@ def main(argv=None) -> int:
                          help="assert end-to-end p99 stays under this")
     cluster.add_argument("--no-golden", action="store_true",
                          help="skip the decode_batch bit-identity audit")
+    cluster.add_argument("--supervised", action="store_true",
+                         help="run replicas as supervised OS "
+                         "subprocesses on real TCP sockets")
+    cluster.add_argument("--journal", default=None, metavar="PATH",
+                         help="durable request journal (WAL) path; "
+                         "enables the journal audit in the report")
+    cluster.add_argument("--migrate-at", type=float, default=None,
+                         help="live-migrate the shard's primary at this "
+                         "fraction of the trace")
+    cluster.add_argument("--migration-p99-ratio-max", type=float,
+                         default=2.0,
+                         help="fail if migration-window p99 exceeds "
+                         "this multiple of steady-state p99")
+    cluster.add_argument("--sigkill-at", type=float, default=None,
+                         help="SIGKILL the primary (real signal when "
+                         "--supervised) at this fraction")
+    cluster.add_argument("--sigstop-at", type=float, default=None,
+                         help="SIGSTOP the primary at this fraction")
+    cluster.add_argument("--sigcont-at", type=float, default=None,
+                         help="SIGCONT the stopped primary at this "
+                         "fraction")
     _add_policy_args(cluster)
 
     args = parser.parse_args(argv)
     try:
         if args.command == "serve":
             return asyncio.run(_serve(args))
+        if args.command == "replica":
+            return asyncio.run(_replica(args))
         if args.command == "cluster":
             return asyncio.run(_cluster(args))
         return asyncio.run(_load(args))

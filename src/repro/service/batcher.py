@@ -208,6 +208,36 @@ class _ShardWorker:
             self.queued_shots -= head.n
         return taken
 
+    def extract_queued(self) -> list:
+        """Remove every queued-but-undecoded request (live migration).
+
+        Each extracted submission resolves with a transient
+        ``migrated`` rejection — the caller (the cluster router) knows
+        the shard's ownership just moved and re-dispatches immediately
+        — while the raw ``(syndromes, deadline)`` payloads are returned
+        so the migration coordinator can transfer them to the new owner
+        in a handoff frame.  Work already inside ``decode_batch`` is
+        not touched: it completes and replies normally.
+        """
+        extracted: list = []
+        now = time.monotonic()
+        while self.queue:
+            pending = self.queue.popleft()
+            self.queued_shots -= pending.n
+            remaining_us = (
+                None if pending.deadline is None
+                else max((pending.deadline - now) * 1e6, 0.0)
+            )
+            extracted.append((pending.syndromes, remaining_us))
+            self.stats.on_migrate(pending.n)
+            if not pending.future.done():
+                pending.future.set_result(Rejection(
+                    reason="migrated",
+                    retry_after_us=0.0,
+                    queue_depth=0,
+                ))
+        return extracted
+
     async def _dispatch(self, batch: list) -> None:
         syndromes = (
             batch[0].syndromes if len(batch) == 1
@@ -309,6 +339,15 @@ class MicroBatcher:
         if isinstance(outcome, Rejection):
             return outcome
         return await outcome
+
+    def extract_queued(self, shard: ShardKey) -> list:
+        """Pull a shard's queued-but-undecoded work out of its worker
+        (see :meth:`_ShardWorker.extract_queued`); ``[]`` when the
+        shard has no worker or an empty queue."""
+        worker = self._workers.get(shard)
+        if worker is None:
+            return []
+        return worker.extract_queued()
 
     async def drain(self, timeout_s: Optional[float] = None) -> bool:
         """Stop admitting, flush queued batches; True when fully idle.

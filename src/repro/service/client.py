@@ -29,6 +29,8 @@ from .protocol import (
     ShardKey,
     StreamTransport,
     decode_request,
+    handoff_extract_request,
+    handoff_request,
     stats_request,
     unpack_bitmap,
 )
@@ -85,8 +87,9 @@ class DecodeOutcome:
     corrections: Optional[np.ndarray] = None
     converged: Optional[np.ndarray] = None
     cycles: Optional[np.ndarray] = None
-    #: "" on success, else "backpressure" | "deadline" | "draining"
-    #: (transient, retryable) | "too_large" (permanent) | "error"
+    #: "" on success, else "backpressure" | "deadline" | "draining" |
+    #: "migrated" (transient, retryable) | "too_large" (permanent) |
+    #: "error"
     reason: str = ""
     error: str = ""
     retry_after_us: float = 0.0
@@ -102,9 +105,11 @@ class DecodeOutcome:
     @property
     def rejected(self) -> bool:
         """Transiently shed — retrying (after ``retry_after_us``) can
-        succeed.  ``too_large`` rejections are permanent and excluded."""
+        succeed.  ``too_large`` rejections are permanent and excluded.
+        ``migrated`` means the shard's ownership moved mid-queue: the
+        retry hint is 0 because the new owner is ready immediately."""
         return not self.ok and self.reason in (
-            "backpressure", "deadline", "draining"
+            "backpressure", "deadline", "draining", "migrated"
         )
 
 
@@ -280,6 +285,42 @@ class DecodeClient:
                 f"unexpected ping reply type {reply.get('type')!r}"
             )
         return time.monotonic() - started
+
+    async def handoff_extract(self, shard: ShardKey) -> list:
+        """Pull the server's queued-but-undecoded work for ``shard``.
+
+        The source half of a live migration; returns the wire entries
+        (``{"rid", "syndromes", ["deadline_us"]}``) ready to forward in
+        a :meth:`handoff` to the new owner.
+        """
+        reply = await self._roundtrip(
+            handoff_extract_request(self._fresh_id(), shard)
+        )
+        if reply.get("type") != "handoff_extract_reply":
+            raise ServiceClosedError(
+                f"unexpected extract reply type {reply.get('type')!r}"
+            )
+        return reply.get("entries", [])
+
+    async def handoff(self, shard: ShardKey, entries: list) -> list:
+        """Offer transferred work to the server (the target half).
+
+        ``entries`` are wire entries from :meth:`handoff_extract`;
+        returns the per-``rid`` results the server produced.
+        """
+        reply = await self._roundtrip(
+            handoff_request(self._fresh_id(), shard, entries)
+        )
+        kind = reply.get("type")
+        if kind == "reject":
+            raise ConnectionError(
+                f"handoff refused: {reply.get('reason', 'unknown')}"
+            )
+        if kind != "handoff_reply":
+            raise ServiceClosedError(
+                f"unexpected handoff reply type {kind!r}"
+            )
+        return reply.get("results", [])
 
     async def stats(self) -> dict:
         """The server's live telemetry snapshot."""

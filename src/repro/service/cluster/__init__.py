@@ -8,11 +8,27 @@ transport (:mod:`.replica`, :mod:`.faults`), and the router
 failover, telemetry-driven autoscaling and a local decode fallback
 that makes lost corrections impossible.  :mod:`.chaos` breaks it on
 purpose and audits the invariants.
+
+Robustness tier (this PR's additions): :mod:`.migration` moves a
+shard's ownership live (dual-write catch-up, handoff frame, atomic
+flip — no drain gap), :mod:`.supervisor` runs replicas as real OS
+subprocesses with crash detection and backoff restarts, and
+:mod:`.journal` is the durable WAL that lets the zero-lost /
+zero-duplicate / golden audit survive process death.
 """
 
 from .chaos import ACTIONS, ChaosEvent, ChaosReport, run_chaos_load
 from .faults import FaultInjector, FaultSpec, FaultyTransport
 from .hashring import HashRing, stable_hash
+from .journal import (
+    JournalAudit,
+    JournalEntry,
+    JournalReplayReport,
+    RequestJournal,
+    reply_digest,
+    scan_journal,
+)
+from .migration import MigrationReport, ShardMigration
 from .replica import DOWN, DRAINING, SUSPECT, UP, Replica
 from .router import (
     AutoscalePolicy,
@@ -20,6 +36,7 @@ from .router import (
     ClusterPolicy,
     DecodeCluster,
 )
+from .supervisor import ReplicaProcess, Supervisor, SupervisorPolicy
 from .telemetry import ClusterTelemetry
 
 __all__ = [
@@ -37,8 +54,19 @@ __all__ = [
     "FaultSpec",
     "FaultyTransport",
     "HashRing",
+    "JournalAudit",
+    "JournalEntry",
+    "JournalReplayReport",
+    "MigrationReport",
     "Replica",
+    "ReplicaProcess",
+    "RequestJournal",
+    "ShardMigration",
+    "Supervisor",
+    "SupervisorPolicy",
+    "reply_digest",
     "run_chaos_load",
+    "scan_journal",
     "stable_hash",
     "SUSPECT",
     "UP",

@@ -37,8 +37,15 @@ from ..protocol import ShardKey
 from .router import DecodeCluster
 
 #: chaos actions; ``value`` is delay_us for ``slow`` and a probability
-#: for ``drop`` / ``duplicate``
-ACTIONS = ("kill", "hang", "slow", "restore", "drop", "duplicate")
+#: for ``drop`` / ``duplicate``.  ``migrate`` live-migrates the shard
+#: (``replica`` names the target; None = least-loaded non-primary);
+#: ``sigkill`` / ``sigstop`` / ``sigcont`` send real signals when a
+#: process supervisor is attached and map to their in-process
+#: equivalents (kill / pause / resume) otherwise.
+ACTIONS = (
+    "kill", "hang", "slow", "restore", "drop", "duplicate",
+    "migrate", "sigkill", "sigstop", "sigcont",
+)
 
 
 @dataclass(frozen=True)
@@ -47,7 +54,8 @@ class ChaosEvent:
 
     ``replica=None`` targets whichever replica is the shard's primary
     when the event fires — the worst case, since that is where the
-    traffic is.
+    traffic is (for ``migrate``, the target defaults to the
+    least-loaded replica that is *not* the primary).
     """
 
     at_fraction: float
@@ -95,6 +103,16 @@ class ChaosReport:
     golden_match: Optional[bool] = None
     p99_bound_ms: Optional[float] = None
     replicas: dict = field(default_factory=dict)
+    #: completed live-migration reports (as dicts)
+    migrations: List[dict] = field(default_factory=list)
+    #: p99 of requests that *arrived during* a migration window vs the
+    #: rest of the same run — the "no drain gap" acceptance numbers
+    migration_window_p99_us: Optional[float] = None
+    steady_p99_us: Optional[float] = None
+    #: journal zero-lost/zero-duplicate/golden verdict, when journaling
+    journal_audit: Optional[dict] = None
+    #: process supervisor snapshot (cross-process drills)
+    supervisor: Optional[dict] = None
 
     @property
     def p99_within_bound(self) -> Optional[bool]:
@@ -102,7 +120,16 @@ class ChaosReport:
             return None
         return self.latency_p99_us <= self.p99_bound_ms * 1e3
 
+    @property
+    def migration_p99_ratio(self) -> Optional[float]:
+        """Migration-window p99 over steady p99 (acceptance: <= 2)."""
+        if (self.migration_window_p99_us is None
+                or not self.steady_p99_us):
+            return None
+        return self.migration_window_p99_us / self.steady_p99_us
+
     def as_dict(self) -> dict:
+        ratio = self.migration_p99_ratio
         return {
             "shard": self.shard,
             "pattern": self.pattern,
@@ -123,16 +150,64 @@ class ChaosReport:
             "p99_bound_ms": self.p99_bound_ms,
             "p99_within_bound": self.p99_within_bound,
             "replicas": self.replicas,
+            "migrations": self.migrations,
+            "migration_window_p99_us": (
+                round(self.migration_window_p99_us, 1)
+                if self.migration_window_p99_us is not None else None
+            ),
+            "steady_p99_us": (
+                round(self.steady_p99_us, 1)
+                if self.steady_p99_us is not None else None
+            ),
+            "migration_p99_ratio": (
+                round(ratio, 3) if ratio is not None else None
+            ),
+            "journal_audit": self.journal_audit,
+            "supervisor": self.supervisor,
         }
 
 
 async def _apply_event(cluster: DecodeCluster, shard: ShardKey,
-                       event: ChaosEvent) -> str:
+                       event: ChaosEvent,
+                       migration_reports: Optional[list] = None) -> str:
     """Fire one event; returns the name of the replica it hit."""
+    if event.action == "migrate":
+        primary = cluster.primary_for(shard)
+        if event.replica is not None:
+            target = event.replica
+        else:
+            others = [
+                r for r in cluster.replicas
+                if r.available and r.name != primary.name
+            ]
+            if not others:
+                return primary.name   # nowhere to move: no-op
+            target = min(others, key=lambda r: (r.inflight, r.name)).name
+        report = await cluster.migrate(shard, target)
+        if migration_reports is not None:
+            migration_reports.append(report)
+        return target
     if event.replica is not None:
         replica = cluster.replica(event.replica)
     else:
         replica = cluster.primary_for(shard)
+    supervisor = cluster.supervisor
+    if event.action in ("sigkill", "sigstop", "sigcont"):
+        if (supervisor is not None
+                and replica.name in supervisor.processes):
+            # a real signal to a real process; the supervisor's monitor
+            # (sigkill) or the heartbeat streak (sigstop/sigcont) takes
+            # it from here
+            getattr(supervisor, event.action)(replica.name)
+            if event.action == "sigkill":
+                replica.drop_client()
+        elif event.action == "sigkill":
+            await replica.kill()
+        elif event.action == "sigstop":
+            replica.injector.pause()
+        else:
+            replica.injector.resume()
+        return replica.name
     injector = replica.injector
     if event.action == "kill":
         await replica.kill()
@@ -201,21 +276,22 @@ async def run_chaos_load(
     span = max(trace.duration_s, 1e-9)
 
     fired: List[Tuple[float, str, str]] = []
+    migration_reports: list = []
 
     async def fire_event(event: ChaosEvent) -> None:
         delay = base + event.at_fraction * span - loop.time()
         if delay > 0:
             await asyncio.sleep(delay)
-        name = await _apply_event(cluster, shard, event)
+        name = await _apply_event(cluster, shard, event, migration_reports)
         fired.append((event.at_fraction, event.action, name))
 
-    async def fire_request(i: int) -> Tuple[object, float]:
+    async def fire_request(i: int) -> Tuple[object, float, float]:
         delay = base + float(trace.times_s[i]) - loop.time()
         if delay > 0:
             await asyncio.sleep(delay)
         started = time.monotonic()
         outcome = await cluster.decode(shard, payloads[i], deadline_us)
-        return outcome, (time.monotonic() - started) * 1e6
+        return outcome, (time.monotonic() - started) * 1e6, started
 
     event_tasks = [loop.create_task(fire_event(e)) for e in events]
     results = await asyncio.gather(
@@ -224,11 +300,32 @@ async def run_chaos_load(
     await asyncio.gather(*event_tasks)
     duration_s = loop.time() - base
 
-    outcomes = [o for o, _ in results]
-    latencies = np.array([lat for _, lat in results])
+    outcomes = [o for o, _, _ in results]
+    latencies = np.array([lat for _, lat, _ in results])
+    started_at = np.array([t for _, _, t in results])
+    stats = cluster.stats()
+
+    # classify each request by *arrival* against the migration windows:
+    # the acceptance bound compares the tail a caller saw while a
+    # migration was in flight to the same run's steady tail
+    migration_window_p99: Optional[float] = None
+    steady_p99: Optional[float] = None
+    if migration_reports:
+        in_window = np.zeros(len(results), dtype=bool)
+        for report in migration_reports:
+            in_window |= (
+                (started_at >= report.t_start)
+                & (started_at <= report.t_end)
+            )
+        if in_window.any():
+            migration_window_p99 = float(
+                np.percentile(latencies[in_window], 99)
+            )
+        if (~in_window).any():
+            steady_p99 = float(np.percentile(latencies[~in_window], 99))
+
     ok = [o for o in outcomes if o.ok]
     lost = len(outcomes) - len(ok)
-    stats = cluster.stats()
 
     golden_match: Optional[bool] = None
     if golden and lost == 0:
@@ -241,6 +338,10 @@ async def run_chaos_load(
         ).corrections
         got = np.concatenate([o.corrections for o in outcomes], axis=0)
         golden_match = bool(np.array_equal(expected, got))
+
+    journal_audit: Optional[dict] = None
+    if cluster._journal is not None:
+        journal_audit = cluster._journal.audit(golden=golden).as_dict()
 
     return ChaosReport(
         shard=shard.wire(),
@@ -261,6 +362,14 @@ async def run_chaos_load(
         golden_match=golden_match,
         p99_bound_ms=p99_bound_ms,
         replicas=stats["replicas"],
+        migrations=[r.as_dict() for r in migration_reports],
+        migration_window_p99_us=migration_window_p99,
+        steady_p99_us=steady_p99,
+        journal_audit=journal_audit,
+        supervisor=(
+            cluster.supervisor.snapshot()
+            if cluster.supervisor is not None else None
+        ),
     )
 
 

@@ -61,6 +61,10 @@ class FaultInjector:
         self._killed = asyncio.Event()
         self._resumed = asyncio.Event()
         self._resumed.set()
+        # SIGSTOP analogue: while cleared, frames stall (delayed, never
+        # lost) — distinct from hang, which swallows them for good
+        self._running = asyncio.Event()
+        self._running.set()
         # counters (observability for tests and chaos reports)
         self.frames_swallowed = 0
         self.frames_dropped = 0
@@ -75,18 +79,37 @@ class FaultInjector:
     def hung(self) -> bool:
         return not self._resumed.is_set()
 
+    @property
+    def paused(self) -> bool:
+        return not self._running.is_set()
+
     def kill(self) -> None:
-        """Permanent process death; also releases hung waiters."""
+        """Permanent process death; also releases hung/paused waiters."""
         self._killed.set()
         self._resumed.set()
+        self._running.set()
 
     def hang(self) -> None:
         """Wedge: swallow requests, stop replying, keep the connection."""
         self._resumed.clear()
 
+    def pause(self) -> None:
+        """SIGSTOP: the process stops scheduling, frames queue up.
+
+        Unlike :meth:`hang`, nothing is lost — every stalled frame is
+        processed the moment :meth:`resume` (SIGCONT) lands.
+        """
+        self._running.clear()
+
+    def resume(self) -> None:
+        """SIGCONT: release every frame stalled by :meth:`pause`."""
+        self._running.set()
+
     def restore(self) -> None:
-        """Un-hang (kills are permanent — a dead process stays dead)."""
+        """Un-hang and un-pause (kills are permanent — a dead process
+        stays dead)."""
         self._resumed.set()
+        self._running.set()
 
     def slow(self, delay_us: float) -> None:
         if delay_us < 0:
@@ -138,6 +161,11 @@ class FaultyTransport:
             message = recv_task.result()   # ProtocolError propagates
             if message is None:
                 return None
+            if inj.paused:
+                # stopped, not dead: the frame waits out the pause
+                await inj._running.wait()
+                if inj.killed:
+                    return None
             if inj.hung:
                 # a wedged process never sees the request; loop back to
                 # waiting (for more doomed frames, a restore, or a kill)
@@ -149,6 +177,10 @@ class FaultyTransport:
         inj = self._injector
         if inj.killed:
             raise ConnectionError("replica killed")
+        if inj.paused:
+            await inj._running.wait()
+            if inj.killed:
+                raise ConnectionError("replica killed")
         if inj.hung:
             inj.frames_swallowed += 1
             return                       # a wedged process never replies

@@ -1,0 +1,329 @@
+"""Durable request journal: a WAL for the routing tier.
+
+The paper's premise is that decode must never fall behind the syndrome
+stream — so the serving tier may not have *gaps*, even across process
+death.  The :class:`RequestJournal` is an append-only on-disk log of
+every request the router admitted and the digest of every reply it
+delivered:
+
+* at admission, an ``admit`` record (journal id, shard key, the full
+  packed syndrome bitmap) is appended — enough bytes to re-decode the
+  request from the file alone;
+* at delivery, an ``ack`` record (journal id, a blake2b digest of the
+  correction bits) marks the request answered.
+
+Records are JSON lines; a crash mid-append leaves at most one torn
+trailing line, which :func:`scan_journal` detects and discards (the
+request it described was never fully admitted, so the caller never got
+an admission either — nothing is lost).  ``fsync`` is batched on a
+configurable interval: ``fsync_interval_s = 0`` syncs every append
+(maximum durability), larger intervals amortize the sync cost and
+bound the crash-loss window instead of eliminating it.
+
+On restart the journal's unacknowledged admits are exactly the
+requests that were accepted but never answered — the router replays
+them through its normal decode path and acks the *original* journal id
+alongside the replay's own record, so a post-crash
+:meth:`RequestJournal.audit` shows **zero lost** (every admit acked),
+**zero duplicates** (no admit acked twice) and **golden bit-identity**
+(every acked digest matches a fresh ``decode_batch`` of the journaled
+syndromes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..protocol import ShardKey, pack_bitmap, unpack_bitmap
+
+
+def reply_digest(corrections: np.ndarray) -> str:
+    """Stable digest of one reply's correction bits.
+
+    Decoding is deterministic, so the digest doubles as a golden
+    fingerprint: any path (replica, failover, fallback, replay) that
+    served the same syndromes must produce the same digest.
+    """
+    arr = np.ascontiguousarray(corrections, dtype=np.uint8)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(repr(arr.shape).encode("ascii"))
+    h.update(np.packbits(arr.reshape(-1)).tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class JournalEntry:
+    """One admitted request as recoverable from the log."""
+
+    jid: int
+    shard: ShardKey
+    syndromes: np.ndarray
+
+
+@dataclass
+class JournalScan:
+    """Parsed state of a journal file (crash-tolerant)."""
+
+    admitted: Dict[int, JournalEntry] = field(default_factory=dict)
+    acks: Dict[int, str] = field(default_factory=dict)
+    #: acks whose jid was acked before (structural duplicates) — 0 in
+    #: any healthy log
+    double_acks: int = 0
+    #: acks with no matching admit (log corruption) — 0 when healthy
+    orphan_acks: int = 0
+    #: trailing records lost to a torn append (crash mid-write)
+    torn_records: int = 0
+
+    @property
+    def unacked(self) -> List[JournalEntry]:
+        return [
+            entry for jid, entry in sorted(self.admitted.items())
+            if jid not in self.acks
+        ]
+
+
+def scan_journal(path: Union[str, Path]) -> JournalScan:
+    """Parse a journal file, tolerating a torn trailing record."""
+    scan = JournalScan()
+    path = Path(path)
+    if not path.exists():
+        return scan
+    raw = path.read_bytes()
+    lines = raw.split(b"\n")
+    # a file not ending in a newline holds a torn final record
+    torn_tail = lines[-1] != b""
+    body = lines[:-1]
+    for line in body:
+        if not line:
+            continue
+        try:
+            record = json.loads(line.decode("utf-8"))
+            kind = record["t"]
+            jid = int(record["j"])
+            if kind == "admit":
+                scan.admitted[jid] = JournalEntry(
+                    jid=jid,
+                    shard=ShardKey.parse(record["shard"]),
+                    syndromes=unpack_bitmap(record["syn"]),
+                )
+            elif kind == "ack":
+                if jid in scan.acks:
+                    scan.double_acks += 1
+                elif jid not in scan.admitted:
+                    scan.orphan_acks += 1
+                else:
+                    scan.acks[jid] = str(record["d"])
+            else:
+                scan.torn_records += 1
+        except Exception:
+            # a corrupt interior line counts as torn too: the record is
+            # unusable, but everything readable around it still replays
+            scan.torn_records += 1
+    if torn_tail:
+        scan.torn_records += 1
+    return scan
+
+
+@dataclass
+class JournalAudit:
+    """Outcome of the zero-lost / zero-duplicate / golden audit."""
+
+    admitted: int
+    acked: int
+    #: admits with no ack — after a completed replay this must be 0
+    lost: int
+    #: admits acked more than once — structurally 0
+    double_acks: int
+    orphan_acks: int
+    torn_records: int
+    #: every acked digest == fresh decode_batch digest of the journaled
+    #: syndromes (None when the golden re-decode was skipped)
+    golden_match: Optional[bool] = None
+    digest_mismatches: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.lost == 0
+            and self.double_acks == 0
+            and self.orphan_acks == 0
+            and self.golden_match is not False
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "admitted": self.admitted,
+            "acked": self.acked,
+            "lost": self.lost,
+            "double_acks": self.double_acks,
+            "orphan_acks": self.orphan_acks,
+            "torn_records": self.torn_records,
+            "golden_match": self.golden_match,
+            "digest_mismatches": self.digest_mismatches,
+            "ok": self.ok,
+        }
+
+
+class RequestJournal:
+    """Append-only admission/ack log with interval-batched fsync."""
+
+    def __init__(self, path: Union[str, Path],
+                 fsync_interval_s: float = 0.05) -> None:
+        if fsync_interval_s < 0:
+            raise ValueError("fsync_interval_s must be >= 0")
+        self.path = Path(path)
+        self.fsync_interval_s = float(fsync_interval_s)
+        #: what a previous incarnation left behind (empty on a fresh
+        #: path) — the replay work list for this incarnation
+        self.recovered = scan_journal(self.path)
+        self._next_jid = (
+            max(self.recovered.admitted, default=0) + 1
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "ab")
+        self._last_fsync = time.monotonic()
+        self._dirty = False
+        self._closed = False
+        # live (this-incarnation) state, for cheap unacked lookups
+        self._live_unacked: Dict[int, JournalEntry] = {}
+        self.fsyncs = 0
+
+    # -- appends --------------------------------------------------------
+    def admit(self, shard: ShardKey, syndromes: np.ndarray) -> int:
+        """Record an accepted request; returns its journal id."""
+        jid = self._next_jid
+        self._next_jid += 1
+        syndromes = np.ascontiguousarray(syndromes, dtype=np.uint8)
+        self._append({
+            "t": "admit",
+            "j": jid,
+            "shard": shard.wire(),
+            "syn": pack_bitmap(syndromes),
+        })
+        self._live_unacked[jid] = JournalEntry(jid, shard, syndromes)
+        return jid
+
+    def ack(self, jid: int, digest: str) -> None:
+        """Record a delivered reply for journal id ``jid``."""
+        self._append({"t": "ack", "j": jid, "d": digest})
+        self._live_unacked.pop(jid, None)
+
+    def _append(self, record: dict) -> None:
+        if self._closed:
+            raise ValueError("journal is closed")
+        line = json.dumps(record, separators=(",", ":")).encode("utf-8")
+        self._fh.write(line + b"\n")
+        self._dirty = True
+        self.maybe_fsync()
+
+    def maybe_fsync(self, force: bool = False) -> bool:
+        """Flush + fsync when forced or the sync interval has elapsed."""
+        if not self._dirty or self._closed:
+            return False
+        now = time.monotonic()
+        if not force and now - self._last_fsync < self.fsync_interval_s:
+            return False
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._last_fsync = now
+        self._dirty = False
+        self.fsyncs += 1
+        return True
+
+    # -- recovery / audit ----------------------------------------------
+    @property
+    def unacked(self) -> List[JournalEntry]:
+        """Live-state unacked admits (this incarnation only)."""
+        return [
+            self._live_unacked[jid] for jid in sorted(self._live_unacked)
+        ]
+
+    def audit(self, golden: bool = True,
+              decoder_factory=None) -> JournalAudit:
+        """Re-scan the file and run the zero-lost/zero-dup/golden audit.
+
+        With ``golden=True`` every acked entry's syndromes are
+        re-decoded through a fresh decoder (grouped per shard, one
+        ``decode_batch`` each) and the digests compared bit-for-bit.
+        """
+        self.maybe_fsync(force=True)
+        scan = scan_journal(self.path)
+        golden_match: Optional[bool] = None
+        mismatches = 0
+        if golden and scan.acks:
+            if decoder_factory is None:
+                from ..pool import default_decoder_factory
+                decoder_factory = default_decoder_factory
+            by_shard: Dict[ShardKey, List[int]] = {}
+            for jid in scan.acks:
+                by_shard.setdefault(scan.admitted[jid].shard, []).append(jid)
+            for shard, jids in by_shard.items():
+                decoder = decoder_factory(shard)
+                jids.sort()
+                stacked = np.concatenate(
+                    [scan.admitted[j].syndromes for j in jids], axis=0
+                )
+                corrections = decoder.decode_batch(stacked).corrections
+                offset = 0
+                for jid in jids:
+                    n = scan.admitted[jid].syndromes.shape[0]
+                    digest = reply_digest(corrections[offset:offset + n])
+                    offset += n
+                    if digest != scan.acks[jid]:
+                        mismatches += 1
+            golden_match = mismatches == 0
+        return JournalAudit(
+            admitted=len(scan.admitted),
+            acked=len(scan.acks),
+            lost=len(scan.admitted) - len(scan.acks),
+            double_acks=scan.double_acks,
+            orphan_acks=scan.orphan_acks,
+            torn_records=scan.torn_records,
+            golden_match=golden_match,
+            digest_mismatches=mismatches,
+        )
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.maybe_fsync(force=True)
+        self._closed = True
+        self._fh.close()
+
+
+@dataclass
+class JournalReplayReport:
+    """What a restart's replay of unacknowledged work did."""
+
+    entries: int
+    replayed: int
+    failed: int
+    shots: int
+
+    def as_dict(self) -> dict:
+        return {
+            "entries": self.entries,
+            "replayed": self.replayed,
+            "failed": self.failed,
+            "shots": self.shots,
+        }
+
+
+__all__ = [
+    "JournalAudit",
+    "JournalEntry",
+    "JournalReplayReport",
+    "JournalScan",
+    "RequestJournal",
+    "reply_digest",
+    "scan_journal",
+]

@@ -48,9 +48,13 @@ class Replica:
         self.state = UP
         self.inflight = 0
         self.heartbeat_misses = 0
+        #: consecutive successful pings since the last suspect/down —
+        #: the flap-damping counter (see :meth:`on_ping_ok`)
+        self.recovery_streak = 0
         self.last_heartbeat_s: Optional[float] = None
         self.served = 0
         self.failed = 0
+        self.restarts = 0
         self._client: Optional[DecodeClient] = None
 
     # -- connection -----------------------------------------------------
@@ -76,6 +80,22 @@ class Replica:
             task = asyncio.get_running_loop().create_task(client.close())
             task.add_done_callback(lambda t: t.exception())
 
+    def adopt_address(self, address: tuple) -> None:
+        """Point this replica at a restarted process's new ``(host,
+        port)`` (supervisor restarts bind a fresh ephemeral port).  The
+        stale connection is dropped; the replica re-enters the ring as a
+        suspect and must earn its way back to ``up`` through the
+        flap-damping streak like any other recovering server."""
+        if self.service is not None:
+            raise ValueError("adopt_address is for remote replicas only")
+        self.address = address
+        self.drop_client()
+        self.restarts += 1
+        self.heartbeat_misses = 0
+        self.recovery_streak = 0
+        if self.state != DRAINING:
+            self.state = SUSPECT
+
     # -- health ---------------------------------------------------------
     @property
     def available(self) -> bool:
@@ -91,10 +111,29 @@ class Replica:
     def mark_suspect(self) -> None:
         if self.state == UP:
             self.state = SUSPECT
+        self.recovery_streak = 0
 
     def mark_down(self) -> None:
         if self.state != DRAINING:
             self.state = DOWN
+        self.recovery_streak = 0
+
+    def on_ping_ok(self, needed: int) -> None:
+        """Record a heartbeat success with flap damping.
+
+        A replica in ``suspect`` needs ``needed`` *consecutive*
+        successful pings before being promoted back to ``up`` — one
+        lucky ping from a flapping server must not ping-pong full-weight
+        dispatch back onto it.  Any miss resets the streak (via
+        :meth:`mark_suspect` / :meth:`mark_down`).
+        """
+        self.heartbeat_misses = 0
+        if self.state == UP:
+            return
+        if self.state == SUSPECT:
+            self.recovery_streak += 1
+            if self.recovery_streak >= max(needed, 1):
+                self.mark_up()
 
     async def heartbeat(self, timeout_s: float) -> float:
         """Ping the replica; returns latency.  Raises on miss."""
@@ -142,4 +181,6 @@ class Replica:
             "served": self.served,
             "failed": self.failed,
             "heartbeat_misses": self.heartbeat_misses,
+            "recovery_streak": self.recovery_streak,
+            "restarts": self.restarts,
         }

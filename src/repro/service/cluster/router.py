@@ -33,7 +33,7 @@ import asyncio
 import contextlib
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set
 
 import numpy as np
 
@@ -54,6 +54,8 @@ from ..protocol import (
 from ..server import MAX_DISTANCE, DecodeService
 from .faults import FaultInjector
 from .hashring import HashRing
+from .journal import JournalReplayReport, RequestJournal, reply_digest
+from .migration import MigrationReport, ShardMigration
 from .replica import DOWN, DRAINING, SUSPECT, UP, Replica
 from .telemetry import ClusterTelemetry
 
@@ -115,6 +117,12 @@ class ClusterPolicy:
     #: decode locally when every replica has failed (zero-lost mode)
     fallback: bool = True
     autoscale: Optional[AutoscalePolicy] = None
+    #: flap damping: consecutive heartbeat successes a suspect replica
+    #: needs before it is promoted back to full-weight dispatch
+    recovery_pings: int = 3
+    #: dual-write window of a live migration (target warm-up under
+    #: real traffic before the ownership flip)
+    migration_catchup_s: float = 0.05
 
     def __post_init__(self) -> None:
         if self.replication < 1:
@@ -123,6 +131,10 @@ class ClusterPolicy:
             raise ValueError("heartbeat periods must be > 0")
         if self.request_timeout_s <= 0:
             raise ValueError("request_timeout_s must be > 0")
+        if self.recovery_pings < 1:
+            raise ValueError("recovery_pings must be >= 1")
+        if self.migration_catchup_s < 0:
+            raise ValueError("migration_catchup_s must be >= 0")
 
 
 def default_service_factory() -> DecodeService:
@@ -138,9 +150,12 @@ class DecodeCluster:
         policy: Optional[ClusterPolicy] = None,
         service_factory: Callable[[], DecodeService] = default_service_factory,
         seed: Optional[int] = None,
+        journal: Optional[RequestJournal] = None,
     ) -> None:
-        if n_replicas < 1:
-            raise ValueError("n_replicas must be >= 1")
+        if n_replicas < 0:
+            # 0 is legal: a supervised cluster starts empty and adds
+            # remote replicas as their processes come up
+            raise ValueError("n_replicas must be >= 0")
         self.policy = policy or ClusterPolicy()
         self.telemetry = ClusterTelemetry()
         self._service_factory = service_factory
@@ -157,6 +172,20 @@ class DecodeCluster:
         self._closed = False
         self._last_scale_at = 0.0
         self._rejects_last_tick = 0
+        #: durable WAL of admissions/acks; None = journaling off
+        self._journal = journal
+        self.replay_report: Optional[JournalReplayReport] = None
+        #: per-shard explicit owner lists installed by completed
+        #: migrations — consulted before the ring walk, so a flip is a
+        #: single (atomic under asyncio) dict assignment
+        self._shard_overrides: Dict[ShardKey, List[str]] = {}
+        #: in-flight migrations, keyed by shard (dual-write routing)
+        self._migrations: Dict[ShardKey, ShardMigration] = {}
+        #: every shard this router has dispatched — the work list a
+        #: decommission must migrate off a victim replica
+        self._active_shards: Set[ShardKey] = set()
+        #: set by an attached process Supervisor (cross-process mode)
+        self.supervisor = None
 
     # -- replica management --------------------------------------------
     def _spawn_replica(self) -> Replica:
@@ -171,9 +200,28 @@ class DecodeCluster:
         self._ring.add(name)
         return replica
 
+    def add_remote_replica(self, name: str, address: tuple) -> Replica:
+        """Register a replica served by an external process at
+        ``(host, port)`` (the supervisor's registration path)."""
+        if name in self._replicas:
+            raise ValueError(f"replica {name!r} already exists")
+        replica = Replica(name, address=(address[0], int(address[1])))
+        self._replicas[name] = replica
+        self._ring.add(name)
+        return replica
+
     def _retire_from_ring(self, name: str) -> None:
         if name in self._ring:
             self._ring.remove(name)
+        # a retired replica must also vanish from migration-installed
+        # owner lists, or a stale override would keep routing to it
+        for shard, names in list(self._shard_overrides.items()):
+            if name in names:
+                kept = [n for n in names if n != name]
+                if kept:
+                    self._shard_overrides[shard] = kept
+                else:
+                    del self._shard_overrides[shard]
 
     def replica(self, name: str) -> Replica:
         return self._replicas[name]
@@ -197,16 +245,32 @@ class DecodeCluster:
             self._ring.add(name)
 
     def primary_for(self, shard: ShardKey) -> Replica:
-        """The first preference-list replica of ``shard`` (chaos target)."""
-        return self._replicas[self._ring.node_for(shard.wire())]
+        """The first preference-list replica of ``shard`` (chaos target
+        and migration source) — override-aware, so after a migration
+        flip this is the migration's target."""
+        preferred = self.preference_list(shard)
+        if not preferred:
+            raise LookupError(f"no replica owns shard {shard.wire()}")
+        return preferred[0]
 
     def preference_list(self, shard: ShardKey) -> List[Replica]:
-        if len(self._ring) == 0:      # whole fleet down: fallback's turn
-            return []
-        names = self._ring.nodes_for(
-            shard.wire(), min(self.policy.replication, len(self._ring))
-        )
-        return [self._replicas[n] for n in names]
+        """Owner candidates in preference order.
+
+        A migration-installed override leads; the ring walk fills the
+        list back up to ``replication`` distinct names, so failover
+        depth survives the flip unchanged.
+        """
+        names = [
+            n for n in self._shard_overrides.get(shard, [])
+            if n in self._replicas
+        ]
+        if len(self._ring):
+            for name in self._ring.nodes_for(
+                shard.wire(), min(self.policy.replication, len(self._ring))
+            ):
+                if name not in names:
+                    names.append(name)
+        return [self._replicas[n] for n in names[:self.policy.replication]]
 
     # -- metadata -------------------------------------------------------
     def n_syndromes(self, shard: ShardKey) -> int:
@@ -214,7 +278,13 @@ class DecodeCluster:
 
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> None:
-        """Launch the heartbeat (and autoscale) background loops."""
+        """Launch the background loops, then replay any journal debt.
+
+        Requests a previous incarnation admitted but never acked are
+        re-decoded through the normal dispatch path and their
+        *original* journal ids acked — after :meth:`start` returns, the
+        journal audit owes nothing to the crash.
+        """
         if self._started:
             return
         self._started = True
@@ -222,6 +292,36 @@ class DecodeCluster:
         self._tasks.append(loop.create_task(self._heartbeat_loop()))
         if self.policy.autoscale is not None:
             self._tasks.append(loop.create_task(self._autoscale_loop()))
+        if self._journal is not None and self._journal.recovered.unacked:
+            self.replay_report = await self.replay_journal()
+
+    async def replay_journal(self) -> JournalReplayReport:
+        """Re-decode every unacked admit a dead incarnation left behind.
+
+        Each entry runs through :meth:`decode` (journaling itself anew)
+        and its **original** journal id is acked with the same digest —
+        determinism guarantees the digests agree, and the audit sees
+        every admit, old and new, acked exactly once.
+        """
+        entries = (
+            self._journal.recovered.unacked
+            if self._journal is not None else []
+        )
+        replayed = failed = shots = 0
+        for entry in entries:
+            outcome = await self.decode(entry.shard, entry.syndromes)
+            if outcome.ok:
+                self._journal.ack(
+                    entry.jid, reply_digest(outcome.corrections)
+                )
+                replayed += 1
+                shots += int(entry.syndromes.shape[0])
+            else:
+                failed += 1
+        return JournalReplayReport(
+            entries=len(entries), replayed=replayed, failed=failed,
+            shots=shots,
+        )
 
     async def close(self) -> None:
         self._closed = True
@@ -231,8 +331,12 @@ class DecodeCluster:
             with contextlib.suppress(asyncio.CancelledError):
                 await task
         self._tasks.clear()
+        if self.supervisor is not None:
+            await self.supervisor.close()
         for replica in self._replicas.values():
             await replica.close()
+        if self._journal is not None:
+            self._journal.close()
         self._local_pool.close()
 
     # -- dispatch -------------------------------------------------------
@@ -244,7 +348,9 @@ class DecodeCluster:
         ``avoid`` skips the replica a failed attempt just used, so an
         immediate failover lands elsewhere even before the heartbeat
         confirms the death (it remains a last resort if it is the only
-        candidate left)."""
+        candidate left).  Suspects sort after confirmed-up replicas —
+        the dispatch half of flap damping: a recovering server earns
+        its ping streak before full-weight traffic returns."""
         preferred = self.preference_list(shard)
         for candidates in (preferred, self.replicas):
             live = [r for r in candidates if r.available]
@@ -254,7 +360,10 @@ class DecodeCluster:
                 # ties on inflight resolve in preference order, so an
                 # idle fleet serves each shard from its ring primary
                 return min(
-                    enumerate(live), key=lambda ir: (ir[1].inflight, ir[0])
+                    enumerate(live),
+                    key=lambda ir: (
+                        ir[1].state != UP, ir[1].inflight, ir[0]
+                    ),
                 )[1]
         return None
 
@@ -267,10 +376,39 @@ class DecodeCluster:
         fallback fired.  With the fallback enabled the request cannot
         be lost: decoding is deterministic, so every path yields the
         same correction bits.
+
+        When a journal is attached, the request is WAL-admitted before
+        dispatch and acked (with its reply digest) only once a
+        correction is delivered — the admit-without-ack gap is exactly
+        the replay work list after a crash.  During a live migration's
+        dual-write window, requests for the migrating shard go to both
+        owners and exactly one reply is delivered.
         """
         if not self._started:
             await self.start()
         self.telemetry.requests += 1
+        self._active_shards.add(shard)
+        jid = (
+            self._journal.admit(shard, syndromes)
+            if self._journal is not None else None
+        )
+        outcome: Optional[DecodeOutcome] = None
+        migration = self._migrations.get(shard)
+        if migration is not None and migration.dual_writing:
+            started = time.monotonic()
+            outcome = await migration.dual_decode(syndromes, deadline_us)
+            if outcome is not None:
+                self.telemetry.on_outcome(True, time.monotonic() - started)
+        if outcome is None:
+            outcome = await self._decode_routed(shard, syndromes, deadline_us)
+        if jid is not None and outcome.ok:
+            self._journal.ack(jid, reply_digest(outcome.corrections))
+        return outcome
+
+    async def _decode_routed(self, shard: ShardKey, syndromes: np.ndarray,
+                             deadline_us: Optional[float] = None
+                             ) -> DecodeOutcome:
+        """The pick / failover / backoff / fallback attempt loop."""
         policy = self.policy
         started = time.monotonic()
         attempts = 0
@@ -323,6 +461,13 @@ class DecodeCluster:
                 )
                 self.telemetry.on_outcome(True, time.monotonic() - started)
                 return outcome
+            if outcome.reason == "migrated":
+                # the shard's ownership flipped out from under the
+                # queue: the new owner is ready *now*, so re-dispatch
+                # with no backoff (and don't count it as pressure)
+                self.telemetry.migrated_retries += 1
+                avoid = replica.name
+                continue
             if outcome.rejected:
                 self.telemetry.retries += 1
                 self._rejects_last_tick += 1
@@ -388,13 +533,12 @@ class DecodeCluster:
                     else:
                         replica.mark_suspect()
                 else:
-                    if replica.state == SUSPECT:
-                        # recovered (e.g. un-hung): restore routing
-                        replica.mark_up()
-                        if replica.name not in self._ring:
-                            self._ring.add(replica.name)
-                    else:
-                        replica.mark_up()
+                    # flap damping: a suspect needs recovery_pings
+                    # consecutive successes before full-weight routing
+                    replica.on_ping_ok(policy.recovery_pings)
+                    if (replica.state == UP
+                            and replica.name not in self._ring):
+                        self._ring.add(replica.name)
 
     async def _autoscale_loop(self) -> None:
         autoscale = self.policy.autoscale
@@ -443,9 +587,86 @@ class DecodeCluster:
                                if self.policy.autoscale else 1):
             return
         victim = min(candidates, key=lambda r: (r.inflight, r.name))
-        self._retire_from_ring(victim.name)   # no new work routes to it
         self.telemetry.scale_downs += 1
-        await victim.drain_and_stop()         # flush, then stop
+        await self.decommission(victim.name)
+
+    # -- live migration -------------------------------------------------
+    def _install_override(self, shard: ShardKey, target_name: str) -> None:
+        """Atomically make ``target_name`` the shard's primary.
+
+        The rest of the old preference list is kept behind it, so
+        failover depth and the surviving secondaries are stable across
+        the flip (asserted by the hashring churn tests).
+        """
+        names = [target_name] + [
+            r.name for r in self.preference_list(shard)
+            if r.name != target_name
+        ]
+        self._shard_overrides[shard] = names[:self.policy.replication]
+
+    async def migrate(self, shard: ShardKey, target_name: str,
+                      catchup_s: Optional[float] = None) -> MigrationReport:
+        """Move ``shard``'s ownership to ``target_name``, live.
+
+        Dual-writes for the catch-up window (default
+        ``policy.migration_catchup_s``), atomically flips the per-shard
+        preference override, then hands the source's
+        queued-but-undecoded work to the target — no drain gap; see
+        :mod:`.migration`.
+        """
+        target = self._replicas[target_name]
+        if not target.available:
+            raise ValueError(f"migration target {target_name!r} is not up")
+        source = self.primary_for(shard)
+        if source.name == target_name:
+            raise ValueError(
+                f"{target_name!r} already owns shard {shard.wire()}"
+            )
+        if shard in self._migrations:
+            raise ValueError(
+                f"shard {shard.wire()} is already migrating"
+            )
+        migration = ShardMigration(
+            self, shard, source, target,
+            self.policy.migration_catchup_s
+            if catchup_s is None else catchup_s,
+        )
+        self._migrations[shard] = migration
+        try:
+            return await migration.run()
+        finally:
+            del self._migrations[shard]
+
+    async def decommission(self, name: str) -> List[MigrationReport]:
+        """Remove a replica with zero drain gap.
+
+        Every active shard whose primary is the victim is live-migrated
+        to its least-loaded surviving peer first; only then is the
+        victim retired from the ring and gracefully stopped — by which
+        point its queues are empty and the stop is near-instant.  This
+        is the scale-down path (replacing bare ``drain_and_stop``).
+        """
+        victim = self._replicas[name]
+        reports: List[MigrationReport] = []
+        survivors = [
+            r for r in self._replicas.values()
+            if r.name != name and r.available
+        ]
+        if survivors:
+            for shard in sorted(self._active_shards, key=lambda s: s.wire()):
+                if shard in self._migrations:
+                    continue
+                try:
+                    primary = self.primary_for(shard)
+                except LookupError:
+                    continue
+                if primary.name != name:
+                    continue
+                target = min(survivors, key=lambda r: (r.inflight, r.name))
+                reports.append(await self.migrate(shard, target.name))
+        self._retire_from_ring(name)          # no new work routes to it
+        await victim.drain_and_stop()         # empty by now: instant
+        return reports
 
     # -- stats ----------------------------------------------------------
     def stats(self) -> dict:
@@ -458,6 +679,22 @@ class DecodeCluster:
             name: r.snapshot() for name, r in sorted(self._replicas.items())
         }
         payload["ring_nodes"] = self._ring.nodes
+        payload["shard_overrides"] = {
+            shard.wire(): list(names)
+            for shard, names in sorted(
+                self._shard_overrides.items(), key=lambda kv: kv[0].wire()
+            )
+        }
+        if self._journal is not None:
+            payload["journal"] = {
+                "path": str(self._journal.path),
+                "unacked": len(self._journal.unacked),
+                "fsyncs": self._journal.fsyncs,
+                "replay": (
+                    self.replay_report.as_dict()
+                    if self.replay_report is not None else None
+                ),
+            }
         return payload
 
 

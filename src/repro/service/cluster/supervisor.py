@@ -1,0 +1,310 @@
+"""Cross-process replica supervision: real processes, real crashes.
+
+PR 6's chaos drills model death with a fault injector inside one
+process; this module makes the failure modes real.  A
+:class:`Supervisor` spawns each replica as an OS subprocess running
+``python -m repro.service replica`` on a real TCP socket, registers it
+with the cluster router, and keeps watch:
+
+* **liveness** — a monitor loop polls process exit (complementing the
+  router's heartbeat, which catches wedged-but-alive processes: a
+  SIGSTOPped child stays "alive" here while its missed pings demote it
+  in the ring);
+* **restarts** — a dead process is relaunched under capped exponential
+  backoff; the replacement binds a fresh ephemeral port, and the
+  router's :meth:`~repro.service.cluster.replica.Replica.adopt_address`
+  re-enters it as a suspect that must earn its flap-damping ping streak
+  before full-weight traffic returns;
+* **flap counting** — more than ``max_flaps`` restarts inside
+  ``flap_window_s`` means the process is crash-looping; the supervisor
+  gives up on it (the ring has already routed around it) instead of
+  burning the host on a doomed spawn loop.
+
+Chaos drills address processes by replica name — :meth:`sigkill`,
+:meth:`sigstop`, :meth:`sigcont` send the actual signals.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import signal
+import subprocess
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Restart/backoff knobs of the process supervisor."""
+
+    backoff_base_s: float = 0.2
+    backoff_multiplier: float = 2.0
+    backoff_cap_s: float = 5.0
+    #: restarts inside ``flap_window_s`` beyond which the supervisor
+    #: declares a crash loop and stops restarting the process
+    max_flaps: int = 5
+    flap_window_s: float = 30.0
+    #: how long a spawned process gets to print its READY line
+    ready_timeout_s: float = 20.0
+    poll_interval_s: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff times must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if self.max_flaps < 1:
+            raise ValueError("max_flaps must be >= 1")
+        if self.ready_timeout_s <= 0 or self.poll_interval_s <= 0:
+            raise ValueError("timeouts must be > 0")
+
+
+def _replica_argv(server_args: Sequence[str]) -> List[str]:
+    return [
+        sys.executable, "-m", "repro.service", "replica",
+        "--host", "127.0.0.1", "--port", "0", *server_args,
+    ]
+
+
+def _replica_env() -> dict:
+    """Child environment with this checkout's ``src`` on PYTHONPATH, so
+    the subprocess imports the same code under test regardless of how
+    the parent was launched."""
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir if not existing
+        else src_dir + os.pathsep + existing
+    )
+    return env
+
+
+class ReplicaProcess:
+    """One supervised OS process serving a decode replica."""
+
+    def __init__(self, name: str, server_args: Sequence[str] = ()) -> None:
+        self.name = name
+        self.server_args = list(server_args)
+        self.proc: Optional[subprocess.Popen] = None
+        self.address: Optional[tuple] = None
+        self.spawns = 0
+        #: restart timestamps inside the flap window (monotonic)
+        self.restart_times: Deque[float] = deque()
+        #: crash-looping beyond the flap budget: left for dead
+        self.gave_up = False
+
+    @property
+    def alive(self) -> bool:
+        """The OS process exists (a SIGSTOPped child still counts —
+        only the router's heartbeat can tell it is wedged)."""
+        return self.proc is not None and self.proc.poll() is None
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.proc.pid if self.proc is not None else None
+
+    async def spawn(self, ready_timeout_s: float) -> tuple:
+        """Launch the process; returns its ``(host, port)`` once READY.
+
+        The child prints exactly one ``READY <host> <port>`` line after
+        binding its socket — the startup handshake that makes "spawned"
+        mean "accepting connections", not "forked".
+        """
+        self.proc = subprocess.Popen(
+            _replica_argv(self.server_args),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=_replica_env(),
+        )
+        self.spawns += 1
+        loop = asyncio.get_running_loop()
+        try:
+            line = await asyncio.wait_for(
+                loop.run_in_executor(None, self.proc.stdout.readline),
+                ready_timeout_s,
+            )
+        except asyncio.TimeoutError:
+            self.proc.kill()
+            self.proc.wait()
+            raise RuntimeError(
+                f"replica process {self.name!r} never reported READY"
+            ) from None
+        parts = (line or "").split()
+        if len(parts) != 3 or parts[0] != "READY":
+            self.proc.kill()
+            self.proc.wait()
+            raise RuntimeError(
+                f"replica process {self.name!r} bad handshake: {line!r}"
+            )
+        self.address = (parts[1], int(parts[2]))
+        return self.address
+
+    def send_signal(self, sig: int) -> None:
+        if self.proc is None or self.proc.poll() is not None:
+            raise ValueError(f"process {self.name!r} is not running")
+        self.proc.send_signal(sig)
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        """Graceful SIGTERM, escalating to SIGKILL on a deaf child."""
+        if self.proc is None:
+            return
+        if self.proc.poll() is None:
+            # un-stop first: a SIGSTOPped child cannot handle SIGTERM
+            with contextlib.suppress(OSError):
+                self.proc.send_signal(signal.SIGCONT)
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=timeout_s)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait()
+        if self.proc.stdout is not None:
+            self.proc.stdout.close()
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "pid": self.pid,
+            "alive": self.alive,
+            "spawns": self.spawns,
+            "gave_up": self.gave_up,
+        }
+
+
+class Supervisor:
+    """Spawns, watches and restarts the cluster's replica processes."""
+
+    def __init__(self, cluster, n_processes: int = 2,
+                 policy: Optional[SupervisorPolicy] = None,
+                 server_args: Sequence[str] = ()) -> None:
+        if n_processes < 1:
+            raise ValueError("n_processes must be >= 1")
+        self.cluster = cluster
+        self.policy = policy or SupervisorPolicy()
+        self.server_args = list(server_args)
+        self.processes: Dict[str, ReplicaProcess] = {
+            f"p{i}": ReplicaProcess(f"p{i}", server_args)
+            for i in range(n_processes)
+        }
+        self.restarts = 0
+        self._monitor_task: Optional[asyncio.Task] = None
+        self._restarting: set = set()
+        self._closed = False
+
+    async def start(self) -> None:
+        """Spawn every process, register each with the router, watch."""
+        for name, process in self.processes.items():
+            address = await process.spawn(self.policy.ready_timeout_s)
+            self.cluster.add_remote_replica(name, address)
+        self.cluster.supervisor = self
+        self._monitor_task = asyncio.get_running_loop().create_task(
+            self._monitor_loop()
+        )
+
+    # -- crash detection / restart -------------------------------------
+    async def _monitor_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.policy.poll_interval_s)
+            for name, process in self.processes.items():
+                if (process.alive or process.gave_up
+                        or name in self._restarting
+                        or process.proc is None):
+                    continue
+                self._restarting.add(name)
+                task = asyncio.get_running_loop().create_task(
+                    self._restart(name)
+                )
+                task.add_done_callback(lambda t: t.exception())
+
+    async def _restart(self, name: str) -> None:
+        """Relaunch a dead process under capped backoff + flap budget."""
+        process = self.processes[name]
+        try:
+            now = time.monotonic()
+            window = self.policy.flap_window_s
+            while (process.restart_times
+                   and now - process.restart_times[0] > window):
+                process.restart_times.popleft()
+            if len(process.restart_times) >= self.policy.max_flaps:
+                process.gave_up = True
+                return
+            backoff = min(
+                self.policy.backoff_base_s
+                * self.policy.backoff_multiplier
+                ** len(process.restart_times),
+                self.policy.backoff_cap_s,
+            )
+            if backoff > 0:
+                await asyncio.sleep(backoff)
+            if self._closed:
+                return
+            address = await process.spawn(self.policy.ready_timeout_s)
+            process.restart_times.append(time.monotonic())
+            self.restarts += 1
+            # hand the new address to the router: the replica re-enters
+            # as a suspect and earns its way back via the ping streak
+            self.cluster.replica(name).adopt_address(address)
+        except Exception:
+            # spawn failed (e.g. host under pressure): the monitor loop
+            # retries on its next pass, with one more flap on the clock
+            process.restart_times.append(time.monotonic())
+        finally:
+            self._restarting.discard(name)
+
+    # -- chaos signal surface ------------------------------------------
+    def sigkill(self, name: str) -> int:
+        """SIGKILL a replica process (no cleanup, no goodbye)."""
+        process = self.processes[name]
+        pid = process.pid
+        process.send_signal(signal.SIGKILL)
+        return pid
+
+    def sigstop(self, name: str) -> int:
+        """SIGSTOP: the process freezes but stays alive — only missed
+        heartbeats reveal it."""
+        process = self.processes[name]
+        process.send_signal(signal.SIGSTOP)
+        return process.pid
+
+    def sigcont(self, name: str) -> int:
+        """SIGCONT a stopped process; its ping streak rebuilds trust."""
+        process = self.processes[name]
+        process.send_signal(signal.SIGCONT)
+        return process.pid
+
+    # -- lifecycle ------------------------------------------------------
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._monitor_task
+            self._monitor_task = None
+        for process in self.processes.values():
+            process.stop()
+        if self.cluster.supervisor is self:
+            self.cluster.supervisor = None
+
+    def snapshot(self) -> dict:
+        return {
+            "restarts": self.restarts,
+            "processes": {
+                name: p.snapshot()
+                for name, p in sorted(self.processes.items())
+            },
+        }
+
+
+__all__ = ["ReplicaProcess", "Supervisor", "SupervisorPolicy"]

@@ -39,6 +39,18 @@ class ClusterTelemetry:
         #: over replica clients on snapshot
         self.scale_ups = 0
         self.scale_downs = 0
+        #: completed live shard migrations (ownership flips)
+        self.migrations = 0
+        #: requests served through a migration's dual-write window
+        self.dual_writes = 0
+        #: redundant dual-write replies discarded (both legs answered;
+        #: determinism makes them bit-identical, so one is enough)
+        self.dual_absorbed = 0
+        #: queued-but-undecoded requests transferred in handoff frames
+        self.handoff_entries = 0
+        #: ``migrated`` rejections re-dispatched without backoff (the
+        #: new owner was ready immediately)
+        self.migrated_retries = 0
         self.latency = LatencyHistogram()
 
     def on_outcome(self, ok: bool, latency_s: float) -> None:
@@ -60,5 +72,10 @@ class ClusterTelemetry:
             "fallback_decodes": self.fallback_decodes,
             "scale_ups": self.scale_ups,
             "scale_downs": self.scale_downs,
+            "migrations": self.migrations,
+            "dual_writes": self.dual_writes,
+            "dual_absorbed": self.dual_absorbed,
+            "handoff_entries": self.handoff_entries,
+            "migrated_retries": self.migrated_retries,
             "latency": self.latency.snapshot(),
         }

@@ -303,6 +303,57 @@ def stats_request(request_id: int) -> dict:
     return {"type": "stats", "id": int(request_id)}
 
 
+# -- shard-migration handoff frames ------------------------------------
+def handoff_entry(rid: int, syndromes: np.ndarray,
+                  deadline_us: Optional[float] = None) -> dict:
+    """One queued-but-undecoded request as a transferable wire object."""
+    entry = {"rid": int(rid), "syndromes": pack_bitmap(syndromes)}
+    if deadline_us is not None:
+        entry["deadline_us"] = float(deadline_us)
+    return entry
+
+
+def handoff_extract_request(request_id: int, shard: ShardKey) -> dict:
+    """Ask a server to give up its queued-but-undecoded work for a
+    shard (the source side of a live migration): extracted requests are
+    answered with transient ``migrated`` rejections locally while their
+    payloads travel back in the extract reply's ``entries``."""
+    return {
+        "type": "handoff_extract",
+        "id": int(request_id),
+        "shard": shard.wire(),
+    }
+
+
+def handoff_extract_reply(request_id: int, entries: list) -> dict:
+    return {
+        "type": "handoff_extract_reply",
+        "id": int(request_id),
+        "entries": list(entries),
+    }
+
+
+def handoff_request(request_id: int, shard: ShardKey,
+                    entries: list) -> dict:
+    """Offer transferred work to a server (the target side): every
+    entry is decoded through the normal micro-batching path and its
+    result returned keyed by the caller-chosen ``rid``."""
+    return {
+        "type": "handoff",
+        "id": int(request_id),
+        "shard": shard.wire(),
+        "entries": list(entries),
+    }
+
+
+def handoff_reply(request_id: int, results: list) -> dict:
+    return {
+        "type": "handoff_reply",
+        "id": int(request_id),
+        "results": list(results),
+    }
+
+
 def stats_reply(request_id: Optional[int], stats: dict) -> dict:
     """Stats payload; ``id`` is echoed verbatim (a bare
     ``{"type": "stats"}`` probe carries none)."""

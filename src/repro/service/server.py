@@ -17,6 +17,8 @@ import asyncio
 import contextlib
 from typing import Callable, Optional, Set, Union
 
+import numpy as np
+
 from ..decoders import DECODER_REGISTRY
 from .batcher import BatchedResult, BatchPolicy, MicroBatcher, Rejection
 from .pool import DecoderPool
@@ -26,6 +28,10 @@ from .protocol import (
     ShardKey,
     StreamTransport,
     error_reply,
+    handoff_entry,
+    handoff_extract_reply,
+    handoff_reply,
+    pack_bitmap,
     reject_reply,
     result_reply,
     stats_reply,
@@ -177,29 +183,14 @@ class DecodeService:
             if self._inflight_requests == 0:
                 self._idle.set()
 
-    async def _dispatch(self, message: dict) -> dict:
-        kind = message.get("type")
-        request_id = message.get("id")
-        if kind == "stats":
-            return stats_reply(request_id, self.stats())
-        if kind == "ping":
-            return {"type": "pong", "id": request_id}
-        if kind != "decode":
-            raise ProtocolError(f"unknown message type {kind!r}")
-        if not isinstance(request_id, int):
-            raise ProtocolError("decode request needs an integer 'id'")
-        if self._draining:
-            # stats/ping above still answer during a drain; only new
-            # decode work is turned away (transiently — a retrying
-            # client or the cluster router goes elsewhere)
-            return reject_reply(
-                request_id, "draining",
-                self.policy.default_retry_after_us, 0,
-            )
+    def _admitted_shard(self, message: dict) -> ShardKey:
+        """Parse + admission-validate a message's shard key.
+
+        Every unique shard key creates state (lattice cache, worker
+        task, telemetry), so bogus kinds must fail here, not as an
+        opaque decode error after the leak.
+        """
         shard = ShardKey.parse(message.get("shard", ""))
-        # validate at admission: every unique shard key creates state
-        # (lattice cache, worker task, telemetry), so bogus kinds must
-        # fail here, not as an opaque decode error after the leak
         if shard.decoder not in DECODER_REGISTRY:
             known = ", ".join(sorted(DECODER_REGISTRY))
             raise ProtocolError(
@@ -210,7 +201,10 @@ class DecodeService:
                 f"distance {shard.distance} exceeds the service cap "
                 f"{MAX_DISTANCE}"
             )
-        syndromes = unpack_bitmap(message.get("syndromes", {}))
+        return shard
+
+    def _admitted_syndromes(self, shard: ShardKey, obj: dict) -> np.ndarray:
+        syndromes = unpack_bitmap(obj)
         if syndromes.ndim != 2:
             raise ProtocolError(
                 f"syndromes must be 2-D (shots, bits), got {syndromes.shape}"
@@ -223,6 +217,35 @@ class DecodeService:
             )
         if syndromes.shape[0] == 0:
             raise ProtocolError("empty decode request (0 shots)")
+        return syndromes
+
+    async def _dispatch(self, message: dict) -> dict:
+        kind = message.get("type")
+        request_id = message.get("id")
+        if kind == "stats":
+            return stats_reply(request_id, self.stats())
+        if kind == "ping":
+            return {"type": "pong", "id": request_id}
+        if kind == "handoff_extract":
+            return self._dispatch_handoff_extract(message)
+        if kind == "handoff":
+            return await self._dispatch_handoff(message)
+        if kind != "decode":
+            raise ProtocolError(f"unknown message type {kind!r}")
+        if not isinstance(request_id, int):
+            raise ProtocolError("decode request needs an integer 'id'")
+        if self._draining:
+            # stats/ping above still answer during a drain; only new
+            # decode work is turned away (transiently — a retrying
+            # client or the cluster router goes elsewhere)
+            return reject_reply(
+                request_id, "draining",
+                self.policy.default_retry_after_us, 0,
+            )
+        shard = self._admitted_shard(message)
+        syndromes = self._admitted_syndromes(
+            shard, message.get("syndromes", {})
+        )
         outcome = await self._ensure_batcher().submit(
             shard, syndromes, message.get("deadline_us")
         )
@@ -237,6 +260,82 @@ class DecodeService:
             outcome.cycles, outcome.queued_us, outcome.decode_us,
             outcome.batch_shots,
         )
+
+    # -- live-migration handoff ---------------------------------------
+    def _dispatch_handoff_extract(self, message: dict) -> dict:
+        """Give up this server's queued-but-undecoded work for a shard.
+
+        The source side of a live migration: extracted submissions are
+        answered locally with transient ``migrated`` rejections (their
+        callers re-dispatch through the router, which already points at
+        the new owner) while the raw payloads travel back to the
+        migration coordinator in the reply's ``entries``.
+        """
+        request_id = message.get("id")
+        if not isinstance(request_id, int):
+            raise ProtocolError("handoff_extract needs an integer 'id'")
+        shard = self._admitted_shard(message)
+        extracted = self._ensure_batcher().extract_queued(shard)
+        entries = [
+            handoff_entry(rid, syndromes, deadline_us)
+            for rid, (syndromes, deadline_us) in enumerate(extracted)
+        ]
+        return handoff_extract_reply(request_id, entries)
+
+    async def _dispatch_handoff(self, message: dict) -> dict:
+        """Adopt transferred work (the target side of a migration).
+
+        Every entry runs through the normal micro-batching path — same
+        queue bound, same batching window, same telemetry — and its
+        result (or rejection) is returned keyed by the caller-chosen
+        ``rid``.  A draining target refuses the whole frame: a
+        coordinator must not strand work on a server on its way down.
+        """
+        request_id = message.get("id")
+        if not isinstance(request_id, int):
+            raise ProtocolError("handoff needs an integer 'id'")
+        if self._draining:
+            return reject_reply(
+                request_id, "draining",
+                self.policy.default_retry_after_us, 0,
+            )
+        shard = self._admitted_shard(message)
+        raw_entries = message.get("entries", [])
+        if not isinstance(raw_entries, list):
+            raise ProtocolError("handoff 'entries' must be a list")
+        parsed = []
+        for entry in raw_entries:
+            if not isinstance(entry, dict) or "rid" not in entry:
+                raise ProtocolError("handoff entry needs a 'rid'")
+            parsed.append((
+                int(entry["rid"]),
+                self._admitted_syndromes(shard, entry.get("syndromes", {})),
+                entry.get("deadline_us"),
+            ))
+        batcher = self._ensure_batcher()
+        outcomes = await asyncio.gather(*(
+            batcher.submit(shard, syndromes, deadline_us)
+            for _, syndromes, deadline_us in parsed
+        ))
+        results = []
+        for (rid, _, _), outcome in zip(parsed, outcomes):
+            if isinstance(outcome, Rejection):
+                results.append({
+                    "rid": rid,
+                    "status": "reject",
+                    "reason": outcome.reason,
+                    "retry_after_us": round(outcome.retry_after_us, 3),
+                })
+            else:
+                results.append({
+                    "rid": rid,
+                    "status": "ok",
+                    "corrections": pack_bitmap(outcome.corrections),
+                    "converged": pack_bitmap(
+                        np.asarray(outcome.converged, dtype=np.uint8)
+                    ),
+                })
+        return handoff_reply(request_id, results)
 
     # -- stats / lifecycle --------------------------------------------
     def stats(self) -> dict:

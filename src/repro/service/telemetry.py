@@ -105,6 +105,8 @@ class ShardTelemetry:
         self.shots_rejected = 0
         self.shots_expired = 0
         self.shots_failed = 0
+        #: shots extracted queued-but-undecoded by a live migration
+        self.shots_migrated = 0
         self.batches = 0
         self.queue_depth = 0          # shots currently queued (gauge)
         self.max_queue_depth = 0
@@ -136,6 +138,10 @@ class ShardTelemetry:
 
     def on_error(self, shots: int) -> None:
         self.shots_failed += shots
+        self.queue_depth = max(0, self.queue_depth - shots)
+
+    def on_migrate(self, shots: int) -> None:
+        self.shots_migrated += shots
         self.queue_depth = max(0, self.queue_depth - shots)
 
     def on_batch(self, shots: int, decode_s: float) -> None:
@@ -178,6 +184,7 @@ class ShardTelemetry:
             "shots_rejected": self.shots_rejected,
             "shots_expired": self.shots_expired,
             "shots_failed": self.shots_failed,
+            "shots_migrated": self.shots_migrated,
             "batches": self.batches,
             "mean_batch_shots": round(
                 self.shots_decoded / self.batches, 2

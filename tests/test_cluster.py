@@ -620,3 +620,154 @@ class TestClusterFrontend:
         outcome = asyncio.run(scenario())
         assert outcome.ok
         assert np.array_equal(outcome.corrections, expected.corrections)
+
+
+# ----------------------------------------------------------------------
+# Membership churn (ring + router edge cases)
+# ----------------------------------------------------------------------
+class TestHashRingChurn:
+    def test_remove_then_readd_same_name_restores_mapping(self):
+        """Vnode positions are a pure function of the name: a replica
+        that leaves and comes back owns exactly what it owned before."""
+        keys = [f"shard{i}" for i in range(200)]
+        ring = HashRing(["a", "b", "c"])
+        before = {k: ring.nodes_for(k, 2) for k in keys}
+        ring.remove("b")
+        ring.add("b")
+        assert {k: ring.nodes_for(k, 2) for k in keys} == before
+
+    def test_single_replica_ring_owns_everything(self):
+        ring = HashRing(["only"])
+        for i in range(20):
+            assert ring.node_for(f"k{i}") == "only"
+            assert ring.nodes_for(f"k{i}", 3) == ["only"]
+
+    def test_replication_beyond_live_replicas(self):
+        """replication > fleet size: the preference list saturates at
+        the live membership and dispatch still works."""
+        syndromes = make_syndromes(3, "z", 4, seed=45)
+
+        async def scenario():
+            cluster = DecodeCluster(
+                n_replicas=2, policy=fast_policy(replication=5), seed=0
+            )
+            preferred = [r.name for r in cluster.preference_list(SHARD)]
+            outcome = await cluster.decode(SHARD, syndromes)
+            await cluster.close()
+            return preferred, outcome
+
+        preferred, outcome = asyncio.run(scenario())
+        assert sorted(preferred) == ["r0", "r1"]
+        assert outcome.ok and outcome.metadata["fallback"] is False
+
+    def test_single_replica_cluster_serves(self):
+        syndromes = make_syndromes(3, "z", 4, seed=46)
+
+        async def scenario():
+            cluster = DecodeCluster(n_replicas=1, policy=fast_policy(),
+                                    seed=0)
+            preferred = [r.name for r in cluster.preference_list(SHARD)]
+            outcome = await cluster.decode(SHARD, syndromes)
+            await cluster.close()
+            return preferred, outcome
+
+        preferred, outcome = asyncio.run(scenario())
+        assert preferred == ["r0"] and outcome.ok
+
+    def test_retiring_a_replica_purges_stale_overrides(self):
+        """A migration-installed override must not keep routing to a
+        replica that has since left the fleet."""
+        async def scenario():
+            cluster = DecodeCluster(n_replicas=3, policy=fast_policy(),
+                                    seed=0)
+            old_primary = cluster.primary_for(SHARD).name
+            target = next(r.name for r in cluster.replicas
+                          if r.name != old_primary)
+            cluster._install_override(SHARD, target)
+            assert cluster.primary_for(SHARD).name == target
+            cluster._retire_from_ring(target)
+            fallback_primary = cluster.primary_for(SHARD).name
+            overrides = dict(cluster._shard_overrides)
+            await cluster.close()
+            return target, fallback_primary, overrides
+
+        target, fallback_primary, overrides = asyncio.run(scenario())
+        assert fallback_primary != target
+        for names in overrides.values():
+            assert target not in names
+
+
+# ----------------------------------------------------------------------
+# Heartbeat flap damping
+# ----------------------------------------------------------------------
+class TestFlapDamping:
+    def test_suspect_needs_consecutive_ping_streak(self):
+        replica = Replica("r", service=DecodeService())
+        replica.mark_suspect()
+        replica.on_ping_ok(3)
+        replica.on_ping_ok(3)
+        assert replica.state == "suspect"       # 2 of 3: not yet
+        replica.on_ping_ok(3)
+        assert replica.state == "up"
+
+    def test_miss_resets_the_streak(self):
+        replica = Replica("r", service=DecodeService())
+        replica.mark_suspect()
+        replica.on_ping_ok(3)
+        replica.on_ping_ok(3)
+        replica.mark_suspect()                  # a miss mid-recovery
+        assert replica.recovery_streak == 0
+        replica.on_ping_ok(3)
+        assert replica.state == "suspect"       # streak restarts at 1
+
+    def test_up_replica_ignores_streak_bookkeeping(self):
+        replica = Replica("r", service=DecodeService())
+        replica.on_ping_ok(3)
+        assert replica.state == "up" and replica.recovery_streak == 0
+
+    def test_dispatch_prefers_up_over_suspect(self):
+        """The dispatch half of flap damping: a recovering suspect only
+        gets traffic when no confirmed-up replica can take it."""
+        async def scenario():
+            cluster = DecodeCluster(n_replicas=2, policy=fast_policy(),
+                                    seed=0)
+            primary = cluster.primary_for(SHARD)
+            other = next(r for r in cluster.replicas
+                         if r.name != primary.name)
+            primary.mark_suspect()
+            picked_with_up = cluster._pick(SHARD)
+            other.mark_suspect()
+            picked_all_suspect = cluster._pick(SHARD)
+            await cluster.close()
+            return (primary.name, other.name,
+                    picked_with_up.name, picked_all_suspect.name)
+
+        primary, other, with_up, all_suspect = asyncio.run(scenario())
+        assert with_up == other                 # the UP replica wins
+        assert all_suspect == primary           # preference order returns
+
+    def test_heartbeat_loop_promotes_after_streak(self):
+        """End to end: a suspect earns its way back to ``up`` (and into
+        the ring) after ``recovery_pings`` healthy heartbeats."""
+        async def scenario():
+            cluster = DecodeCluster(
+                n_replicas=2,
+                policy=fast_policy(recovery_pings=2), seed=0,
+            )
+            await cluster.start()
+            victim = cluster.replicas[0]
+            victim.mark_suspect()
+            cluster._retire_from_ring(victim.name)
+            for _ in range(200):
+                await asyncio.sleep(0.02)
+                if victim.state == "up":
+                    break
+            state = victim.state
+            streaked = victim.recovery_streak
+            in_ring = victim.name in cluster._ring
+            await cluster.close()
+            return state, streaked, in_ring
+
+        state, streaked, in_ring = asyncio.run(scenario())
+        assert state == "up" and in_ring
+        assert streaked >= 2

@@ -1,0 +1,275 @@
+"""Durable request journal: WAL semantics, crash recovery, replay.
+
+The contract under test: every admitted request is recoverable from
+the file alone; a torn trailing record (crash mid-append) is detected
+and discarded without poisoning the rest of the log; the audit proves
+zero lost / zero duplicate / golden bit-identity; and a cluster that
+restarts over a journal with unacknowledged admits replays them
+through its normal decode path so the post-crash audit owes nothing.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.service import RetryPolicy, ShardKey
+from repro.service.cluster import (
+    ClusterPolicy,
+    DecodeCluster,
+    RequestJournal,
+    reply_digest,
+    scan_journal,
+)
+
+from test_service import direct_batch, make_syndromes
+
+SHARD = ShardKey("unionfind", 3, "z")
+
+
+def fast_policy(**overrides) -> ClusterPolicy:
+    defaults = dict(
+        heartbeat_interval_s=0.03,
+        heartbeat_timeout_s=0.1,
+        request_timeout_s=0.5,
+        retry=RetryPolicy(max_attempts=4, base_us=200.0, jitter=0.0),
+    )
+    defaults.update(overrides)
+    return ClusterPolicy(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Digest
+# ----------------------------------------------------------------------
+class TestReplyDigest:
+    def test_deterministic(self):
+        bits = np.array([[1, 0, 1], [0, 1, 1]], dtype=np.uint8)
+        assert reply_digest(bits) == reply_digest(bits.copy())
+
+    def test_sensitive_to_bits_and_shape(self):
+        bits = np.zeros((2, 4), dtype=np.uint8)
+        flipped = bits.copy()
+        flipped[1, 2] = 1
+        assert reply_digest(bits) != reply_digest(flipped)
+        # same flat bytes, different shape: still distinct
+        assert reply_digest(bits) != reply_digest(bits.reshape(4, 2))
+
+
+# ----------------------------------------------------------------------
+# File scan (crash tolerance)
+# ----------------------------------------------------------------------
+class TestScanJournal:
+    def test_missing_file_is_empty(self, tmp_path):
+        scan = scan_journal(tmp_path / "nope.wal")
+        assert scan.admitted == {} and scan.unacked == []
+
+    def test_roundtrip_admit_ack(self, tmp_path):
+        path = tmp_path / "j.wal"
+        journal = RequestJournal(path, fsync_interval_s=0.0)
+        syndromes = make_syndromes(3, "z", 4, seed=50)
+        jid = journal.admit(SHARD, syndromes)
+        journal.ack(jid, "d" * 32)
+        journal.close()
+        scan = scan_journal(path)
+        assert list(scan.admitted) == [jid]
+        assert scan.acks == {jid: "d" * 32}
+        assert scan.unacked == [] and scan.torn_records == 0
+        # the journaled syndromes are the admitted bytes, exactly
+        assert np.array_equal(scan.admitted[jid].syndromes, syndromes)
+        assert scan.admitted[jid].shard == SHARD
+
+    def test_torn_tail_discarded(self, tmp_path):
+        path = tmp_path / "j.wal"
+        journal = RequestJournal(path, fsync_interval_s=0.0)
+        journal.admit(SHARD, make_syndromes(3, "z", 2, seed=51))
+        journal.close()
+        # crash mid-append: a truncated record with no trailing newline
+        with open(path, "ab") as fh:
+            fh.write(b'{"t":"admit","j":2,"sh')
+        scan = scan_journal(path)
+        assert list(scan.admitted) == [1]
+        assert scan.torn_records == 1
+
+    def test_corrupt_interior_line_skipped(self, tmp_path):
+        path = tmp_path / "j.wal"
+        with open(path, "wb") as fh:
+            fh.write(b"not json at all\n")
+            fh.write(json.dumps(
+                {"t": "ack", "j": 9, "d": "x"}).encode() + b"\n")
+        scan = scan_journal(path)
+        assert scan.torn_records == 1
+        assert scan.orphan_acks == 1      # ack with no admit
+
+    def test_double_ack_counted(self, tmp_path):
+        path = tmp_path / "j.wal"
+        journal = RequestJournal(path, fsync_interval_s=0.0)
+        jid = journal.admit(SHARD, make_syndromes(3, "z", 2, seed=52))
+        journal.ack(jid, "a")
+        journal.ack(jid, "a")
+        journal.close()
+        scan = scan_journal(path)
+        assert scan.double_acks == 1
+
+
+# ----------------------------------------------------------------------
+# Live journal
+# ----------------------------------------------------------------------
+class TestRequestJournal:
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            RequestJournal(tmp_path / "j.wal", fsync_interval_s=-1.0)
+
+    def test_unacked_tracks_live_state(self, tmp_path):
+        journal = RequestJournal(tmp_path / "j.wal")
+        syndromes = make_syndromes(3, "z", 2, seed=53)
+        a = journal.admit(SHARD, syndromes)
+        b = journal.admit(SHARD, syndromes)
+        assert [e.jid for e in journal.unacked] == [a, b]
+        journal.ack(a, "d")
+        assert [e.jid for e in journal.unacked] == [b]
+        journal.close()
+
+    def test_zero_interval_fsyncs_every_append(self, tmp_path):
+        journal = RequestJournal(tmp_path / "j.wal", fsync_interval_s=0.0)
+        journal.admit(SHARD, make_syndromes(3, "z", 2, seed=54))
+        journal.ack(1, "d")
+        assert journal.fsyncs == 2
+        journal.close()
+
+    def test_interval_batches_fsyncs(self, tmp_path):
+        journal = RequestJournal(tmp_path / "j.wal", fsync_interval_s=60.0)
+        syndromes = make_syndromes(3, "z", 2, seed=55)
+        for _ in range(10):
+            journal.admit(SHARD, syndromes)
+        assert journal.fsyncs == 0           # interval not yet elapsed
+        assert journal.maybe_fsync(force=True)
+        assert journal.fsyncs == 1
+        journal.close()
+
+    def test_closed_journal_rejects_appends(self, tmp_path):
+        journal = RequestJournal(tmp_path / "j.wal")
+        journal.close()
+        with pytest.raises(ValueError):
+            journal.admit(SHARD, make_syndromes(3, "z", 2, seed=56))
+
+    def test_audit_golden_matches_decode_batch(self, tmp_path):
+        journal = RequestJournal(tmp_path / "j.wal")
+        syndromes = make_syndromes(3, "z", 8, seed=57)
+        expected = direct_batch("unionfind", 3, "z", syndromes)
+        jid = journal.admit(SHARD, syndromes)
+        journal.ack(jid, reply_digest(expected.corrections))
+        audit = journal.audit(golden=True)
+        journal.close()
+        assert audit.ok and audit.golden_match is True
+        assert audit.admitted == audit.acked == 1 and audit.lost == 0
+
+    def test_audit_flags_wrong_digest(self, tmp_path):
+        journal = RequestJournal(tmp_path / "j.wal")
+        jid = journal.admit(SHARD, make_syndromes(3, "z", 4, seed=58))
+        journal.ack(jid, "0" * 32)           # not what decode produces
+        audit = journal.audit(golden=True)
+        journal.close()
+        assert audit.golden_match is False and not audit.ok
+        assert audit.digest_mismatches == 1
+
+    def test_second_incarnation_recovers_unacked(self, tmp_path):
+        path = tmp_path / "j.wal"
+        first = RequestJournal(path, fsync_interval_s=0.0)
+        syndromes = make_syndromes(3, "z", 4, seed=59)
+        acked = first.admit(SHARD, syndromes)
+        first.ack(acked, "d")
+        unacked = first.admit(SHARD, syndromes)
+        first.close()                        # "crash" between admit/ack
+        second = RequestJournal(path)
+        assert [e.jid for e in second.recovered.unacked] == [unacked]
+        # jids keep counting up across incarnations — never reused
+        assert second.admit(SHARD, syndromes) == unacked + 1
+        second.close()
+
+
+# ----------------------------------------------------------------------
+# Cluster integration: journaled decodes, crash replay
+# ----------------------------------------------------------------------
+class TestJournaledCluster:
+    def test_every_decode_admitted_and_acked(self, tmp_path):
+        path = tmp_path / "cluster.wal"
+        syndromes = make_syndromes(3, "z", 6, seed=60)
+
+        async def scenario():
+            cluster = DecodeCluster(
+                n_replicas=2, policy=fast_policy(), seed=0,
+                journal=RequestJournal(path),
+            )
+            for _ in range(4):
+                outcome = await cluster.decode(SHARD, syndromes)
+                assert outcome.ok
+            audit = cluster._journal.audit(golden=True)
+            stats = cluster.stats()
+            await cluster.close()
+            return audit, stats
+
+        audit, stats = asyncio.run(scenario())
+        assert audit.ok and audit.golden_match is True
+        assert audit.admitted == audit.acked == 4
+        assert stats["journal"]["unacked"] == 0
+        assert stats["journal"]["path"] == str(path)
+
+    def test_restart_replays_unacked_work(self, tmp_path):
+        """The crash drill: admits without acks are re-decoded on
+        restart and their original jids acked — the audit shows zero
+        lost, zero duplicates and golden digests."""
+        path = tmp_path / "crash.wal"
+        syndromes = make_syndromes(3, "z", 5, seed=61)
+        # dead incarnation: three admits, one ack, then "process death"
+        dead = RequestJournal(path, fsync_interval_s=0.0)
+        expected = direct_batch("unionfind", 3, "z", syndromes)
+        jid = dead.admit(SHARD, syndromes)
+        dead.ack(jid, reply_digest(expected.corrections))
+        dead.admit(SHARD, syndromes)
+        dead.admit(SHARD, syndromes)
+        dead.close()
+
+        async def scenario():
+            cluster = DecodeCluster(
+                n_replicas=2, policy=fast_policy(), seed=0,
+                journal=RequestJournal(path),
+            )
+            await cluster.start()            # replay happens here
+            report = cluster.replay_report
+            audit = cluster._journal.audit(golden=True)
+            stats = cluster.stats()
+            await cluster.close()
+            return report, audit, stats
+
+        report, audit, stats = asyncio.run(scenario())
+        assert report is not None
+        assert report.entries == 2 and report.replayed == 2
+        assert report.failed == 0 and report.shots == 10
+        # 3 dead-incarnation admits + 2 replay re-admits, all acked
+        assert audit.admitted == 5 and audit.lost == 0
+        assert audit.double_acks == 0 and audit.golden_match is True
+        assert audit.ok
+        assert stats["journal"]["replay"]["replayed"] == 2
+
+    def test_clean_restart_skips_replay(self, tmp_path):
+        path = tmp_path / "clean.wal"
+        syndromes = make_syndromes(3, "z", 3, seed=62)
+
+        async def scenario():
+            first = DecodeCluster(
+                n_replicas=1, policy=fast_policy(), seed=0,
+                journal=RequestJournal(path),
+            )
+            await first.decode(SHARD, syndromes)
+            await first.close()
+            second = DecodeCluster(
+                n_replicas=1, policy=fast_policy(), seed=0,
+                journal=RequestJournal(path),
+            )
+            await second.start()
+            report = second.replay_report
+            await second.close()
+            return report
+
+        assert asyncio.run(scenario()) is None
