@@ -67,6 +67,12 @@ class ClusterScenario:
     #: generous, machine-portable tail bound — the drill asserts the
     #: fault does not snowball, not an absolute latency target
     p99_bound_ms: Optional[float] = 2000.0
+    #: per-request deadline as a fraction of the trace span (None = no
+    #: deadlines).  At ``rho`` ~2 the queue wait of a request arriving
+    #: at time t is ~t, so a fraction of 0.5 splits the trace into a
+    #: served half and a shed half on any machine; the drill then gates
+    #: on ``decoded_dead == 0``
+    deadline_span_fraction: Optional[float] = None
     #: attach a durable request journal and record its audit
     journal: bool = False
     #: run the replicas as supervised OS subprocesses on real TCP
@@ -96,6 +102,10 @@ def run_cluster_scenario(scenario: ClusterScenario) -> dict:
         rate_rps, scenario.requests, seed=scenario.seed,
         shots_per_request=scenario.shots_per_request,
     )
+    deadline_us = (
+        scenario.deadline_span_fraction * trace.duration_s * 1e6
+        if scenario.deadline_span_fraction is not None else None
+    )
 
     async def replay(journal: Optional[RequestJournal]):
         cluster = DecodeCluster(
@@ -116,6 +126,7 @@ def run_cluster_scenario(scenario: ClusterScenario) -> dict:
             report = await run_chaos_load(
                 cluster, scenario.shard, trace,
                 events=scenario.events, p=scenario.p, seed=scenario.seed,
+                deadline_us=deadline_us,
                 p99_bound_ms=scenario.p99_bound_ms,
             )
             if supervisor is not None and any(
@@ -147,10 +158,15 @@ def run_cluster_scenario(scenario: ClusterScenario) -> dict:
         "replicas_started": scenario.n_replicas,
         "replication": scenario.replication,
         "supervised": scenario.supervised,
-        # scale-invariant gate metric: 1.0 means every request produced
-        # exactly one correction — --regress-check warns on any drop,
-        # at any request budget or machine speed
-        "ok_fraction": round(report.ok / max(report.n_requests, 1), 4),
+        "deadline_span_fraction": scenario.deadline_span_fraction,
+        # scale-invariant gate metric: 1.0 means every request was
+        # answered on contract — exactly one correction, or (under a
+        # deadline) an explicit shed — --regress-check warns on any
+        # drop, at any request budget or machine speed
+        "ok_fraction": round(
+            (report.n_requests - report.lost) / max(report.n_requests, 1),
+            4,
+        ),
     })
     return record
 
@@ -158,8 +174,10 @@ def run_cluster_scenario(scenario: ClusterScenario) -> dict:
 def default_scenarios(requests: int = 400) -> list:
     """The committed suite: a steady-state run, the primary-kill drill,
     the live-migration drill (journaled, with the migration-window p99
-    acceptance numbers), and the cross-process supervised SIGKILL
-    drill (real processes, real signals, journal audited)."""
+    acceptance numbers), the deadline storm (saturating trace under a
+    wire deadline, gated on ``decoded_dead == 0``), and the
+    cross-process supervised SIGKILL drill (real processes, real
+    signals, journal audited)."""
     shard = ShardKey("unionfind", 5, "z")
     return [
         ClusterScenario(
@@ -176,6 +194,14 @@ def default_scenarios(requests: int = 400) -> list:
             shard=shard, rho=0.6, requests=requests,
             events=(ChaosEvent(0.5, "migrate"),),
             journal=True,
+        ),
+        ClusterScenario(
+            name="deadline_storm_rho20",
+            shard=shard, rho=2.0, requests=requests,
+            # a saturating trace where the backlog outgrows the
+            # deadline: late arrivals are shed as explicit negative
+            # acks, and decoded_dead == 0 proves no dead work ran
+            deadline_span_fraction=0.5,
         ),
         ClusterScenario(
             name="supervised_sigkill_at_50pct_rho04",
@@ -207,6 +233,10 @@ def _violations(record: dict) -> list:
     problems = []
     if record["lost"] > 0:
         problems.append(f"lost {record['lost']} corrections")
+    if record.get("decoded_dead"):
+        problems.append(
+            f"decoded {record['decoded_dead']} shots past their deadline"
+        )
     if record["golden_match"] is False:
         problems.append("golden bit-identity mismatch")
     if record.get("journal_audit") and not record["journal_audit"]["ok"]:

@@ -36,7 +36,15 @@ Three suites, each writing one committed JSON baseline:
   — where journaled — the durable-WAL audit ->
   ``benchmarks/BENCH_cluster_resilience.json``.  ``--regress-check``
   gates on ``ok_fraction`` — scale-invariant (1.0 at any request
-  budget), unlike the machine-dependent latency quantiles.
+  budget), unlike the machine-dependent latency quantiles;
+* ``overload`` — the overload-robustness drills (``bench_overload.py``):
+  an adversarial tenant at ~3x capacity throttled at admission while
+  well-behaved tenants stay served, a deadline storm with zero dead
+  decodes, a fidelity brownout that degrades and recovers, and a
+  circuit breaker bounding the retry storm ->
+  ``benchmarks/BENCH_overload.json``.  ``--regress-check`` gates on
+  ``gate_ok`` — 1.0 iff every acceptance gate of a drill held, at any
+  request budget or machine speed.
 
 Future PRs rerun this script and compare against the committed baselines
 to track the perf trajectory::
@@ -75,6 +83,7 @@ MACHINE_OUT = BENCH_DIR / "BENCH_machine_runtime.json"
 ADAPTIVE_OUT = BENCH_DIR / "BENCH_adaptive_sampling.json"
 SERVICE_OUT = BENCH_DIR / "BENCH_service_throughput.json"
 CLUSTER_OUT = BENCH_DIR / "BENCH_cluster_resilience.json"
+OVERLOAD_OUT = BENCH_DIR / "BENCH_overload.json"
 DISTANCES = (7, 9, 11)
 #: (decoder name, distance) cells of the decoder suite; lookup only
 #: exists at d = 3
@@ -506,6 +515,33 @@ def run_cluster_benchmark(requests: int = 400, seed: int = 2020) -> dict:
     }
 
 
+def run_overload_benchmark(requests: int = 300, seed: int = 2020) -> dict:
+    """Overload-robustness drills (see ``bench_overload.py``)."""
+    from bench_overload import default_drills
+
+    return {
+        "benchmark": "overload_robustness_drills",
+        "workload": {
+            "requests": requests,
+            "seed": seed,
+            "model": "dephasing",
+            "arrival": "open-loop Poisson traces, rho x the throttled "
+            "shard's known capacity (max_batch / throttle)",
+            "invariants": "good tenants served >= 0.99 with p99 <= 2x "
+            "the hostile-free baseline while the hostile tenant bounces "
+            "at admission; deadline storms decode nothing dead; "
+            "brownouts downgrade, stay bit-identical to the active "
+            "tier, and recover; a shared breaker bounds mean_attempts "
+            "<= 2 during fleet saturation",
+            "timing": "single-pass wall clock (gate_ok and the served "
+            "fractions are the portable numbers)",
+        },
+        "recorded": date.today().isoformat(),
+        "machine": platform.machine(),
+        "entries": default_drills(requests, seed),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Record perf baselines (mesh throughput, machine runtime)."
@@ -513,7 +549,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--suite",
         choices=("mesh", "decoders", "machine", "adaptive", "service",
-                 "cluster", "all"),
+                 "cluster", "overload", "all"),
         default="all",
     )
     parser.add_argument("--shots", type=int, default=256 if SMOKE else 2048)
@@ -528,6 +564,7 @@ def main(argv=None) -> int:
     parser.add_argument("--adaptive-out", type=Path, default=ADAPTIVE_OUT)
     parser.add_argument("--service-out", type=Path, default=SERVICE_OUT)
     parser.add_argument("--cluster-out", type=Path, default=CLUSTER_OUT)
+    parser.add_argument("--overload-out", type=Path, default=OVERLOAD_OUT)
     parser.add_argument(
         "--requests", type=int, default=150 if SMOKE else 600,
         help="requests per serving scenario (service suite)",
@@ -535,6 +572,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--cluster-requests", type=int, default=120 if SMOKE else 400,
         help="requests per resilience drill (cluster suite)",
+    )
+    parser.add_argument(
+        "--overload-requests", type=int, default=100 if SMOKE else 300,
+        help="requests per overload drill (overload suite)",
     )
     parser.add_argument(
         "--target-rse", type=float, default=0.1,
@@ -716,6 +757,26 @@ def main(argv=None) -> int:
         else:
             args.cluster_out.write_text(json.dumps(record, indent=2) + "\n")
             print(f"wrote {args.cluster_out}")
+
+    if args.suite in ("overload", "all") and args.check is None:
+        record = run_overload_benchmark(
+            args.overload_requests, seed=args.seed
+        )
+        for name, entry in record["entries"].items():
+            status = "OK" if entry["gate_ok"] else (
+                "FAIL (" + "; ".join(entry["violations"]) + ")"
+            )
+            print(f"{name:>28}: {status}")
+            if not entry["gate_ok"]:
+                print(
+                    f"WARNING: {name} violated its overload acceptance "
+                    "gates"
+                )
+        if args.regress_check:
+            regression_report(record, args.overload_out, key="gate_ok")
+        else:
+            args.overload_out.write_text(json.dumps(record, indent=2) + "\n")
+            print(f"wrote {args.overload_out}")
     return 0
 
 

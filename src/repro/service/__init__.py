@@ -24,7 +24,15 @@ fault injection and a local decode fallback — chaos-tested to lose and
 duplicate zero corrections while a replica dies mid-run.
 """
 
+from .admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    TenantQuota,
+    TokenBucket,
+)
 from .batcher import BatchPolicy, MicroBatcher
+from .breaker import BreakerPolicy, CircuitBreaker
+from .brownout import BrownoutController, BrownoutPolicy
 from .client import DecodeClient, DecodeOutcome, RetryPolicy, ServiceClosedError
 from .cluster import (
     AutoscalePolicy,
@@ -44,10 +52,12 @@ from .cluster import (
 from .loadgen import (
     ArrivalTrace,
     LoadReport,
+    TenantLoad,
     bursty_trace,
     poisson_trace,
     rate_for_utilization,
     run_load,
+    run_multitenant_load,
 )
 from .pool import DecoderPool, ThrottledFactory, default_decoder_factory
 from .protocol import (
@@ -62,11 +72,17 @@ from .server import DecodeService
 from .telemetry import LatencyHistogram, ServiceTelemetry, ShardTelemetry
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
     "ArrivalTrace",
     "AutoscalePolicy",
     "BatchPolicy",
+    "BreakerPolicy",
+    "BrownoutController",
+    "BrownoutPolicy",
     "ChaosEvent",
     "ChaosReport",
+    "CircuitBreaker",
     "ClusterFrontend",
     "ClusterPolicy",
     "DecodeClient",
@@ -91,7 +107,10 @@ __all__ = [
     "StreamTransport",
     "Supervisor",
     "SupervisorPolicy",
+    "TenantLoad",
+    "TenantQuota",
     "ThrottledFactory",
+    "TokenBucket",
     "bursty_trace",
     "default_decoder_factory",
     "pack_bitmap",
@@ -99,5 +118,6 @@ __all__ = [
     "rate_for_utilization",
     "run_chaos_load",
     "run_load",
+    "run_multitenant_load",
     "unpack_bitmap",
 ]

@@ -42,8 +42,13 @@ import json
 import signal
 import sys
 
+from typing import Optional
+
 from ..runtime.latency import paper_table4_latency
+from .admission import AdmissionPolicy, TenantQuota
 from .batcher import BatchPolicy
+from .breaker import BreakerPolicy, CircuitBreaker
+from .brownout import BrownoutPolicy
 from .client import DecodeClient, RetryPolicy
 from .cluster import (
     AutoscalePolicy,
@@ -70,6 +75,74 @@ def _add_policy_args(parser: argparse.ArgumentParser) -> None:
                         help="per-shard queue bound before backpressure")
     parser.add_argument("--workers", type=int, default=0,
                         help="decode worker processes (0 = in-process)")
+    parser.add_argument("--max-tenant-queue-fraction", type=float,
+                        default=1.0,
+                        help="per-tenant share cap of one shard queue "
+                        "(1.0 = uncapped; below it, a hog is rejected "
+                        "with reason 'quota' while others still fit)")
+    parser.add_argument("--tenant-quota", action="append", default=None,
+                        metavar="TENANT=RATE:BURST[:WEIGHT]",
+                        help="per-tenant token-bucket admission quota in "
+                        "shots/s; repeatable")
+    parser.add_argument("--default-quota", default=None,
+                        metavar="RATE:BURST",
+                        help="quota for tenants without an explicit "
+                        "--tenant-quota (default: unmetered)")
+    parser.add_argument("--brownout", action="store_true",
+                        help="enable the fidelity brownout controller "
+                        "(degrade decode tier under sustained overload, "
+                        "recover with hysteresis)")
+    parser.add_argument("--brownout-tiers",
+                        default="mwpm,unionfind,greedy",
+                        help="degradation ladder, costliest tier first")
+    parser.add_argument("--brownout-f-high", type=float, default=1.0,
+                        help="sustained f_ratio at/above which a shard "
+                        "degrades one tier")
+    parser.add_argument("--brownout-f-low", type=float, default=0.7,
+                        help="f_ratio at/below which a quiet shard "
+                        "recovers one tier")
+
+
+def _parse_quota_spec(text: str) -> TenantQuota:
+    parts = text.split(":")
+    if len(parts) not in (2, 3):
+        raise SystemExit(
+            f"quota spec must be RATE:BURST[:WEIGHT], got {text!r}"
+        )
+    return TenantQuota(
+        rate_shots_per_s=float(parts[0]),
+        burst_shots=float(parts[1]),
+        weight=float(parts[2]) if len(parts) == 3 else 1.0,
+    )
+
+
+def _make_admission(args) -> Optional[AdmissionPolicy]:
+    quotas = {}
+    for spec in args.tenant_quota or []:
+        tenant, sep, quota = spec.partition("=")
+        if not sep or not tenant:
+            raise SystemExit(
+                "--tenant-quota needs TENANT=RATE:BURST[:WEIGHT], "
+                f"got {spec!r}"
+            )
+        quotas[tenant] = _parse_quota_spec(quota)
+    default = (
+        _parse_quota_spec(args.default_quota)
+        if args.default_quota else None
+    )
+    if not quotas and default is None:
+        return None
+    return AdmissionPolicy(default_quota=default, quotas=quotas)
+
+
+def _make_brownout(args) -> Optional[BrownoutPolicy]:
+    if not args.brownout:
+        return None
+    return BrownoutPolicy(
+        tiers=tuple(t.strip() for t in args.brownout_tiers.split(",")),
+        f_high=args.brownout_f_high,
+        f_low=args.brownout_f_low,
+    )
 
 
 def _make_service(args) -> DecodeService:
@@ -79,7 +152,10 @@ def _make_service(args) -> DecodeService:
             max_batch=args.max_batch,
             max_wait_us=args.max_wait_us,
             max_queue_shots=args.max_queue_shots,
+            max_tenant_queue_fraction=args.max_tenant_queue_fraction,
         ),
+        admission=_make_admission(args),
+        brownout=_make_brownout(args),
     )
 
 
@@ -97,6 +173,7 @@ async def _serve(args) -> int:
                 f"[stats] conns={stats['connections']} "
                 f"decoded={totals['shots_decoded']} "
                 f"rejected={totals['shots_rejected']} "
+                f"shed={totals['shed_by_cause']} "
                 f"shards={list(stats['shards'])}"
             )
     except asyncio.CancelledError:
@@ -148,11 +225,13 @@ async def _load(args) -> int:
     retry = None
     if args.retry_attempts > 1:
         retry = RetryPolicy(max_attempts=args.retry_attempts)
+    breaker = CircuitBreaker() if args.breaker else None
     try:
         report = await run_load(
             service, shard, trace, p=args.p, seed=args.seed,
             n_clients=args.clients, deadline_us=args.deadline_us,
-            clients=clients, retry=retry,
+            clients=clients, retry=retry, tenant=args.tenant,
+            priority=args.priority, breaker=breaker,
         )
     finally:
         if clients:
@@ -200,6 +279,7 @@ async def _cluster(args) -> int:
         retry=RetryPolicy(max_attempts=max(args.retry_attempts, 1)),
         fallback=not args.no_fallback,
         autoscale=AutoscalePolicy() if args.autoscale else None,
+        breaker=BreakerPolicy() if args.replica_breaker else None,
     )
 
     def service_factory() -> DecodeService:
@@ -303,6 +383,15 @@ def main(argv=None) -> int:
     load.add_argument("--retry-attempts", type=int, default=1,
                       help="client retry budget for transient rejections "
                       "(1 = no retries)")
+    load.add_argument("--tenant", default=None,
+                      help="tenant label stamped on every request "
+                      "(admission quotas and fair queueing key on it)")
+    load.add_argument("--priority", type=int, default=None,
+                      help="priority class stamped on every request")
+    load.add_argument("--breaker", action="store_true",
+                      help="client-side circuit breaker: fail fast with "
+                      "reason 'breaker_open' instead of hammering a "
+                      "saturated endpoint")
     load.add_argument("--cluster", type=int, default=0, metavar="N",
                       help="route through an in-process replicated "
                       "cluster of N servers instead of one service")
@@ -345,6 +434,10 @@ def main(argv=None) -> int:
     cluster.add_argument("--autoscale", action="store_true",
                          help="enable f_ratio/backpressure-driven "
                          "replica scaling")
+    cluster.add_argument("--replica-breaker", action="store_true",
+                         help="per-replica circuit breakers: a sick "
+                         "replica stops being dialed until its "
+                         "cooldown probe succeeds")
     cluster.add_argument("--kill-at", type=float, default=None,
                          help="kill the shard's primary at this fraction "
                          "of the trace")

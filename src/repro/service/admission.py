@@ -1,0 +1,155 @@
+"""Per-tenant admission control: token-bucket quotas, metered in shots.
+
+The serving layer's first pressure valve sits *before* the shared
+micro-batch queue: every decode request carries a ``tenant`` label, and
+a tenant that exceeds its contracted rate is rejected at admission with
+reason ``"quota"`` — the shared queue (and every well-behaved tenant
+behind it) never sees the excess.  This is the difference between "one
+hostile client saturates the bounded queue and everyone gets
+backpressure" and "the hostile client alone eats its own rejections".
+
+A :class:`TenantQuota` is a classic token bucket — ``rate_shots_per_s``
+sustained, ``burst_shots`` of headroom — plus a ``weight`` consumed by
+the batcher's weighted-fair queue (tenants *inside* their quota still
+share the batch window proportionally).  The quota-rejection
+``retry_after_us`` hint is exact: the time until the bucket holds
+enough tokens, so an honest client that sleeps the hint is admitted on
+its next try.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission contract of one tenant (rates in decoded shots)."""
+
+    rate_shots_per_s: float
+    burst_shots: float
+    #: weighted-fair share inside the batching window (relative)
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rate_shots_per_s <= 0:
+            raise ValueError("rate_shots_per_s must be > 0")
+        if self.burst_shots <= 0:
+            raise ValueError("burst_shots must be > 0")
+        if self.weight <= 0:
+            raise ValueError("weight must be > 0")
+
+
+class TokenBucket:
+    """Monotonic-clock token bucket (tokens = shots)."""
+
+    def __init__(self, rate_per_s: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self._clock = clock
+        self.tokens = self.burst          # start full: bursts are allowed
+        self._refilled = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._refilled
+        if elapsed > 0:
+            self.tokens = min(self.burst,
+                              self.tokens + elapsed * self.rate_per_s)
+            self._refilled = now
+
+    def try_take(self, n: float) -> bool:
+        """Take ``n`` tokens if available; False (and no debit) if not."""
+        self._refill()
+        if self.tokens >= n:
+            self.tokens -= n
+            return True
+        return False
+
+    def time_until_us(self, n: float) -> float:
+        """Microseconds until ``n`` tokens will be available.
+
+        For ``n`` above the burst size the bucket can never hold enough
+        at once; the hint is still the honest accumulation time so a
+        retrying client backs off proportionally instead of spinning.
+        """
+        self._refill()
+        deficit = n - self.tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self.rate_per_s * 1e6
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Which tenants are metered, and how.
+
+    ``quotas`` maps tenant name to its :class:`TenantQuota` (or ``None``
+    for an explicitly unmetered tenant); everyone else falls back to
+    ``default_quota`` (``None`` = unmetered, the backward-compatible
+    default — a service built without an admission policy behaves
+    exactly as before).
+    """
+
+    default_quota: Optional[TenantQuota] = None
+    quotas: Mapping[str, Optional[TenantQuota]] = field(default_factory=dict)
+
+    def quota_for(self, tenant: str) -> Optional[TenantQuota]:
+        if tenant in self.quotas:
+            return self.quotas[tenant]
+        return self.default_quota
+
+
+class AdmissionController:
+    """Runtime admission state: one token bucket per metered tenant."""
+
+    def __init__(self, policy: AdmissionPolicy,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.policy = policy
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self.admitted_shots = 0
+        self.rejected_shots = 0
+        self.rejected_requests = 0
+
+    def weight(self, tenant: str) -> float:
+        quota = self.policy.quota_for(tenant)
+        return quota.weight if quota is not None else 1.0
+
+    def admit(self, tenant: str, shots: int) -> Optional[float]:
+        """``None`` when admitted, else the ``retry_after_us`` hint."""
+        quota = self.policy.quota_for(tenant)
+        if quota is None:
+            self.admitted_shots += shots
+            return None
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(
+                quota.rate_shots_per_s, quota.burst_shots, self._clock
+            )
+        if bucket.try_take(shots):
+            self.admitted_shots += shots
+            return None
+        self.rejected_shots += shots
+        self.rejected_requests += 1
+        # >= 1 us so a reject never hands out a zero hint (which a
+        # naive client would treat as "retry immediately")
+        return max(bucket.time_until_us(shots), 1.0)
+
+    def snapshot(self) -> dict:
+        return {
+            "admitted_shots": self.admitted_shots,
+            "rejected_shots": self.rejected_shots,
+            "rejected_requests": self.rejected_requests,
+            "tenants": {
+                name: {
+                    "tokens": round(bucket.tokens, 1),
+                    "rate_shots_per_s": bucket.rate_per_s,
+                    "burst_shots": bucket.burst,
+                }
+                for name, bucket in sorted(self._buckets.items())
+            },
+        }

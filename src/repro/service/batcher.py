@@ -1,14 +1,25 @@
 """Dynamic micro-batching of in-flight decode requests per shard.
 
-Each geometry shard owns a queue and a worker task.  The worker waits
-for the first pending request, then keeps the batching window open for
-up to ``max_wait_us`` or until ``max_batch`` shots have accumulated,
-concatenates the queued syndromes into one ``decode_batch`` call, and
-fans the corrections back per request.  Because every decoder's
-``decode_batch`` is per-shot deterministic and composition-independent
-(golden-tested in ``tests/test_batch_decode.py``), the reply a client
-sees is bit-identical to calling ``decode_batch`` directly no matter
-which requests shared its batch — ``tests/test_service.py`` pins this.
+Each geometry shard owns a set of per-``(priority, tenant)`` queues and
+a worker task.  The worker waits for the first pending request, keeps
+the batching window open for up to ``max_wait_us`` or until
+``max_batch`` shots have accumulated, assembles a batch — highest
+priority class first, *smooth weighted round-robin* across tenants
+within a class — concatenates the chosen syndromes into one
+``decode_batch`` call, and fans the corrections back per request.
+Because every decoder's ``decode_batch`` is per-shot deterministic and
+composition-independent (golden-tested in ``tests/test_batch_decode.py``),
+the reply a client sees is bit-identical to calling ``decode_batch``
+directly no matter which requests shared its batch — ``tests/
+test_service.py`` pins this.
+
+Fairness: a tenant only competes for *batch slots*, never for another
+tenant's queue space — ``max_tenant_queue_fraction`` caps how much of
+the bounded queue one tenant may occupy, so a flood from one tenant
+rejects (reason ``"quota"``) against its own share while everyone
+else's submissions still land.  Combined with the token buckets in
+:mod:`repro.service.admission` this is why an adversarial tenant at 3x
+capacity degrades only itself (``benchmarks/bench_overload.py``).
 
 Backpressure follows the paper's section III divergence semantics
 (:mod:`repro.runtime.backlog`): a queue admitting more than
@@ -16,15 +27,25 @@ Backpressure follows the paper's section III divergence semantics
 compounding without bound, so instead of queueing, `submit` rejects
 with a ``retry_after_us`` hint — the estimated Lindley drain time of
 the current backlog at the shard's observed service rate.
+
+Deadlines are shed at every hop: expired-at-admission requests are
+rejected in ``submit``, expired queue heads are dropped when a batch is
+taken, and ``decoded_dead`` counts any shot that still entered
+``decode_batch`` past its deadline — the invariant's proof counter,
+asserted zero by the overload drills.
+
+Brownout: when a :class:`~repro.service.brownout.BrownoutController`
+is attached, dispatch decodes on the shard's *active tier* (possibly a
+cheaper decoder than requested) and each reply reports that tier.
 """
 
 from __future__ import annotations
 
 import asyncio
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Optional, Union
+from typing import Callable, Deque, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -42,7 +63,9 @@ class BatchPolicy:
     never split); ``max_wait_us`` is how long the window stays open
     after the first pending request; ``max_queue_shots`` bounds the
     per-shard queue, beyond which submissions are rejected with a
-    retry-after hint.
+    retry-after hint; ``max_tenant_queue_fraction`` bounds how much of
+    that queue a single tenant may occupy (1.0 = no per-tenant bound,
+    the backward-compatible default).
     """
 
     max_batch: int = 512
@@ -50,6 +73,7 @@ class BatchPolicy:
     max_queue_shots: int = 8192
     #: retry hint before any service-rate observation exists
     default_retry_after_us: float = 1000.0
+    max_tenant_queue_fraction: float = 1.0
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -58,6 +82,8 @@ class BatchPolicy:
             raise ValueError("max_wait_us must be >= 0")
         if self.max_queue_shots < 1:
             raise ValueError("max_queue_shots must be >= 1")
+        if not 0.0 < self.max_tenant_queue_fraction <= 1.0:
+            raise ValueError("max_tenant_queue_fraction must be in (0, 1]")
 
 
 @dataclass
@@ -70,46 +96,67 @@ class BatchedResult:
     queued_us: float
     decode_us: float
     batch_shots: int
+    #: decoder kind that actually ran (differs from the requested one
+    #: while the shard is browned out)
+    tier: str = ""
 
 
 @dataclass
 class Rejection:
-    """Backpressure (or deadline/size/drain) outcome of a submission.
+    """Shed outcome of a submission, by cause.
 
-    ``backpressure``, ``deadline`` and ``draining`` are transient —
-    retrying (on this server once it recovers, or on another replica)
-    can succeed; ``too_large`` is permanent (the request alone exceeds
-    the shard's admission cap) and carries ``retry_after_us = 0``.
+    ``backpressure``, ``quota``, ``deadline``, ``draining`` and
+    ``migrated`` are transient — retrying (after ``retry_after_us``,
+    on this server or another replica) can succeed; ``too_large`` is
+    permanent (the request alone exceeds the shard's admission cap)
+    and carries ``retry_after_us = 0``.
     """
 
-    #: "backpressure" | "deadline" | "too_large" | "draining"
+    #: "backpressure" | "quota" | "deadline" | "too_large" | "draining"
+    #: | "migrated"
     reason: str
     retry_after_us: float
     queue_depth: int
 
 
 class _Pending:
-    __slots__ = ("syndromes", "n", "future", "enqueued", "deadline")
+    __slots__ = ("syndromes", "n", "future", "enqueued", "deadline",
+                 "tenant", "priority")
 
     def __init__(self, syndromes: np.ndarray, future: asyncio.Future,
-                 deadline: Optional[float]) -> None:
+                 deadline: Optional[float], tenant: str,
+                 priority: int) -> None:
         self.syndromes = syndromes
         self.n = int(syndromes.shape[0])
         self.future = future
         self.enqueued = time.monotonic()
         self.deadline = deadline     # absolute monotonic seconds, or None
+        self.tenant = tenant
+        self.priority = priority
 
 
 class _ShardWorker:
-    """Queue + batching loop of one shard."""
+    """Queues + batching loop of one shard."""
 
     def __init__(self, shard: ShardKey, pool: DecoderPool,
-                 policy: BatchPolicy, stats: ShardTelemetry) -> None:
+                 policy: BatchPolicy, stats: ShardTelemetry,
+                 service_stats: Optional[ServiceTelemetry] = None,
+                 weigher: Optional[Callable[[str], float]] = None,
+                 brownout=None) -> None:
         self.shard = shard
         self.pool = pool
         self.policy = policy
         self.stats = stats
-        self.queue: Deque[_Pending] = deque()
+        self.service_stats = service_stats
+        self.weigher = weigher
+        self.brownout = brownout
+        #: (priority, tenant) -> FIFO of pending requests; insertion
+        #: order is the round-robin order within a priority class
+        self._queues: "OrderedDict[Tuple[int, str], Deque[_Pending]]" = (
+            OrderedDict()
+        )
+        self._credit: Dict[Tuple[int, str], float] = {}
+        self._tenant_shots: Dict[str, int] = {}
         self.queued_shots = 0
         self.inflight_shots = 0      # shots inside a decode_batch call
         self.wake = asyncio.Event()
@@ -120,26 +167,75 @@ class _ShardWorker:
     @property
     def idle(self) -> bool:
         """No queued work and no batch inside ``decode_batch``."""
-        return not self.queue and self.inflight_shots == 0
+        return self.queued_shots == 0 and self.inflight_shots == 0
+
+    def _tenant_stats(self, tenant: str):
+        if self.service_stats is None:
+            return None
+        return self.service_stats.tenant(tenant)
+
+    def _weight(self, tenant: str) -> float:
+        if self.weigher is None:
+            return 1.0
+        try:
+            return max(float(self.weigher(tenant)), 1e-6)
+        except Exception:
+            return 1.0
 
     # -- submission (called from connection handlers) ------------------
-    def submit(self, syndromes: np.ndarray,
-               deadline_us: Optional[float]) -> Union[asyncio.Future, Rejection]:
+    def submit(self, syndromes: np.ndarray, deadline_us: Optional[float],
+               tenant: str = "default", priority: int = 0,
+               ) -> Union[asyncio.Future, Rejection]:
         n = int(syndromes.shape[0])
+        tstats = self._tenant_stats(tenant)
+        if deadline_us is not None and deadline_us <= 0:
+            # already dead at admission: shed here, never queue it
+            self.stats.on_reject(n, "deadline")
+            if tstats is not None:
+                tstats.on_shed(n, "deadline")
+            return Rejection(
+                reason="deadline",
+                retry_after_us=0.0,
+                queue_depth=self.queued_shots,
+            )
         if n > self.policy.max_queue_shots:
             # could never be admitted no matter how empty the queue is:
             # a finite retry hint would livelock an honest retry loop
-            self.stats.on_reject(n)
+            self.stats.on_reject(n, "too_large")
+            if tstats is not None:
+                tstats.on_shed(n, "too_large")
             return Rejection(
                 reason="too_large",
                 retry_after_us=0.0,
                 queue_depth=self.queued_shots,
             )
+        tenant_cap = (
+            self.policy.max_tenant_queue_fraction
+            * self.policy.max_queue_shots
+        )
+        if (self.policy.max_tenant_queue_fraction < 1.0
+                and self._tenant_shots.get(tenant, 0) + n > tenant_cap):
+            # the *tenant's* share is full (the queue overall may not
+            # be): its own backlog sets the retry hint, and the cause
+            # is "quota" — this is per-tenant admission, not global
+            # backpressure
+            self.stats.on_reject(n, "quota")
+            if tstats is not None:
+                tstats.on_shed(n, "quota")
+            return Rejection(
+                reason="quota",
+                retry_after_us=self._drain_time_us(
+                    self._tenant_shots.get(tenant, 0)
+                ),
+                queue_depth=self.queued_shots,
+            )
         if self.queued_shots + n > self.policy.max_queue_shots:
-            self.stats.on_reject(n)
+            self.stats.on_reject(n, "backpressure")
+            if tstats is not None:
+                tstats.on_shed(n, "backpressure")
             return Rejection(
                 reason="backpressure",
-                retry_after_us=self._drain_time_us(),
+                retry_after_us=self._drain_time_us(self.queued_shots),
                 queue_depth=self.queued_shots,
             )
         deadline = (
@@ -147,25 +243,32 @@ class _ShardWorker:
             if deadline_us is not None else None
         )
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self.queue.append(_Pending(syndromes, future, deadline))
+        key = (int(priority), tenant)
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = self._queues[key] = deque()
+        queue.append(_Pending(syndromes, future, deadline, tenant, priority))
         self.queued_shots += n
+        self._tenant_shots[tenant] = self._tenant_shots.get(tenant, 0) + n
         self.stats.on_enqueue(n)
+        if tstats is not None:
+            tstats.on_enqueue(n)
         self.wake.set()
         return future
 
-    def _drain_time_us(self) -> float:
-        """Lindley drain estimate of the current backlog (retry hint)."""
+    def _drain_time_us(self, backlog_shots: int) -> float:
+        """Lindley drain estimate of a backlog (retry hint)."""
         rate = self.stats.service_rate.rate_per_s
         if not rate:
             return self.policy.default_retry_after_us
-        return max(self.queued_shots / rate * 1e6,
+        return max(backlog_shots / rate * 1e6,
                    self.policy.default_retry_after_us)
 
     # -- batching loop -------------------------------------------------
     async def _run(self) -> None:
         loop = asyncio.get_running_loop()
         while True:
-            while not self.queue:
+            while self.queued_shots == 0:
                 self.wake.clear()
                 await self.wake.wait()
             # batching window: stay open until full or max_wait elapses
@@ -183,29 +286,89 @@ class _ShardWorker:
             if batch:
                 await self._dispatch(batch)
 
+    def _remove(self, pending: _Pending) -> None:
+        self.queued_shots -= pending.n
+        left = self._tenant_shots.get(pending.tenant, 0) - pending.n
+        if left > 0:
+            self._tenant_shots[pending.tenant] = left
+        else:
+            self._tenant_shots.pop(pending.tenant, None)
+
+    def _shed_expired_head(self, queue: Deque[_Pending],
+                           now: float) -> None:
+        while queue:
+            head = queue[0]
+            if head.deadline is None or now <= head.deadline:
+                return
+            queue.popleft()
+            self._remove(head)
+            self._expire(head)
+
+    def _expire(self, pending: _Pending) -> None:
+        """Shed one expired request: an explicit negative ack."""
+        self.stats.on_expire(pending.n)
+        tstats = self._tenant_stats(pending.tenant)
+        if tstats is not None:
+            tstats.on_shed(pending.n, "deadline")
+        if not pending.future.done():
+            pending.future.set_result(Rejection(
+                reason="deadline",
+                retry_after_us=0.0,
+                queue_depth=self.queued_shots,
+            ))
+
+    def _next_key(self, exhausted: set) -> Optional[Tuple[int, str]]:
+        """Pick the queue to serve next: highest priority class first,
+        smooth weighted round-robin across the tenants within it."""
+        live = [k for k, q in self._queues.items()
+                if q and k not in exhausted]
+        if not live:
+            return None
+        top = max(k[0] for k in live)
+        keys = [k for k in live if k[0] == top]
+        if len(keys) == 1:
+            return keys[0]
+        # smooth weighted round-robin: every contender gains its
+        # weight, the richest is served and pays the total — over time
+        # each tenant is served in proportion to its weight, with the
+        # interleaving (not bursts) that plain credit schemes produce
+        total = 0.0
+        for key in keys:
+            weight = self._weight(key[1])
+            total += weight
+            self._credit[key] = self._credit.get(key, 0.0) + weight
+        best = max(keys, key=lambda k: self._credit[k])
+        self._credit[best] -= total
+        return best
+
     def _take_batch(self) -> list:
-        """Pop whole requests up to ``max_batch`` shots, drop expired."""
+        """Assemble whole requests up to ``max_batch`` shots, fairly,
+        dropping expired entries instead of ever decoding them."""
         now = time.monotonic()
         taken: list = []
         shots = 0
-        while self.queue:
-            head = self.queue[0]
-            if head.deadline is not None and now > head.deadline:
-                self.queue.popleft()
-                self.queued_shots -= head.n
-                self.stats.on_expire(head.n)
-                if not head.future.done():
-                    head.future.set_result(Rejection(
-                        reason="deadline",
-                        retry_after_us=0.0,
-                        queue_depth=self.queued_shots,
-                    ))
-                continue
-            if taken and shots + head.n > self.policy.max_batch:
+        exhausted: set = set()
+        while shots < self.policy.max_batch:
+            key = self._next_key(exhausted)
+            if key is None:
                 break
-            taken.append(self.queue.popleft())
+            queue = self._queues[key]
+            self._shed_expired_head(queue, now)
+            if not queue:
+                self._queues.pop(key, None)
+                self._credit.pop(key, None)
+                continue
+            head = queue[0]
+            if taken and shots + head.n > self.policy.max_batch:
+                # requests are never split: this queue's head must wait
+                # for the next batch, but smaller heads of *other*
+                # tenants may still fit this one
+                exhausted.add(key)
+                continue
+            queue.popleft()
+            self._remove(head)
+            taken.append(head)
             shots += head.n
-            self.queued_shots -= head.n
         return taken
 
     def extract_queued(self) -> list:
@@ -221,32 +384,62 @@ class _ShardWorker:
         """
         extracted: list = []
         now = time.monotonic()
-        while self.queue:
-            pending = self.queue.popleft()
-            self.queued_shots -= pending.n
-            remaining_us = (
-                None if pending.deadline is None
-                else max((pending.deadline - now) * 1e6, 0.0)
-            )
-            extracted.append((pending.syndromes, remaining_us))
-            self.stats.on_migrate(pending.n)
-            if not pending.future.done():
-                pending.future.set_result(Rejection(
-                    reason="migrated",
-                    retry_after_us=0.0,
-                    queue_depth=0,
-                ))
+        for queue in self._queues.values():
+            while queue:
+                pending = queue.popleft()
+                self._remove(pending)
+                remaining_us = (
+                    None if pending.deadline is None
+                    else max((pending.deadline - now) * 1e6, 0.0)
+                )
+                extracted.append((pending.syndromes, remaining_us))
+                self.stats.on_migrate(pending.n)
+                tstats = self._tenant_stats(pending.tenant)
+                if tstats is not None:
+                    tstats.on_shed(pending.n, "migrated")
+                if not pending.future.done():
+                    pending.future.set_result(Rejection(
+                        reason="migrated",
+                        retry_after_us=0.0,
+                        queue_depth=0,
+                    ))
+        self._queues.clear()
+        self._credit.clear()
         return extracted
 
     async def _dispatch(self, batch: list) -> None:
+        started = time.monotonic()
+        # last-moment re-check: a deadline can lapse in the gap since
+        # _take_batch's timestamp (event-loop lag, batch assembly) —
+        # shed those entries now instead of decoding dead work
+        live = []
+        for pending in batch:
+            if pending.deadline is not None and started > pending.deadline:
+                self._expire(pending)
+            else:
+                live.append(pending)
+        if not live:
+            return
+        batch = live
         syndromes = (
             batch[0].syndromes if len(batch) == 1
             else np.concatenate([p.syndromes for p in batch], axis=0)
         )
         self.inflight_shots = int(syndromes.shape[0])
-        started = time.monotonic()
+        active = (
+            self.shard if self.brownout is None
+            else self.brownout.active_shard(self.shard)
+        )
+        dead = sum(
+            p.n for p in batch
+            if p.deadline is not None and started > p.deadline
+        )
+        if dead:
+            # structurally unreachable after the filter above — the
+            # proof counter exists so the drills can assert it stays 0
+            self.stats.on_decoded_dead(dead)
         try:
-            result = await self.pool.decode_async(self.shard, syndromes)
+            result = await self.pool.decode_async(active, syndromes)
         except Exception as exc:  # decoder bug / worker death: fail batch
             for pending in batch:
                 if not pending.future.done():
@@ -259,16 +452,20 @@ class _ShardWorker:
             self.inflight_shots = 0
         decode_s = time.monotonic() - started
         total = int(syndromes.shape[0])
-        self.stats.on_batch(total, decode_s)
-        self._fan_out(batch, result, started, decode_s, total)
+        self.stats.on_batch(total, decode_s, tier=active.decoder)
+        self._fan_out(batch, result, started, decode_s, total,
+                      active.decoder)
 
     def _fan_out(self, batch: list, result: PoolResult, started: float,
-                 decode_s: float, total: int) -> None:
+                 decode_s: float, total: int, tier: str) -> None:
         done = time.monotonic()
         offset = 0
         for pending in batch:
             rows = slice(offset, offset + pending.n)
             offset += pending.n
+            tstats = self._tenant_stats(pending.tenant)
+            if tstats is not None:
+                tstats.on_decoded(pending.n)
             if pending.future.done():    # client gone / cancelled
                 continue
             pending.future.set_result(BatchedResult(
@@ -278,6 +475,7 @@ class _ShardWorker:
                 queued_us=(started - pending.enqueued) * 1e6,
                 decode_us=decode_s * 1e6,
                 batch_shots=total,
+                tier=tier,
             ))
             self.stats.on_reply(done - pending.enqueued)
 
@@ -287,10 +485,13 @@ class _ShardWorker:
             await self.task
         except asyncio.CancelledError:
             pass
-        for pending in self.queue:
-            if not pending.future.done():
-                pending.future.cancel()
-        self.queue.clear()
+        for queue in self._queues.values():
+            for pending in queue:
+                if not pending.future.done():
+                    pending.future.cancel()
+        self._queues.clear()
+        self._credit.clear()
+        self._tenant_shots.clear()
         self.queued_shots = 0
 
 
@@ -305,10 +506,14 @@ class MicroBatcher:
     """
 
     def __init__(self, pool: DecoderPool, policy: BatchPolicy,
-                 telemetry: ServiceTelemetry) -> None:
+                 telemetry: ServiceTelemetry,
+                 weigher: Optional[Callable[[str], float]] = None,
+                 brownout=None) -> None:
         self.pool = pool
         self.policy = policy
         self.telemetry = telemetry
+        self.weigher = weigher
+        self.brownout = brownout
         self.draining = False
         self._workers: Dict[ShardKey, _ShardWorker] = {}
 
@@ -318,16 +523,20 @@ class MicroBatcher:
             worker = self._workers[shard] = _ShardWorker(
                 shard, self.pool, self.policy,
                 self.telemetry.shard(shard.wire()),
+                service_stats=self.telemetry,
+                weigher=self.weigher,
+                brownout=self.brownout,
             )
         return worker
 
     async def submit(self, shard: ShardKey, syndromes: np.ndarray,
-                     deadline_us: Optional[float] = None
+                     deadline_us: Optional[float] = None,
+                     tenant: str = "default", priority: int = 0,
                      ) -> Union[BatchedResult, Rejection]:
         if self.draining:
-            self.telemetry.shard(shard.wire()).on_reject(
-                int(syndromes.shape[0])
-            )
+            shots = int(syndromes.shape[0])
+            self.telemetry.shard(shard.wire()).on_reject(shots, "draining")
+            self.telemetry.tenant(tenant).on_shed(shots, "draining")
             return Rejection(
                 reason="draining",
                 retry_after_us=self.policy.default_retry_after_us,
@@ -335,7 +544,9 @@ class MicroBatcher:
                     w.queued_shots for w in self._workers.values()
                 ),
             )
-        outcome = self.worker(shard).submit(syndromes, deadline_us)
+        outcome = self.worker(shard).submit(
+            syndromes, deadline_us, tenant, priority
+        )
         if isinstance(outcome, Rejection):
             return outcome
         return await outcome

@@ -54,6 +54,11 @@ class RetryPolicy:
     multiplier: float = 2.0
     cap_us: float = 100_000.0
     jitter: float = 0.2
+    #: total backoff a single request may accumulate across all its
+    #: retries — the retry-storm guard: even when every attempt is
+    #: handed a huge server ``retry_after_us`` hint, one request stops
+    #: burning attempts once its budget is spent
+    budget_us: float = 2_000_000.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -64,6 +69,8 @@ class RetryPolicy:
             raise ValueError("multiplier must be >= 1")
         if not 0.0 <= self.jitter <= 1.0:
             raise ValueError("jitter must be in [0, 1]")
+        if self.budget_us < 0:
+            raise ValueError("budget_us must be >= 0")
 
     def backoff_us(self, attempt: int, retry_after_us: float = 0.0,
                    rng: Optional[np.random.Generator] = None) -> float:
@@ -87,9 +94,10 @@ class DecodeOutcome:
     corrections: Optional[np.ndarray] = None
     converged: Optional[np.ndarray] = None
     cycles: Optional[np.ndarray] = None
-    #: "" on success, else "backpressure" | "deadline" | "draining" |
-    #: "migrated" (transient, retryable) | "too_large" (permanent) |
-    #: "error"
+    #: "" on success, else "backpressure" | "quota" | "deadline" |
+    #: "draining" | "migrated" (transient, retryable) | "too_large"
+    #: (permanent) | "breaker_open" (failed fast client-side, the wire
+    #: was never touched) | "error"
     reason: str = ""
     error: str = ""
     retry_after_us: float = 0.0
@@ -100,6 +108,10 @@ class DecodeOutcome:
     queued_us: float = 0.0
     decode_us: float = 0.0
     batch_shots: int = 0
+    #: decoder kind that actually produced the corrections ("" when the
+    #: server predates tiers); differs from the requested shard's kind
+    #: while the shard is browned out
+    tier: str = ""
     metadata: dict = field(default_factory=dict)
 
     @property
@@ -109,7 +121,7 @@ class DecodeOutcome:
         ``migrated`` means the shard's ownership moved mid-queue: the
         retry hint is 0 because the new owner is ready immediately."""
         return not self.ok and self.reason in (
-            "backpressure", "deadline", "draining", "migrated"
+            "backpressure", "quota", "deadline", "draining", "migrated"
         )
 
 
@@ -186,13 +198,16 @@ class DecodeClient:
 
     # -- API -----------------------------------------------------------
     async def decode(self, shard: ShardKey, syndromes: np.ndarray,
-                     deadline_us: Optional[float] = None) -> DecodeOutcome:
+                     deadline_us: Optional[float] = None,
+                     tenant: Optional[str] = None,
+                     priority: Optional[int] = None) -> DecodeOutcome:
         """Decode a ``(shots, n_syndromes)`` bitmap on the server."""
         syndromes = np.asarray(syndromes, dtype=np.uint8)
         if syndromes.ndim == 1:
             syndromes = syndromes[None, :]
         message = decode_request(
-            self._fresh_id(), shard, syndromes, deadline_us
+            self._fresh_id(), shard, syndromes, deadline_us,
+            tenant=tenant, priority=priority,
         )
         started = time.monotonic()
         reply = await self._roundtrip(message)
@@ -211,6 +226,7 @@ class DecodeClient:
                 queued_us=reply.get("queued_us", 0.0),
                 decode_us=reply.get("decode_us", 0.0),
                 batch_shots=reply.get("batch_shots", 0),
+                tier=reply.get("tier", ""),
             )
         if kind == "reject":
             return DecodeOutcome(
@@ -238,28 +254,80 @@ class DecodeClient:
         deadline_us: Optional[float] = None,
         policy: Optional[RetryPolicy] = None,
         rng: Optional[np.random.Generator] = None,
+        tenant: Optional[str] = None,
+        priority: Optional[int] = None,
+        breaker=None,
     ) -> DecodeOutcome:
         """:meth:`decode`, retrying transient rejections per ``policy``.
 
-        Backpressure / deadline / draining rejections are retried after
-        the policy's backoff (which honors the server's
+        Backpressure / quota / deadline / draining rejections are
+        retried after the policy's backoff (which honors the server's
         ``retry_after_us``); permanent outcomes (``too_large``, errors)
         and successes return immediately.  The returned outcome carries
         ``metadata["attempts"]`` — how many sends the request took.
+
+        Three guards stop a retry storm: the per-request backoff
+        ``budget_us`` (no more retries once a request has slept its
+        budget away), the request's own ``deadline_us`` (the remaining
+        deadline shrinks across attempts and is never slept past), and
+        an optional :class:`~repro.service.breaker.CircuitBreaker` —
+        when it is open the request fails fast with reason
+        ``"breaker_open"`` and ``metadata["attempts"] == 0`` (nothing
+        was sent), which is what bounds the fleet-wide mean attempt
+        count during saturation.
         """
         policy = policy or RetryPolicy()
-        outcome = await self.decode(shard, syndromes, deadline_us)
+        deadline_at = (
+            time.monotonic() + deadline_us / 1e6
+            if deadline_us is not None else None
+        )
+
+        def remaining_us() -> Optional[float]:
+            if deadline_at is None:
+                return None
+            return (deadline_at - time.monotonic()) * 1e6
+
+        if breaker is not None and not breaker.allow():
+            return DecodeOutcome(
+                ok=False, reason="breaker_open",
+                metadata={"attempts": 0},
+            )
+        outcome = await self.decode(
+            shard, syndromes, remaining_us(), tenant, priority
+        )
+        self._feed_breaker(breaker, outcome)
         attempt = 0
+        spent_us = 0.0
         while outcome.rejected and attempt + 1 < policy.max_attempts:
             wait_us = policy.backoff_us(
                 attempt, outcome.retry_after_us, rng
             )
+            if spent_us + wait_us > policy.budget_us:
+                break                   # total retry budget exhausted
+            left = remaining_us()
+            if left is not None and wait_us >= left:
+                break                   # the deadline would pass waiting
             if wait_us > 0:
                 await asyncio.sleep(wait_us / 1e6)
-            outcome = await self.decode(shard, syndromes, deadline_us)
+                spent_us += wait_us
+            if breaker is not None and not breaker.allow():
+                break                   # opened while we backed off
+            outcome = await self.decode(
+                shard, syndromes, remaining_us(), tenant, priority
+            )
+            self._feed_breaker(breaker, outcome)
             attempt += 1
         outcome.metadata["attempts"] = attempt + 1
         return outcome
+
+    @staticmethod
+    def _feed_breaker(breaker, outcome: DecodeOutcome) -> None:
+        if breaker is None:
+            return
+        if outcome.ok:
+            breaker.record_success()
+        elif outcome.rejected or outcome.reason == "error":
+            breaker.record_failure()
 
     async def ping(self, timeout_s: Optional[float] = None) -> float:
         """Round-trip a ping; returns the latency in seconds.

@@ -85,6 +85,7 @@ class ChaosReport:
     n_requests: int
     ok: int
     #: requests that ended without a correction — acceptance: 0
+    #: (deadline sheds are explicit negative acks, counted separately)
     lost: int
     #: reply frames suppressed by request-id idempotence (the injector
     #: duplicated them; no caller saw a second answer) — delivered
@@ -100,7 +101,20 @@ class ChaosReport:
     latency_p99_us: float
     latency_max_us: float
     #: None when the golden audit was skipped, else bit-identity verdict
+    #: (tier-aware: each correction is compared against a reference
+    #: decoder of the tier that *actually served it*, so a brownout is
+    #: still held to bit-identity — of its active tier)
     golden_match: Optional[bool] = None
+    #: requests the fleet explicitly shed as past-deadline; an answer,
+    #: not a loss — the decoded_dead counter proves none were decoded
+    deadline_shed: int = 0
+    #: shots the in-process replicas decoded *after* their deadline had
+    #: passed, summed across the fleet — acceptance: 0 whenever the run
+    #: carries deadlines (None when no in-process replica exists)
+    decoded_dead: Optional[int] = None
+    #: corrections delivered per serving decode tier ("" = pre-tier
+    #: server); >1 key means a brownout (or mixed fleet) served the run
+    served_by_tier: dict = field(default_factory=dict)
     p99_bound_ms: Optional[float] = None
     replicas: dict = field(default_factory=dict)
     #: completed live-migration reports (as dicts)
@@ -136,6 +150,7 @@ class ChaosReport:
             "n_requests": self.n_requests,
             "ok": self.ok,
             "lost": self.lost,
+            "deadline_shed": self.deadline_shed,
             "duplicate_frames": self.duplicate_frames,
             "failovers": self.failovers,
             "timeouts": self.timeouts,
@@ -147,6 +162,8 @@ class ChaosReport:
             "latency_p99_us": round(self.latency_p99_us, 1),
             "latency_max_us": round(self.latency_max_us, 1),
             "golden_match": self.golden_match,
+            "decoded_dead": self.decoded_dead,
+            "served_by_tier": self.served_by_tier,
             "p99_bound_ms": self.p99_bound_ms,
             "p99_within_bound": self.p99_within_bound,
             "replicas": self.replicas,
@@ -325,19 +342,54 @@ async def run_chaos_load(
             steady_p99 = float(np.percentile(latencies[~in_window], 99))
 
     ok = [o for o in outcomes if o.ok]
-    lost = len(outcomes) - len(ok)
+    deadline_shed = sum(
+        1 for o in outcomes if not o.ok and o.reason == "deadline"
+    )
+    lost = len(outcomes) - len(ok) - deadline_shed
+
+    served_by_tier: dict = {}
+    for outcome in outcomes:
+        if outcome.ok:
+            tier = outcome.tier or shard.decoder
+            served_by_tier[tier] = served_by_tier.get(tier, 0) + 1
 
     golden_match: Optional[bool] = None
-    if golden and lost == 0:
-        # deterministic decoding: a fresh single-process decoder over
-        # the same syndromes must reproduce every correction bit, no
-        # matter which replica (or the fallback) served each request
-        decoder = default_decoder_factory(shard)
-        expected = decoder.decode_batch(
-            np.concatenate(payloads, axis=0)
-        ).corrections
-        got = np.concatenate([o.corrections for o in outcomes], axis=0)
-        golden_match = bool(np.array_equal(expected, got))
+    if golden and lost == 0 and ok:
+        # deterministic decoding: a fresh single-process decoder must
+        # reproduce every correction bit, no matter which replica (or
+        # the fallback) served each request.  Tier-aware: a browned-out
+        # shard's replies are checked against the *active* tier's
+        # reference decoder — degraded fidelity is still deterministic
+        # fidelity, never silent corruption.  Deadline sheds carry no
+        # correction and are audited by decoded_dead instead.
+        by_tier: dict = {}
+        for payload, outcome in zip(payloads, outcomes):
+            if not outcome.ok:
+                continue
+            by_tier.setdefault(outcome.tier or shard.decoder, []).append(
+                (payload, outcome.corrections)
+            )
+        golden_match = True
+        for kind, pairs in by_tier.items():
+            decoder = default_decoder_factory(
+                ShardKey(kind, shard.distance, shard.error_type)
+            )
+            expected = decoder.decode_batch(
+                np.concatenate([p for p, _ in pairs], axis=0)
+            ).corrections
+            got = np.concatenate([c for _, c in pairs], axis=0)
+            if not np.array_equal(expected, got):
+                golden_match = False
+
+    # every in-process replica proves it never decoded past a deadline
+    decoded_dead: Optional[int] = None
+    inproc = [r for r in cluster.replicas if r.service is not None]
+    if inproc:
+        decoded_dead = sum(
+            stats_.decoded_dead
+            for replica in inproc
+            for stats_ in replica.service.telemetry.shards().values()
+        )
 
     journal_audit: Optional[dict] = None
     if cluster._journal is not None:
@@ -349,6 +401,7 @@ async def run_chaos_load(
         n_requests=trace.n_requests,
         ok=len(ok),
         lost=lost,
+        deadline_shed=deadline_shed,
         duplicate_frames=stats["duplicate_replies"],
         failovers=stats["failovers"],
         timeouts=stats["timeouts"],
@@ -360,6 +413,8 @@ async def run_chaos_load(
         latency_p99_us=float(np.percentile(latencies, 99)),
         latency_max_us=float(latencies.max()),
         golden_match=golden_match,
+        decoded_dead=decoded_dead,
+        served_by_tier=served_by_tier,
         p99_bound_ms=p99_bound_ms,
         replicas=stats["replicas"],
         migrations=[r.as_dict() for r in migration_reports],

@@ -18,6 +18,7 @@ import asyncio
 import contextlib
 from typing import Optional
 
+from ..breaker import CircuitBreaker
 from ..client import DecodeClient
 from ..server import DecodeService
 from .faults import FaultInjector
@@ -55,6 +56,11 @@ class Replica:
         self.served = 0
         self.failed = 0
         self.restarts = 0
+        #: per-replica circuit breaker, attached by the router when
+        #: :attr:`ClusterPolicy.breaker` is set (None = never fail fast);
+        #: a tripped replica is skipped by dispatch until its cooldown
+        #: probe succeeds
+        self.breaker: Optional[CircuitBreaker] = None
         self._client: Optional[DecodeClient] = None
 
     # -- connection -----------------------------------------------------
@@ -183,4 +189,8 @@ class Replica:
             "heartbeat_misses": self.heartbeat_misses,
             "recovery_streak": self.recovery_streak,
             "restarts": self.restarts,
+            "breaker": (
+                self.breaker.snapshot()
+                if self.breaker is not None else None
+            ),
         }

@@ -33,11 +33,13 @@ import asyncio
 import contextlib
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Union
 
 import numpy as np
 
 from ...decoders import DECODER_REGISTRY
+from ..admission import AdmissionController, AdmissionPolicy
+from ..breaker import BreakerPolicy, CircuitBreaker
 from ..client import DecodeClient, DecodeOutcome, RetryPolicy, ServiceClosedError
 from ..pool import DecoderPool
 from ..protocol import (
@@ -85,16 +87,26 @@ class AutoscalePolicy:
             raise ValueError("need 1 <= min_replicas <= max_replicas")
 
     def decide(self, max_f_ratio: Optional[float], recent_rejects: int,
-               n_up: int) -> Optional[str]:
-        """``"up"`` / ``"down"`` / ``None`` from one metric snapshot."""
+               n_up: int, browned_out: int = 0) -> Optional[str]:
+        """``"up"`` / ``"down"`` / ``None`` from one metric snapshot.
+
+        ``browned_out`` counts replicas currently serving a *degraded*
+        decode tier.  A brownout relieves the very signals this policy
+        reads — the cheap tier drains the backlog, so ``f_ratio`` drops
+        and rejections stop — which without this term would mask the
+        scale-up the brownout is buying time for.  A browned-out fleet
+        is therefore hot by definition, and never cold.
+        """
         hot = (
             (max_f_ratio is not None and max_f_ratio >= self.f_high)
             or recent_rejects > 0
+            or browned_out > 0
         )
         if hot and n_up < self.max_replicas:
             return "up"
         cold = (
             recent_rejects == 0
+            and browned_out == 0
             and (max_f_ratio is None or max_f_ratio <= self.f_low)
         )
         if cold and n_up > self.min_replicas:
@@ -123,6 +135,11 @@ class ClusterPolicy:
     #: dual-write window of a live migration (target warm-up under
     #: real traffic before the ownership flip)
     migration_catchup_s: float = 0.05
+    #: per-replica circuit breakers (None = never fail fast): a replica
+    #: that keeps timing out or rejecting stops being dialed until its
+    #: cooldown probe succeeds, so a sick server costs one trip instead
+    #: of a retry storm
+    breaker: Optional[BreakerPolicy] = None
 
     def __post_init__(self) -> None:
         if self.replication < 1:
@@ -196,6 +213,8 @@ class DecodeCluster:
             service=self._service_factory(),
             injector=FaultInjector(),
         )
+        if self.policy.breaker is not None:
+            replica.breaker = CircuitBreaker(self.policy.breaker)
         self._replicas[name] = replica
         self._ring.add(name)
         return replica
@@ -206,6 +225,8 @@ class DecodeCluster:
         if name in self._replicas:
             raise ValueError(f"replica {name!r} already exists")
         replica = Replica(name, address=(address[0], int(address[1])))
+        if self.policy.breaker is not None:
+            replica.breaker = CircuitBreaker(self.policy.breaker)
         self._replicas[name] = replica
         self._ring.add(name)
         return replica
@@ -350,12 +371,22 @@ class DecodeCluster:
         confirms the death (it remains a last resort if it is the only
         candidate left).  Suspects sort after confirmed-up replicas —
         the dispatch half of flap damping: a recovering server earns
-        its ping streak before full-weight traffic returns."""
+        its ping streak before full-weight traffic returns.
+
+        A replica whose circuit breaker would refuse the call is
+        filtered out too (without consuming a half-open probe); when
+        every breaker in the fleet is open, the pick fails and the
+        caller falls through to the local decode fallback — fast local
+        failure is exactly what an open breaker promises."""
         preferred = self.preference_list(shard)
         for candidates in (preferred, self.replicas):
             live = [r for r in candidates if r.available]
             if avoid is not None and len(live) > 1:
                 live = [r for r in live if r.name != avoid]
+            live = [
+                r for r in live
+                if r.breaker is None or r.breaker.would_allow()
+            ]
             if live:
                 # ties on inflight resolve in preference order, so an
                 # idle fleet serves each shard from its ring primary
@@ -368,8 +399,17 @@ class DecodeCluster:
         return None
 
     async def decode(self, shard: ShardKey, syndromes: np.ndarray,
-                     deadline_us: Optional[float] = None) -> DecodeOutcome:
+                     deadline_us: Optional[float] = None,
+                     tenant: Optional[str] = None,
+                     priority: Optional[int] = None) -> DecodeOutcome:
         """Decode with load-balanced dispatch, failover and fallback.
+
+        ``deadline_us`` is a *relative* budget, consumed across every
+        attempt: each dispatch carries only the remaining budget, no
+        backoff sleeps past it, and a request whose deadline lapses
+        inside the routing tier is shed (reason ``"deadline"``) rather
+        than decoded dead.  ``tenant`` / ``priority`` ride through to
+        the serving replica's admission and fair-queueing layers.
 
         Returns exactly once per call, with ``metadata`` recording the
         serving replica, the attempt count and whether the local
@@ -400,31 +440,64 @@ class DecodeCluster:
             if outcome is not None:
                 self.telemetry.on_outcome(True, time.monotonic() - started)
         if outcome is None:
-            outcome = await self._decode_routed(shard, syndromes, deadline_us)
+            outcome = await self._decode_routed(
+                shard, syndromes, deadline_us, tenant, priority
+            )
         if jid is not None and outcome.ok:
             self._journal.ack(jid, reply_digest(outcome.corrections))
         return outcome
 
     async def _decode_routed(self, shard: ShardKey, syndromes: np.ndarray,
-                             deadline_us: Optional[float] = None
+                             deadline_us: Optional[float] = None,
+                             tenant: Optional[str] = None,
+                             priority: Optional[int] = None
                              ) -> DecodeOutcome:
         """The pick / failover / backoff / fallback attempt loop."""
         policy = self.policy
         started = time.monotonic()
+        deadline_at = (
+            started + deadline_us / 1e6 if deadline_us is not None else None
+        )
+
+        def remaining_us() -> Optional[float]:
+            if deadline_at is None:
+                return None
+            return (deadline_at - time.monotonic()) * 1e6
+
+        def shed_dead(attempts: int, failovers: int) -> DecodeOutcome:
+            # the deadline lapsed inside the routing tier: shed here —
+            # a dead request must never burn a decode anywhere
+            self.telemetry.deadline_shed += 1
+            outcome = DecodeOutcome(ok=False, reason="deadline")
+            outcome.metadata.update(attempts=attempts, failovers=failovers)
+            self.telemetry.on_outcome(False, time.monotonic() - started)
+            return outcome
+
         attempts = 0
         failovers = 0
         last_outcome: Optional[DecodeOutcome] = None
         avoid: Optional[str] = None
         while attempts < policy.retry.max_attempts:
+            left = remaining_us()
+            if left is not None and left <= 0:
+                return shed_dead(attempts, failovers)
             replica = self._pick(shard, avoid=avoid)
             if replica is None:
                 break
             attempts += 1
+            breaker = replica.breaker
+            if breaker is not None and not breaker.allow():
+                # a concurrent request raced us into the last half-open
+                # probe slot: treat like a failed attempt elsewhere
+                avoid = replica.name
+                continue
             replica.inflight += 1
             try:
                 client = await replica.ensure_client()
                 outcome = await asyncio.wait_for(
-                    client.decode(shard, syndromes, deadline_us),
+                    client.decode(
+                        shard, syndromes, remaining_us(), tenant, priority
+                    ),
                     policy.request_timeout_s,
                 )
             except asyncio.TimeoutError:
@@ -434,6 +507,8 @@ class DecodeCluster:
                 failovers += 1
                 replica.failed += 1
                 replica.heartbeat_misses += 1
+                if breaker is not None:
+                    breaker.record_failure()
                 if replica.heartbeat_misses >= policy.heartbeat_misses_down:
                     replica.mark_down()
                     self._retire_from_ring(replica.name)
@@ -446,6 +521,8 @@ class DecodeCluster:
                 self.telemetry.failovers += 1
                 failovers += 1
                 replica.failed += 1
+                if breaker is not None:
+                    breaker.record_failure()
                 replica.drop_client()
                 replica.mark_down()
                 self._retire_from_ring(replica.name)
@@ -455,6 +532,8 @@ class DecodeCluster:
                 replica.inflight -= 1
             if outcome.ok:
                 replica.served += 1
+                if breaker is not None:
+                    breaker.record_success()
                 outcome.metadata.update(
                     replica=replica.name, attempts=attempts,
                     failovers=failovers, fallback=False,
@@ -464,22 +543,46 @@ class DecodeCluster:
             if outcome.reason == "migrated":
                 # the shard's ownership flipped out from under the
                 # queue: the new owner is ready *now*, so re-dispatch
-                # with no backoff (and don't count it as pressure)
+                # with no backoff (and don't count it as pressure; the
+                # replica answered promptly — not a breaker failure)
+                if breaker is not None:
+                    breaker.record_success()
                 self.telemetry.migrated_retries += 1
                 avoid = replica.name
                 continue
+            if outcome.reason == "deadline":
+                # the server shed it as expired: it is expired here too,
+                # and retrying cannot resurrect it
+                if breaker is not None:
+                    breaker.record_failure()
+                self.telemetry.deadline_shed += 1
+                outcome.metadata.update(
+                    replica=replica.name, attempts=attempts,
+                    failovers=failovers, fallback=False,
+                )
+                self.telemetry.on_outcome(False, time.monotonic() - started)
+                return outcome
             if outcome.rejected:
+                if breaker is not None:
+                    # backpressure / quota / draining: saturation is
+                    # exactly what the breaker exists to stop hammering
+                    breaker.record_failure()
                 self.telemetry.retries += 1
                 self._rejects_last_tick += 1
                 last_outcome = outcome
                 wait_us = policy.retry.backoff_us(
                     attempts - 1, outcome.retry_after_us, self._rng
                 )
+                left = remaining_us()
+                if left is not None and wait_us >= left:
+                    return shed_dead(attempts, failovers)
                 if wait_us > 0:
                     await asyncio.sleep(wait_us / 1e6)
                 avoid = replica.name
                 continue
             # permanent (too_large / error): no point retrying
+            if breaker is not None and outcome.reason == "error":
+                breaker.record_failure()
             outcome.metadata.update(
                 replica=replica.name, attempts=attempts,
                 failovers=failovers, fallback=False,
@@ -488,6 +591,9 @@ class DecodeCluster:
             return outcome
         # replicas exhausted -> the machine-runtime fallback semantics
         if policy.fallback:
+            left = remaining_us()
+            if left is not None and left <= 0:
+                return shed_dead(attempts, failovers)
             result = await self._local_pool.decode_async(shard, syndromes)
             self.telemetry.fallback_decodes += 1
             outcome = DecodeOutcome(
@@ -559,7 +665,10 @@ class DecodeCluster:
         max_f = self._max_f_ratio()
         rejects = self._rejects_last_tick
         self._rejects_last_tick = 0
-        decision = autoscale.decide(max_f, rejects, len(self.up_replicas()))
+        decision = autoscale.decide(
+            max_f, rejects, len(self.up_replicas()),
+            browned_out=self._browned_out_replicas(),
+        )
         if decision == "up":
             self._spawn_replica()
             self.telemetry.scale_ups += 1
@@ -575,11 +684,26 @@ class DecodeCluster:
         for replica in self.up_replicas():
             if replica.service is None:
                 continue            # remote replicas: polled via stats()
-            for shard_stats in replica.service.telemetry._shards.values():
+            for shard_stats in replica.service.telemetry.shards().values():
                 f = shard_stats.f_ratio
                 if f is not None and (worst is None or f > worst):
                     worst = f
         return worst
+
+    def _browned_out_replicas(self) -> int:
+        """Up in-process replicas currently serving a degraded tier.
+
+        Feeds :meth:`AutoscalePolicy.decide` so a brownout — which
+        relieves ``f_ratio`` and rejections by construction — still
+        reads as heat and cannot mask its own scale-up signal.
+        """
+        count = 0
+        for replica in self.up_replicas():
+            service = replica.service
+            if (service is not None and service.brownout is not None
+                    and service.brownout.browned_out):
+                count += 1
+        return count
 
     async def _scale_down_one(self) -> None:
         candidates = self.up_replicas()
@@ -706,10 +830,22 @@ class ClusterFrontend:
     validates admission exactly like a server would, and answers from
     ``cluster.decode`` — so existing clients, the load generator and
     the CLI all work against a replicated fleet unchanged.
+
+    ``admission`` installs the same per-tenant token-bucket gate a
+    single :class:`~repro.service.server.DecodeService` takes: an
+    over-quota tenant is rejected with reason ``"quota"`` *here*, at
+    the fleet's front door, before its work touches the routing tier.
     """
 
-    def __init__(self, cluster: DecodeCluster) -> None:
+    def __init__(self, cluster: DecodeCluster,
+                 admission: Optional[Union[AdmissionPolicy,
+                                           AdmissionController]] = None
+                 ) -> None:
         self.cluster = cluster
+        self.admission: Optional[AdmissionController] = (
+            AdmissionController(admission)
+            if isinstance(admission, AdmissionPolicy) else admission
+        )
         self._tasks: set = set()
         self._tcp_server: Optional[asyncio.AbstractServer] = None
 
@@ -771,7 +907,10 @@ class ClusterFrontend:
         kind = message.get("type")
         request_id = message.get("id")
         if kind == "stats":
-            return stats_reply(request_id, self.cluster.stats())
+            payload = self.cluster.stats()
+            if self.admission is not None:
+                payload["admission"] = self.admission.snapshot()
+            return stats_reply(request_id, payload)
         if kind == "ping":
             return {"type": "pong", "id": request_id}
         if kind != "decode":
@@ -802,18 +941,28 @@ class ClusterFrontend:
             )
         if syndromes.shape[0] == 0:
             raise ProtocolError("empty decode request (0 shots)")
+        tenant, priority = DecodeService._admitted_tenant(message)
+        deadline_us = DecodeService._admitted_deadline(message)
+        if self.admission is not None:
+            wait_us = self.admission.admit(tenant, syndromes.shape[0])
+            if wait_us is not None:
+                # over quota: shed at the fleet's front door — the
+                # routing tier and every replica never see this work
+                self.cluster.telemetry.quota_rejects += 1
+                return reject_reply(request_id, "quota", wait_us, 0)
         outcome = await self.cluster.decode(
-            shard, syndromes, message.get("deadline_us")
+            shard, syndromes, deadline_us,
+            tenant=tenant, priority=priority,
         )
         if outcome.ok:
             return result_reply(
                 request_id, outcome.corrections,
                 np.asarray(outcome.converged, dtype=np.uint8),
                 outcome.cycles, outcome.queued_us, outcome.decode_us,
-                outcome.batch_shots,
+                outcome.batch_shots, outcome.tier,
             )
-        if outcome.reason in ("backpressure", "deadline", "draining",
-                              "too_large", "unavailable"):
+        if outcome.reason in ("backpressure", "quota", "deadline",
+                              "draining", "too_large", "unavailable"):
             return reject_reply(
                 request_id, outcome.reason, outcome.retry_after_us,
                 outcome.queue_depth,

@@ -28,6 +28,12 @@ class ClusterTelemetry:
         self.timeouts = 0
         #: transient rejections retried per RetryPolicy
         self.retries = 0
+        #: requests shed in the routing tier because their deadline
+        #: passed — before dispatch, mid-backoff, or via a server-side
+        #: deadline rejection; a dead request is never decoded
+        self.deadline_shed = 0
+        #: frontend token-bucket admission rejections (per-tenant quota)
+        self.quota_rejects = 0
         #: requests decoded locally after every replica failed — the
         #: runtime/machine.py decoder-failure -> software-fallback
         #: semantics at the cluster level
@@ -69,6 +75,8 @@ class ClusterTelemetry:
             "failovers": self.failovers,
             "timeouts": self.timeouts,
             "retries": self.retries,
+            "deadline_shed": self.deadline_shed,
+            "quota_rejects": self.quota_rejects,
             "fallback_decodes": self.fallback_decodes,
             "scale_ups": self.scale_ups,
             "scale_downs": self.scale_downs,

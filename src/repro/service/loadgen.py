@@ -165,7 +165,17 @@ class LoadReport:
     mean_batch_shots: float
     #: mean sends per request (1.0 unless a RetryPolicy was active)
     mean_attempts: float = 1.0
+    #: which tenant label this replay carried ("" = none sent)
+    tenant: str = ""
+    #: requests shed by final reason ("backpressure", "quota",
+    #: "deadline", "draining", "migrated", "too_large", "error",
+    #: "breaker_open")
+    rejected_by_cause: dict = field(default_factory=dict)
     shard_stats: dict = field(default_factory=dict)
+
+    @property
+    def served_fraction(self) -> float:
+        return self.ok / self.n_requests if self.n_requests else 0.0
 
     @property
     def rejected_fraction(self) -> float:
@@ -179,6 +189,7 @@ class LoadReport:
 
         return {
             "shard": self.shard,
+            "tenant": self.tenant,
             "pattern": self.pattern,
             "offered_rps": round(self.offered_rps, 1),
             "offered_shots_per_s": round(self.offered_shots_per_s, 1),
@@ -196,6 +207,10 @@ class LoadReport:
             "max_queue_depth": self.max_queue_depth,
             "mean_batch_shots": round(self.mean_batch_shots, 2),
             "mean_attempts": round(self.mean_attempts, 3),
+            "served_fraction": round(self.served_fraction, 4),
+            "rejected_by_cause": dict(sorted(
+                self.rejected_by_cause.items()
+            )),
         }
 
 
@@ -228,6 +243,9 @@ async def run_load(
     deadline_us: Optional[float] = None,
     clients: Optional[List[DecodeClient]] = None,
     retry: Optional[RetryPolicy] = None,
+    tenant: Optional[str] = None,
+    priority: Optional[int] = None,
+    breaker=None,
 ) -> LoadReport:
     """Replay a trace open-loop against a service; aggregate the fates.
 
@@ -240,6 +258,9 @@ async def run_load(
     ``retry_after_us`` hints); the report's ``rejected`` then counts
     only requests still shed after the whole retry budget, and
     ``mean_attempts`` shows the amplification the retries cost.
+    ``tenant``/``priority`` label every request; ``breaker`` (a shared
+    :class:`~repro.service.breaker.CircuitBreaker`) makes the retry
+    loop fail fast once the fleet looks saturated.
     """
     if n_clients < 1:
         raise ValueError("n_clients must be >= 1")
@@ -258,11 +279,14 @@ async def run_load(
         if delay > 0:
             await asyncio.sleep(delay)
         client = clients[i % len(clients)]
-        if retry is not None:
+        if retry is not None or breaker is not None:
             return await client.decode_with_retry(
-                shard, payloads[i], deadline_us, retry, jitter_rng
+                shard, payloads[i], deadline_us, retry, jitter_rng,
+                tenant=tenant, priority=priority, breaker=breaker,
             )
-        return await client.decode(shard, payloads[i], deadline_us)
+        return await client.decode(
+            shard, payloads[i], deadline_us, tenant, priority
+        )
 
     started = loop.time()
     outcomes = await asyncio.gather(
@@ -273,18 +297,85 @@ async def run_load(
     if own_clients:
         for client in clients:
             await client.close()
-    return _build_report(shard, trace, outcomes, duration_s, stats)
+    return _build_report(shard, trace, outcomes, duration_s, stats,
+                         tenant=tenant or "")
+
+
+# ----------------------------------------------------------------------
+# Multi-tenant replay
+# ----------------------------------------------------------------------
+@dataclass
+class TenantLoad:
+    """One tenant's traffic in a multi-tenant replay."""
+
+    tenant: str
+    trace: ArrivalTrace
+    priority: int = 0
+    deadline_us: Optional[float] = None
+    retry: Optional[RetryPolicy] = None
+    breaker: object = None
+    n_clients: int = 1
+    #: distinct payload seed per tenant so tenants never share shots
+    seed: Optional[int] = None
+
+
+async def run_multitenant_load(
+    service,
+    shard: ShardKey,
+    loads: List[TenantLoad],
+    model: Optional[ErrorModel] = None,
+    p: float = 0.02,
+    seed: Optional[int] = 7,
+) -> dict:
+    """Replay several tenants' traces concurrently; one report each.
+
+    All tenants fire open-loop against the same service (a
+    :class:`~repro.service.server.DecodeService` or a cluster
+    frontend), so the per-tenant reports expose exactly the isolation
+    question the admission layer answers: who got served while someone
+    else misbehaved.  Returns ``{tenant: LoadReport}``.
+    """
+    if not loads:
+        raise ValueError("need at least one TenantLoad")
+    names = [load.tenant for load in loads]
+    if len(set(names)) != len(names):
+        raise ValueError("tenant names must be unique")
+
+    async def one(idx: int, load: TenantLoad) -> LoadReport:
+        return await run_load(
+            service, shard, load.trace, model=model, p=p,
+            seed=(load.seed if load.seed is not None
+                  else (seed or 0) + 1000 * (idx + 1)),
+            n_clients=load.n_clients,
+            deadline_us=load.deadline_us,
+            retry=load.retry,
+            tenant=load.tenant,
+            priority=load.priority,
+            breaker=load.breaker,
+        )
+
+    reports = await asyncio.gather(
+        *(one(idx, load) for idx, load in enumerate(loads))
+    )
+    return dict(zip(names, reports))
 
 
 def _build_report(shard: ShardKey, trace: ArrivalTrace,
                   outcomes: List[DecodeOutcome], duration_s: float,
-                  stats: dict) -> LoadReport:
+                  stats: dict, tenant: str = "") -> LoadReport:
     ok = [o for o in outcomes if o.ok]
-    rejected = sum(1 for o in outcomes if o.reason == "backpressure")
-    expired = sum(1 for o in outcomes if o.reason == "deadline")
-    errors = sum(
-        1 for o in outcomes if o.reason in ("error", "too_large")
+    by_cause: dict = {}
+    for o in outcomes:
+        if not o.ok and o.reason:
+            by_cause[o.reason] = by_cause.get(o.reason, 0) + 1
+    # "rejected" counts every transient shed (the retryable causes);
+    # deadline expiry and hard errors keep their own columns
+    rejected = sum(
+        by_cause.get(cause, 0)
+        for cause in ("backpressure", "quota", "draining", "migrated")
     )
+    expired = by_cause.get("deadline", 0)
+    errors = by_cause.get("error", 0) + by_cause.get("too_large", 0)
     # no completions -> quantiles are undefined (NaN), not a perfect 0
     latencies = np.array([o.latency_us for o in ok]) if ok \
         else np.full(1, np.nan)
@@ -310,6 +401,8 @@ def _build_report(shard: ShardKey, trace: ArrivalTrace,
         mean_attempts=float(np.mean(
             [o.metadata.get("attempts", 1) for o in outcomes]
         )) if outcomes else 1.0,
+        tenant=tenant,
+        rejected_by_cause=by_cause,
         shard_stats=shard_stats,
     )
 
@@ -317,9 +410,11 @@ def _build_report(shard: ShardKey, trace: ArrivalTrace,
 __all__ = [
     "ArrivalTrace",
     "LoadReport",
+    "TenantLoad",
     "bursty_trace",
     "make_request_syndromes",
     "poisson_trace",
     "rate_for_utilization",
     "run_load",
+    "run_multitenant_load",
 ]

@@ -41,21 +41,35 @@ class ThrottledFactory:
 
     Gives a shard a *known* service-time floor, which is how the
     saturation benchmark, the demo and the backpressure tests drive a
-    shard past capacity deterministically on any machine.  Inline-only
-    (``workers=0``), like every custom factory.
+    shard past capacity deterministically on any machine.  ``delay_s``
+    may also be a ``{decoder_kind: delay}`` mapping, which is how the
+    brownout drills give each decode *tier* a distinct, machine-
+    independent cost (kinds absent from the mapping run undelayed).
+    Inline-only (``workers=0``), like every custom factory.
     """
 
-    def __init__(self, delay_s: float) -> None:
-        if delay_s < 0:
-            raise ValueError("delay_s must be >= 0")
-        self.delay_s = delay_s
+    def __init__(self, delay_s) -> None:
+        if isinstance(delay_s, dict):
+            if any(d < 0 for d in delay_s.values()):
+                raise ValueError("delay_s must be >= 0")
+            self.delays = dict(delay_s)
+            self.delay_s = None
+        else:
+            if delay_s < 0:
+                raise ValueError("delay_s must be >= 0")
+            self.delays = None
+            self.delay_s = delay_s
 
     def __call__(self, shard: ShardKey) -> Decoder:
         decoder = default_decoder_factory(shard)
         inner = decoder.decode_batch
+        delay = (
+            self.delay_s if self.delays is None
+            else self.delays.get(shard.decoder, 0.0)
+        )
 
         def slowed(batch):
-            time.sleep(self.delay_s)
+            time.sleep(delay)
             return inner(batch)
 
         decoder.decode_batch = slowed

@@ -254,7 +254,9 @@ class MemoryTransport:
 # Message builders (thin, schema in one place)
 # ----------------------------------------------------------------------
 def decode_request(request_id: int, shard: ShardKey, syndromes: np.ndarray,
-                   deadline_us: Optional[float] = None) -> dict:
+                   deadline_us: Optional[float] = None,
+                   tenant: Optional[str] = None,
+                   priority: Optional[int] = None) -> dict:
     msg = {
         "type": "decode",
         "id": int(request_id),
@@ -263,13 +265,17 @@ def decode_request(request_id: int, shard: ShardKey, syndromes: np.ndarray,
     }
     if deadline_us is not None:
         msg["deadline_us"] = float(deadline_us)
+    if tenant is not None:
+        msg["tenant"] = str(tenant)
+    if priority is not None:
+        msg["priority"] = int(priority)
     return msg
 
 
 def result_reply(request_id: int, corrections: np.ndarray,
                  converged: np.ndarray, cycles: Optional[np.ndarray],
                  queued_us: float, decode_us: float,
-                 batch_shots: int) -> dict:
+                 batch_shots: int, tier: str = "") -> dict:
     msg = {
         "type": "result",
         "id": int(request_id),
@@ -279,6 +285,8 @@ def result_reply(request_id: int, corrections: np.ndarray,
         "decode_us": round(float(decode_us), 3),
         "batch_shots": int(batch_shots),
     }
+    if tier:
+        msg["tier"] = tier
     if cycles is not None:
         msg["cycles"] = [int(c) for c in cycles]
     return msg

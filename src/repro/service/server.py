@@ -20,7 +20,9 @@ from typing import Callable, Optional, Set, Union
 import numpy as np
 
 from ..decoders import DECODER_REGISTRY
+from .admission import AdmissionController, AdmissionPolicy
 from .batcher import BatchedResult, BatchPolicy, MicroBatcher, Rejection
+from .brownout import BrownoutController, BrownoutPolicy
 from .pool import DecoderPool
 from .protocol import (
     MemoryTransport,
@@ -46,6 +48,15 @@ Transport = Union[StreamTransport, MemoryTransport]
 #: key space must be bounded against misbehaving clients
 MAX_DISTANCE = 51
 
+#: admission cap on tenant labels (each creates telemetry + admission
+#: state server-side, so the namespace must be bounded too)
+MAX_TENANT_CHARS = 64
+
+#: priority classes outside this band are a protocol error — the
+#: batcher sorts classes strictly, so an unbounded band would let one
+#: client invent a class above everyone
+PRIORITY_BAND = 8
+
 
 class DecodeService:
     """Decode-as-a-service endpoint over any framed transport."""
@@ -56,10 +67,28 @@ class DecodeService:
         policy: Optional[BatchPolicy] = None,
         read_timeout_s: Optional[float] = None,
         drain_timeout_s: float = 5.0,
+        admission: Optional[Union[AdmissionPolicy,
+                                  AdmissionController]] = None,
+        brownout: Optional[Union[BrownoutPolicy,
+                                 BrownoutController]] = None,
     ) -> None:
         self.pool = pool or DecoderPool()
         self.policy = policy or BatchPolicy()
         self.telemetry = ServiceTelemetry()
+        #: per-tenant token-bucket admission (None = every tenant
+        #: unmetered, the historical behavior)
+        self.admission: Optional[AdmissionController] = (
+            AdmissionController(admission)
+            if isinstance(admission, AdmissionPolicy) else admission
+        )
+        #: fidelity brownout controller (None = always decode the
+        #: requested tier)
+        if isinstance(brownout, BrownoutPolicy):
+            brownout = BrownoutController(brownout)
+        self.brownout: Optional[BrownoutController] = brownout
+        if self.brownout is not None and self.brownout.telemetry is None:
+            self.brownout.telemetry = self.telemetry
+        self._brownout_task: Optional[asyncio.Task] = None
         self.batcher: Optional[MicroBatcher] = None
         #: mid-frame socket read timeout for TCP connections (None =
         #: wait forever; idle waits between frames are always unbounded)
@@ -79,8 +108,26 @@ class DecodeService:
         if self._closed:
             raise ConnectionError("service is closed")
         if self.batcher is None:
-            self.batcher = MicroBatcher(self.pool, self.policy, self.telemetry)
+            self.batcher = MicroBatcher(
+                self.pool, self.policy, self.telemetry,
+                weigher=(
+                    self.admission.weight
+                    if self.admission is not None else None
+                ),
+                brownout=self.brownout,
+            )
+        if (self.brownout is not None and self._brownout_task is None
+                and self.brownout.policy.interval_s > 0):
+            self._brownout_task = asyncio.get_running_loop().create_task(
+                self._brownout_loop(), name="brownout-controller"
+            )
         return self.batcher
+
+    async def _brownout_loop(self) -> None:
+        interval = self.brownout.policy.interval_s
+        while True:
+            await asyncio.sleep(interval)
+            self.brownout.tick()
 
     # -- transports ----------------------------------------------------
     async def start_tcp(self, host: str = "127.0.0.1", port: int = 0,
@@ -219,6 +266,39 @@ class DecodeService:
             raise ProtocolError("empty decode request (0 shots)")
         return syndromes
 
+    @staticmethod
+    def _admitted_tenant(message: dict) -> tuple:
+        """Parse + validate a message's tenant label and priority.
+
+        Both create server-side state (telemetry, buckets, queues), so
+        bogus values fail as protocol errors instead of leaking keys.
+        """
+        tenant = message.get("tenant", "default")
+        if (not isinstance(tenant, str) or not tenant
+                or len(tenant) > MAX_TENANT_CHARS):
+            raise ProtocolError(
+                "'tenant' must be a non-empty string of at most "
+                f"{MAX_TENANT_CHARS} chars"
+            )
+        priority = message.get("priority", 0)
+        if (not isinstance(priority, int) or isinstance(priority, bool)
+                or abs(priority) > PRIORITY_BAND):
+            raise ProtocolError(
+                f"'priority' must be an integer in "
+                f"[-{PRIORITY_BAND}, {PRIORITY_BAND}]"
+            )
+        return tenant, priority
+
+    @staticmethod
+    def _admitted_deadline(message: dict) -> Optional[float]:
+        deadline_us = message.get("deadline_us")
+        if deadline_us is None:
+            return None
+        if isinstance(deadline_us, bool) or not isinstance(
+                deadline_us, (int, float)):
+            raise ProtocolError("'deadline_us' must be a number")
+        return float(deadline_us)
+
     async def _dispatch(self, message: dict) -> dict:
         kind = message.get("type")
         request_id = message.get("id")
@@ -243,11 +323,22 @@ class DecodeService:
                 self.policy.default_retry_after_us, 0,
             )
         shard = self._admitted_shard(message)
+        tenant, priority = self._admitted_tenant(message)
+        deadline_us = self._admitted_deadline(message)
         syndromes = self._admitted_syndromes(
             shard, message.get("syndromes", {})
         )
+        if self.admission is not None:
+            wait_us = self.admission.admit(tenant, syndromes.shape[0])
+            if wait_us is not None:
+                # over quota: shed at admission — the shared queue (and
+                # every other tenant behind it) never sees this work
+                shots = int(syndromes.shape[0])
+                self.telemetry.shard(shard.wire()).on_reject(shots, "quota")
+                self.telemetry.tenant(tenant).on_shed(shots, "quota")
+                return reject_reply(request_id, "quota", wait_us, 0)
         outcome = await self._ensure_batcher().submit(
-            shard, syndromes, message.get("deadline_us")
+            shard, syndromes, deadline_us, tenant, priority
         )
         if isinstance(outcome, Rejection):
             return reject_reply(
@@ -258,7 +349,7 @@ class DecodeService:
         return result_reply(
             request_id, outcome.corrections, outcome.converged,
             outcome.cycles, outcome.queued_us, outcome.decode_us,
-            outcome.batch_shots,
+            outcome.batch_shots, outcome.tier,
         )
 
     # -- live-migration handoff ---------------------------------------
@@ -351,7 +442,13 @@ class DecodeService:
             "max_batch": self.policy.max_batch,
             "max_wait_us": self.policy.max_wait_us,
             "max_queue_shots": self.policy.max_queue_shots,
+            "max_tenant_queue_fraction":
+                self.policy.max_tenant_queue_fraction,
         }
+        if self.admission is not None:
+            payload["admission"] = self.admission.snapshot()
+        if self.brownout is not None:
+            payload["brownout"] = self.brownout.snapshot()
         return payload
 
     async def drain(self, timeout_s: Optional[float] = None) -> bool:
@@ -391,6 +488,11 @@ class DecodeService:
         if drain and not self._closed and self.batcher is not None:
             await self.drain()
         self._closed = True
+        if self._brownout_task is not None:
+            self._brownout_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._brownout_task
+            self._brownout_task = None
         if self._tcp_server is not None:
             self._tcp_server.close()
             await self._tcp_server.wait_closed()

@@ -93,6 +93,13 @@ class _RateEwma:
             self.rate_per_s += self._alpha * (rate - self.rate_per_s)
 
 
+#: every way the service sheds work, keyed exactly like the wire
+#: ``reject`` reasons (``deadline`` covers both in-queue expiry and
+#: expired-at-admission requests)
+SHED_CAUSES = ("quota", "deadline", "backpressure", "too_large",
+               "draining", "migrated")
+
+
 class ShardTelemetry:
     """Counters/gauges/histograms for one geometry shard."""
 
@@ -107,6 +114,16 @@ class ShardTelemetry:
         self.shots_failed = 0
         #: shots extracted queued-but-undecoded by a live migration
         self.shots_migrated = 0
+        #: every shed shot broken down by cause (see ``SHED_CAUSES``)
+        self.shed_by_cause: Dict[str, int] = {}
+        #: decoded shots by the tier that actually ran (brownout makes
+        #: the requested and active decoder differ; the accuracy cost
+        #: must be visible, never silent)
+        self.decoded_by_tier: Dict[str, int] = {}
+        #: shots that entered ``decode_batch`` after their deadline —
+        #: the "never decoded dead" invariant's proof counter, asserted
+        #: zero by the overload drills
+        self.decoded_dead = 0
         self.batches = 0
         self.queue_depth = 0          # shots currently queued (gauge)
         self.max_queue_depth = 0
@@ -128,12 +145,16 @@ class ShardTelemetry:
             self.arrival_rate.observe(shots, now - self._last_arrival)
         self._last_arrival = now
 
-    def on_reject(self, shots: int) -> None:
+    def on_reject(self, shots: int, cause: str = "backpressure") -> None:
         self.requests += 1
         self.shots_rejected += shots
+        self.shed_by_cause[cause] = self.shed_by_cause.get(cause, 0) + shots
 
     def on_expire(self, shots: int) -> None:
         self.shots_expired += shots
+        self.shed_by_cause["deadline"] = (
+            self.shed_by_cause.get("deadline", 0) + shots
+        )
         self.queue_depth = max(0, self.queue_depth - shots)
 
     def on_error(self, shots: int) -> None:
@@ -142,11 +163,22 @@ class ShardTelemetry:
 
     def on_migrate(self, shots: int) -> None:
         self.shots_migrated += shots
+        self.shed_by_cause["migrated"] = (
+            self.shed_by_cause.get("migrated", 0) + shots
+        )
         self.queue_depth = max(0, self.queue_depth - shots)
 
-    def on_batch(self, shots: int, decode_s: float) -> None:
+    def on_decoded_dead(self, shots: int) -> None:
+        self.decoded_dead += shots
+
+    def on_batch(self, shots: int, decode_s: float,
+                 tier: Optional[str] = None) -> None:
         self.batches += 1
         self.shots_decoded += shots
+        if tier is not None:
+            self.decoded_by_tier[tier] = (
+                self.decoded_by_tier.get(tier, 0) + shots
+            )
         self.queue_depth = max(0, self.queue_depth - shots)
         self.decode.observe(decode_s * 1e9)
         self.service_rate.observe(shots, decode_s)
@@ -185,6 +217,12 @@ class ShardTelemetry:
             "shots_expired": self.shots_expired,
             "shots_failed": self.shots_failed,
             "shots_migrated": self.shots_migrated,
+            "shed_by_cause": {
+                cause: self.shed_by_cause[cause]
+                for cause in SHED_CAUSES if cause in self.shed_by_cause
+            },
+            "decoded_by_tier": dict(sorted(self.decoded_by_tier.items())),
+            "decoded_dead": self.decoded_dead,
             "batches": self.batches,
             "mean_batch_shots": round(
                 self.shots_decoded / self.batches, 2
@@ -201,6 +239,39 @@ class ShardTelemetry:
         }
 
 
+class TenantTelemetry:
+    """Per-tenant accounting (service-wide, across shards)."""
+
+    def __init__(self, tenant: str) -> None:
+        self.tenant = tenant
+        self.requests = 0
+        self.shots_received = 0
+        self.shots_decoded = 0
+        self.shed_by_cause: Dict[str, int] = {}
+
+    def on_enqueue(self, shots: int) -> None:
+        self.requests += 1
+        self.shots_received += shots
+
+    def on_decoded(self, shots: int) -> None:
+        self.shots_decoded += shots
+
+    def on_shed(self, shots: int, cause: str) -> None:
+        self.requests += 1
+        self.shed_by_cause[cause] = self.shed_by_cause.get(cause, 0) + shots
+
+    def snapshot(self) -> dict:
+        return {
+            "requests": self.requests,
+            "shots_received": self.shots_received,
+            "shots_decoded": self.shots_decoded,
+            "shed_by_cause": {
+                cause: self.shed_by_cause[cause]
+                for cause in SHED_CAUSES if cause in self.shed_by_cause
+            },
+        }
+
+
 class ServiceTelemetry:
     """All shards plus service-wide totals (the stats endpoint payload)."""
 
@@ -209,6 +280,7 @@ class ServiceTelemetry:
         self.connections = 0
         self.protocol_errors = 0
         self._shards: Dict[str, ShardTelemetry] = {}
+        self._tenants: Dict[str, TenantTelemetry] = {}
 
     def shard(self, shard_wire: str) -> ShardTelemetry:
         try:
@@ -217,8 +289,23 @@ class ServiceTelemetry:
             stats = self._shards[shard_wire] = ShardTelemetry(shard_wire)
             return stats
 
+    def shards(self) -> Dict[str, ShardTelemetry]:
+        """Live per-shard telemetry (read-only view for controllers)."""
+        return self._shards
+
+    def tenant(self, tenant: str) -> TenantTelemetry:
+        try:
+            return self._tenants[tenant]
+        except KeyError:
+            stats = self._tenants[tenant] = TenantTelemetry(tenant)
+            return stats
+
     def snapshot(self) -> dict:
         shards = {k: s.snapshot() for k, s in sorted(self._shards.items())}
+        shed_by_cause: Dict[str, int] = {}
+        for s in shards.values():
+            for cause, shots in s["shed_by_cause"].items():
+                shed_by_cause[cause] = shed_by_cause.get(cause, 0) + shots
         return {
             "uptime_s": round(time.monotonic() - self.started_at, 3),
             "connections": self.connections,
@@ -231,6 +318,19 @@ class ServiceTelemetry:
                 "shots_rejected": sum(
                     s["shots_rejected"] for s in shards.values()
                 ),
+                "shots_expired": sum(
+                    s["shots_expired"] for s in shards.values()
+                ),
+                "decoded_dead": sum(
+                    s["decoded_dead"] for s in shards.values()
+                ),
+                "shed_by_cause": {
+                    cause: shed_by_cause[cause]
+                    for cause in SHED_CAUSES if cause in shed_by_cause
+                },
+            },
+            "tenants": {
+                k: t.snapshot() for k, t in sorted(self._tenants.items())
             },
             "shards": shards,
         }

@@ -1,0 +1,296 @@
+"""Per-tenant admission control: token buckets, quotas, fair batching.
+
+The overload contract is that an adversarial tenant is throttled at
+*admission* — its excess shots bounce off its own token bucket or its
+own queue share — while well-behaved tenants keep their golden decode
+path untouched.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    AdmissionController,
+    AdmissionPolicy,
+    BatchPolicy,
+    DecodeClient,
+    DecoderPool,
+    DecodeService,
+    MicroBatcher,
+    ShardKey,
+    TenantQuota,
+    TokenBucket,
+)
+from repro.service.telemetry import ServiceTelemetry
+
+from test_service import direct_batch, make_syndromes
+
+
+class FakeClock:
+    def __init__(self, t: float = 100.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestTenantQuota:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantQuota(rate_shots_per_s=0, burst_shots=10)
+        with pytest.raises(ValueError):
+            TenantQuota(rate_shots_per_s=10, burst_shots=0)
+        with pytest.raises(ValueError):
+            TenantQuota(rate_shots_per_s=10, burst_shots=10, weight=0)
+
+    def test_policy_lookup_with_explicit_unmetered_override(self):
+        metered = TenantQuota(rate_shots_per_s=100, burst_shots=10)
+        policy = AdmissionPolicy(
+            default_quota=metered, quotas={"vip": None}
+        )
+        assert policy.quota_for("anyone") is metered
+        # an explicit None entry overrides the default: vip is unmetered
+        assert policy.quota_for("vip") is None
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=10.0, burst=5.0, clock=clock)
+        assert bucket.try_take(5)
+        assert not bucket.try_take(1)
+
+    def test_failed_take_does_not_debit(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=10.0, burst=5.0, clock=clock)
+        assert bucket.try_take(3)
+        assert not bucket.try_take(3)     # only 2 left
+        assert bucket.try_take(2)         # the failed take kept them
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=10.0, burst=5.0, clock=clock)
+        assert bucket.try_take(5)
+        clock.advance(0.2)                # +2 tokens
+        assert bucket.try_take(2)
+        assert not bucket.try_take(1)
+        clock.advance(100.0)              # way past a full refill
+        assert bucket.try_take(5)
+        assert not bucket.try_take(1)     # capped at burst, not 1000
+
+    def test_time_until_us_is_exact(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=10.0, burst=5.0, clock=clock)
+        assert bucket.time_until_us(5) == 0.0
+        bucket.try_take(5)
+        # 3 tokens at 10/s = 0.3 s
+        assert bucket.time_until_us(3) == pytest.approx(300_000.0)
+
+    def test_over_burst_hint_is_honest_accumulation_time(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=10.0, burst=5.0, clock=clock)
+        bucket.try_take(5)
+        # 20 tokens can never fit in a burst-5 bucket, but the hint is
+        # still the honest earn-back time so clients back off hard
+        assert bucket.time_until_us(20) == pytest.approx(2_000_000.0)
+
+
+class TestAdmissionController:
+    def test_unmetered_default_admits_everything(self):
+        ctl = AdmissionController(AdmissionPolicy(), clock=FakeClock())
+        for _ in range(100):
+            assert ctl.admit("anyone", 1000) is None
+        assert ctl.admitted_shots == 100_000
+        assert ctl.rejected_requests == 0
+
+    def test_metered_tenant_rejected_with_floor_hint(self):
+        clock = FakeClock()
+        quota = TenantQuota(rate_shots_per_s=100.0, burst_shots=10.0)
+        ctl = AdmissionController(
+            AdmissionPolicy(default_quota=quota), clock=clock
+        )
+        assert ctl.admit("acme", 10) is None
+        hint = ctl.admit("acme", 10)
+        assert hint is not None and hint >= 1.0
+        assert hint == pytest.approx(100_000.0)   # 10 shots at 100/s
+        assert ctl.rejected_shots == 10
+        assert ctl.rejected_requests == 1
+        clock.advance(0.11)                       # earn the 10 back
+        assert ctl.admit("acme", 10) is None
+
+    def test_buckets_are_per_tenant(self):
+        quota = TenantQuota(rate_shots_per_s=100.0, burst_shots=10.0)
+        ctl = AdmissionController(
+            AdmissionPolicy(default_quota=quota), clock=FakeClock()
+        )
+        assert ctl.admit("a", 10) is None
+        assert ctl.admit("a", 1) is not None
+        assert ctl.admit("b", 10) is None         # b's bucket untouched
+
+    def test_weight_and_snapshot(self):
+        quota = TenantQuota(rate_shots_per_s=100.0, burst_shots=10.0,
+                            weight=3.0)
+        ctl = AdmissionController(
+            AdmissionPolicy(quotas={"gold": quota}), clock=FakeClock()
+        )
+        assert ctl.weight("gold") == 3.0
+        assert ctl.weight("stranger") == 1.0      # unmetered = weight 1
+        ctl.admit("gold", 4)
+        snap = ctl.snapshot()
+        assert snap["admitted_shots"] == 4
+        assert snap["tenants"]["gold"]["tokens"] == pytest.approx(6.0)
+
+
+class TestServiceQuota:
+    """Wire-level: the hostile tenant bounces, the honest one is golden."""
+
+    def test_quota_reject_and_honest_tenant_unaffected(self):
+        d = 3
+        syndromes = make_syndromes(d, "z", 8, seed=31)
+        expected = direct_batch("greedy", d, "z", syndromes)
+        quota = TenantQuota(rate_shots_per_s=1.0, burst_shots=8.0)
+
+        async def scenario():
+            service = DecodeService(
+                admission=AdmissionPolicy(quotas={"hostile": quota}),
+            )
+            client = DecodeClient.connect_inprocess(service)
+            shard = ShardKey("greedy", d, "z")
+            first = await client.decode(shard, syndromes, tenant="hostile")
+            second = await client.decode(shard, syndromes, tenant="hostile")
+            honest = await client.decode(shard, syndromes, tenant="honest")
+            stats = await client.stats()
+            await client.close()
+            await service.close()
+            return first, second, honest, stats
+
+        first, second, honest, stats = asyncio.run(scenario())
+        assert first.ok
+        assert not second.ok and second.reason == "quota"
+        assert second.retry_after_us >= 1.0
+        assert honest.ok
+        assert np.array_equal(honest.corrections, expected.corrections)
+        assert stats["admission"]["rejected_requests"] == 1
+        hostile = stats["tenants"]["hostile"]
+        assert hostile["shed_by_cause"]["quota"] == 8
+
+    def test_bad_tenant_and_priority_are_protocol_errors(self):
+        syndromes = make_syndromes(3, "z", 2, seed=32)
+
+        async def scenario():
+            service = DecodeService()
+            client = DecodeClient.connect_inprocess(service)
+            shard = ShardKey("greedy", 3, "z")
+            long_name = await client.decode(
+                shard, syndromes, tenant="x" * 65
+            )
+            bad_priority = await client.decode(
+                shard, syndromes, priority=99
+            )
+            await client.close()
+            await service.close()
+            return long_name, bad_priority
+
+        long_name, bad_priority = asyncio.run(scenario())
+        assert not long_name.ok and long_name.reason == "error"
+        assert not bad_priority.ok and bad_priority.reason == "error"
+
+
+class TestBatcherFairness:
+    """Queue-level admission: tenant caps and weighted round-robin."""
+
+    def _worker(self, batcher, shard):
+        worker = batcher.worker(shard)
+        worker.task.cancel()       # freeze the loop: we drive _take_batch
+        return worker
+
+    def test_tenant_queue_cap_rejects_quota_not_backpressure(self):
+        async def scenario():
+            policy = BatchPolicy(
+                max_queue_shots=100, max_tenant_queue_fraction=0.5
+            )
+            batcher = MicroBatcher(
+                DecoderPool(), policy, ServiceTelemetry()
+            )
+            worker = self._worker(batcher, ShardKey("greedy", 3, "z"))
+            syn = make_syndromes(3, "z", 50, seed=33)
+            assert isinstance(
+                worker.submit(syn, None, tenant="pig"), asyncio.Future
+            )
+            # pig's half of the queue is full; the queue overall is not
+            rej = worker.submit(syn[:1], None, tenant="pig")
+            assert rej.reason == "quota"
+            assert rej.retry_after_us > 0
+            # another tenant still lands in the free half
+            assert isinstance(
+                worker.submit(syn[:40], None, tenant="lamb"),
+                asyncio.Future,
+            )
+            await batcher.close()
+
+        asyncio.run(scenario())
+
+    def test_weighted_round_robin_shares_the_batch(self):
+        async def scenario():
+            weights = {"gold": 3.0, "bronze": 1.0}
+            batcher = MicroBatcher(
+                DecoderPool(), BatchPolicy(max_batch=8),
+                ServiceTelemetry(),
+                weigher=lambda t: weights.get(t, 1.0),
+            )
+            worker = self._worker(batcher, ShardKey("greedy", 3, "z"))
+            syn = make_syndromes(3, "z", 1, seed=34)
+            for _ in range(12):
+                worker.submit(syn, None, tenant="gold")
+                worker.submit(syn, None, tenant="bronze")
+            batch = [p.tenant for p in worker._take_batch()]
+            await batcher.close()
+            return batch
+
+        batch = asyncio.run(scenario())
+        assert len(batch) == 8
+        # smooth WRR at 3:1 serves gold 6 of every 8 slots, interleaved
+        assert batch.count("gold") == 6
+        assert batch.count("bronze") == 2
+
+    def test_higher_priority_class_served_first(self):
+        async def scenario():
+            batcher = MicroBatcher(
+                DecoderPool(), BatchPolicy(max_batch=4),
+                ServiceTelemetry(),
+            )
+            worker = self._worker(batcher, ShardKey("greedy", 3, "z"))
+            syn = make_syndromes(3, "z", 1, seed=35)
+            for _ in range(4):
+                worker.submit(syn, None, tenant="bulk", priority=0)
+                worker.submit(syn, None, tenant="urgent", priority=2)
+            batch = [p.tenant for p in worker._take_batch()]
+            await batcher.close()
+            return batch
+
+        assert asyncio.run(scenario()) == ["urgent"] * 4
+
+    def test_oversized_head_does_not_starve_other_tenants(self):
+        async def scenario():
+            batcher = MicroBatcher(
+                DecoderPool(), BatchPolicy(max_batch=8),
+                ServiceTelemetry(),
+            )
+            worker = self._worker(batcher, ShardKey("greedy", 3, "z"))
+            big = make_syndromes(3, "z", 7, seed=36)
+            small = make_syndromes(3, "z", 2, seed=37)
+            worker.submit(small, None, tenant="a")
+            worker.submit(big, None, tenant="b")      # 2+7 > 8: must wait
+            worker.submit(small, None, tenant="c")    # ...but c still fits
+            batch = [p.tenant for p in worker._take_batch()]
+            await batcher.close()
+            return batch
+
+        batch = asyncio.run(scenario())
+        assert "b" not in batch
+        assert sorted(batch) == ["a", "c"]

@@ -1,0 +1,276 @@
+"""Fidelity brownout: degrade decode tier under overload, not silently.
+
+Under sustained pressure a shard steps down its decode ladder
+(mwpm -> unionfind -> greedy) *before* shedding work, and steps back
+up with hysteresis once the pressure lifts.  The fidelity contract
+survives degradation: every reply is bit-identical to the reference
+decoder of the tier that actually served it, and the reply carries
+that tier so callers know what they got.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    BrownoutController,
+    BrownoutPolicy,
+    DecodeClient,
+    DecodeService,
+    ShardKey,
+)
+from repro.service.cluster import AutoscalePolicy
+from repro.service.telemetry import ServiceTelemetry
+
+from test_service import direct_batch, make_syndromes
+
+
+class TestBrownoutPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BrownoutPolicy(tiers=("mwpm",))
+        with pytest.raises(ValueError):
+            BrownoutPolicy(tiers=("mwpm", "mwpm"))
+        with pytest.raises(ValueError):
+            BrownoutPolicy(f_low=0.9, f_high=0.5)
+        with pytest.raises(ValueError):
+            BrownoutPolicy(dwell_down=0)
+
+
+class TestLadderMapping:
+    def make(self):
+        return BrownoutController(BrownoutPolicy(
+            tiers=("mwpm", "unionfind", "greedy"),
+            dwell_down=1, dwell_up=1,
+        ))
+
+    def test_level_zero_is_identity(self):
+        ctl = self.make()
+        shard = ShardKey("mwpm", 5, "z")
+        assert ctl.active_shard(shard) == shard
+        assert ctl.browned_out == 0
+
+    def test_levels_walk_the_ladder(self):
+        ctl = self.make()
+        shard = ShardKey("mwpm", 5, "z")
+        ctl.observe(shard, hot=True, cool=False)
+        assert ctl.level(shard) == 1
+        assert ctl.active_shard(shard).decoder == "unionfind"
+        ctl.observe(shard, hot=True, cool=False)
+        assert ctl.active_shard(shard).decoder == "greedy"
+        # the bottom rung clamps: more heat cannot fall off the ladder
+        ctl.observe(shard, hot=True, cool=False)
+        assert ctl.active_shard(shard).decoder == "greedy"
+        assert ctl.browned_out == 1
+        assert ctl.downgrades == 2
+
+    def test_mid_ladder_kind_has_shorter_ladder(self):
+        ctl = self.make()
+        shard = ShardKey("unionfind", 3, "z")
+        for _ in range(5):
+            ctl.observe(shard, hot=True, cool=False)
+        assert ctl.active_shard(shard).decoder == "greedy"
+
+    def test_off_ladder_kind_is_never_degraded(self):
+        ctl = self.make()
+        shard = ShardKey("greedy", 3, "z")    # bottom rung: max level 0
+        for _ in range(5):
+            ctl.observe(shard, hot=True, cool=False)
+        assert ctl.active_shard(shard) == shard
+        assert ctl.browned_out == 0 and ctl.downgrades == 0
+
+    def test_distance_and_error_type_are_preserved(self):
+        ctl = self.make()
+        shard = ShardKey("mwpm", 7, "x")
+        ctl.observe(shard, hot=True, cool=False)
+        active = ctl.active_shard(shard)
+        assert (active.distance, active.error_type) == (7, "x")
+
+
+class TestHysteresis:
+    def make(self):
+        return BrownoutController(BrownoutPolicy(
+            dwell_down=2, dwell_up=3,
+        ))
+
+    def test_dwell_down_needs_consecutive_heat(self):
+        ctl = self.make()
+        shard = ShardKey("mwpm", 3, "z")
+        ctl.observe(shard, hot=True, cool=False)
+        ctl.observe(shard, hot=False, cool=True)     # streak broken
+        ctl.observe(shard, hot=True, cool=False)
+        assert ctl.level(shard) == 0
+        ctl.observe(shard, hot=True, cool=False)     # 2 in a row
+        assert ctl.level(shard) == 1
+
+    def test_ambiguous_tick_resets_both_streaks(self):
+        ctl = self.make()
+        shard = ShardKey("mwpm", 3, "z")
+        ctl.observe(shard, hot=True, cool=False)
+        ctl.observe(shard, hot=False, cool=False)    # neither hot nor cool
+        ctl.observe(shard, hot=True, cool=False)
+        assert ctl.level(shard) == 0
+
+    def test_dwell_up_restores_one_rung_at_a_time(self):
+        ctl = self.make()
+        shard = ShardKey("mwpm", 3, "z")
+        for _ in range(4):
+            ctl.observe(shard, hot=True, cool=False)
+        assert ctl.level(shard) == 2
+        for _ in range(3):
+            ctl.observe(shard, hot=False, cool=True)
+        assert ctl.level(shard) == 1
+        for _ in range(3):
+            ctl.observe(shard, hot=False, cool=True)
+        assert ctl.level(shard) == 0
+        assert ctl.upgrades == 2
+        assert ctl.snapshot()["levels"] == {}
+
+
+class TestTickFromTelemetry:
+    def test_shed_delta_is_hot_quiet_is_cool(self):
+        telemetry = ServiceTelemetry()
+        ctl = BrownoutController(
+            BrownoutPolicy(dwell_down=2, dwell_up=2), telemetry
+        )
+        shard = ShardKey("mwpm", 3, "z")
+        stats = telemetry.shard(shard.wire())
+        stats.on_reject(5, "backpressure")
+        ctl.tick()                       # shed delta 5: hot
+        stats.on_reject(3, "backpressure")
+        ctl.tick()                       # shed delta 3: hot again
+        assert ctl.level(shard) == 1
+        ctl.tick()                       # no new sheds, no arrivals: cool
+        ctl.tick()
+        assert ctl.level(shard) == 0
+
+
+class TestServiceBrownout:
+    """End-to-end through DecodeService: tier on the wire, golden per tier."""
+
+    def _degraded_service(self):
+        # interval_s=0: no background tick task; the test drives levels
+        service = DecodeService(
+            brownout=BrownoutPolicy(dwell_down=1, dwell_up=1,
+                                    interval_s=0.0),
+        )
+        return service
+
+    def test_browned_out_reply_is_golden_to_active_tier(self):
+        d = 3
+        syndromes = make_syndromes(d, "z", 10, seed=51)
+        shard = ShardKey("mwpm", d, "z")
+
+        async def scenario():
+            service = self._degraded_service()
+            client = DecodeClient.connect_inprocess(service)
+            before = await client.decode(shard, syndromes)
+            service.brownout.observe(shard, hot=True, cool=False)
+            during = await client.decode(shard, syndromes)
+            stats = await client.stats()
+            service.brownout.observe(shard, hot=False, cool=True)
+            after = await client.decode(shard, syndromes)
+            await client.close()
+            await service.close()
+            return before, during, after, stats
+
+        before, during, after, stats = asyncio.run(scenario())
+        assert before.ok and before.tier == "mwpm"
+        assert np.array_equal(
+            before.corrections,
+            direct_batch("mwpm", d, "z", syndromes).corrections,
+        )
+        # degraded: served by unionfind, bit-identical to unionfind,
+        # and the reply says so
+        assert during.ok and during.tier == "unionfind"
+        assert np.array_equal(
+            during.corrections,
+            direct_batch("unionfind", d, "z", syndromes).corrections,
+        )
+        # recovered: back to the requested tier
+        assert after.ok and after.tier == "mwpm"
+        assert np.array_equal(
+            after.corrections,
+            direct_batch("mwpm", d, "z", syndromes).corrections,
+        )
+        assert stats["brownout"]["browned_out"] == 1
+        shard_stats = stats["shards"][shard.wire()]
+        assert shard_stats["decoded_by_tier"]["unionfind"] >= 10
+
+    def test_stats_surface_brownout_section(self):
+        async def scenario():
+            service = self._degraded_service()
+            client = DecodeClient.connect_inprocess(service)
+            stats = await client.stats()
+            await client.close()
+            await service.close()
+            return stats
+
+        stats = asyncio.run(scenario())
+        assert stats["brownout"] == {
+            "browned_out": 0, "downgrades": 0, "upgrades": 0,
+            "levels": {},
+        }
+
+
+class TestAutoscaleInterplay:
+    """Brownout must not mask the autoscaler's overload signal."""
+
+    def test_browned_out_counts_as_heat(self):
+        policy = AutoscalePolicy(min_replicas=1, max_replicas=4)
+        # brownout has relieved f_ratio and rejections by construction,
+        # so a browned-out shard must itself read as overload
+        assert policy.decide(0.1, 0, 2, browned_out=1) == "up"
+
+    def test_cold_requires_no_brownout(self):
+        policy = AutoscalePolicy(min_replicas=1, max_replicas=4)
+        assert policy.decide(0.1, 0, 3, browned_out=0) == "down"
+        assert policy.decide(0.1, 0, 3, browned_out=2) == "up"
+
+    def test_at_max_replicas_brownout_keeps_running(self):
+        policy = AutoscalePolicy(min_replicas=1, max_replicas=2)
+        assert policy.decide(0.1, 0, 2, browned_out=1) is None
+
+    def test_cluster_scales_up_on_browned_out_replica(self):
+        """End to end: a browned-out in-process replica reads as heat
+        even with calm f_ratio and zero rejections."""
+        from repro.service import DecodeService
+        from repro.service.cluster import ClusterPolicy, DecodeCluster
+
+        async def scenario():
+            cluster = DecodeCluster(
+                n_replicas=2,
+                policy=ClusterPolicy(
+                    autoscale=AutoscalePolicy(min_replicas=2,
+                                              max_replicas=4),
+                ),
+                service_factory=lambda: DecodeService(
+                    brownout=BrownoutPolicy(dwell_down=1, dwell_up=1,
+                                            interval_s=0.0),
+                ),
+                seed=0,
+            )
+            calm = await cluster.autoscale_tick()
+            cluster.replicas[0].service.brownout.observe(
+                ShardKey("mwpm", 3, "z"), hot=True, cool=False
+            )
+            hot = await cluster.autoscale_tick()
+            n_up = len(cluster.up_replicas())
+            await cluster.close()
+            return calm, hot, n_up
+
+        calm, hot, n_up = asyncio.run(scenario())
+        assert calm is None               # calm fleet at min: no scaling
+        assert hot == "up" and n_up == 3
+
+    def test_brownout_lifts_after_capacity_arrives(self):
+        """Scale-up relieves pressure; cool ticks walk the level back."""
+        ctl = BrownoutController(BrownoutPolicy(dwell_down=1, dwell_up=2))
+        shard = ShardKey("mwpm", 3, "z")
+        ctl.observe(shard, hot=True, cool=False)
+        assert ctl.browned_out == 1
+        # after new capacity, ticks read cool: shed delta 0, f under f_low
+        ctl.observe(shard, hot=False, cool=True)
+        ctl.observe(shard, hot=False, cool=True)
+        assert ctl.browned_out == 0 and ctl.upgrades == 1

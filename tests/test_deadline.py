@@ -1,0 +1,238 @@
+"""Deadline propagation: expired work is shed at every hop, never decoded.
+
+``deadline_us`` travels client -> router -> replica -> batcher.  Each
+hop sheds work whose deadline has lapsed — at admission, at the queue
+head when a batch is assembled, and in the routing loop before a retry
+sleep or a fallback decode.  The proof counter is ``decoded_dead``: it
+must stay zero no matter how the deadlines land.
+"""
+
+import asyncio
+import time
+
+import numpy as np
+
+from repro.service import (
+    BatchPolicy,
+    DecodeClient,
+    DecodeService,
+    RetryPolicy,
+    ShardKey,
+)
+from repro.service.cluster import ClusterPolicy, DecodeCluster
+
+from test_service import direct_batch, make_syndromes
+
+SHARD = ShardKey("greedy", 3, "z")
+
+
+class TestServiceDeadlines:
+    def test_already_dead_is_shed_at_admission(self):
+        syndromes = make_syndromes(3, "z", 4, seed=61)
+
+        async def scenario():
+            service = DecodeService()
+            client = DecodeClient.connect_inprocess(service)
+            outcome = await client.decode(SHARD, syndromes, deadline_us=0.0)
+            stats = await client.stats()
+            await client.close()
+            await service.close()
+            return outcome, stats
+
+        outcome, stats = asyncio.run(scenario())
+        assert not outcome.ok and outcome.reason == "deadline"
+        assert outcome.retry_after_us == 0.0     # retrying cannot help
+        shard_stats = stats["shards"][SHARD.wire()]
+        assert shard_stats["shed_by_cause"]["deadline"] == 4
+        assert shard_stats["decoded_dead"] == 0
+
+    def test_expired_queue_head_is_shed_not_decoded(self):
+        """A request whose deadline lapses inside the batching window
+        is dropped when the batch is assembled."""
+        syndromes = make_syndromes(3, "z", 3, seed=62)
+
+        async def scenario():
+            service = DecodeService(
+                # window far longer than the deadline: the request is
+                # guaranteed to expire while queued
+                policy=BatchPolicy(max_batch=10_000,
+                                   max_wait_us=100_000.0),
+            )
+            client = DecodeClient.connect_inprocess(service)
+            outcome = await client.decode(
+                SHARD, syndromes, deadline_us=5_000.0
+            )
+            stats = await client.stats()
+            await client.close()
+            await service.close()
+            return outcome, stats
+
+        outcome, stats = asyncio.run(scenario())
+        assert not outcome.ok and outcome.reason == "deadline"
+        shard_stats = stats["shards"][SHARD.wire()]
+        assert shard_stats["shots_expired"] == 3
+        assert shard_stats["decoded_dead"] == 0
+
+    def test_deadline_storm_decodes_nothing_dead(self):
+        """Mixed generous/hopeless deadlines: every delivered reply is
+        golden, every hopeless one is shed, decoded_dead stays 0."""
+        syndromes = make_syndromes(3, "z", 1, seed=63)
+        expected = direct_batch("greedy", 3, "z", syndromes)
+
+        async def scenario():
+            service = DecodeService(
+                policy=BatchPolicy(max_batch=8, max_wait_us=30_000.0),
+            )
+            client = DecodeClient.connect_inprocess(service)
+            outcomes = await asyncio.gather(*(
+                client.decode(
+                    SHARD, syndromes,
+                    deadline_us=(5_000_000.0 if i % 2 == 0 else 1.0),
+                )
+                for i in range(20)
+            ))
+            stats = await client.stats()
+            await client.close()
+            await service.close()
+            return outcomes, stats
+
+        outcomes, stats = asyncio.run(scenario())
+        served = [o for o in outcomes if o.ok]
+        dead = [o for o in outcomes if not o.ok]
+        assert served and dead
+        assert all(o.reason == "deadline" for o in dead)
+        for outcome in served:
+            assert np.array_equal(outcome.corrections,
+                                  expected.corrections)
+        assert stats["shards"][SHARD.wire()]["decoded_dead"] == 0
+
+    def test_retry_never_sleeps_past_the_deadline(self):
+        """A saturated server's huge retry hint cannot make the client
+        outlive its own deadline."""
+        async def scenario():
+            service = DecodeService(
+                policy=BatchPolicy(
+                    max_batch=10_000, max_wait_us=300_000.0,
+                    max_queue_shots=8,
+                    default_retry_after_us=1_000_000.0,
+                ),
+            )
+            client = DecodeClient.connect_inprocess(service)
+            filler = asyncio.ensure_future(
+                client.decode(SHARD, make_syndromes(3, "z", 8, seed=64))
+            )
+            await asyncio.sleep(0.01)
+            t0 = time.monotonic()
+            outcome = await client.decode_with_retry(
+                SHARD, make_syndromes(3, "z", 1, seed=65),
+                policy=RetryPolicy(max_attempts=10, base_us=100.0,
+                                   jitter=0.0),
+                deadline_us=50_000.0,
+            )
+            elapsed = time.monotonic() - t0
+            await service.close()
+            await filler
+            await client.close()
+            return outcome, elapsed
+
+        outcome, elapsed = asyncio.run(scenario())
+        assert not outcome.ok
+        # one rejection, then the 1 s hint dwarfs the 50 ms left: stop
+        assert outcome.metadata["attempts"] == 1
+        assert elapsed < 0.3
+
+
+class TestClusterDeadlines:
+    def test_dead_on_arrival_is_shed_in_the_router(self):
+        syndromes = make_syndromes(3, "z", 4, seed=66)
+
+        async def scenario():
+            cluster = DecodeCluster(n_replicas=2, seed=0)
+            outcome = await cluster.decode(
+                SHARD, syndromes, deadline_us=0.0
+            )
+            stats = cluster.stats()
+            await cluster.close()
+            return outcome, stats
+
+        outcome, stats = asyncio.run(scenario())
+        assert not outcome.ok and outcome.reason == "deadline"
+        assert outcome.metadata["attempts"] == 0     # never dialed
+        assert stats["deadline_shed"] == 1
+
+    def test_server_side_expiry_propagates_and_is_not_retried(self):
+        """The replica sheds an expired queue head; the router returns
+        the deadline outcome instead of burning retries on it."""
+        syndromes = make_syndromes(3, "z", 2, seed=67)
+
+        async def scenario():
+            cluster = DecodeCluster(
+                n_replicas=1,
+                policy=ClusterPolicy(
+                    retry=RetryPolicy(max_attempts=5, base_us=100.0,
+                                      jitter=0.0),
+                ),
+                service_factory=lambda: DecodeService(
+                    policy=BatchPolicy(max_batch=10_000,
+                                       max_wait_us=100_000.0),
+                ),
+                seed=0,
+            )
+            outcome = await cluster.decode(
+                SHARD, syndromes, deadline_us=5_000.0
+            )
+            stats = cluster.stats()
+            replica = cluster.replicas[0]
+            dead = sum(
+                s.decoded_dead
+                for s in replica.service.telemetry.shards().values()
+            )
+            await cluster.close()
+            return outcome, stats, dead
+
+        outcome, stats, dead = asyncio.run(scenario())
+        assert not outcome.ok and outcome.reason == "deadline"
+        assert outcome.metadata["attempts"] == 1     # no retry storm
+        assert stats["deadline_shed"] == 1
+        assert dead == 0
+
+    def test_backoff_that_would_outlive_the_deadline_sheds(self):
+        """Saturated fleet hands out hints past the deadline: the
+        router sheds instead of sleeping into a dead decode."""
+        async def scenario():
+            cluster = DecodeCluster(
+                n_replicas=1,
+                policy=ClusterPolicy(
+                    retry=RetryPolicy(max_attempts=10, base_us=100.0,
+                                      jitter=0.0),
+                    fallback=True,
+                ),
+                service_factory=lambda: DecodeService(
+                    policy=BatchPolicy(
+                        max_batch=10_000, max_wait_us=300_000.0,
+                        max_queue_shots=8,
+                        default_retry_after_us=1_000_000.0,
+                    ),
+                ),
+                seed=0,
+            )
+            filler = asyncio.ensure_future(
+                cluster.decode(SHARD, make_syndromes(3, "z", 8, seed=68))
+            )
+            await asyncio.sleep(0.02)
+            t0 = time.monotonic()
+            outcome = await cluster.decode(
+                SHARD, make_syndromes(3, "z", 1, seed=69),
+                deadline_us=50_000.0,
+            )
+            elapsed = time.monotonic() - t0
+            stats = cluster.stats()
+            filler_outcome = await filler
+            await cluster.close()
+            return outcome, elapsed, stats, filler_outcome
+
+        outcome, elapsed, stats, filler_outcome = asyncio.run(scenario())
+        assert not outcome.ok and outcome.reason == "deadline"
+        assert elapsed < 0.3                  # did not sleep out the hint
+        assert stats["deadline_shed"] == 1
+        assert filler_outcome.ok              # the live request was served

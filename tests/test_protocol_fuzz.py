@@ -1,0 +1,246 @@
+"""Fuzzing the wire protocol: garbage in, clean ProtocolError out.
+
+A decode server faces the network; a malformed, truncated, mutated or
+adversarially huge frame must surface as :class:`ProtocolError` (or an
+``error`` reply from a live server) — never a hang, a crash, a raw
+``struct.error``, or a partially-applied request.  Both transports are
+fuzzed, since they share the frame codec by construction.
+"""
+
+import asyncio
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import DecodeService
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    MemoryTransport,
+    ProtocolError,
+    StreamTransport,
+    decode_frame,
+    encode_frame,
+    pack_bitmap,
+    unpack_bitmap,
+)
+
+from test_service import make_syndromes
+
+
+def valid_frame() -> bytes:
+    syndromes = make_syndromes(3, "z", 2, seed=71)
+    return encode_frame({
+        "type": "decode",
+        "id": 1,
+        "shard": "greedy:d3:z",
+        "syndromes": pack_bitmap(syndromes),
+    })
+
+
+class TestFrameCodecFuzz:
+    @given(st.binary(max_size=256))
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_bytes_never_crash_decode_frame(self, blob):
+        """decode_frame either returns a dict or raises ProtocolError —
+        no struct.error, UnicodeDecodeError or JSONDecodeError leaks."""
+        try:
+            message = decode_frame(blob)
+        except ProtocolError:
+            return
+        assert isinstance(message, dict)
+
+    @given(st.integers(min_value=0, max_value=len(valid_frame()) - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_truncated_valid_frame_is_rejected(self, cut):
+        frame = valid_frame()
+        try:
+            message = decode_frame(frame[:cut])
+        except ProtocolError:
+            return
+        # the only prefix that parses is one whose length prefix
+        # happens to match a shorter valid JSON body — impossible for
+        # a frame with a fixed body, so reaching here means the codec
+        # silently accepted truncation
+        raise AssertionError(f"truncation to {cut} bytes parsed: {message}")
+
+    @given(
+        st.integers(min_value=4, max_value=len(valid_frame()) - 1),
+        st.integers(min_value=1, max_value=255),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mutated_body_never_crashes(self, pos, delta):
+        """Single-byte corruption in the body: parse or ProtocolError."""
+        frame = bytearray(valid_frame())
+        frame[pos] = (frame[pos] + delta) % 256
+        try:
+            message = decode_frame(bytes(frame))
+        except ProtocolError:
+            return
+        assert isinstance(message, dict)
+
+    def test_oversized_frame_is_refused_on_encode(self):
+        big = {"type": "decode", "blob": "x" * (MAX_FRAME_BYTES + 1)}
+        try:
+            encode_frame(big)
+        except ProtocolError:
+            return
+        raise AssertionError("oversized frame encoded")
+
+    def test_non_object_json_is_rejected(self):
+        payload = b"[1,2,3]"
+        frame = struct.pack(">I", len(payload)) + payload
+        try:
+            decode_frame(frame)
+        except ProtocolError:
+            return
+        raise AssertionError("non-object frame parsed")
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_bitmap_objects_never_crash(self, raw):
+        obj = {"b64": raw.decode("latin1"), "shape": [len(raw)]}
+        try:
+            arr = unpack_bitmap(obj)
+        except ProtocolError:
+            return
+        assert arr.shape == (len(raw),)
+
+
+class TestLiveServerFuzz:
+    """A served connection survives garbage without hanging or dying."""
+
+    def _prefix_mutations(self, frame: bytes) -> list:
+        """Adversarial length prefixes over a valid body."""
+        body = frame[4:]
+        return [
+            struct.pack(">I", len(body) + 9) + body,     # long prefix
+            struct.pack(">I", MAX_FRAME_BYTES + 1) + body,  # over cap
+        ]
+
+    def test_memory_transport_garbage_gets_error_reply(self):
+        """Over MemoryTransport frames arrive whole, so corruption
+        shows up as decode_frame failures inside recv."""
+        async def scenario():
+            service = DecodeService()
+            transport = service.connect()
+            # a structurally valid frame with an unknown message type
+            await transport.send({"type": "gibberish", "id": 7})
+            reply = await asyncio.wait_for(transport.recv(), 5.0)
+            # raw garbage bytes injected below the send() API
+            await transport._outbox.put(b"\x00\x00\x00\x03{]")
+            try:
+                second = await asyncio.wait_for(transport.recv(), 5.0)
+            except ProtocolError:
+                second = None
+            # the server must still answer on a fresh connection
+            fresh = service.connect()
+            await fresh.send({"type": "stats", "id": 1})
+            alive = await asyncio.wait_for(fresh.recv(), 5.0)
+            await transport.close()
+            await fresh.close()
+            await service.close()
+            return reply, second, alive
+
+        reply, second, alive = asyncio.run(scenario())
+        assert reply["type"] == "error"
+        assert second is None or second["type"] == "error"
+        assert alive["type"] == "stats_reply"
+
+    def test_tcp_garbage_bytes_produce_error_then_close(self):
+        """Raw socket bytes that are not a frame: the server answers
+        with an error frame (or just closes) — it never hangs and the
+        listener keeps serving."""
+        syndromes = make_syndromes(3, "z", 2, seed=72)
+
+        async def scenario():
+            service = DecodeService(read_timeout_s=1.0)
+            host, port = await service.start_tcp()
+            results = []
+            blobs = [
+                b"\xff" * 12,                         # huge prefix
+                b"\x00\x00\x00\x05ab",                # truncated body + EOF
+                struct.pack(">I", 4) + b"nope",       # non-JSON body
+            ] + self._prefix_mutations(valid_frame())
+            for blob in blobs:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(blob)
+                await writer.drain()
+                writer.write_eof()
+                # bounded read: either an error frame or a clean close
+                data = await asyncio.wait_for(reader.read(1 << 16), 5.0)
+                results.append(data)
+                writer.close()
+                await writer.wait_closed()
+            # after all that abuse a well-formed request still decodes
+            transport = StreamTransport(
+                *(await asyncio.open_connection(host, port))
+            )
+            await transport.send({
+                "type": "decode", "id": 9, "shard": "greedy:d3:z",
+                "syndromes": pack_bitmap(syndromes),
+            })
+            reply = await asyncio.wait_for(transport.recv(), 5.0)
+            await transport.close()
+            stats = service.stats()
+            await service.close()
+            return results, reply, stats
+
+        results, reply, stats = asyncio.run(scenario())
+        for data in results:
+            # an error reply is a frame whose body mentions the failure;
+            # an empty read is a clean close — both are acceptable,
+            # a hang (wait_for timeout) is not
+            if data:
+                assert b"error" in data
+        assert reply["type"] == "result"
+        assert unpack_bitmap(reply["corrections"]).shape[0] == 2
+        assert stats["protocol_errors"] >= 1
+
+    @given(st.binary(min_size=1, max_size=128))
+    @settings(max_examples=25, deadline=None)
+    def test_tcp_random_blobs_never_hang_the_listener(self, blob):
+        async def scenario():
+            service = DecodeService(read_timeout_s=0.5)
+            host, port = await service.start_tcp()
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(blob)
+            await writer.drain()
+            writer.write_eof()
+            await asyncio.wait_for(reader.read(1 << 16), 5.0)
+            writer.close()
+            await writer.wait_closed()
+            # the listener is still alive
+            transport = StreamTransport(
+                *(await asyncio.open_connection(host, port))
+            )
+            await transport.send({"type": "ping", "id": 0})
+            pong = await asyncio.wait_for(transport.recv(), 5.0)
+            await transport.close()
+            await service.close()
+            return pong
+
+        assert asyncio.run(scenario())["type"] == "pong"
+
+    def test_partial_apply_is_impossible_for_rejected_frames(self):
+        """A frame that fails validation must leave no server state:
+        no shard worker, no tenant telemetry, no queue residue."""
+        async def scenario():
+            service = DecodeService()
+            transport = service.connect()
+            syndromes = make_syndromes(3, "z", 2, seed=73)
+            await transport.send({
+                "type": "decode", "id": 1, "shard": "greedy:d3:z",
+                "syndromes": pack_bitmap(syndromes),
+                "tenant": "x" * 4096,        # fails tenant validation
+            })
+            reply = await asyncio.wait_for(transport.recv(), 5.0)
+            stats = service.stats()
+            await transport.close()
+            await service.close()
+            return reply, stats
+
+        reply, stats = asyncio.run(scenario())
+        assert reply["type"] == "error"
+        # the oversized tenant created no per-tenant state
+        assert all(len(t) <= 64 for t in stats.get("tenants", {}))
